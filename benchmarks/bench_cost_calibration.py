@@ -1,0 +1,65 @@
+"""E5 (§3.3.3) — cost calibration: fitting λ per component.
+
+Reproduces the paper's calibration process: targeted performance tests
+per DMS operation, per-component instrumentation, a least-squares λ fit —
+including the reader's two constants (λ_hash / λ_direct) and the
+"λ varies with rows/columns but not significantly" observation.
+"""
+
+import pytest
+from conftest import fmt_row, report
+
+from repro.appliance.calibration import Calibrator
+from repro.appliance.dms_runtime import GroundTruthConstants
+
+
+def test_cost_calibration(benchmark):
+    calibrator = Calibrator(node_count=8)
+    result = benchmark(calibrator.calibrate,
+                       sizes=((500, 1), (2000, 1), (2000, 4)))
+    truth = GroundTruthConstants()
+    fitted = result.constants
+
+    pairs = [
+        ("lambda_reader_direct", fitted.lambda_reader_direct,
+         truth.reader_direct),
+        ("lambda_reader_hash", fitted.lambda_reader_hash,
+         truth.reader_hash),
+        ("lambda_network", fitted.lambda_network, truth.network),
+        ("lambda_writer", fitted.lambda_writer, truth.writer),
+        ("lambda_bulk_copy", fitted.lambda_bulk_copy, truth.bulk_copy),
+    ]
+    lines = [
+        "Cost calibration (paper 3.3.3): fitted lambda per component",
+        "",
+        fmt_row("component", "fitted (s/byte)", "ground truth",
+                "error", widths=[24, 16, 16, 10]),
+    ]
+    for name, value, target in pairs:
+        error = abs(value - target) / target
+        lines.append(fmt_row(name, f"{value:.3e}", f"{target:.3e}",
+                             f"{error * 100:.1f}%",
+                             widths=[24, 16, 16, 10]))
+    lines += [
+        "",
+        "Implied-lambda spread across sizes/column counts (the paper's",
+        "linearity check: variation exists but stays within one constant):",
+    ]
+    for component, (low, high) in result.implied_lambda_spread().items():
+        ratio = high / low if low > 0 else float("inf")
+        lines.append(fmt_row(f"  {component}", f"{low:.2e}",
+                             f"{high:.2e}", f"x{ratio:.2f}",
+                             widths=[16, 12, 12, 8]))
+    report("E5_cost_calibration", lines)
+
+    # Reader/writer/bulk are fit exactly; hashing surcharge detected.
+    assert fitted.lambda_reader_direct == pytest.approx(
+        truth.reader_direct, rel=0.05)
+    assert fitted.lambda_reader_hash == pytest.approx(
+        truth.reader_hash, rel=0.05)
+    assert fitted.lambda_reader_hash > fitted.lambda_reader_direct
+    assert fitted.lambda_writer == pytest.approx(truth.writer, rel=0.05)
+    assert fitted.lambda_bulk_copy == pytest.approx(truth.bulk_copy,
+                                                    rel=0.05)
+    # Network absorbs the local-delivery discount — below truth but close.
+    assert 0.5 * truth.network <= fitted.lambda_network <= truth.network

@@ -1,0 +1,98 @@
+"""E4 (§3.3.2) — the seven DMS operations: predicted cost vs simulated
+execution across data sizes.
+
+For each operation the table shows the cost model's prediction and the
+runtime's simulated elapsed time side by side; the shape to check is that
+predictions track the simulator within a small constant factor and that
+the relative order of operations matches.
+"""
+
+import pytest
+from conftest import fmt_row, report
+
+from repro.appliance.calibration import Calibrator
+from repro.pdw.cost_model import DmsCostModel
+from repro.pdw.dms import DataMovement, DmsOperation
+
+NODES = 8
+SIZES = (1_000, 8_000)
+
+OPERATIONS = (
+    DmsOperation.SHUFFLE_MOVE,
+    DmsOperation.PARTITION_MOVE,
+    DmsOperation.CONTROL_NODE_MOVE,
+    DmsOperation.BROADCAST_MOVE,
+    DmsOperation.TRIM_MOVE,
+    DmsOperation.REPLICATED_BROADCAST,
+    DmsOperation.REMOTE_COPY,
+)
+
+
+def test_dms_operations(benchmark):
+    calibrator = Calibrator(node_count=NODES)
+    model = DmsCostModel(NODES)
+
+    rows_of_table = []
+    predictions = {}
+    simulated = {}
+    for operation in OPERATIONS:
+        for size in SIZES:
+            sample = calibrator.run_one(operation, size, 1)
+            source_kind, target = calibrator._movement_for(operation)
+            movement = DataMovement(
+                operation,
+                sample_source(source_kind), target,
+                hash_columns=())
+            predicted = model.cost(movement, float(size),
+                                   float(sample.width))
+            measured = max(max(sample.measured_times[0],
+                               sample.measured_times[1]),
+                           max(sample.measured_times[2],
+                               sample.measured_times[3]))
+            predictions[(operation, size)] = predicted
+            simulated[(operation, size)] = measured
+            rows_of_table.append(fmt_row(
+                operation.name, size,
+                f"{predicted * 1e3:.4f} ms",
+                f"{measured * 1e3:.4f} ms",
+                f"{predicted / max(measured, 1e-12):.2f}",
+                widths=[22, 8, 14, 14, 8]))
+
+    benchmark(calibrator.run_one, DmsOperation.SHUFFLE_MOVE, 4_000, 1)
+
+    lines = [
+        "The seven DMS operations (paper 3.3.2): model vs simulator",
+        f"({NODES} compute nodes; width ~20 bytes/row)",
+        "",
+        fmt_row("operation", "rows", "predicted", "simulated",
+                "ratio", widths=[22, 8, 14, 14, 8]),
+    ] + rows_of_table
+    report("E4_dms_operations", lines)
+
+    # Shape checks: predictions within 3x of simulation, monotone in rows.
+    for key, predicted in predictions.items():
+        measured = simulated[key]
+        assert predicted == pytest.approx(measured, rel=2.0)
+    for operation in OPERATIONS:
+        assert simulated[(operation, SIZES[1])] > \
+            simulated[(operation, SIZES[0])]
+    # Broadcast moves more bytes than shuffle at the same size.
+    assert simulated[(DmsOperation.BROADCAST_MOVE, SIZES[1])] > \
+        simulated[(DmsOperation.SHUFFLE_MOVE, SIZES[1])]
+
+
+def sample_source(kind):
+    from repro.algebra.properties import (
+        DistKind,
+        Distribution,
+        ON_CONTROL_DIST,
+        REPLICATED_DIST,
+        hashed_on,
+    )
+    if kind is DistKind.HASHED:
+        return hashed_on(1)
+    if kind is DistKind.REPLICATED:
+        return REPLICATED_DIST
+    if kind is DistKind.ON_CONTROL:
+        return ON_CONTROL_DIST
+    return Distribution(DistKind.SINGLE_NODE)

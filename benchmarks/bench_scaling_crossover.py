@@ -1,0 +1,111 @@
+"""E13 — scaling and the broadcast/shuffle crossover.
+
+Under uniformity, a distributed stream carries ``Y·w/N`` bytes per node
+while a replicated one carries ``Y·w`` (§3.3.3), so:
+
+* shuffles get cheaper as nodes are added; broadcasts do not,
+* for a join between a small table S and a large table L, broadcasting S
+  wins while |S| is small and loses past a crossover that shifts with N.
+
+We sweep |S| and N, record the optimizer's choice and cost, and locate
+the crossover.
+"""
+
+from conftest import fmt_row, report
+
+from repro.catalog.schema import Catalog, Column, TableDef, hash_distributed
+from repro.catalog.shell_db import ShellDatabase
+from repro.catalog.statistics import ColumnStats
+from repro.common.types import INTEGER
+from repro.pdw.dms import DataMovement, DmsOperation
+from repro.pdw.engine import PdwEngine
+
+BIG_ROWS = 1_000_000
+SMALL_SIZES = (1_000, 10_000, 50_000, 100_000, 300_000, 1_000_000)
+NODE_COUNTS = (2, 8, 32)
+
+SQL = ("SELECT small_val FROM big, small "
+       "WHERE big_ref = small_key")
+
+
+def make_shell(small_rows, nodes):
+    catalog = Catalog([
+        TableDef("big",
+                 [Column("big_key", INTEGER), Column("big_ref", INTEGER)],
+                 hash_distributed("big_key"), row_count=BIG_ROWS),
+        TableDef("small",
+                 [Column("small_key", INTEGER),
+                  Column("small_val", INTEGER)],
+                 hash_distributed("small_key"), row_count=small_rows),
+    ])
+    shell = ShellDatabase(catalog, nodes)
+
+    def put(table, column, rows, distinct):
+        shell.set_column_stats(
+            table, column, ColumnStats(rows, 0, distinct, 1, distinct, 4))
+
+    put("big", "big_key", BIG_ROWS, BIG_ROWS)
+    put("big", "big_ref", BIG_ROWS, small_rows)
+    put("small", "small_key", small_rows, small_rows)
+    put("small", "small_val", small_rows, 1000)
+    return shell
+
+
+def chosen_strategy(compiled):
+    moves = [n.op for n in compiled.pdw_plan.root.walk()
+             if isinstance(n.op, DataMovement)]
+    operations = sorted(m.operation.name for m in moves)
+    if operations == ["BROADCAST_MOVE"]:
+        return "broadcast small"
+    if all(op == "SHUFFLE_MOVE" for op in operations):
+        return f"shuffle x{len(operations)}"
+    return "+".join(operations)
+
+
+def test_scaling_crossover(benchmark):
+    table_rows = []
+    crossovers = {}
+    for nodes in NODE_COUNTS:
+        previous = None
+        for small in SMALL_SIZES:
+            shell = make_shell(small, nodes)
+            compiled = PdwEngine(shell).compile(SQL)
+            strategy = chosen_strategy(compiled)
+            table_rows.append(fmt_row(
+                nodes, small, strategy, f"{compiled.pdw_plan.cost:.6f}",
+                widths=[6, 10, 18, 12]))
+            if (previous == "broadcast small"
+                    and strategy != "broadcast small"
+                    and nodes not in crossovers):
+                crossovers[nodes] = small
+            previous = strategy
+
+    benchmark(lambda: PdwEngine(make_shell(10_000, 8)).compile(SQL))
+
+    lines = [
+        "Broadcast vs shuffle crossover "
+        f"(big table fixed at {BIG_ROWS} rows)",
+        "",
+        fmt_row("nodes", "small rows", "chosen strategy", "cost (s)",
+                widths=[6, 10, 18, 12]),
+    ] + table_rows + [
+        "",
+        "crossover (first small-table size where broadcast loses):",
+    ]
+    for nodes in NODE_COUNTS:
+        lines.append(fmt_row(f"  N={nodes}",
+                             crossovers.get(nodes, "> max size"),
+                             widths=[8, 14]))
+    report("E13_scaling_crossover", lines)
+
+    # Shape: broadcast wins for tiny tables at low N, and the crossover
+    # moves to *smaller* sizes as N grows (broadcast scales with N·Y·w
+    # on the wire while shuffles shrink per node).
+    first_small = [r for r in table_rows if "broadcast" in r]
+    assert first_small, "broadcast must win somewhere"
+    observed = [crossovers[n] for n in NODE_COUNTS if n in crossovers]
+    assert observed == sorted(observed, reverse=True) or len(observed) < 2
+    # Shuffle costs drop with N for the same configuration.
+    cost_small_n = PdwEngine(make_shell(1_000_000, 2)).compile(SQL)
+    cost_big_n = PdwEngine(make_shell(1_000_000, 32)).compile(SQL)
+    assert cost_big_n.pdw_plan.cost < cost_small_n.pdw_plan.cost

@@ -1,0 +1,105 @@
+"""E11 (§2.2) — global statistics via per-node merge.
+
+*"To compute global statistics, local statistics are first computed on
+each node via the standard SQL Server mechanisms, and are then merged
+together to derive global statistics."*
+
+We compare three statistics regimes over real distributed TPC-H data:
+
+* exact single-image statistics (the unobtainable ideal),
+* merged per-node statistics (the paper's pipeline / this repo's default),
+* one node's local statistics scaled by N (the naive alternative),
+
+and report estimation error for distinct counts and selectivities.
+"""
+
+import pytest
+from conftest import fmt_row, report
+
+from repro.catalog.statistics import ColumnStats, merge_column_stats
+
+
+COLUMNS = [
+    ("orders", "o_orderkey"),
+    ("orders", "o_custkey"),
+    ("orders", "o_orderpriority"),
+    ("lineitem", "l_partkey"),
+    ("lineitem", "l_shipmode"),
+    ("lineitem", "l_quantity"),
+    ("customer", "c_nationkey"),
+    ("customer", "c_mktsegment"),
+]
+
+
+def column_values(appliance, table, column):
+    table_def = appliance.catalog.table(table)
+    index = table_def.column_index(column)
+    return [row[index]
+            for row in appliance.table_rows_everywhere(table)]
+
+
+def fragment_stats(appliance, table, column):
+    table_def = appliance.catalog.table(table)
+    index = table_def.column_index(column)
+    return [
+        ColumnStats.build([row[index] for row in node.rows(table)])
+        for node in appliance.compute
+    ]
+
+
+def test_stats_merge(benchmark, tpch_bench):
+    appliance, _ = tpch_bench
+
+    rows = []
+    merged_errors = []
+    naive_errors = []
+    for table, column in COLUMNS:
+        values = column_values(appliance, table, column)
+        exact = ColumnStats.build(values)
+        fragments = fragment_stats(appliance, table, column)
+        merged = merge_column_stats(fragments)
+        naive_distinct = fragments[0].distinct_count * len(fragments)
+
+        merged_error = abs(merged.distinct_count - exact.distinct_count) \
+            / max(1.0, exact.distinct_count)
+        naive_error = abs(naive_distinct - exact.distinct_count) \
+            / max(1.0, exact.distinct_count)
+        merged_errors.append(merged_error)
+        naive_errors.append(naive_error)
+        rows.append(fmt_row(
+            f"{table}.{column}",
+            f"{exact.distinct_count:.0f}",
+            f"{merged.distinct_count:.0f}",
+            f"{naive_distinct:.0f}",
+            f"{merged_error * 100:.0f}%",
+            f"{naive_error * 100:.0f}%",
+            widths=[26, 10, 10, 12, 10, 10]))
+
+    benchmark(lambda: merge_column_stats(
+        fragment_stats(appliance, "lineitem", "l_partkey")))
+
+    lines = [
+        "Global statistics: merged per-node stats vs exact (paper 2.2)",
+        "",
+        fmt_row("column", "exact", "merged", "naive(xN)",
+                "merged err", "naive err", widths=[26, 10, 10, 12, 10, 10]),
+    ] + rows + [
+        "",
+        f"mean distinct-count error: merged "
+        f"{sum(merged_errors) / len(merged_errors) * 100:.1f}%, "
+        f"naive {sum(naive_errors) / len(naive_errors) * 100:.1f}%",
+    ]
+    report("E11_stats_merge", lines)
+
+    assert sum(merged_errors) <= sum(naive_errors)
+    assert sum(merged_errors) / len(merged_errors) < 0.25
+
+    # Selectivity sanity through the merged histogram.
+    values = column_values(appliance, "orders", "o_custkey")
+    exact = ColumnStats.build(values)
+    merged = merge_column_stats(
+        fragment_stats(appliance, "orders", "o_custkey"))
+    midpoint = sorted(values)[len(values) // 2]
+    exact_rows = exact.histogram.estimate_le(midpoint)
+    merged_rows = merged.histogram.estimate_le(midpoint)
+    assert merged_rows == pytest.approx(exact_rows, rel=0.2)

@@ -1,0 +1,48 @@
+"""Shared benchmark fixtures and the report helper.
+
+Every benchmark regenerates one of the paper's figures/tables (see
+DESIGN.md's experiment index).  Reproduced tables are printed to stdout
+and archived under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro import PdwEngine
+from repro.workloads.tpch_datagen import build_tpch_appliance
+
+BENCH_SCALE = 0.003
+BENCH_NODES = 8
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def tpch_bench():
+    """(appliance, shell) sized for benchmark runs."""
+    return build_tpch_appliance(scale=BENCH_SCALE, node_count=BENCH_NODES)
+
+
+@pytest.fixture(scope="session")
+def bench_engine(tpch_bench):
+    return PdwEngine(tpch_bench[1])
+
+
+def report(name: str, lines) -> str:
+    """Print a reproduced table and archive it under results/."""
+    text = "\n".join(lines)
+    banner = f"===== {name} ====="
+    output = f"\n{banner}\n{text}\n"
+    print(output)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return output
+
+
+def fmt_row(*cells, widths=None) -> str:
+    widths = widths or [18] * len(cells)
+    return "  ".join(
+        f"{str(cell):<{width}}" for cell, width in zip(cells, widths))

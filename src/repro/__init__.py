@@ -1,0 +1,100 @@
+"""repro — reproduction of "Query Optimization in Microsoft SQL Server
+PDW" (SIGMOD 2012).
+
+The package implements the full PDW compilation and execution pipeline on
+a simulated appliance:
+
+* :mod:`repro.sql` — SQL frontend (lexer, AST, parser);
+* :mod:`repro.catalog` — schema, distribution metadata, statistics and the
+  shell database (§2.2);
+* :mod:`repro.algebra` — bound scalar expressions, logical/physical
+  operators, distribution properties;
+* :mod:`repro.optimizer` — the "SQL Server" side: binder, normalization,
+  MEMO, exploration, implementation, cardinality/cost estimation and the
+  MEMO⇄XML interface (§2.5, §3.1);
+* :mod:`repro.pdw` — the paper's contribution: the bottom-up PDW optimizer
+  with interesting distribution properties, DMS enforcement and the
+  DMS-only cost model (§3.2, §3.3), plus DSQL generation (§3.4);
+* :mod:`repro.appliance` — the simulated appliance: distributed storage,
+  node-local SQL execution, the DMS runtime with byte accounting, and the
+  λ calibration harness (§3.3.3);
+* :mod:`repro.workloads` — TPC-H schema/generator/queries with the
+  paper's placement design.
+
+Quickstart::
+
+    from repro import PdwEngine, DsqlRunner, build_tpch_appliance
+
+    appliance, shell = build_tpch_appliance(scale=0.01, node_count=8)
+    engine = PdwEngine(shell)
+    compiled = engine.compile("SELECT COUNT(*) AS n FROM lineitem")
+    print(compiled.explain())
+    result = DsqlRunner(appliance).run(compiled.dsql_plan)
+    print(result.rows)
+"""
+
+from repro.appliance.calibration import CalibrationResult, Calibrator
+from repro.appliance.dms_runtime import DmsRuntime, GroundTruthConstants
+from repro.appliance.runner import DsqlRunner, QueryResult, run_reference
+from repro.appliance.storage import Appliance
+from repro.catalog.schema import (
+    Catalog,
+    Column,
+    ON_CONTROL,
+    REPLICATED,
+    TableDef,
+    hash_distributed,
+)
+from repro.catalog.shell_db import ShellDatabase
+from repro.optimizer.search import (
+    OptimizationResult,
+    OptimizerConfig,
+    SerialOptimizer,
+)
+from repro.pdw.advisor import (
+    AdvisorResult,
+    PartitioningAdvisor,
+    WorkloadQuery,
+)
+from repro.pdw.baseline import parallelize_serial_plan
+from repro.pdw.cost_model import CostConstants, DmsCostModel
+from repro.pdw.engine import CompiledQuery, PdwEngine
+from repro.pdw.enumerator import PdwConfig, PdwOptimizer, PdwPlan
+from repro.workloads.tpch_datagen import build_tpch_appliance
+from repro.workloads.tpch_queries import TPCH_QUERIES
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdvisorResult",
+    "PartitioningAdvisor",
+    "WorkloadQuery",
+    "Appliance",
+    "CalibrationResult",
+    "Calibrator",
+    "Catalog",
+    "Column",
+    "CompiledQuery",
+    "CostConstants",
+    "DmsCostModel",
+    "DmsRuntime",
+    "DsqlRunner",
+    "GroundTruthConstants",
+    "ON_CONTROL",
+    "OptimizationResult",
+    "OptimizerConfig",
+    "PdwConfig",
+    "PdwEngine",
+    "PdwOptimizer",
+    "PdwPlan",
+    "QueryResult",
+    "REPLICATED",
+    "SerialOptimizer",
+    "ShellDatabase",
+    "TableDef",
+    "TPCH_QUERIES",
+    "build_tpch_appliance",
+    "hash_distributed",
+    "parallelize_serial_plan",
+    "run_reference",
+]

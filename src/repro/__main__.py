@@ -1,0 +1,107 @@
+"""Command-line interface: compile and run queries against a generated
+TPC-H appliance.
+
+    python -m repro explain "SELECT COUNT(*) AS n FROM lineitem"
+    python -m repro run "SELECT n_name FROM nation ORDER BY n_name LIMIT 5"
+    python -m repro memo "SELECT c_name FROM customer WHERE c_custkey < 10"
+    python -m repro calibrate --nodes 8
+
+Options ``--scale`` and ``--nodes`` size the appliance (defaults: scale
+0.002, 8 nodes).  The appliance is regenerated deterministically on every
+invocation, so results are reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import (
+    Calibrator,
+    DsqlRunner,
+    GroundTruthConstants,
+    PdwEngine,
+    build_tpch_appliance,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="PDW query optimizer reproduction (SIGMOD 2012)")
+    parser.add_argument("--scale", type=float, default=0.002,
+                        help="TPC-H scale factor (default 0.002)")
+    parser.add_argument("--nodes", type=int, default=8,
+                        help="compute node count (default 8)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    explain = sub.add_parser(
+        "explain", help="compile a query and show plan + DSQL steps")
+    explain.add_argument("sql")
+
+    run = sub.add_parser(
+        "run", help="compile, execute on the appliance, print rows")
+    run.add_argument("sql")
+    run.add_argument("--max-rows", type=int, default=20,
+                     help="rows to print (default 20)")
+
+    memo = sub.add_parser(
+        "memo", help="show the serial MEMO the PDW side consumes")
+    memo.add_argument("sql")
+
+    sub.add_parser(
+        "calibrate", help="run the lambda calibration (paper 3.3.3)")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "calibrate":
+        result = Calibrator(node_count=args.nodes).calibrate()
+        truth = GroundTruthConstants()
+        constants = result.constants
+        print("fitted lambda constants (vs simulator ground truth):")
+        for label, fitted, target in (
+            ("reader_direct", constants.lambda_reader_direct,
+             truth.reader_direct),
+            ("reader_hash", constants.lambda_reader_hash,
+             truth.reader_hash),
+            ("network", constants.lambda_network, truth.network),
+            ("writer", constants.lambda_writer, truth.writer),
+            ("bulk_copy", constants.lambda_bulk_copy, truth.bulk_copy),
+        ):
+            print(f"  {label:<14} {fitted:.3e}  (truth {target:.3e})")
+        return 0
+
+    appliance, shell = build_tpch_appliance(scale=args.scale,
+                                            node_count=args.nodes)
+    engine = PdwEngine(shell)
+    compiled = engine.compile(args.sql)
+
+    if args.command == "memo":
+        print(compiled.serial.memo.dump(compiled.serial.root_group))
+        return 0
+
+    if args.command == "explain":
+        print(compiled.explain())
+        return 0
+
+    # run
+    result = DsqlRunner(appliance).run(compiled.dsql_plan)
+    print(" | ".join(result.columns))
+    for row in result.rows[:args.max_rows]:
+        print(" | ".join(str(value) for value in row))
+    if len(result.rows) > args.max_rows:
+        print(f"... {len(result.rows) - args.max_rows} more rows")
+    print(f"-- {len(result.rows)} rows, "
+          f"{result.elapsed_seconds * 1e3:.3f} ms simulated "
+          f"({result.dms_seconds * 1e3:.3f} ms data movement), "
+          f"{len(compiled.dsql_plan.steps)} DSQL steps")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

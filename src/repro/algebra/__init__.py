@@ -1,0 +1,6 @@
+"""Bound algebra: scalar expressions, logical/physical operators,
+distribution properties, and the shared expression evaluator."""
+
+from repro.algebra import expressions, evaluator, logical, physical, properties
+
+__all__ = ["expressions", "evaluator", "logical", "physical", "properties"]

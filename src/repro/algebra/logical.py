@@ -1,0 +1,335 @@
+"""Logical relational operators.
+
+These form the normalized operator tree the binder produces (Figure 3(b) in
+the paper) and the *logical* group expressions inside the MEMO.  Each
+operator exposes:
+
+* ``children`` — its logical inputs,
+* ``output_columns()`` — the :class:`ColumnVar` list it produces,
+* ``local_key()`` — a hashable description of the operator *excluding* its
+  children, which the MEMO combines with child group ids to deduplicate
+  group expressions.
+
+ORDER BY / TOP live outside the algebra on the :class:`Query` wrapper — in
+PDW the final sort happens when results are returned through the control
+node, so it never participates in join reordering.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence, Tuple
+
+from repro.algebra.expressions import (
+    AggExpr,
+    ColumnVar,
+    ScalarExpr,
+    conjuncts,
+)
+from repro.catalog.schema import TableDef
+
+
+class JoinKind(enum.Enum):
+    INNER = "inner"
+    LEFT = "left"
+    SEMI = "semi"
+    ANTI = "anti"
+    CROSS = "cross"
+
+    @property
+    def returns_right_columns(self) -> bool:
+        return self in (JoinKind.INNER, JoinKind.LEFT, JoinKind.CROSS)
+
+
+class LogicalOp:
+    """Base class for logical operators."""
+
+    children: List["LogicalOp"]
+
+    def output_columns(self) -> List[ColumnVar]:
+        raise NotImplementedError
+
+    def local_key(self) -> tuple:
+        """Hashable identity excluding children (used for MEMO dedup)."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__.replace("Logical", "")
+
+    def describe(self) -> str:
+        """Short human-readable label for plan printing."""
+        return self.name
+
+
+class LogicalGet(LogicalOp):
+    """Read all rows of a base (or temp) table.
+
+    Each Get instance owns the column variables that stand for the table's
+    columns in this query; two Gets of the same table in one query have
+    distinct variables, exactly like two range variables in SQL.
+    """
+
+    def __init__(self, table: TableDef, columns: Sequence[ColumnVar],
+                 alias: Optional[str] = None):
+        self.table = table
+        self.columns = list(columns)
+        self.alias = alias or table.name
+        self.children = []
+
+    def output_columns(self) -> List[ColumnVar]:
+        return list(self.columns)
+
+    def local_key(self) -> tuple:
+        return ("Get", self.table.name, tuple(c.id for c in self.columns))
+
+    def describe(self) -> str:
+        return f"Get({self.alias})"
+
+
+class LogicalSelect(LogicalOp):
+    """Filter rows by a predicate."""
+
+    def __init__(self, child: LogicalOp, predicate: ScalarExpr):
+        self.children = [child]
+        self.predicate = predicate
+
+    @property
+    def child(self) -> LogicalOp:
+        return self.children[0]
+
+    def output_columns(self) -> List[ColumnVar]:
+        return self.child.output_columns()
+
+    def local_key(self) -> tuple:
+        return ("Select", self.predicate)
+
+    def describe(self) -> str:
+        return f"Select[{self.predicate}]"
+
+
+class LogicalProject(LogicalOp):
+    """Compute output columns; each output var is defined by an expression.
+
+    Pass-through columns are represented by an output var whose defining
+    expression is itself (identity projection).
+    """
+
+    def __init__(self, child: LogicalOp,
+                 outputs: Sequence[Tuple[ColumnVar, ScalarExpr]]):
+        self.children = [child]
+        self.outputs = list(outputs)
+
+    @property
+    def child(self) -> LogicalOp:
+        return self.children[0]
+
+    def output_columns(self) -> List[ColumnVar]:
+        return [var for var, _ in self.outputs]
+
+    def local_key(self) -> tuple:
+        return ("Project", tuple((var.id, expr) for var, expr in self.outputs))
+
+    def describe(self) -> str:
+        inner = ", ".join(f"{var}:={expr}" for var, expr in self.outputs)
+        return f"Project[{inner}]"
+
+
+class LogicalJoin(LogicalOp):
+    """A join of any :class:`JoinKind`; ``predicate`` may be ``None`` for
+    CROSS."""
+
+    def __init__(self, kind: JoinKind, left: LogicalOp, right: LogicalOp,
+                 predicate: Optional[ScalarExpr] = None):
+        self.kind = kind
+        self.children = [left, right]
+        self.predicate = predicate
+
+    @property
+    def left(self) -> LogicalOp:
+        return self.children[0]
+
+    @property
+    def right(self) -> LogicalOp:
+        return self.children[1]
+
+    def output_columns(self) -> List[ColumnVar]:
+        cols = self.left.output_columns()
+        if self.kind.returns_right_columns:
+            cols = cols + self.right.output_columns()
+        return cols
+
+    def local_key(self) -> tuple:
+        return ("Join", self.kind.value, self.predicate)
+
+    def describe(self) -> str:
+        pred = f"[{self.predicate}]" if self.predicate is not None else ""
+        return f"{self.kind.value.capitalize()}Join{pred}"
+
+
+class AggPhase(enum.Enum):
+    """Phase of a (possibly split) aggregation.
+
+    The SQL Server exploration generates local/global splits as MEMO
+    alternatives; the PDW preprocessor later fixes partial-aggregate
+    cardinalities based on appliance topology (paper Figure 4, step 02).
+    """
+
+    COMPLETE = "complete"
+    LOCAL = "local"      # partial aggregation, runs on each node's data
+    GLOBAL = "global"    # combines partials; needs key-aligned distribution
+
+
+class LogicalGroupBy(LogicalOp):
+    """Grouped aggregation; with no aggregates it is DISTINCT over keys."""
+
+    def __init__(self, child: LogicalOp, keys: Sequence[ColumnVar],
+                 aggregates: Sequence[Tuple[ColumnVar, AggExpr]],
+                 phase: "AggPhase" = None):
+        self.children = [child]
+        self.keys = list(keys)
+        self.aggregates = list(aggregates)
+        self.phase = phase or AggPhase.COMPLETE
+
+    @property
+    def child(self) -> LogicalOp:
+        return self.children[0]
+
+    def output_columns(self) -> List[ColumnVar]:
+        return list(self.keys) + [var for var, _ in self.aggregates]
+
+    def local_key(self) -> tuple:
+        return (
+            "GroupBy",
+            self.phase.value,
+            tuple(k.id for k in self.keys),
+            tuple((var.id, agg) for var, agg in self.aggregates),
+        )
+
+    def describe(self) -> str:
+        keys = ", ".join(str(k) for k in self.keys)
+        aggs = ", ".join(f"{var}:={agg}" for var, agg in self.aggregates)
+        prefix = {"complete": "", "local": "Local", "global": "Global"}
+        return f"{prefix[self.phase.value]}GroupBy[{keys}][{aggs}]"
+
+
+class LogicalUnionAll(LogicalOp):
+    """Bag union; children must produce union-compatible columns.
+
+    ``outputs`` are fresh variables standing for the union's columns and
+    ``branch_columns[i]`` lists, positionally, which child-``i`` column
+    feeds each output.
+    """
+
+    def __init__(self, inputs: Sequence[LogicalOp],
+                 outputs: Sequence[ColumnVar],
+                 branch_columns: Sequence[Sequence[ColumnVar]]):
+        self.children = list(inputs)
+        self.outputs = list(outputs)
+        self.branch_columns = [list(branch) for branch in branch_columns]
+
+    def output_columns(self) -> List[ColumnVar]:
+        return list(self.outputs)
+
+    def local_key(self) -> tuple:
+        return (
+            "UnionAll",
+            tuple(c.id for c in self.outputs),
+            tuple(tuple(c.id for c in branch)
+                  for branch in self.branch_columns),
+        )
+
+    def describe(self) -> str:
+        return f"UnionAll[{', '.join(str(v) for v in self.outputs)}]"
+
+
+def detached_union(outputs: Sequence[ColumnVar],
+                   branch_columns: Sequence[Sequence[ColumnVar]]
+                   ) -> LogicalUnionAll:
+    """A UnionAll operator with no child links (MEMO use)."""
+    union = LogicalUnionAll.__new__(LogicalUnionAll)
+    union.children = []
+    union.outputs = list(outputs)
+    union.branch_columns = [list(branch) for branch in branch_columns]
+    return union
+
+
+def detached_join(kind: JoinKind,
+                  predicate: Optional[ScalarExpr]) -> LogicalJoin:
+    """A Join operator with no child links — for use as a MEMO group
+    expression, where children are group ids instead of operators."""
+    join = LogicalJoin.__new__(LogicalJoin)
+    join.kind = kind
+    join.children = []
+    join.predicate = predicate
+    return join
+
+
+def detached_groupby(keys: Sequence[ColumnVar],
+                     aggregates: Sequence[Tuple[ColumnVar, AggExpr]],
+                     phase: AggPhase = AggPhase.COMPLETE) -> LogicalGroupBy:
+    """A GroupBy operator with no child links (MEMO use)."""
+    group_by = LogicalGroupBy.__new__(LogicalGroupBy)
+    group_by.children = []
+    group_by.keys = list(keys)
+    group_by.aggregates = list(aggregates)
+    group_by.phase = phase
+    return group_by
+
+
+def detached_select(predicate: ScalarExpr) -> LogicalSelect:
+    """A Select operator with no child links (MEMO use)."""
+    select = LogicalSelect.__new__(LogicalSelect)
+    select.children = []
+    select.predicate = predicate
+    return select
+
+
+class Query:
+    """A bound query: a logical tree plus presentation clauses.
+
+    ``order_by`` entries are ``(ColumnVar, ascending)``; ``output_names``
+    are the user-facing column labels in select-list order.
+    """
+
+    def __init__(self, root: LogicalOp,
+                 output_names: Sequence[str],
+                 order_by: Sequence[Tuple[ColumnVar, bool]] = (),
+                 limit: Optional[int] = None):
+        self.root = root
+        self.output_names = list(output_names)
+        self.order_by = list(order_by)
+        self.limit = limit
+
+    def output_columns(self) -> List[ColumnVar]:
+        return self.root.output_columns()
+
+
+def plan_tree_string(op: LogicalOp, indent: int = 0) -> str:
+    """Pretty-print a logical tree for debugging and examples."""
+    lines = ["  " * indent + op.describe()]
+    for child in op.children:
+        lines.append(plan_tree_string(child, indent + 1))
+    return "\n".join(lines)
+
+
+def collect_gets(op: LogicalOp) -> List[LogicalGet]:
+    """All base-table Gets under ``op`` in left-to-right order."""
+    if isinstance(op, LogicalGet):
+        return [op]
+    result: List[LogicalGet] = []
+    for child in op.children:
+        result.extend(collect_gets(child))
+    return result
+
+
+def predicate_conjuncts(op: LogicalOp) -> List[ScalarExpr]:
+    """All filter/join conjuncts in the tree (for analysis/tests)."""
+    found: List[ScalarExpr] = []
+    if isinstance(op, LogicalSelect):
+        found.extend(conjuncts(op.predicate))
+    if isinstance(op, LogicalJoin) and op.predicate is not None:
+        found.extend(conjuncts(op.predicate))
+    for child in op.children:
+        found.extend(predicate_conjuncts(child))
+    return found

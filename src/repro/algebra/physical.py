@@ -1,0 +1,254 @@
+"""Physical relational operators and extracted plan trees.
+
+Physical operators appear in two places:
+
+* as physical group expressions inside the serial MEMO (Figure 3(c) of the
+  paper shows ``Table Scan``, ``HashJoin`` etc. alongside the logical
+  operators), and
+* in extracted plan trees — both the best serial plan and, on the PDW side,
+  the distributed plan where :class:`repro.pdw.dms.DataMovement` nodes are
+  interleaved with relational fragments.
+
+:class:`PlanNode` is the uniform extracted-plan tree: an operator plus
+children plus derived properties (cardinality, row width, cost).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.algebra.expressions import AggExpr, ColumnVar, ScalarExpr
+from repro.algebra.logical import JoinKind
+from repro.catalog.schema import TableDef
+
+
+class PhysicalOp:
+    """Base class for physical operators."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def describe(self) -> str:
+        return self.name
+
+    def local_key(self) -> tuple:
+        """Hashable identity excluding children (for MEMO dedup)."""
+        raise NotImplementedError
+
+
+class TableScan(PhysicalOp):
+    """Sequential scan of a base or temp table."""
+
+    def __init__(self, table: TableDef, columns: Sequence[ColumnVar],
+                 alias: Optional[str] = None):
+        self.table = table
+        self.columns = list(columns)
+        self.alias = alias or table.name
+
+    def local_key(self) -> tuple:
+        return ("TableScan", self.table.name, tuple(c.id for c in self.columns))
+
+    def describe(self) -> str:
+        return f"TableScan({self.alias})"
+
+
+class Filter(PhysicalOp):
+    """Apply a predicate to the child's rows."""
+
+    def __init__(self, predicate: ScalarExpr):
+        self.predicate = predicate
+
+    def local_key(self) -> tuple:
+        return ("Filter", self.predicate)
+
+    def describe(self) -> str:
+        return f"Filter[{self.predicate}]"
+
+
+class ComputeScalar(PhysicalOp):
+    """Project / compute output columns."""
+
+    def __init__(self, outputs: Sequence[Tuple[ColumnVar, ScalarExpr]]):
+        self.outputs = list(outputs)
+
+    def local_key(self) -> tuple:
+        return ("ComputeScalar",
+                tuple((var.id, expr) for var, expr in self.outputs))
+
+    def describe(self) -> str:
+        inner = ", ".join(f"{var}:={expr}" for var, expr in self.outputs)
+        return f"ComputeScalar[{inner}]"
+
+
+class HashJoin(PhysicalOp):
+    """Hash join; the *right* child is the build side by convention."""
+
+    def __init__(self, kind: JoinKind, predicate: Optional[ScalarExpr]):
+        self.kind = kind
+        self.predicate = predicate
+
+    def local_key(self) -> tuple:
+        return ("HashJoin", self.kind.value, self.predicate)
+
+    def describe(self) -> str:
+        return f"HashJoin({self.kind.value})[{self.predicate}]"
+
+
+class MergeJoin(PhysicalOp):
+    """Sort-merge join (sorting both inputs is folded into its cost)."""
+
+    def __init__(self, kind: JoinKind, predicate: Optional[ScalarExpr]):
+        self.kind = kind
+        self.predicate = predicate
+
+    def local_key(self) -> tuple:
+        return ("MergeJoin", self.kind.value, self.predicate)
+
+    def describe(self) -> str:
+        return f"MergeJoin({self.kind.value})[{self.predicate}]"
+
+
+class NestedLoopJoin(PhysicalOp):
+    """Naive nested loops; the fallback for non-equi predicates."""
+
+    def __init__(self, kind: JoinKind, predicate: Optional[ScalarExpr]):
+        self.kind = kind
+        self.predicate = predicate
+
+    def local_key(self) -> tuple:
+        return ("NestedLoopJoin", self.kind.value, self.predicate)
+
+    def describe(self) -> str:
+        return f"NestedLoopJoin({self.kind.value})[{self.predicate}]"
+
+
+class HashAggregate(PhysicalOp):
+    """Hash-based grouping; ``phase`` distinguishes partial (local) from
+    complete/global aggregation in local-global splits."""
+
+    def __init__(self, keys: Sequence[ColumnVar],
+                 aggregates: Sequence[Tuple[ColumnVar, AggExpr]],
+                 phase: str = "complete"):
+        self.keys = list(keys)
+        self.aggregates = list(aggregates)
+        self.phase = phase
+
+    def local_key(self) -> tuple:
+        return ("HashAggregate", self.phase,
+                tuple(k.id for k in self.keys),
+                tuple((var.id, agg) for var, agg in self.aggregates))
+
+    def describe(self) -> str:
+        keys = ", ".join(str(k) for k in self.keys)
+        return f"HashAggregate[{keys}]"
+
+
+class StreamAggregate(PhysicalOp):
+    """Sort-based grouping (input sort folded into cost)."""
+
+    def __init__(self, keys: Sequence[ColumnVar],
+                 aggregates: Sequence[Tuple[ColumnVar, AggExpr]],
+                 phase: str = "complete"):
+        self.keys = list(keys)
+        self.aggregates = list(aggregates)
+        self.phase = phase
+
+    def local_key(self) -> tuple:
+        return ("StreamAggregate", self.phase,
+                tuple(k.id for k in self.keys),
+                tuple((var.id, agg) for var, agg in self.aggregates))
+
+    def describe(self) -> str:
+        keys = ", ".join(str(k) for k in self.keys)
+        return f"StreamAggregate[{keys}]"
+
+
+class Sort(PhysicalOp):
+    """Explicit sort, used at the query root for ORDER BY."""
+
+    def __init__(self, order: Sequence[Tuple[ColumnVar, bool]]):
+        self.order = list(order)
+
+    def local_key(self) -> tuple:
+        return ("Sort", tuple((var.id, asc) for var, asc in self.order))
+
+    def describe(self) -> str:
+        inner = ", ".join(
+            f"{var}{'' if asc else ' DESC'}" for var, asc in self.order)
+        return f"Sort[{inner}]"
+
+
+class Top(PhysicalOp):
+    """Keep the first N rows."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+
+    def local_key(self) -> tuple:
+        return ("Top", self.limit)
+
+    def describe(self) -> str:
+        return f"Top({self.limit})"
+
+
+class UnionAllOp(PhysicalOp):
+    """Physical bag union."""
+
+    def __init__(self, outputs: Sequence[ColumnVar]):
+        self.outputs = list(outputs)
+
+    def local_key(self) -> tuple:
+        return ("UnionAll", tuple(c.id for c in self.outputs))
+
+
+class PlanNode:
+    """A node of an extracted plan tree.
+
+    ``op`` is a :class:`PhysicalOp` (or a PDW data-movement operator, which
+    implements the same ``describe``/``local_key`` protocol); ``children``
+    are :class:`PlanNode`; the remaining fields are derived properties used
+    for costing and display.
+    """
+
+    def __init__(self, op, children: Sequence["PlanNode"] = (),
+                 output_columns: Sequence[ColumnVar] = (),
+                 cardinality: float = 0.0,
+                 row_width: float = 0.0,
+                 cost: float = 0.0):
+        self.op = op
+        self.children = list(children)
+        self.output_columns = list(output_columns)
+        self.cardinality = cardinality
+        self.row_width = row_width
+        self.cost = cost
+
+    def tree_string(self, indent: int = 0) -> str:
+        label = self.op.describe()
+        line = ("  " * indent
+                + f"{label}  (rows={self.cardinality:.0f}, cost={self.cost:.2f})")
+        lines = [line]
+        for child in self.children:
+            lines.append(child.tree_string(indent + 1))
+        return "\n".join(lines)
+
+    def total_cost(self) -> float:
+        return self.cost
+
+    def walk(self):
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def clone_tree(self) -> "PlanNode":
+        """Structural copy of the tree (operators are shared, nodes are
+        not) — for consumers that rewrite plan trees in place."""
+        return PlanNode(
+            self.op,
+            [child.clone_tree() for child in self.children],
+            output_columns=list(self.output_columns),
+            cardinality=self.cardinality,
+            row_width=self.row_width,
+            cost=self.cost,
+        )

@@ -1,0 +1,46 @@
+"""The simulated appliance: distributed storage, the node-local SQL
+interpreter, the DMS runtime with byte/time accounting, the DSQL plan
+runner, and the λ calibration harness (§3.3.3)."""
+
+from repro.appliance.calibration import (
+    CalibrationResult,
+    CalibrationSample,
+    Calibrator,
+)
+from repro.appliance.dms_runtime import (
+    DmsRuntime,
+    GroundTruthConstants,
+    StepExecutionStats,
+)
+from repro.appliance.interpreter import InterpreterStats, PlanInterpreter
+from repro.appliance.runner import DsqlRunner, QueryResult, run_reference
+from repro.appliance.storage import (
+    Appliance,
+    CONTROL_NODE,
+    NodeStorage,
+    node_for_row,
+    pdw_hash,
+    row_bytes,
+    value_bytes,
+)
+
+__all__ = [
+    "Appliance",
+    "CONTROL_NODE",
+    "CalibrationResult",
+    "CalibrationSample",
+    "Calibrator",
+    "DmsRuntime",
+    "DsqlRunner",
+    "GroundTruthConstants",
+    "InterpreterStats",
+    "NodeStorage",
+    "PlanInterpreter",
+    "QueryResult",
+    "StepExecutionStats",
+    "node_for_row",
+    "pdw_hash",
+    "row_bytes",
+    "run_reference",
+    "value_bytes",
+]

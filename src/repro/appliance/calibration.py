@@ -1,0 +1,236 @@
+"""Cost calibration (paper §3.3.3).
+
+*"The constant λ is calculated via targeted performance tests after a
+meticulous instrumentation of the source code.  We call the process of
+defining the value of λ for each cost component cost calibration."*
+
+The harness stages synthetic tables of controlled cardinality and row
+width, runs each DMS operation against them, reads the instrumented
+per-component times from the runtime, and fits one λ per component by
+least squares through the origin (λ = Σb·t / Σb²) — with the reader fitted
+twice, λ_direct and λ_hash, exactly as the paper found necessary.
+
+It also reproduces the paper's observation that λ varies mildly with row
+count, column count and column type but "not significantly enough to
+justify stepping up the complexity of the cost model":
+:func:`implied_lambda_spread` reports the per-sample implied λ spread.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algebra.expressions import ColumnVar
+from repro.algebra.properties import (
+    DistKind,
+    Distribution,
+    ON_CONTROL_DIST,
+    REPLICATED_DIST,
+    hashed_on,
+)
+from repro.appliance.dms_runtime import DmsRuntime, GroundTruthConstants
+from repro.appliance.storage import Appliance
+from repro.catalog.schema import (
+    Column,
+    ON_CONTROL,
+    REPLICATED,
+    TableDef,
+    hash_distributed,
+)
+from repro.common.errors import ExecutionError
+from repro.common.types import INTEGER, varchar
+from repro.pdw.cost_model import CostConstants, DmsCostModel
+from repro.pdw.dms import DataMovement, DmsOperation
+from repro.pdw.dsql import DsqlStep, StepKind
+
+
+@dataclass
+class CalibrationSample:
+    """One targeted performance test."""
+
+    operation: DmsOperation
+    rows: int
+    width: int
+    model_bytes: Tuple[float, float, float, float]  # reader/net/write/bulk
+    measured_times: Tuple[float, float, float, float]
+
+    def implied_lambda(self, component: int) -> Optional[float]:
+        bytes_ = self.model_bytes[component]
+        if bytes_ <= 0:
+            return None
+        return self.measured_times[component] / bytes_
+
+
+@dataclass
+class CalibrationResult:
+    """Fitted constants plus the raw samples behind them."""
+
+    constants: CostConstants
+    samples: List[CalibrationSample] = field(default_factory=list)
+
+    def implied_lambda_spread(self) -> Dict[str, Tuple[float, float]]:
+        """(min, max) implied λ per component across all samples —
+        the paper's linearity check."""
+        names = ["reader", "network", "writer", "bulk_copy"]
+        spread: Dict[str, Tuple[float, float]] = {}
+        for index, name in enumerate(names):
+            implied = [
+                value for sample in self.samples
+                if (value := sample.implied_lambda(index)) is not None
+            ]
+            if implied:
+                spread[name] = (min(implied), max(implied))
+        return spread
+
+
+_DEFAULT_SIZES = ((500, 1), (2000, 1), (2000, 4), (5000, 2))
+
+_CALIBRATABLE_OPS = (
+    DmsOperation.SHUFFLE_MOVE,
+    DmsOperation.PARTITION_MOVE,
+    DmsOperation.BROADCAST_MOVE,
+    DmsOperation.TRIM_MOVE,
+    DmsOperation.REPLICATED_BROADCAST,
+    DmsOperation.CONTROL_NODE_MOVE,
+    DmsOperation.REMOTE_COPY,
+)
+
+
+class Calibrator:
+    """Runs the §3.3.3 calibration against an appliance."""
+
+    def __init__(self, node_count: int = 4,
+                 truth: Optional[GroundTruthConstants] = None,
+                 seed: int = 7):
+        self.node_count = node_count
+        self.truth = truth or GroundTruthConstants()
+        self.seed = seed
+
+    # -- staging -------------------------------------------------------------------
+
+    def _staged_appliance(self, rows: int, extra_columns: int,
+                          source_kind: DistKind) -> Tuple[Appliance, TableDef]:
+        appliance = Appliance(self.node_count)
+        columns = [Column("k", INTEGER), Column("payload", varchar(16))]
+        for index in range(extra_columns):
+            columns.append(Column(f"c{index}", INTEGER))
+        if source_kind is DistKind.HASHED:
+            distribution = hash_distributed("k")
+        elif source_kind is DistKind.REPLICATED:
+            distribution = REPLICATED
+        else:
+            distribution = ON_CONTROL
+        table = TableDef("cal_source", columns, distribution)
+        appliance.create_table(table)
+        data = [
+            tuple([i, f"payload-{i % 97:08d}"]
+                  + [i * (j + 1) for j in range(extra_columns)])
+            for i in range(rows)
+        ]
+        appliance.load_rows("cal_source", data)
+        return appliance, table
+
+    def _movement_for(self, operation: DmsOperation
+                      ) -> Tuple[DistKind, Distribution]:
+        """(source placement, target distribution) per operation."""
+        hash_var = ColumnVar(1, "k", INTEGER)
+        if operation is DmsOperation.SHUFFLE_MOVE:
+            return DistKind.HASHED, hashed_on(hash_var.id)
+        if operation is DmsOperation.PARTITION_MOVE:
+            return DistKind.HASHED, ON_CONTROL_DIST
+        if operation is DmsOperation.BROADCAST_MOVE:
+            return DistKind.HASHED, REPLICATED_DIST
+        if operation is DmsOperation.TRIM_MOVE:
+            return DistKind.REPLICATED, hashed_on(hash_var.id)
+        if operation is DmsOperation.REPLICATED_BROADCAST:
+            return DistKind.REPLICATED, REPLICATED_DIST
+        if operation is DmsOperation.CONTROL_NODE_MOVE:
+            return DistKind.ON_CONTROL, REPLICATED_DIST
+        if operation is DmsOperation.REMOTE_COPY:
+            return DistKind.REPLICATED, ON_CONTROL_DIST
+        raise ExecutionError(f"cannot calibrate {operation}")
+
+    def run_one(self, operation: DmsOperation, rows: int,
+                extra_columns: int) -> CalibrationSample:
+        """Stage data, run one movement, return the instrumented sample."""
+        source_kind, target = self._movement_for(operation)
+        appliance, table = self._staged_appliance(rows, extra_columns,
+                                                  source_kind)
+        hash_var = ColumnVar(1, "k", INTEGER)
+        if source_kind is DistKind.HASHED:
+            source = hashed_on(hash_var.id)
+        elif source_kind is DistKind.REPLICATED:
+            source = REPLICATED_DIST
+        else:
+            source = ON_CONTROL_DIST
+        hash_columns = (hash_var,) if target.kind is DistKind.HASHED else ()
+        if operation is DmsOperation.REPLICATED_BROADCAST:
+            source = Distribution(DistKind.SINGLE_NODE)
+        movement = DataMovement(operation, source, target, hash_columns)
+
+        column_list = ", ".join(c.name for c in table.columns)
+        step = DsqlStep(
+            index=0,
+            kind=StepKind.DMS,
+            sql=f"SELECT {column_list} FROM cal_source",
+            source_location=source,
+            movement=movement,
+            destination_table=TableDef(
+                "cal_target", list(table.columns),
+                hash_distributed("k") if target.kind is DistKind.HASHED
+                else (REPLICATED if target.kind is DistKind.REPLICATED
+                      else ON_CONTROL),
+                is_temp=True),
+            hash_column="k" if hash_columns else None,
+        )
+        runtime = DmsRuntime(appliance, self.truth)
+        stats = runtime.execute_movement(step)
+
+        width = int(sum(
+            16 if c.sql_type.is_string else 4 for c in table.columns))
+        model = DmsCostModel(self.node_count)
+        model_bytes = model.component_bytes(movement, float(rows),
+                                            float(width))
+        measured = stats.component_times(
+            self.truth, movement.operation.uses_hashing)
+        return CalibrationSample(operation, rows, width, model_bytes,
+                                 measured)
+
+    # -- the full calibration ------------------------------------------------------
+
+    def calibrate(self,
+                  sizes: Sequence[Tuple[int, int]] = _DEFAULT_SIZES,
+                  operations: Sequence[DmsOperation] = _CALIBRATABLE_OPS
+                  ) -> CalibrationResult:
+        """Run the targeted tests and fit λ per component."""
+        samples = [
+            self.run_one(operation, rows, extra)
+            for operation, (rows, extra)
+            in itertools.product(operations, sizes)
+        ]
+
+        def fit(component: int, predicate) -> float:
+            numerator = 0.0
+            denominator = 0.0
+            for sample in samples:
+                if not predicate(sample):
+                    continue
+                bytes_ = sample.model_bytes[component]
+                time_ = sample.measured_times[component]
+                numerator += bytes_ * time_
+                denominator += bytes_ * bytes_
+            if denominator <= 0:
+                return 0.0
+            return numerator / denominator
+
+        constants = CostConstants(
+            lambda_reader_direct=fit(
+                0, lambda s: not s.operation.uses_hashing),
+            lambda_reader_hash=fit(0, lambda s: s.operation.uses_hashing),
+            lambda_network=fit(1, lambda s: True),
+            lambda_writer=fit(2, lambda s: True),
+            lambda_bulk_copy=fit(3, lambda s: True),
+        )
+        return CalibrationResult(constants, samples)

@@ -1,0 +1,218 @@
+"""Appliance storage: the control node, compute nodes, and table placement.
+
+Models the PDW appliance of §2.1: N compute nodes, each hosting a DBMS
+instance with its fragment of every hash-distributed table and a full copy
+of every replicated table; one control node with its own (shell/staging)
+storage.  Rows are plain tuples in table-column order.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.catalog.schema import (
+    Catalog,
+    DistributionKind,
+    TableDef,
+)
+from repro.catalog.shell_db import ShellDatabase
+from repro.catalog.statistics import ColumnStats, merge_column_stats
+from repro.common.errors import ExecutionError
+
+
+def pdw_hash(value) -> int:
+    """Deterministic, platform-stable hash used for table distribution.
+
+    The same function is used by the storage layer, the DMS runtime and
+    tests, so hash-compatibility reasoning in the optimizer matches what
+    actually happens on the simulated appliance.
+    """
+    if value is None:
+        return 0
+    if isinstance(value, bool):
+        return int(value) + 1
+    if isinstance(value, int):
+        return zlib.crc32(value.to_bytes(16, "little", signed=True))
+    if isinstance(value, float):
+        return zlib.crc32(repr(value).encode())
+    return zlib.crc32(str(value).encode("utf-8", "replace"))
+
+
+def node_for_row(row: Tuple, hash_indexes: Sequence[int],
+                 node_count: int) -> int:
+    """Which compute node owns a row of a hash-distributed table."""
+    if len(hash_indexes) == 1:
+        return pdw_hash(row[hash_indexes[0]]) % node_count
+    combined = 0
+    for index in hash_indexes:
+        combined = (combined * 1000003) ^ pdw_hash(row[index])
+    return combined % node_count
+
+
+def value_bytes(value) -> int:
+    """Raw byte width of one value (the runtime's accounting unit)."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 4 if -2**31 <= value < 2**31 else 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        return max(1, len(value))
+    if hasattr(value, "toordinal"):  # date
+        return 4
+    return 8
+
+
+def row_bytes(row: Tuple) -> int:
+    return sum(value_bytes(v) for v in row)
+
+
+class NodeStorage:
+    """One node's table fragments: table name → list of row tuples."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self.tables: Dict[str, List[Tuple]] = {}
+
+    def create(self, name: str) -> None:
+        self.tables.setdefault(name.lower(), [])
+
+    def drop(self, name: str) -> None:
+        self.tables.pop(name.lower(), None)
+
+    def rows(self, name: str) -> List[Tuple]:
+        try:
+            return self.tables[name.lower()]
+        except KeyError:
+            raise ExecutionError(
+                f"node {self.node_id}: table {name!r} has no storage"
+            ) from None
+
+    def insert(self, name: str, rows: Iterable[Tuple]) -> None:
+        self.rows(name).extend(rows)
+
+
+CONTROL_NODE = -1
+
+
+class Appliance:
+    """The simulated appliance: storage + catalog + statistics pipeline."""
+
+    def __init__(self, node_count: int):
+        if node_count < 1:
+            raise ExecutionError("appliance needs at least one compute node")
+        self.node_count = node_count
+        self.catalog = Catalog()
+        self.control = NodeStorage(CONTROL_NODE)
+        self.compute = [NodeStorage(i) for i in range(node_count)]
+
+    # -- placement ---------------------------------------------------------------
+
+    def _nodes_holding(self, table: TableDef) -> List[NodeStorage]:
+        if table.distribution.kind is DistributionKind.CONTROL:
+            return [self.control]
+        return list(self.compute)
+
+    def create_table(self, table: TableDef,
+                     register: bool = True) -> None:
+        """Create empty storage for a table on the right nodes."""
+        if register:
+            self.catalog.add_table(table)
+        for node in self._nodes_holding(table):
+            node.create(table.name)
+
+    def drop_table(self, name: str) -> None:
+        if self.catalog.has_table(name):
+            self.catalog.drop_table(name)
+        self.control.drop(name)
+        for node in self.compute:
+            node.drop(name)
+
+    def load_rows(self, name: str, rows: Iterable[Tuple]) -> int:
+        """Route rows to their nodes per the table's distribution.
+
+        Returns the number of rows loaded and updates the table's global
+        ``row_count``.
+        """
+        table = self.catalog.table(name)
+        rows = list(rows)
+        kind = table.distribution.kind
+        if kind is DistributionKind.REPLICATED:
+            for node in self.compute:
+                node.insert(table.name, rows)
+        elif kind is DistributionKind.CONTROL:
+            self.control.insert(table.name, rows)
+        else:
+            hash_indexes = [
+                table.column_index(col) for col in table.distribution.columns
+            ]
+            buckets: List[List[Tuple]] = [[] for _ in range(self.node_count)]
+            for row in rows:
+                buckets[node_for_row(row, hash_indexes,
+                                     self.node_count)].append(row)
+            for node, bucket in zip(self.compute, buckets):
+                node.insert(table.name, bucket)
+        table.row_count += len(rows)
+        return len(rows)
+
+    def node_storage(self, node_id: int) -> NodeStorage:
+        if node_id == CONTROL_NODE:
+            return self.control
+        return self.compute[node_id]
+
+    def table_rows_everywhere(self, name: str) -> List[Tuple]:
+        """The table's full (single-system-image) contents."""
+        table = self.catalog.table(name)
+        kind = table.distribution.kind
+        if kind is DistributionKind.REPLICATED:
+            return list(self.compute[0].rows(name))
+        if kind is DistributionKind.CONTROL:
+            return list(self.control.rows(name))
+        result: List[Tuple] = []
+        for node in self.compute:
+            result.extend(node.rows(name))
+        return result
+
+    # -- temp table lifecycle ------------------------------------------------------
+
+    def create_temp_table(self, table: TableDef) -> None:
+        self.create_table(table, register=True)
+        if table.distribution.kind is not DistributionKind.CONTROL:
+            # Moves may also land temp results on the control node when a
+            # later step runs there; give every temp a control-side shell.
+            self.control.create(table.name)
+
+    def drop_temp_tables(self) -> None:
+        for table in list(self.catalog.tables()):
+            if table.is_temp:
+                self.drop_table(table.name)
+
+    # -- statistics (paper §2.2) -----------------------------------------------------
+
+    def compute_shell_database(self, num_buckets: int = 32) -> ShellDatabase:
+        """Build the shell database: local statistics per node, merged to
+        global statistics — the §2.2 pipeline."""
+        shell = ShellDatabase(self.catalog, self.node_count)
+        for table in self.catalog.tables():
+            if table.is_temp:
+                continue
+            kind = table.distribution.kind
+            if kind is DistributionKind.HASH:
+                fragments = [node.rows(table.name) for node in self.compute]
+            elif kind is DistributionKind.REPLICATED:
+                fragments = [self.compute[0].rows(table.name)]
+            else:
+                fragments = [self.control.rows(table.name)]
+            for column_index, column in enumerate(table.columns):
+                locals_: List[ColumnStats] = [
+                    ColumnStats.build(
+                        [row[column_index] for row in fragment], num_buckets)
+                    for fragment in fragments
+                ]
+                merged = merge_column_stats(locals_, num_buckets)
+                shell.set_column_stats(table.name, column.name, merged)
+        return shell

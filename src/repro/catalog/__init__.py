@@ -1,0 +1,36 @@
+"""Catalog: table schemas, distribution metadata, statistics and the
+shell database of paper §2.2."""
+
+from repro.catalog.schema import (
+    Catalog,
+    Column,
+    DistributionKind,
+    ON_CONTROL,
+    REPLICATED,
+    TableDef,
+    TableDistribution,
+    hash_distributed,
+)
+from repro.catalog.shell_db import ShellDatabase
+from repro.catalog.statistics import (
+    ColumnStats,
+    Histogram,
+    merge_column_stats,
+    merge_histograms,
+)
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnStats",
+    "DistributionKind",
+    "Histogram",
+    "ON_CONTROL",
+    "REPLICATED",
+    "ShellDatabase",
+    "TableDef",
+    "TableDistribution",
+    "hash_distributed",
+    "merge_column_stats",
+    "merge_histograms",
+]

@@ -1,0 +1,75 @@
+"""The shell database (paper §2.2).
+
+A shell database is "a SQL Server database that defines all metadata and
+statistics about tables, but does not contain any user data".  It lives on
+the control node and provides the *single system image* the serial optimizer
+compiles against: table definitions (including their PDW distribution),
+global row counts, and merged global column statistics.
+
+:class:`ShellDatabase` is exactly that container.  The appliance simulator
+(:mod:`repro.appliance`) knows how to derive one from actual distributed
+data by computing per-node statistics and merging them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.catalog.schema import Catalog, TableDef
+from repro.catalog.statistics import ColumnStats, Histogram
+from repro.common.errors import CatalogError
+
+
+class ShellDatabase:
+    """Metadata + global statistics for every table in the appliance."""
+
+    def __init__(self, catalog: Catalog, node_count: int):
+        if node_count < 1:
+            raise CatalogError("appliance needs at least one compute node")
+        self.catalog = catalog
+        self.node_count = node_count
+        self._stats: Dict[Tuple[str, str], ColumnStats] = {}
+
+    def set_column_stats(self, table: str, column: str, stats: ColumnStats) -> None:
+        """Store merged global statistics for ``table.column``."""
+        table_def = self.catalog.table(table)
+        table_def.column(column)  # validates existence
+        self._stats[(table.lower(), column.lower())] = stats
+
+    def column_stats(self, table: str, column: str) -> ColumnStats:
+        """Global statistics for a column, synthesizing a default when the
+        column has never been analyzed (magic-number defaults, the way a
+        real optimizer falls back to guesses)."""
+        key = (table.lower(), column.lower())
+        if key in self._stats:
+            return self._stats[key]
+        table_def = self.catalog.table(table)
+        column_def = table_def.column(column)
+        rows = float(max(1, table_def.row_count))
+        return ColumnStats(
+            row_count=rows,
+            null_count=0.0,
+            distinct_count=max(1.0, rows / 10.0),
+            avg_width=float(column_def.sql_type.width),
+            histogram=Histogram(),
+        )
+
+    def has_column_stats(self, table: str, column: str) -> bool:
+        return (table.lower(), column.lower()) in self._stats
+
+    def table(self, name: str) -> TableDef:
+        return self.catalog.table(name)
+
+    def tables(self) -> Sequence[TableDef]:
+        return self.catalog.tables()
+
+    def avg_row_width(self, table: str) -> float:
+        """Average row width from statistics, falling back to declared
+        widths — this is the ``w`` of the paper's cost model (§3.3.3)."""
+        table_def = self.catalog.table(table)
+        total = 0.0
+        for column in table_def.columns:
+            key = (table.lower(), column.name.lower())
+            stats = self._stats.get(key)
+            total += stats.avg_width if stats else float(column.sql_type.width)
+        return total

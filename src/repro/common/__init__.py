@@ -1,0 +1,5 @@
+"""Shared value types and errors."""
+
+from repro.common import errors, types
+
+__all__ = ["errors", "types"]

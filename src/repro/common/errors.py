@@ -1,0 +1,52 @@
+"""Exception hierarchy for the PDW reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the compilation stage that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SqlSyntaxError(ReproError):
+    """The SQL text could not be tokenized or parsed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token when
+    known, mirroring the diagnostics a DBMS parser would emit.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class BindError(ReproError):
+    """Name resolution / semantic analysis failed (unknown table, ambiguous
+    column, aggregate misuse, type mismatch...)."""
+
+
+class CatalogError(ReproError):
+    """Catalog manipulation failed (duplicate table, unknown column in a
+    distribution key, statistics for a missing column...)."""
+
+
+class OptimizerError(ReproError):
+    """The serial (Cascades) optimizer could not produce a plan."""
+
+
+class PdwOptimizerError(ReproError):
+    """The PDW-side optimizer could not produce a distributed plan."""
+
+
+class ExecutionError(ReproError):
+    """A DSQL step failed while executing on the simulated appliance."""
+
+
+class DmsError(ExecutionError):
+    """A data-movement operation failed at runtime."""

@@ -1,0 +1,149 @@
+"""SQL value types used throughout the stack.
+
+The PDW cost model (paper §3.3.3) charges data-movement operations per *raw
+byte* moved, so every type knows its on-wire width.  Values themselves are
+plain Python objects (``int``, ``float``, ``str``, ``datetime.date``,
+``bool``, ``None``); a :class:`SqlType` describes a column, not a value.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class TypeKind(enum.Enum):
+    """The family of a SQL type."""
+
+    INTEGER = "integer"
+    BIGINT = "bigint"
+    DECIMAL = "decimal"
+    DOUBLE = "double"
+    VARCHAR = "varchar"
+    CHAR = "char"
+    DATE = "date"
+    BOOLEAN = "boolean"
+
+
+_FIXED_WIDTHS = {
+    TypeKind.INTEGER: 4,
+    TypeKind.BIGINT: 8,
+    TypeKind.DECIMAL: 8,
+    TypeKind.DOUBLE: 8,
+    TypeKind.DATE: 4,
+    TypeKind.BOOLEAN: 1,
+}
+
+_NUMERIC_KINDS = {
+    TypeKind.INTEGER,
+    TypeKind.BIGINT,
+    TypeKind.DECIMAL,
+    TypeKind.DOUBLE,
+}
+
+
+@dataclass(frozen=True)
+class SqlType:
+    """A SQL column type.
+
+    ``length`` is the declared length for CHAR/VARCHAR, ``precision`` and
+    ``scale`` the declared precision for DECIMAL.  Widths feed the cost
+    model: VARCHAR contributes its declared length (the shell database also
+    tracks *average* widths in statistics, which take precedence when
+    available).
+    """
+
+    kind: TypeKind
+    length: Optional[int] = None
+    precision: Optional[int] = None
+    scale: Optional[int] = None
+
+    @property
+    def width(self) -> int:
+        """Raw byte width used by the DMS cost model."""
+        if self.kind in _FIXED_WIDTHS:
+            return _FIXED_WIDTHS[self.kind]
+        return self.length if self.length is not None else 32
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind in _NUMERIC_KINDS
+
+    @property
+    def is_string(self) -> bool:
+        return self.kind in (TypeKind.VARCHAR, TypeKind.CHAR)
+
+    def __str__(self) -> str:
+        if self.kind is TypeKind.VARCHAR:
+            return f"VARCHAR({self.length})"
+        if self.kind is TypeKind.CHAR:
+            return f"CHAR({self.length})"
+        if self.kind is TypeKind.DECIMAL:
+            return f"DECIMAL({self.precision}, {self.scale})"
+        return self.kind.name
+
+
+# Convenience constructors – these read better at call sites than the
+# dataclass constructor and are the public way to spell a type.
+INTEGER = SqlType(TypeKind.INTEGER)
+BIGINT = SqlType(TypeKind.BIGINT)
+DOUBLE = SqlType(TypeKind.DOUBLE)
+DATE = SqlType(TypeKind.DATE)
+BOOLEAN = SqlType(TypeKind.BOOLEAN)
+
+
+def varchar(length: int) -> SqlType:
+    """A VARCHAR(length) type."""
+    return SqlType(TypeKind.VARCHAR, length=length)
+
+
+def char(length: int) -> SqlType:
+    """A CHAR(length) type."""
+    return SqlType(TypeKind.CHAR, length=length)
+
+
+def decimal(precision: int = 15, scale: int = 2) -> SqlType:
+    """A DECIMAL(precision, scale) type (values are Python floats)."""
+    return SqlType(TypeKind.DECIMAL, precision=precision, scale=scale)
+
+
+def value_matches_type(value: object, sql_type: SqlType) -> bool:
+    """True when a Python value is storable in a column of ``sql_type``.
+
+    ``None`` (SQL NULL) is storable in any column.
+    """
+    if value is None:
+        return True
+    kind = sql_type.kind
+    if kind in (TypeKind.INTEGER, TypeKind.BIGINT):
+        return isinstance(value, int) and not isinstance(value, bool)
+    if kind in (TypeKind.DECIMAL, TypeKind.DOUBLE):
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if kind in (TypeKind.VARCHAR, TypeKind.CHAR):
+        return isinstance(value, str)
+    if kind is TypeKind.DATE:
+        return isinstance(value, datetime.date)
+    if kind is TypeKind.BOOLEAN:
+        return isinstance(value, bool)
+    return False
+
+
+def common_super_type(left: SqlType, right: SqlType) -> SqlType:
+    """The result type of an arithmetic/comparison combination.
+
+    Numeric types widen INTEGER -> BIGINT -> DECIMAL -> DOUBLE; strings widen
+    to the longer VARCHAR; anything else must match on kind.
+    """
+    if left.kind == right.kind:
+        if left.is_string:
+            return varchar(max(left.width, right.width))
+        return left
+    order = [TypeKind.INTEGER, TypeKind.BIGINT, TypeKind.DECIMAL, TypeKind.DOUBLE]
+    if left.kind in order and right.kind in order:
+        widest = max(order.index(left.kind), order.index(right.kind))
+        return SqlType(order[widest], precision=15, scale=2)
+    if left.is_string and right.is_string:
+        return varchar(max(left.width, right.width))
+    raise TypeError(f"no common type for {left} and {right}")

@@ -1,0 +1,30 @@
+"""The serial ("SQL Server") optimizer: binder, normalization, MEMO,
+exploration, implementation, cardinality estimation, serial cost model,
+and the MEMO⇄XML interface of paper §3.1."""
+
+from repro.optimizer.binder import Binder, bind_query
+from repro.optimizer.memo import Group, GroupExpression, Memo, topological_order
+from repro.optimizer.memo_xml import memo_from_xml, memo_to_xml
+from repro.optimizer.normalize import normalize
+from repro.optimizer.search import (
+    OptimizationResult,
+    OptimizerConfig,
+    SerialOptimizer,
+    extract_best_serial_plan,
+)
+
+__all__ = [
+    "Binder",
+    "Group",
+    "GroupExpression",
+    "Memo",
+    "OptimizationResult",
+    "OptimizerConfig",
+    "SerialOptimizer",
+    "bind_query",
+    "extract_best_serial_plan",
+    "memo_from_xml",
+    "memo_to_xml",
+    "normalize",
+    "topological_order",
+]

@@ -1,0 +1,86 @@
+"""Serial (single-node) physical cost model.
+
+This is the stand-in for SQL Server's cost model: it ranks the *serial*
+physical alternatives so the "best serial plan" of §2.5 exists and can be
+compared against the PDW pick (benchmark E3/E8).  Units are abstract
+"row-operations"; only relative order matters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.algebra import physical as phys
+from repro.common.errors import OptimizerError
+
+
+@dataclass(frozen=True)
+class SerialCostModel:
+    """Per-row coefficients for each physical operator."""
+
+    scan_per_row: float = 1.0        # I/O-dominated sequential scan
+    filter_per_row: float = 0.1
+    project_per_row: float = 0.05
+    hash_build_per_row: float = 2.0
+    hash_probe_per_row: float = 1.0
+    merge_per_row: float = 0.7       # merge phase, after sorts
+    sort_coefficient: float = 0.2    # * n log2 n
+    nlj_per_pair: float = 0.02
+    aggregate_per_row: float = 1.5
+    output_per_row: float = 0.05
+    union_per_row: float = 0.05
+    top_per_row: float = 0.01
+
+    def local_cost(self, op, output_rows: float,
+                   child_rows) -> float:
+        """Cost of running ``op`` itself (children costed separately)."""
+        if isinstance(op, phys.TableScan):
+            return self.scan_per_row * output_rows
+
+        if isinstance(op, phys.Filter):
+            return (self.filter_per_row * child_rows[0]
+                    + self.output_per_row * output_rows)
+
+        if isinstance(op, phys.ComputeScalar):
+            return self.project_per_row * child_rows[0]
+
+        if isinstance(op, phys.HashJoin):
+            probe, build = child_rows
+            return (self.hash_build_per_row * build
+                    + self.hash_probe_per_row * probe
+                    + self.output_per_row * output_rows)
+
+        if isinstance(op, phys.MergeJoin):
+            left, right = child_rows
+            return (self._sort_cost(left) + self._sort_cost(right)
+                    + self.merge_per_row * (left + right)
+                    + self.output_per_row * output_rows)
+
+        if isinstance(op, phys.NestedLoopJoin):
+            left, right = child_rows
+            return (self.nlj_per_pair * left * max(right, 1.0)
+                    + self.output_per_row * output_rows)
+
+        if isinstance(op, (phys.HashAggregate, phys.StreamAggregate)):
+            cost = self.aggregate_per_row * child_rows[0]
+            if isinstance(op, phys.StreamAggregate):
+                cost += self._sort_cost(child_rows[0])
+            return cost + self.output_per_row * output_rows
+
+        if isinstance(op, phys.Sort):
+            return self._sort_cost(child_rows[0])
+
+        if isinstance(op, phys.Top):
+            return self.top_per_row * child_rows[0]
+
+        if isinstance(op, phys.UnionAllOp):
+            return self.union_per_row * sum(child_rows)
+
+        raise OptimizerError(f"no cost rule for {type(op).__name__}")
+
+    def _sort_cost(self, rows: float) -> float:
+        return self.sort_coefficient * rows * math.log2(max(rows, 2.0))
+
+
+DEFAULT_SERIAL_COST_MODEL = SerialCostModel()

@@ -1,0 +1,111 @@
+"""The implementation phase: add physical alternatives to the MEMO.
+
+Paper §2.5 step 2(d): *"The implementation phase which adds physical
+operator (algorithms) choices into the search space."*  For every logical
+group expression we add the applicable physical operators:
+
+* ``Get``      → TableScan
+* ``Select``   → Filter
+* ``Project``  → ComputeScalar
+* ``Join``     → HashJoin (equi; both probe/build orders for inner),
+                 MergeJoin (equi), NestedLoopJoin (always, and the only
+                 choice for non-equi / cross)
+* ``GroupBy``  → HashAggregate, StreamAggregate
+* ``UnionAll`` → UnionAllOp
+"""
+
+from __future__ import annotations
+
+from repro.algebra import expressions as ex
+from repro.algebra import physical as phys
+from repro.algebra.logical import (
+    JoinKind,
+    LogicalGet,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalProject,
+    LogicalSelect,
+    LogicalUnionAll,
+)
+from repro.optimizer.memo import Group, GroupExpression, Memo
+
+
+def implement_group_expression(memo: Memo, group: Group,
+                               expr: GroupExpression) -> None:
+    """Add the physical counterparts of one logical expression."""
+    op = expr.op
+    children = expr.children
+
+    if isinstance(op, LogicalGet):
+        memo.add_expression(
+            group.id,
+            phys.TableScan(op.table, op.columns, op.alias),
+            children, is_logical=False)
+        return
+
+    if isinstance(op, LogicalSelect):
+        memo.add_expression(group.id, phys.Filter(op.predicate),
+                            children, is_logical=False)
+        return
+
+    if isinstance(op, LogicalProject):
+        memo.add_expression(group.id, phys.ComputeScalar(op.outputs),
+                            children, is_logical=False)
+        return
+
+    if isinstance(op, LogicalJoin):
+        _implement_join(memo, group, op, children)
+        return
+
+    if isinstance(op, LogicalGroupBy):
+        memo.add_expression(
+            group.id,
+            phys.HashAggregate(op.keys, op.aggregates, op.phase.value),
+            children, is_logical=False)
+        memo.add_expression(
+            group.id,
+            phys.StreamAggregate(op.keys, op.aggregates, op.phase.value),
+            children, is_logical=False)
+        return
+
+    if isinstance(op, LogicalUnionAll):
+        memo.add_expression(group.id, phys.UnionAllOp(op.outputs),
+                            children, is_logical=False)
+        return
+
+
+def _implement_join(memo: Memo, group: Group, op: LogicalJoin,
+                    children) -> None:
+    left_group = memo.group(children[0])
+    right_group = memo.group(children[1])
+    left_ids = frozenset(v.id for v in left_group.output_vars)
+    right_ids = frozenset(v.id for v in right_group.output_vars)
+    pairs = ex.equi_join_pairs(op.predicate, left_ids, right_ids)
+
+    if pairs:
+        memo.add_expression(group.id, phys.HashJoin(op.kind, op.predicate),
+                            children, is_logical=False)
+        memo.add_expression(group.id, phys.MergeJoin(op.kind, op.predicate),
+                            children, is_logical=False)
+        if op.kind is JoinKind.INNER:
+            # Swapped probe/build order; output columns are a set, so the
+            # group is unchanged.
+            swapped = (children[1], children[0])
+            memo.add_expression(group.id,
+                                phys.HashJoin(op.kind, op.predicate),
+                                swapped, is_logical=False)
+    memo.add_expression(group.id, phys.NestedLoopJoin(op.kind, op.predicate),
+                        children, is_logical=False)
+
+
+def implement_memo(memo: Memo) -> int:
+    """Run implementation over every group; returns #physical exprs added."""
+    added = 0
+    for group in memo.canonical_groups():
+        before = len(group.physical_expressions)
+        for expr in list(group.logical_expressions):
+            if memo.find(group.id) != group.id:
+                break
+            implement_group_expression(memo, memo.group(group.id), expr)
+        added += len(memo.group(group.id).physical_expressions) - before
+    return added

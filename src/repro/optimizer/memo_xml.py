@@ -1,0 +1,564 @@
+"""MEMO ⇄ XML: the contract between the two optimizers.
+
+Paper §3.1: *"We defined a new compilation entry point to request the
+optimizer MEMO ... the output from SQL Server is an XML representation of
+the MEMO data structure"*, and §2.5 (component 3/4): the XML generator
+encodes the search space, and the PDW side has "a memo parser ...
+responsible for constructing the memo data structure for the PDW query
+optimizer".
+
+The document carries:
+
+* every column variable (id, name, type, average width, and its base
+  table/column origin when it has one — so the PDW side can re-derive
+  statistics from the shell database),
+* every group with its logical properties (estimated rows, row width), and
+* every group expression, logical and physical, with children encoded as
+  group ids and scalar expressions as nested elements.
+"""
+
+from __future__ import annotations
+
+import datetime
+import xml.etree.ElementTree as ET
+from typing import Dict, List, Optional, Tuple
+
+from repro.algebra import expressions as ex
+from repro.algebra import physical as phys
+from repro.algebra.logical import (
+    AggPhase,
+    JoinKind,
+    LogicalGet,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalProject,
+    LogicalSelect,
+    LogicalUnionAll,
+    detached_groupby,
+    detached_join,
+    detached_select,
+    detached_union,
+)
+from repro.catalog.shell_db import ShellDatabase
+from repro.common.errors import OptimizerError
+from repro.common.types import SqlType, TypeKind
+from repro.optimizer.cardinality import StatsContext
+from repro.optimizer.memo import Group, GroupExpression, Memo
+
+
+# ---------------------------------------------------------------------------
+# scalar expression serialization
+# ---------------------------------------------------------------------------
+
+def _type_to_attrs(sql_type: SqlType) -> Dict[str, str]:
+    attrs = {"kind": sql_type.kind.value}
+    if sql_type.length is not None:
+        attrs["length"] = str(sql_type.length)
+    if sql_type.precision is not None:
+        attrs["precision"] = str(sql_type.precision)
+    if sql_type.scale is not None:
+        attrs["scale"] = str(sql_type.scale)
+    return attrs
+
+
+def _type_from_attrs(attrs: Dict[str, str]) -> SqlType:
+    return SqlType(
+        TypeKind(attrs["kind"]),
+        length=int(attrs["length"]) if "length" in attrs else None,
+        precision=int(attrs["precision"]) if "precision" in attrs else None,
+        scale=int(attrs["scale"]) if "scale" in attrs else None,
+    )
+
+
+def _const_to_element(value: object) -> ET.Element:
+    element = ET.Element("const")
+    if value is None:
+        element.set("type", "null")
+    elif isinstance(value, bool):
+        element.set("type", "bool")
+        element.set("value", "1" if value else "0")
+    elif isinstance(value, int):
+        element.set("type", "int")
+        element.set("value", str(value))
+    elif isinstance(value, float):
+        element.set("type", "float")
+        element.set("value", repr(value))
+    elif isinstance(value, datetime.date):
+        element.set("type", "date")
+        element.set("value", value.isoformat())
+    else:
+        element.set("type", "str")
+        element.set("value", str(value))
+    return element
+
+
+def _const_from_element(element: ET.Element) -> object:
+    type_name = element.get("type")
+    raw = element.get("value", "")
+    if type_name == "null":
+        return None
+    if type_name == "bool":
+        return raw == "1"
+    if type_name == "int":
+        return int(raw)
+    if type_name == "float":
+        return float(raw)
+    if type_name == "date":
+        return datetime.date.fromisoformat(raw)
+    return raw
+
+
+def expr_to_element(expr: ex.ScalarExpr) -> ET.Element:
+    """Serialize a bound scalar expression to an XML element."""
+    if isinstance(expr, ex.ColumnVar):
+        element = ET.Element("col")
+        element.set("id", str(expr.id))
+        return element
+    if isinstance(expr, ex.Constant):
+        return _const_to_element(expr.value)
+    if isinstance(expr, ex.Comparison):
+        element = ET.Element("cmp")
+        element.set("op", expr.op)
+        element.append(expr_to_element(expr.left))
+        element.append(expr_to_element(expr.right))
+        return element
+    if isinstance(expr, ex.Arithmetic):
+        element = ET.Element("arith")
+        element.set("op", expr.op)
+        element.append(expr_to_element(expr.left))
+        element.append(expr_to_element(expr.right))
+        return element
+    if isinstance(expr, ex.BoolOp):
+        element = ET.Element("bool")
+        element.set("op", expr.op)
+        for arg in expr.args:
+            element.append(expr_to_element(arg))
+        return element
+    if isinstance(expr, ex.NotExpr):
+        element = ET.Element("not")
+        element.append(expr_to_element(expr.operand))
+        return element
+    if isinstance(expr, ex.FuncExpr):
+        element = ET.Element("func")
+        element.set("name", expr.name)
+        for arg in expr.args:
+            element.append(expr_to_element(arg))
+        return element
+    if isinstance(expr, ex.CastExpr):
+        element = ET.Element("cast", _type_to_attrs(expr.target))
+        element.append(expr_to_element(expr.operand))
+        return element
+    if isinstance(expr, ex.CaseWhen):
+        element = ET.Element("case")
+        for condition, result in expr.whens:
+            when = ET.SubElement(element, "when")
+            when.append(expr_to_element(condition))
+            when.append(expr_to_element(result))
+        if expr.otherwise is not None:
+            otherwise = ET.SubElement(element, "else")
+            otherwise.append(expr_to_element(expr.otherwise))
+        return element
+    if isinstance(expr, ex.LikeExpr):
+        element = ET.Element("like")
+        element.set("pattern", expr.pattern)
+        element.set("negated", "1" if expr.negated else "0")
+        element.append(expr_to_element(expr.operand))
+        return element
+    if isinstance(expr, ex.InListExpr):
+        element = ET.Element("inlist")
+        element.set("negated", "1" if expr.negated else "0")
+        element.append(expr_to_element(expr.operand))
+        values = ET.SubElement(element, "values")
+        for value in expr.values:
+            values.append(_const_to_element(value))
+        return element
+    if isinstance(expr, ex.IsNullExpr):
+        element = ET.Element("isnull")
+        element.set("negated", "1" if expr.negated else "0")
+        element.append(expr_to_element(expr.operand))
+        return element
+    if isinstance(expr, ex.AggExpr):
+        element = ET.Element("agg")
+        element.set("func", expr.func)
+        element.set("distinct", "1" if expr.distinct else "0")
+        if expr.arg is not None:
+            element.append(expr_to_element(expr.arg))
+        return element
+    raise OptimizerError(f"cannot serialize {type(expr).__name__}")
+
+
+def expr_from_element(element: ET.Element,
+                      vars_by_id: Dict[int, ex.ColumnVar]) -> ex.ScalarExpr:
+    """Deserialize a scalar expression, resolving column ids."""
+    tag = element.tag
+    if tag == "col":
+        var_id = int(element.get("id"))
+        try:
+            return vars_by_id[var_id]
+        except KeyError:
+            raise OptimizerError(f"XML references unknown column #{var_id}")
+    if tag == "const":
+        return ex.Constant(_const_from_element(element))
+    children = list(element)
+    if tag == "cmp":
+        return ex.Comparison(element.get("op"),
+                             expr_from_element(children[0], vars_by_id),
+                             expr_from_element(children[1], vars_by_id))
+    if tag == "arith":
+        return ex.Arithmetic(element.get("op"),
+                             expr_from_element(children[0], vars_by_id),
+                             expr_from_element(children[1], vars_by_id))
+    if tag == "bool":
+        return ex.BoolOp(element.get("op"), tuple(
+            expr_from_element(c, vars_by_id) for c in children))
+    if tag == "not":
+        return ex.NotExpr(expr_from_element(children[0], vars_by_id))
+    if tag == "func":
+        return ex.FuncExpr(element.get("name"), tuple(
+            expr_from_element(c, vars_by_id) for c in children))
+    if tag == "cast":
+        return ex.CastExpr(expr_from_element(children[0], vars_by_id),
+                           _type_from_attrs(element.attrib))
+    if tag == "case":
+        whens: List[Tuple[ex.ScalarExpr, ex.ScalarExpr]] = []
+        otherwise = None
+        for child in children:
+            if child.tag == "when":
+                parts = list(child)
+                whens.append((expr_from_element(parts[0], vars_by_id),
+                              expr_from_element(parts[1], vars_by_id)))
+            elif child.tag == "else":
+                otherwise = expr_from_element(list(child)[0], vars_by_id)
+        return ex.CaseWhen(tuple(whens), otherwise)
+    if tag == "like":
+        return ex.LikeExpr(expr_from_element(children[0], vars_by_id),
+                           element.get("pattern"),
+                           element.get("negated") == "1")
+    if tag == "inlist":
+        operand = expr_from_element(children[0], vars_by_id)
+        values = tuple(
+            _const_from_element(v) for v in children[1]
+        )
+        return ex.InListExpr(operand, values, element.get("negated") == "1")
+    if tag == "isnull":
+        return ex.IsNullExpr(expr_from_element(children[0], vars_by_id),
+                             element.get("negated") == "1")
+    if tag == "agg":
+        arg = (expr_from_element(children[0], vars_by_id)
+               if children else None)
+        return ex.AggExpr(element.get("func"), arg,
+                          element.get("distinct") == "1")
+    raise OptimizerError(f"unknown expression tag <{tag}>")
+
+
+# ---------------------------------------------------------------------------
+# memo export
+# ---------------------------------------------------------------------------
+
+def memo_to_xml(memo: Memo, root_group: int,
+                stats: StatsContext) -> str:
+    """Encode the MEMO as the XML document PDW consumes."""
+    document = ET.Element("memo")
+    document.set("root", str(memo.find(root_group)))
+
+    columns = ET.SubElement(document, "columns")
+    seen_vars: Dict[int, ex.ColumnVar] = {}
+    for group in memo.canonical_groups():
+        for var in group.output_vars:
+            seen_vars.setdefault(var.id, var)
+        for expr in group.expressions:
+            for var in _expression_vars(expr):
+                seen_vars.setdefault(var.id, var)
+    for var_id in sorted(seen_vars):
+        var = seen_vars[var_id]
+        element = ET.SubElement(columns, "column")
+        element.set("id", str(var.id))
+        element.set("name", var.name)
+        element.set("width", repr(stats.width_of(var)))
+        for key, value in _type_to_attrs(var.sql_type).items():
+            element.set(f"type-{key}", value)
+        origin = stats.var_origins.get(var.id)
+        if origin is not None:
+            element.set("table", origin[0])
+            element.set("table-column", origin[1])
+
+    for group in memo.canonical_groups():
+        group_el = ET.SubElement(document, "group")
+        group_el.set("id", str(group.id))
+        group_el.set("rows", repr(group.cardinality))
+        group_el.set("width", repr(group.row_width))
+        group_el.set("outputs",
+                     " ".join(str(v.id) for v in group.output_vars))
+        seen = set()
+        for expr in group.expressions:
+            children = tuple(memo.find(c) for c in expr.children)
+            if group.id in children:
+                continue  # self-reference created by a merge
+            key = (expr.op.local_key(), children, expr.is_logical)
+            if key in seen:
+                continue
+            seen.add(key)
+            group_el.append(_expression_to_element(expr, children))
+
+    return ET.tostring(document, encoding="unicode")
+
+
+def _expression_vars(expr: GroupExpression) -> List[ex.ColumnVar]:
+    """Column vars mentioned directly by an expression's operator."""
+    op = expr.op
+    found: List[ex.ColumnVar] = []
+
+    def scan(scalar: Optional[ex.ScalarExpr]) -> None:
+        if scalar is None:
+            return
+        stack = [scalar]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ex.ColumnVar):
+                found.append(node)
+            stack.extend(node.children())
+
+    if isinstance(op, (LogicalGet, phys.TableScan)):
+        found.extend(op.columns)
+    elif isinstance(op, (LogicalSelect, phys.Filter)):
+        scan(op.predicate)
+    elif isinstance(op, (LogicalProject, phys.ComputeScalar)):
+        for var, scalar in op.outputs:
+            found.append(var)
+            scan(scalar)
+    elif isinstance(op, (LogicalJoin, phys.HashJoin, phys.MergeJoin,
+                         phys.NestedLoopJoin)):
+        scan(op.predicate)
+    elif isinstance(op, (LogicalGroupBy, phys.HashAggregate,
+                         phys.StreamAggregate)):
+        found.extend(op.keys)
+        for var, agg in op.aggregates:
+            found.append(var)
+            scan(agg)
+    elif isinstance(op, (LogicalUnionAll, phys.UnionAllOp)):
+        found.extend(op.outputs)
+        if isinstance(op, LogicalUnionAll):
+            for branch in op.branch_columns:
+                found.extend(branch)
+    return found
+
+
+_JOIN_OPS = {
+    "Join": None,
+    "HashJoin": phys.HashJoin,
+    "MergeJoin": phys.MergeJoin,
+    "NestedLoopJoin": phys.NestedLoopJoin,
+}
+
+
+def _expression_to_element(expr: GroupExpression,
+                           children=None) -> ET.Element:
+    op = expr.op
+    if children is None:
+        children = expr.children
+    element = ET.Element("expr")
+    element.set("children", " ".join(str(c) for c in children))
+    element.set("logical", "1" if expr.is_logical else "0")
+
+    if isinstance(op, LogicalGet):
+        element.set("op", "Get")
+        element.set("table", op.table.name)
+        element.set("alias", op.alias)
+        element.set("cols", " ".join(str(c.id) for c in op.columns))
+    elif isinstance(op, phys.TableScan):
+        element.set("op", "TableScan")
+        element.set("table", op.table.name)
+        element.set("alias", op.alias)
+        element.set("cols", " ".join(str(c.id) for c in op.columns))
+    elif isinstance(op, (LogicalSelect, phys.Filter)):
+        element.set("op", "Select" if expr.is_logical else "Filter")
+        element.append(expr_to_element(op.predicate))
+    elif isinstance(op, (LogicalProject, phys.ComputeScalar)):
+        element.set("op", "Project" if expr.is_logical else "ComputeScalar")
+        for var, scalar in op.outputs:
+            out = ET.SubElement(element, "output")
+            out.set("var", str(var.id))
+            out.append(expr_to_element(scalar))
+    elif isinstance(op, (LogicalJoin, phys.HashJoin, phys.MergeJoin,
+                         phys.NestedLoopJoin)):
+        name = ("Join" if isinstance(op, LogicalJoin)
+                else type(op).__name__)
+        element.set("op", name)
+        element.set("join-kind", op.kind.value)
+        if op.predicate is not None:
+            element.append(expr_to_element(op.predicate))
+    elif isinstance(op, (LogicalGroupBy, phys.HashAggregate,
+                         phys.StreamAggregate)):
+        name = ("GroupBy" if isinstance(op, LogicalGroupBy)
+                else type(op).__name__)
+        element.set("op", name)
+        if isinstance(op, LogicalGroupBy):
+            element.set("phase", op.phase.value)
+        else:
+            element.set("phase", op.phase)
+        element.set("keys", " ".join(str(k.id) for k in op.keys))
+        for var, agg in op.aggregates:
+            agg_el = ET.SubElement(element, "aggregate")
+            agg_el.set("var", str(var.id))
+            agg_el.append(expr_to_element(agg))
+    elif isinstance(op, (LogicalUnionAll, phys.UnionAllOp)):
+        element.set("op", "UnionAll" if expr.is_logical else "UnionAllOp")
+        element.set("cols", " ".join(str(c.id) for c in op.outputs))
+        if isinstance(op, LogicalUnionAll):
+            for branch in op.branch_columns:
+                branch_el = ET.SubElement(element, "branch")
+                branch_el.set("cols",
+                              " ".join(str(c.id) for c in branch))
+    else:
+        raise OptimizerError(
+            f"cannot serialize operator {type(op).__name__}")
+    return element
+
+
+# ---------------------------------------------------------------------------
+# memo import (the PDW-side "memo parser")
+# ---------------------------------------------------------------------------
+
+class ParsedMemo:
+    """A MEMO reconstructed from XML, plus column metadata.
+
+    ``memo`` is a fully functional :class:`Memo` rebuilt against the shell
+    database, so the PDW optimizer works with the same data structure the
+    serial optimizer produced — faithfully mirroring the paper's design
+    where both sides hold structurally identical memos.
+    """
+
+    def __init__(self, memo: Memo, root_group: int,
+                 vars_by_id: Dict[int, ex.ColumnVar],
+                 stats: StatsContext):
+        self.memo = memo
+        self.root_group = root_group
+        self.vars_by_id = vars_by_id
+        self.stats = stats
+
+
+def memo_from_xml(xml_text: str, shell: ShellDatabase) -> ParsedMemo:
+    """Parse the XML search space back into a MEMO (PDW component 4's
+    first step, Figure 4 line 01)."""
+    document = ET.fromstring(xml_text)
+    root_group = int(document.get("root"))
+
+    stats = StatsContext(shell)
+    vars_by_id: Dict[int, ex.ColumnVar] = {}
+    columns_el = document.find("columns")
+    if columns_el is not None:
+        for column in columns_el:
+            var_id = int(column.get("id"))
+            type_attrs = {
+                key[len("type-"):]: value
+                for key, value in column.attrib.items()
+                if key.startswith("type-")
+            }
+            var = ex.ColumnVar(var_id, column.get("name"),
+                               _type_from_attrs(type_attrs))
+            vars_by_id[var_id] = var
+            stats.var_widths[var_id] = float(column.get("width", "4"))
+            if column.get("table"):
+                stats.var_origins[var_id] = (
+                    column.get("table"), column.get("table-column"))
+
+    memo = Memo(stats)
+    group_elements = document.findall("group")
+
+    # First pass: create the shells so children can be referenced freely.
+    id_map: Dict[int, int] = {}
+    for group_el in group_elements:
+        xml_id = int(group_el.get("id"))
+        outputs = [
+            vars_by_id[int(v)] for v in group_el.get("outputs", "").split()
+        ]
+        group = memo._new_group(
+            outputs,
+            float(group_el.get("rows", "0")),
+            float(group_el.get("width", "0")),
+        )
+        id_map[xml_id] = group.id
+
+    for group_el in group_elements:
+        group_id = id_map[int(group_el.get("id"))]
+        for expr_el in group_el.findall("expr"):
+            op, is_logical = _operator_from_element(expr_el, shell,
+                                                    vars_by_id)
+            children = tuple(
+                id_map[int(c)] for c in expr_el.get("children", "").split()
+            )
+            memo.add_expression(group_id, op, children,
+                                is_logical=is_logical)
+
+    return ParsedMemo(memo, id_map[root_group], vars_by_id, stats)
+
+
+def _operator_from_element(element: ET.Element, shell: ShellDatabase,
+                           vars_by_id: Dict[int, ex.ColumnVar]):
+    op_name = element.get("op")
+    is_logical = element.get("logical") == "1"
+
+    if op_name in ("Get", "TableScan"):
+        table = shell.table(element.get("table"))
+        columns = [vars_by_id[int(c)] for c in element.get("cols").split()]
+        if op_name == "Get":
+            get = LogicalGet.__new__(LogicalGet)
+            get.table = table
+            get.columns = columns
+            get.alias = element.get("alias")
+            get.children = []
+            return get, True
+        return phys.TableScan(table, columns, element.get("alias")), False
+
+    if op_name in ("Select", "Filter"):
+        predicate = expr_from_element(list(element)[0], vars_by_id)
+        if op_name == "Select":
+            return detached_select(predicate), True
+        return phys.Filter(predicate), False
+
+    if op_name in ("Project", "ComputeScalar"):
+        outputs = []
+        for out in element.findall("output"):
+            var = vars_by_id[int(out.get("var"))]
+            outputs.append((var, expr_from_element(list(out)[0], vars_by_id)))
+        if op_name == "Project":
+            project = LogicalProject.__new__(LogicalProject)
+            project.children = []
+            project.outputs = outputs
+            return project, True
+        return phys.ComputeScalar(outputs), False
+
+    if op_name in _JOIN_OPS:
+        kind = JoinKind(element.get("join-kind"))
+        predicate_el = [c for c in element if c.tag not in ()]
+        predicate = (expr_from_element(predicate_el[0], vars_by_id)
+                     if predicate_el else None)
+        if op_name == "Join":
+            return detached_join(kind, predicate), True
+        return _JOIN_OPS[op_name](kind, predicate), False
+
+    if op_name in ("GroupBy", "HashAggregate", "StreamAggregate"):
+        keys = [vars_by_id[int(k)] for k in element.get("keys", "").split()]
+        aggregates = []
+        for agg_el in element.findall("aggregate"):
+            var = vars_by_id[int(agg_el.get("var"))]
+            aggregates.append(
+                (var, expr_from_element(list(agg_el)[0], vars_by_id)))
+        if op_name == "GroupBy":
+            phase = AggPhase(element.get("phase", "complete"))
+            return detached_groupby(keys, aggregates, phase), True
+        cls = (phys.HashAggregate if op_name == "HashAggregate"
+               else phys.StreamAggregate)
+        return cls(keys, aggregates, element.get("phase", "complete")), False
+
+    if op_name in ("UnionAll", "UnionAllOp"):
+        outputs = [vars_by_id[int(c)] for c in element.get("cols").split()]
+        if op_name == "UnionAll":
+            branches = [
+                [vars_by_id[int(c)] for c in b.get("cols").split()]
+                for b in element.findall("branch")
+            ]
+            return detached_union(outputs, branches), True
+        return phys.UnionAllOp(outputs), False
+
+    raise OptimizerError(f"unknown operator {op_name!r} in memo XML")

@@ -1,0 +1,622 @@
+"""Normalization / simplification of the bound logical tree.
+
+Paper §2.5 step 2(a): *"Simplification of the input operator tree into a
+normalized form. This is inserted as the initial plan into the MEMO."* and
+§5 lists the concrete techniques PDW inherits: contradiction detection,
+redundant join elimination, subquery unnesting (done in the binder) and
+more.  This module implements the tree-to-tree rewrites:
+
+* constant folding,
+* contradiction detection (empty ranges, conflicting equalities),
+* semi-join → inner-join + duplicate-eliminating group-by ("sub-query
+  removal" in the Q20 walkthrough — the distinct shows up in the paper's
+  DSQL as ``GROUP BY p_partkey``),
+* predicate pushdown (with CROSS → INNER join upgrade),
+* redundant self-join elimination, and
+* column pruning (narrowing Gets, which shrinks the row widths that the
+  DMS cost model charges for).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.algebra import expressions as ex
+from repro.algebra.evaluator import try_fold
+from repro.algebra.logical import (
+    JoinKind,
+    LogicalGet,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalOp,
+    LogicalProject,
+    LogicalSelect,
+    LogicalUnionAll,
+    Query,
+)
+from repro.catalog.statistics import sort_key
+
+
+def normalize(query: Query) -> Query:
+    """Run the full normalization pipeline on a bound query."""
+    root = query.root
+    root = fold_tree_constants(root)
+    root = convert_semijoins(root)
+    root = push_down_predicates(root)
+    root = eliminate_self_joins_in_query(root, query)
+    root = detect_contradictions(root)
+    required = {var.id for var in root.output_columns()}
+    required.update(var.id for var, _ in query.order_by)
+    root = prune_columns(root, required)
+    root = remove_redundant_projects(root, keep_root=True)
+    return Query(root, query.output_names, query.order_by, query.limit)
+
+
+def remove_redundant_projects(op: LogicalOp,
+                              keep_root: bool = False) -> LogicalOp:
+    """Drop identity projections that neither rename nor narrow.
+
+    Derived tables leave identity Project wrappers behind; removing them
+    lets MEMO groups expose their GroupBy/Join expressions directly (the
+    group-by pushdown rule pattern-matches on those).
+    """
+    op.children = [remove_redundant_projects(c) for c in op.children]
+    if keep_root or not isinstance(op, LogicalProject):
+        return op
+    identity = all(
+        isinstance(expr, ex.ColumnVar) and expr.id == var.id
+        for var, expr in op.outputs
+    )
+    if not identity:
+        return op
+    child_ids = {v.id for v in op.child.output_columns()}
+    if {var.id for var, _ in op.outputs} == child_ids:
+        return op.child
+    return op
+
+
+def eliminate_self_joins_in_query(root: LogicalOp, query: Query) -> LogicalOp:
+    """Run self-join elimination and apply its substitutions query-wide."""
+    root, mappings = eliminate_self_joins(root)
+    for mapping in mappings:
+        substitute_tree(root, mapping)
+        query.order_by = [
+            (mapping.get(var.id, var), asc) for var, asc in query.order_by
+        ]
+    return root
+
+
+# ---------------------------------------------------------------------------
+# constant folding
+# ---------------------------------------------------------------------------
+
+def fold_expression(expr: ex.ScalarExpr) -> ex.ScalarExpr:
+    """Bottom-up constant folding of one scalar expression."""
+    if isinstance(expr, (ex.ColumnVar, ex.Constant)):
+        return expr
+
+    if isinstance(expr, ex.Comparison):
+        folded = ex.Comparison(expr.op, fold_expression(expr.left),
+                               fold_expression(expr.right))
+        return _fold_if_constant(folded)
+    if isinstance(expr, ex.Arithmetic):
+        folded = ex.Arithmetic(expr.op, fold_expression(expr.left),
+                               fold_expression(expr.right))
+        return _fold_if_constant(folded)
+    if isinstance(expr, ex.BoolOp):
+        args = []
+        for arg in expr.args:
+            arg = fold_expression(arg)
+            if isinstance(arg, ex.Constant):
+                if expr.op == "AND" and arg.value is True:
+                    continue
+                if expr.op == "OR" and arg.value is False:
+                    continue
+                if expr.op == "AND" and arg.value is False:
+                    return ex.FALSE
+                if expr.op == "OR" and arg.value is True:
+                    return ex.TRUE
+            args.append(arg)
+        if not args:
+            return ex.TRUE if expr.op == "AND" else ex.FALSE
+        if len(args) == 1:
+            return args[0]
+        return ex.BoolOp(expr.op, tuple(args))
+    if isinstance(expr, ex.NotExpr):
+        operand = fold_expression(expr.operand)
+        if isinstance(operand, ex.Constant) and isinstance(operand.value, bool):
+            return ex.Constant(not operand.value)
+        if isinstance(operand, ex.Comparison):
+            negations = {"=": "<>", "<>": "=", "<": ">=",
+                         "<=": ">", ">": "<=", ">=": "<"}
+            return ex.Comparison(negations[operand.op], operand.left,
+                                 operand.right)
+        return ex.NotExpr(operand)
+    if isinstance(expr, ex.CastExpr):
+        folded = ex.CastExpr(fold_expression(expr.operand), expr.target)
+        return _fold_if_constant(folded)
+    if isinstance(expr, ex.FuncExpr):
+        folded = ex.FuncExpr(expr.name,
+                             tuple(fold_expression(a) for a in expr.args))
+        return _fold_if_constant(folded)
+    if isinstance(expr, ex.CaseWhen):
+        whens = tuple((fold_expression(c), fold_expression(r))
+                      for c, r in expr.whens)
+        otherwise = (fold_expression(expr.otherwise)
+                     if expr.otherwise is not None else None)
+        return ex.CaseWhen(whens, otherwise)
+    if isinstance(expr, ex.LikeExpr):
+        return ex.LikeExpr(fold_expression(expr.operand), expr.pattern,
+                           expr.negated)
+    if isinstance(expr, ex.InListExpr):
+        return ex.InListExpr(fold_expression(expr.operand), expr.values,
+                             expr.negated)
+    if isinstance(expr, ex.IsNullExpr):
+        return ex.IsNullExpr(fold_expression(expr.operand), expr.negated)
+    if isinstance(expr, ex.AggExpr):
+        arg = fold_expression(expr.arg) if expr.arg is not None else None
+        return ex.AggExpr(expr.func, arg, expr.distinct)
+    return expr
+
+
+def _fold_if_constant(expr: ex.ScalarExpr) -> ex.ScalarExpr:
+    if expr.columns_used():
+        return expr
+    value = try_fold(expr)
+    if value is None:
+        return expr
+    return ex.Constant(value)
+
+
+def fold_tree_constants(op: LogicalOp) -> LogicalOp:
+    """Fold constants in every predicate / projection of the tree."""
+    op.children = [fold_tree_constants(c) for c in op.children]
+    if isinstance(op, LogicalSelect):
+        op.predicate = fold_expression(op.predicate)
+        if isinstance(op.predicate, ex.Constant) and op.predicate.value is True:
+            return op.child
+    elif isinstance(op, LogicalJoin) and op.predicate is not None:
+        op.predicate = fold_expression(op.predicate)
+    elif isinstance(op, LogicalProject):
+        op.outputs = [(var, fold_expression(expr)) for var, expr in op.outputs]
+    elif isinstance(op, LogicalGroupBy):
+        op.aggregates = [
+            (var, fold_expression(agg)) for var, agg in op.aggregates
+        ]
+    return op
+
+
+# ---------------------------------------------------------------------------
+# contradiction detection
+# ---------------------------------------------------------------------------
+
+def _range_contradiction(conjs: Sequence[ex.ScalarExpr]) -> bool:
+    """True when per-column constant bounds are unsatisfiable."""
+    lows: Dict[int, Tuple[object, bool]] = {}    # var → (bound, inclusive)
+    highs: Dict[int, Tuple[object, bool]] = {}
+    equals: Dict[int, object] = {}
+
+    def note(var_id: int, op: str, value: object) -> None:
+        if op == "=":
+            if var_id in equals and sort_key(equals[var_id]) != sort_key(value):
+                raise _Contradiction
+            equals[var_id] = value
+        elif op in (">", ">="):
+            current = lows.get(var_id)
+            key = sort_key(value)
+            if current is None or key > sort_key(current[0]):
+                lows[var_id] = (value, op == ">=")
+        elif op in ("<", "<="):
+            current = highs.get(var_id)
+            key = sort_key(value)
+            if current is None or key < sort_key(current[0]):
+                highs[var_id] = (value, op == "<=")
+
+    class _Contradiction(Exception):
+        pass
+
+    try:
+        for conj in conjs:
+            if not isinstance(conj, ex.Comparison):
+                continue
+            left, right = conj.left, conj.right
+            if isinstance(left, ex.ColumnVar) and isinstance(right, ex.Constant):
+                if right.value is not None:
+                    note(left.id, conj.op, right.value)
+            elif isinstance(right, ex.ColumnVar) and isinstance(left, ex.Constant):
+                if left.value is not None:
+                    note(right.id, conj.op.translate(str.maketrans("<>", "><")),
+                         left.value)
+        for var_id, (low, low_inc) in lows.items():
+            if var_id in highs:
+                high, high_inc = highs[var_id]
+                low_key, high_key = sort_key(low), sort_key(high)
+                if low_key > high_key:
+                    return True
+                if low_key == high_key and not (low_inc and high_inc):
+                    return True
+            if var_id in equals:
+                eq_key = sort_key(equals[var_id])
+                if eq_key < sort_key(low) or (eq_key == sort_key(low)
+                                              and not low_inc):
+                    return True
+        for var_id, (high, high_inc) in highs.items():
+            if var_id in equals:
+                eq_key = sort_key(equals[var_id])
+                if eq_key > sort_key(high) or (eq_key == sort_key(high)
+                                               and not high_inc):
+                    return True
+    except _Contradiction:
+        return True
+    return False
+
+
+def detect_contradictions(op: LogicalOp) -> LogicalOp:
+    """Replace provably-empty Selects with a FALSE filter (cardinality 0)."""
+    op.children = [detect_contradictions(c) for c in op.children]
+    if isinstance(op, LogicalSelect):
+        conjs = ex.conjuncts(op.predicate)
+        if any(isinstance(c, ex.Constant) and c.value is False for c in conjs):
+            op.predicate = ex.FALSE
+        elif _range_contradiction(conjs):
+            op.predicate = ex.FALSE
+    return op
+
+
+# ---------------------------------------------------------------------------
+# semi-join → join + distinct
+# ---------------------------------------------------------------------------
+
+def convert_semijoins(op: LogicalOp) -> LogicalOp:
+    """Rewrite equi-semi-joins into inner joins over duplicate-free inputs.
+
+    ``L SEMI R on L.a = R.b`` ≡ ``L JOIN (SELECT DISTINCT b FROM R) ON a=b``.
+    The rewrite unlocks join reordering across the former subquery boundary,
+    which the paper's Q20 plan relies on (part ⋈ lineitem before partsupp).
+    """
+    op.children = [convert_semijoins(c) for c in op.children]
+    if not isinstance(op, LogicalJoin) or op.kind is not JoinKind.SEMI:
+        return op
+    right_cols = frozenset(v.id for v in op.right.output_columns())
+    left_cols = frozenset(v.id for v in op.left.output_columns())
+    conjs = ex.conjuncts(op.predicate)
+    pairs = ex.equi_join_pairs(op.predicate, left_cols, right_cols)
+    # Only rewrite when every conjunct is one of the extracted equi pairs.
+    if len(pairs) != len(conjs) or not pairs:
+        return op
+    right_keys: List[ex.ColumnVar] = []
+    for _, right_var in pairs:
+        if right_var.id not in [k.id for k in right_keys]:
+            right_keys.append(right_var)
+    right = op.right
+    if not _duplicate_free_on(right, right_keys):
+        right = LogicalGroupBy(right, right_keys, [])
+    return LogicalJoin(JoinKind.INNER, op.left, right, op.predicate)
+
+
+def _duplicate_free_on(op: LogicalOp, keys: Sequence[ex.ColumnVar]) -> bool:
+    key_ids = {k.id for k in keys}
+    if isinstance(op, LogicalGroupBy):
+        return {k.id for k in op.keys} <= key_ids
+    if isinstance(op, (LogicalProject, LogicalSelect)):
+        # Identity projections preserve duplicate-freedom.
+        if isinstance(op, LogicalProject):
+            identity = all(
+                isinstance(expr, ex.ColumnVar) and expr.id == var.id
+                for var, expr in op.outputs
+            )
+            if not identity:
+                return False
+        return _duplicate_free_on(op.children[0], keys)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# predicate pushdown
+# ---------------------------------------------------------------------------
+
+def push_down_predicates(op: LogicalOp) -> LogicalOp:
+    """Push filter conjuncts as close to the Gets as legal."""
+    return _push(op, [])
+
+
+def _attach(op: LogicalOp, conjs: Sequence[ex.ScalarExpr]) -> LogicalOp:
+    predicate = ex.make_conjunction(conjs)
+    if predicate is None:
+        return op
+    return LogicalSelect(op, predicate)
+
+
+def _push(op: LogicalOp, incoming: List[ex.ScalarExpr]) -> LogicalOp:
+    if isinstance(op, LogicalSelect):
+        return _push(op.child, incoming + list(ex.conjuncts(op.predicate)))
+
+    if isinstance(op, LogicalProject):
+        mapping = {var.id: expr for var, expr in op.outputs}
+        pushable: List[ex.ScalarExpr] = []
+        for conj in incoming:
+            pushable.append(conj.substitute(mapping))
+        op.children = [_push(op.child, pushable)]
+        return op
+
+    if isinstance(op, LogicalJoin):
+        return _push_join(op, incoming)
+
+    if isinstance(op, LogicalGroupBy):
+        key_ids = {k.id for k in op.keys}
+        below: List[ex.ScalarExpr] = []
+        above: List[ex.ScalarExpr] = []
+        for conj in incoming:
+            (below if conj.columns_used() <= key_ids else above).append(conj)
+        op.children = [_push(op.child, below)]
+        return _attach(op, above)
+
+    if isinstance(op, LogicalUnionAll):
+        # Push each conjunct into every branch, rewritten onto the
+        # branch's own columns.
+        output_ids = {v.id for v in op.outputs}
+        pushable = [c for c in incoming
+                    if set(c.columns_used()) <= output_ids]
+        above = [c for c in incoming
+                 if not set(c.columns_used()) <= output_ids]
+        new_children = []
+        for child, branch in zip(op.children, op.branch_columns):
+            mapping = {
+                out.id: src_var
+                for out, src_var in zip(op.outputs, branch)
+            }
+            branch_conjs = [c.substitute(mapping) for c in pushable]
+            new_children.append(_push(child, branch_conjs))
+        op.children = new_children
+        return _attach(op, above)
+
+    # Get and anything opaque: attach what we have.
+    op.children = [_push(c, []) for c in op.children]
+    return _attach(op, incoming)
+
+
+def _push_join(op: LogicalJoin, incoming: List[ex.ScalarExpr]) -> LogicalOp:
+    left_cols = frozenset(v.id for v in op.left.output_columns())
+    right_cols = frozenset(v.id for v in op.right.output_columns())
+
+    candidates = list(incoming)
+    join_conjs: List[ex.ScalarExpr] = []
+    if op.kind in (JoinKind.INNER, JoinKind.CROSS):
+        candidates += list(ex.conjuncts(op.predicate))
+    else:
+        join_conjs = list(ex.conjuncts(op.predicate))
+
+    left_push: List[ex.ScalarExpr] = []
+    right_push: List[ex.ScalarExpr] = []
+    stay: List[ex.ScalarExpr] = []
+    above: List[ex.ScalarExpr] = []
+
+    for conj in candidates:
+        used = conj.columns_used()
+        if used <= left_cols:
+            left_push.append(conj)
+        elif used <= right_cols:
+            if op.kind in (JoinKind.INNER, JoinKind.CROSS, JoinKind.SEMI,
+                           JoinKind.ANTI):
+                right_push.append(conj)
+            else:  # LEFT join: right-only WHERE conjuncts must stay above
+                above.append(conj)
+        else:
+            if op.kind in (JoinKind.INNER, JoinKind.CROSS):
+                stay.append(conj)
+            else:
+                above.append(conj)
+
+    if op.kind in (JoinKind.LEFT, JoinKind.SEMI, JoinKind.ANTI):
+        # The ON predicate's single-side conjuncts are pushable to the
+        # inner/right side only.
+        remaining: List[ex.ScalarExpr] = []
+        for conj in join_conjs:
+            if conj.columns_used() <= right_cols:
+                right_push.append(conj)
+            else:
+                remaining.append(conj)
+        join_conjs = remaining
+
+    left = _push(op.left, left_push)
+    right = _push(op.right, right_push)
+
+    if op.kind in (JoinKind.INNER, JoinKind.CROSS):
+        kind = JoinKind.INNER if stay else JoinKind.CROSS
+        if op.kind is JoinKind.INNER and not stay:
+            kind = JoinKind.CROSS
+        joined = LogicalJoin(kind, left, right, ex.make_conjunction(stay))
+        return joined
+    joined = LogicalJoin(op.kind, left, right, ex.make_conjunction(join_conjs))
+    return _attach(joined, above)
+
+
+# ---------------------------------------------------------------------------
+# redundant self-join elimination
+# ---------------------------------------------------------------------------
+
+def eliminate_self_joins(op: LogicalOp) -> Tuple[LogicalOp, List[Dict[int, ex.ColumnVar]]]:
+    """Remove ``Get(T) ⋈ Get(T) ON pk = pk`` pairs, unifying variables.
+
+    Sound whenever the join columns cover a unique key on ``T`` (declared
+    via ``TableDef.primary_key``).  Returns the rewritten tree plus the
+    variable substitutions (right-side var → left-side var) the caller must
+    apply to the *rest* of the query.
+    """
+    mappings: List[Dict[int, ex.ColumnVar]] = []
+    new_children = []
+    for child in op.children:
+        rewritten, inner = eliminate_self_joins(child)
+        new_children.append(rewritten)
+        mappings.extend(inner)
+    op.children = new_children
+
+    if not (isinstance(op, LogicalJoin) and op.kind is JoinKind.INNER):
+        return op, mappings
+
+    def unwrap(node: LogicalOp):
+        """Peel filters off a Get, returning (get, filter conjuncts)."""
+        filters: List[ex.ScalarExpr] = []
+        while isinstance(node, LogicalSelect):
+            filters.extend(ex.conjuncts(node.predicate))
+            node = node.child
+        return (node, filters) if isinstance(node, LogicalGet) else (None, [])
+
+    left, left_filters = unwrap(op.left)
+    right, right_filters = unwrap(op.right)
+    if left is None or right is None:
+        return op, mappings
+    if left.table.name != right.table.name or not left.table.primary_key:
+        return op, mappings
+    # Both Gets must still expose every column (pre-pruning) so zip pairing
+    # below lines up; bail out otherwise.
+    if len(left.columns) != len(right.columns):
+        return op, mappings
+
+    pk = {name.lower() for name in left.table.primary_key}
+    pairs = ex.equi_join_pairs(
+        op.predicate,
+        frozenset(v.id for v in left.columns),
+        frozenset(v.id for v in right.columns),
+    )
+    position_of = {v.id: i for i, v in enumerate(left.columns)}
+    right_position = {v.id: i for i, v in enumerate(right.columns)}
+    matched_pk_cols = set()
+    for left_var, right_var in pairs:
+        left_name = left.table.columns[position_of[left_var.id]].name.lower()
+        right_name = right.table.columns[right_position[right_var.id]].name.lower()
+        if left_name == right_name and left_name in pk:
+            matched_pk_cols.add(left_name)
+    if matched_pk_cols != pk:
+        return op, mappings
+
+    mapping = {
+        right_var.id: left_var
+        for left_var, right_var in zip(left.columns, right.columns)
+    }
+    residual = [
+        fold_expression(conj.substitute(mapping))
+        for conj in (list(ex.conjuncts(op.predicate))
+                     + left_filters + right_filters)
+    ]
+    residual = [
+        conj for conj in residual
+        if not (isinstance(conj, ex.Comparison) and conj.op == "="
+                and conj.left == conj.right)
+    ]
+    mappings.append(mapping)
+    return _attach(left, residual), mappings
+
+
+def substitute_tree(op: LogicalOp, mapping: Dict[int, ex.ColumnVar]) -> None:
+    """Apply a variable substitution to every expression in the tree."""
+    for child in op.children:
+        substitute_tree(child, mapping)
+    if isinstance(op, LogicalSelect):
+        op.predicate = op.predicate.substitute(mapping)
+    elif isinstance(op, LogicalJoin) and op.predicate is not None:
+        op.predicate = op.predicate.substitute(mapping)
+    elif isinstance(op, LogicalProject):
+        op.outputs = [
+            (mapping.get(var.id, var), expr.substitute(mapping))
+            for var, expr in op.outputs
+        ]
+    elif isinstance(op, LogicalGroupBy):
+        op.keys = [mapping.get(k.id, k) for k in op.keys]
+        op.aggregates = [
+            (var, agg.substitute(mapping)) for var, agg in op.aggregates
+        ]
+
+
+# ---------------------------------------------------------------------------
+# column pruning
+# ---------------------------------------------------------------------------
+
+def prune_columns(op: LogicalOp, required: Set[int]) -> LogicalOp:
+    """Narrow every operator's outputs to the columns actually needed."""
+    if isinstance(op, LogicalGet):
+        # Distribution columns stay: the PDW optimizer needs their
+        # variables to express the table's placement property.
+        dist_cols = {name.lower() for name in op.table.distribution.columns}
+        kept = [
+            v for v in op.columns
+            if v.id in required or v.name.lower() in dist_cols
+        ]
+        if not kept:
+            kept = [op.columns[0]]
+        op.columns = kept
+        return op
+
+    if isinstance(op, LogicalSelect):
+        child_required = set(required) | set(op.predicate.columns_used())
+        op.children = [prune_columns(op.child, child_required)]
+        # Columns only the predicate needed die here; narrowing before any
+        # later data movement is what the DMS cost model rewards.
+        outputs = op.output_columns()
+        kept = [v for v in outputs if v.id in required]
+        if kept and len(kept) < len(outputs):
+            return LogicalProject(op, [(v, v) for v in kept])
+        return op
+
+    if isinstance(op, LogicalProject):
+        kept = [(var, expr) for var, expr in op.outputs if var.id in required]
+        if not kept:
+            kept = op.outputs[:1]
+        op.outputs = kept
+        child_required = set()
+        for _, expr in kept:
+            child_required |= set(expr.columns_used())
+        op.children = [prune_columns(op.child, child_required)]
+        return op
+
+    if isinstance(op, LogicalJoin):
+        child_required = set(required)
+        if op.predicate is not None:
+            child_required |= set(op.predicate.columns_used())
+        left_ids = {v.id for v in op.left.output_columns()}
+        right_ids = {v.id for v in op.right.output_columns()}
+        left = prune_columns(op.left, child_required & left_ids)
+        right = prune_columns(op.right, child_required & right_ids)
+        op.children = [left, right]
+        return op
+
+    if isinstance(op, LogicalUnionAll):
+        kept_positions = [
+            index for index, var in enumerate(op.outputs)
+            if var.id in required
+        ] or [0]
+        op.outputs = [op.outputs[i] for i in kept_positions]
+        new_branches = []
+        new_children = []
+        for child, branch in zip(op.children, op.branch_columns):
+            kept_branch = [branch[i] for i in kept_positions]
+            new_branches.append(kept_branch)
+            new_children.append(
+                prune_columns(child, {v.id for v in kept_branch}))
+        op.branch_columns = new_branches
+        op.children = new_children
+        return op
+
+    if isinstance(op, LogicalGroupBy):
+        kept_aggs = [
+            (var, agg) for var, agg in op.aggregates if var.id in required
+        ]
+        if op.aggregates and not kept_aggs and not op.keys:
+            kept_aggs = op.aggregates[:1]
+        op.aggregates = kept_aggs
+        child_required = {k.id for k in op.keys}
+        for _, agg in kept_aggs:
+            child_required |= set(agg.columns_used())
+        if not child_required:
+            child_ids = [v.id for v in op.child.output_columns()]
+            if child_ids:
+                child_required = {child_ids[0]}
+        op.children = [prune_columns(op.child, child_required)]
+        return op
+
+    op.children = [
+        prune_columns(c, {v.id for v in c.output_columns()} & required
+                      or {v.id for v in c.output_columns()[:1]})
+        for c in op.children
+    ]
+    return op

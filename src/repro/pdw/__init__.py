@@ -1,0 +1,49 @@
+"""The PDW query optimizer (the paper's contribution): bottom-up
+enumeration with interesting distribution properties (§3.2), the seven
+DMS operations and their cost model (§3.3), DSQL generation (§3.4), and
+the engine façade tying the Figure 2 pipeline together."""
+
+from repro.pdw.advisor import (
+    AdvisorResult,
+    PartitioningAdvisor,
+    WorkloadQuery,
+)
+from repro.pdw.baseline import parallelize_serial_plan, physical_to_logical
+from repro.pdw.cost_model import (
+    CostConstants,
+    DEFAULT_COST_CONSTANTS,
+    DmsCost,
+    DmsCostModel,
+)
+from repro.pdw.dms import DataMovement, DmsOperation, classify_movement
+from repro.pdw.dsql import DsqlGenerator, DsqlPlan, DsqlStep, StepKind
+from repro.pdw.engine import CompiledQuery, PdwEngine
+from repro.pdw.enumerator import PdwConfig, PdwOptimizer, PdwOption, PdwPlan
+from repro.pdw.topdown import TopDownPdwOptimizer
+
+__all__ = [
+    "AdvisorResult",
+    "PartitioningAdvisor",
+    "WorkloadQuery",
+    "CompiledQuery",
+    "CostConstants",
+    "DEFAULT_COST_CONSTANTS",
+    "DataMovement",
+    "DmsCost",
+    "DmsCostModel",
+    "DmsOperation",
+    "DsqlGenerator",
+    "DsqlPlan",
+    "DsqlStep",
+    "PdwConfig",
+    "PdwEngine",
+    "PdwOption",
+    "PdwOptimizer",
+    "PdwPlan",
+    "StepKind",
+    "TopDownPdwOptimizer",
+    "classify_movement",
+    "parallelize_serial_plan",
+    "physical_to_logical",
+    "StepKind",
+]

@@ -1,0 +1,169 @@
+"""The PDW cost model (paper §3.3).
+
+Only data-movement operations are costed, in terms of response time:
+
+* every component cost is ``C_X = B · λ_X`` where ``B`` is raw bytes
+  processed by that component and ``λ_X`` its calibrated per-byte cost
+  (§3.3.3);
+* the reader has two constants, ``λ_hash`` and ``λ_direct``, because
+  hashing rows (Shuffle, Trim) costs extra;
+* components compose with ``max`` because each side is asynchronous:
+
+  - ``C_source = max(C_reader, C_network)``
+  - ``C_target = max(C_writer, C_SQLBlkCpy)``
+  - ``C_DMS    = max(C_source, C_target)``
+
+* under the uniformity and homogeneity assumptions only one node need be
+  considered; a distributed stream carries ``Y·w/N`` bytes per node and a
+  replicated stream ``Y·w`` (§3.3.3).
+
+The byte streams seen by each component differ per DMS operation; the
+table in :meth:`DmsCostModel.component_bytes` spells out the model used
+here (per node, under uniformity):
+
+====================  ==========  ==========  ==========  ==========
+operation             reader      network     writer      bulk copy
+====================  ==========  ==========  ==========  ==========
+Shuffle               Y·w/N       Y·w/N       Y·w/N       Y·w/N
+Partition move        Y·w/N       Y·w/N       Y·w         Y·w
+Control-node move     Y·w         Y·w·N       Y·w         Y·w
+Broadcast             Y·w/N       Y·w         Y·w         Y·w
+Trim                  Y·w         —           Y·w/N       Y·w/N
+Replicated broadcast  Y·w         Y·w·N       Y·w         Y·w
+Remote copy           Y·w(/N)     Y·w(/N)     Y·w         Y·w
+====================  ==========  ==========  ==========  ==========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.algebra.properties import DistKind
+from repro.common.errors import PdwOptimizerError
+from repro.pdw.dms import DataMovement, DmsOperation
+
+
+@dataclass(frozen=True)
+class CostConstants:
+    """The λ constants, in seconds per byte.
+
+    Defaults are representative of the appliance simulator's ground truth;
+    :mod:`repro.appliance.calibration` re-derives them from targeted
+    performance runs exactly as §3.3.3 prescribes.
+    """
+
+    lambda_reader_direct: float = 1.0e-8
+    lambda_reader_hash: float = 1.6e-8
+    lambda_network: float = 2.5e-8
+    lambda_writer: float = 1.2e-8
+    lambda_bulk_copy: float = 3.0e-8
+
+    def reader_lambda(self, uses_hashing: bool) -> float:
+        return (self.lambda_reader_hash if uses_hashing
+                else self.lambda_reader_direct)
+
+
+DEFAULT_COST_CONSTANTS = CostConstants()
+
+
+@dataclass(frozen=True)
+class DmsCost:
+    """A fully broken-down DMS cost (useful for tests and reports)."""
+
+    reader: float
+    network: float
+    writer: float
+    bulk_copy: float
+
+    @property
+    def source(self) -> float:
+        return max(self.reader, self.network)
+
+    @property
+    def target(self) -> float:
+        return max(self.writer, self.bulk_copy)
+
+    @property
+    def total(self) -> float:
+        return max(self.source, self.target)
+
+
+class DmsCostModel:
+    """Costs DataMovement operators for an appliance of ``node_count``
+    compute nodes."""
+
+    def __init__(self, node_count: int,
+                 constants: CostConstants = DEFAULT_COST_CONSTANTS):
+        if node_count < 1:
+            raise PdwOptimizerError("node_count must be >= 1")
+        self.node_count = node_count
+        self.constants = constants
+
+    # -- byte streams -----------------------------------------------------------
+
+    def component_bytes(self, movement: DataMovement, rows: float,
+                        row_width: float) -> Tuple[float, float, float, float]:
+        """Per-node bytes processed by (reader, network, writer, bulk copy).
+
+        ``rows`` is the *global* cardinality Y of the moved stream and
+        ``row_width`` the average row width w, both straight out of the
+        MEMO statistics (§3.3.3).
+        """
+        n = float(self.node_count)
+        total = max(0.0, rows) * max(1.0, row_width)
+        per_node = total / n
+        op = movement.operation
+
+        if op is DmsOperation.SHUFFLE_MOVE:
+            source_kind = movement.source.kind
+            if source_kind in (DistKind.ON_CONTROL, DistKind.SINGLE_NODE):
+                # Single reader spraying to all nodes.
+                return (total, total, per_node, per_node)
+            return (per_node, per_node, per_node, per_node)
+
+        if op is DmsOperation.PARTITION_MOVE:
+            return (per_node, per_node, total, total)
+
+        if op is DmsOperation.CONTROL_NODE_MOVE:
+            return (total, total * n, total, total)
+
+        if op is DmsOperation.BROADCAST_MOVE:
+            return (per_node, total, total, total)
+
+        if op is DmsOperation.TRIM_MOVE:
+            # Local hash-filtering of a replicated table; no network.
+            return (total, 0.0, per_node, per_node)
+
+        if op is DmsOperation.REPLICATED_BROADCAST:
+            return (total, total * n, total, total)
+
+        if op is DmsOperation.REMOTE_COPY:
+            if movement.source.kind is DistKind.HASHED:
+                return (per_node, per_node, total, total)
+            return (total, total, total, total)
+
+        raise PdwOptimizerError(f"unknown DMS operation {op}")
+
+    # -- costing ------------------------------------------------------------------
+
+    def cost_breakdown(self, movement: DataMovement, rows: float,
+                       row_width: float) -> DmsCost:
+        reader_bytes, network_bytes, writer_bytes, bulk_bytes = (
+            self.component_bytes(movement, rows, row_width))
+        constants = self.constants
+        return DmsCost(
+            reader=reader_bytes * constants.reader_lambda(
+                movement.operation.uses_hashing),
+            network=network_bytes * constants.lambda_network,
+            writer=writer_bytes * constants.lambda_writer,
+            bulk_copy=bulk_bytes * constants.lambda_bulk_copy,
+        )
+
+    def cost(self, movement: DataMovement, rows: float,
+             row_width: float) -> float:
+        """``C_DMS = max(C_source, C_target)`` in seconds."""
+        return self.cost_breakdown(movement, rows, row_width).total
+
+    def with_constants(self, constants: CostConstants) -> "DmsCostModel":
+        return DmsCostModel(self.node_count, constants)

@@ -1,0 +1,140 @@
+"""Data Movement Service operations (paper §3.3.2).
+
+The seven physical data movement operations:
+
+1. **Shuffle Move** (many-to-many) — rows re-partitioned by hash of a
+   distribution column.
+2. **Partition Move** (many-to-one) — all rows to a single target node
+   (typically the control node).
+3. **Control-Node Move** — a control-node table replicated to all compute
+   nodes.
+4. **Broadcast Move** — rows from every compute node to every compute node.
+5. **Trim Move** — a replicated table reduced in place to a hash-distributed
+   one (each node keeps only the rows it owns).
+6. **Replicated Broadcast** — a single-node table replicated via broadcast.
+7. **Remote Copy** — copy to a single node (replicated or distributed
+   source).
+
+Every one is implemented by the common runtime DMS operator (Figure 5),
+whose cost is source/target component based — see
+:mod:`repro.pdw.cost_model`.
+
+:class:`DataMovement` is the plan-tree operator; it satisfies the same
+``describe``/``local_key`` protocol as physical operators so it can live in
+:class:`repro.algebra.physical.PlanNode` trees.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence
+
+from repro.algebra.expressions import ColumnVar
+from repro.algebra.properties import Distribution
+
+
+class DmsOperation(enum.Enum):
+    """The seven DMS operation types of §3.3.2."""
+
+    SHUFFLE_MOVE = "shuffle"
+    PARTITION_MOVE = "partition_move"
+    CONTROL_NODE_MOVE = "control_node_move"
+    BROADCAST_MOVE = "broadcast"
+    TRIM_MOVE = "trim"
+    REPLICATED_BROADCAST = "replicated_broadcast"
+    REMOTE_COPY = "remote_copy"
+
+    @property
+    def uses_hashing(self) -> bool:
+        """Operations whose reader hashes rows (λ_hash vs λ_direct,
+        §3.3.3)."""
+        return self in (DmsOperation.SHUFFLE_MOVE, DmsOperation.TRIM_MOVE)
+
+
+class DataMovement:
+    """A data-movement node in a distributed plan tree.
+
+    ``operation`` is the DMS flavor; ``hash_columns`` are the target
+    distribution columns for SHUFFLE/TRIM; ``source`` / ``target`` are the
+    distributions before and after the move (the cost model needs both to
+    size each component's byte stream).
+    """
+
+    def __init__(self, operation: DmsOperation,
+                 source: Distribution,
+                 target: Distribution,
+                 hash_columns: Sequence[ColumnVar] = ()):
+        self.operation = operation
+        self.source = source
+        self.target = target
+        self.hash_columns = tuple(hash_columns)
+
+    def local_key(self) -> tuple:
+        return ("DMS", self.operation.value, self.source, self.target,
+                tuple(c.id for c in self.hash_columns))
+
+    @property
+    def name(self) -> str:
+        return self.operation.name
+
+    def describe(self) -> str:
+        if self.hash_columns:
+            cols = ", ".join(c.name for c in self.hash_columns)
+            return f"{_DISPLAY[self.operation]}({cols})"
+        return _DISPLAY[self.operation]
+
+
+_DISPLAY = {
+    DmsOperation.SHUFFLE_MOVE: "ShuffleMove",
+    DmsOperation.PARTITION_MOVE: "PartitionMove",
+    DmsOperation.CONTROL_NODE_MOVE: "ControlNodeMove",
+    DmsOperation.BROADCAST_MOVE: "BroadcastMove",
+    DmsOperation.TRIM_MOVE: "TrimMove",
+    DmsOperation.REPLICATED_BROADCAST: "ReplicatedBroadcast",
+    DmsOperation.REMOTE_COPY: "RemoteCopy",
+}
+
+
+def classify_movement(source: Distribution, target: Distribution,
+                      hash_columns: Sequence[ColumnVar] = ()
+                      ) -> Optional[DataMovement]:
+    """Pick the DMS operation that turns ``source`` into ``target``.
+
+    Returns ``None`` when no movement is needed or no single DMS op
+    performs the change (the enforcer only requests reachable targets).
+    """
+    from repro.algebra.properties import DistKind
+
+    if source == target:
+        return None
+
+    if target.kind is DistKind.HASHED:
+        if source.kind is DistKind.HASHED:
+            return DataMovement(DmsOperation.SHUFFLE_MOVE, source, target,
+                                hash_columns)
+        if source.kind is DistKind.REPLICATED:
+            return DataMovement(DmsOperation.TRIM_MOVE, source, target,
+                                hash_columns)
+        if source.kind in (DistKind.ON_CONTROL, DistKind.SINGLE_NODE):
+            return DataMovement(DmsOperation.SHUFFLE_MOVE, source, target,
+                                hash_columns)
+
+    if target.kind is DistKind.REPLICATED:
+        if source.kind is DistKind.HASHED:
+            return DataMovement(DmsOperation.BROADCAST_MOVE, source, target)
+        if source.kind is DistKind.ON_CONTROL:
+            return DataMovement(DmsOperation.CONTROL_NODE_MOVE, source,
+                                target)
+        if source.kind is DistKind.SINGLE_NODE:
+            return DataMovement(DmsOperation.REPLICATED_BROADCAST, source,
+                                target)
+
+    if target.kind in (DistKind.ON_CONTROL, DistKind.SINGLE_NODE):
+        if source.kind is DistKind.HASHED:
+            return DataMovement(DmsOperation.PARTITION_MOVE, source, target)
+        if source.kind is DistKind.REPLICATED:
+            return DataMovement(DmsOperation.REMOTE_COPY, source, target)
+        if source.kind is not target.kind:
+            return DataMovement(DmsOperation.REMOTE_COPY, source, target)
+
+    return None

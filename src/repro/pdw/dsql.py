@@ -1,0 +1,218 @@
+"""DSQL plan generation (paper §2.4, §3.4, Figure 6).
+
+The winning PDW plan tree is cut at its :class:`DataMovement` nodes into
+sequential **DSQL steps**:
+
+* each movement becomes a **DMS step**: the SQL statement extracting the
+  source rows (run against the per-node DBMS instances), the tuple routing
+  policy, and the destination temp table (``TEMP_ID_k``);
+* the fragment above the last movement becomes the **Return step**, whose
+  SQL streams result tuples back through the control node, carrying the
+  user's ORDER BY / TOP.
+
+Steps execute serially, one at a time, each one parallel across nodes —
+exactly the execution model of §2.4 ("plans are executed serially, one
+step at a time ... a single step typically involves parallel operations
+across multiple compute nodes").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.algebra import expressions as ex
+from repro.algebra.logical import LogicalGet
+from repro.algebra.physical import PlanNode
+from repro.algebra.properties import DistKind, Distribution
+from repro.catalog.schema import (
+    Column,
+    ON_CONTROL,
+    REPLICATED,
+    TableDef,
+    hash_distributed,
+)
+from repro.common.errors import PdwOptimizerError
+from repro.pdw.dms import DataMovement
+from repro.pdw.qrel import build_name_map, plan_fragment_to_sql
+
+
+class StepKind(enum.Enum):
+    DMS = "dms"
+    RETURN = "return"
+
+
+@dataclass
+class DsqlStep:
+    """One step of a DSQL plan."""
+
+    index: int
+    kind: StepKind
+    sql: str
+    source_location: Distribution
+    movement: Optional[DataMovement] = None
+    destination_table: Optional[TableDef] = None
+    hash_column: Optional[str] = None
+    estimated_rows: float = 0.0
+    estimated_cost: float = 0.0
+
+    def describe(self) -> str:
+        if self.kind is StepKind.RETURN:
+            header = f"DSQL step {self.index}: Return"
+        else:
+            target = self.destination_table.name if self.destination_table \
+                else "?"
+            detail = self.movement.describe() if self.movement else "Move"
+            header = (f"DSQL step {self.index}: DMS {detail} "
+                      f"-> {target} "
+                      f"(est. {self.estimated_rows:.0f} rows, "
+                      f"{self.estimated_cost:.6f}s)")
+        return f"{header}\n  {self.sql}"
+
+
+@dataclass
+class DsqlPlan:
+    """An ordered list of DSQL steps plus result presentation info."""
+
+    steps: List[DsqlStep]
+    output_names: List[str]
+    order_by: List[Tuple[str, bool]] = field(default_factory=list)
+    limit: Optional[int] = None
+    total_cost: float = 0.0
+
+    @property
+    def movement_steps(self) -> List[DsqlStep]:
+        return [s for s in self.steps if s.kind is StepKind.DMS]
+
+    def describe(self) -> str:
+        return "\n".join(step.describe() for step in self.steps)
+
+
+class DsqlGenerator:
+    """Figure 2: "DSQL generator" — plan tree in, executable steps out."""
+
+    def __init__(self, temp_prefix: str = "TEMP_ID_"):
+        self.temp_prefix = temp_prefix
+
+    def generate(self, plan: PlanNode,
+                 output_names: List[str],
+                 output_vars: List[ex.ColumnVar],
+                 order_by: Optional[List[Tuple[ex.ColumnVar, bool]]] = None,
+                 limit: Optional[int] = None,
+                 final_distribution: Optional[Distribution] = None,
+                 total_cost: float = 0.0) -> DsqlPlan:
+        plan = plan.clone_tree()  # cutting rewrites nodes in place
+        name_map = self._name_map(plan)
+        steps: List[DsqlStep] = []
+
+        rewritten = self._cut_movements(plan, name_map, steps)
+
+        final_sql = plan_fragment_to_sql(
+            rewritten, name_map,
+            order_by=order_by, limit=limit,
+            output_names=output_names, output_vars=output_vars,
+        )
+        location = final_distribution or Distribution(DistKind.ON_CONTROL)
+        steps.append(DsqlStep(
+            index=len(steps),
+            kind=StepKind.RETURN,
+            sql=final_sql,
+            source_location=location,
+        ))
+        return DsqlPlan(
+            steps=steps,
+            output_names=list(output_names),
+            order_by=[
+                (_output_name(var, output_vars, output_names, name_map), asc)
+                for var, asc in (order_by or [])
+            ],
+            limit=limit,
+            total_cost=total_cost,
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _name_map(self, plan: PlanNode) -> Dict[int, str]:
+        vars_seen: List[ex.ColumnVar] = []
+        for node in plan.walk():
+            vars_seen.extend(node.output_columns)
+            if isinstance(node.op, LogicalGet):
+                vars_seen.extend(node.op.columns)
+        return build_name_map(vars_seen)
+
+    def _cut_movements(self, node: PlanNode, name_map: Dict[int, str],
+                       steps: List[DsqlStep]) -> PlanNode:
+        node.children = [
+            self._cut_movements(child, name_map, steps)
+            for child in node.children
+        ]
+        if not isinstance(node.op, DataMovement):
+            return node
+
+        movement: DataMovement = node.op
+        child = node.children[0]
+        sql = plan_fragment_to_sql(child, name_map)
+        temp_name = f"{self.temp_prefix}{len(steps) + 1}"
+        temp_def = self._temp_table_def(temp_name, child, movement,
+                                        name_map)
+        hash_column = (name_map[movement.hash_columns[0].id]
+                       if movement.hash_columns else None)
+        steps.append(DsqlStep(
+            index=len(steps),
+            kind=StepKind.DMS,
+            sql=sql,
+            source_location=movement.source,
+            movement=movement,
+            destination_table=temp_def,
+            hash_column=hash_column,
+            estimated_rows=node.cardinality,
+            estimated_cost=max(0.0, node.cost - child.cost),
+        ))
+        get = LogicalGet(temp_def, list(child.output_columns),
+                         alias=temp_name)
+        return PlanNode(
+            get, [],
+            output_columns=list(child.output_columns),
+            cardinality=node.cardinality,
+            row_width=node.row_width,
+            cost=node.cost,
+        )
+
+    def _temp_table_def(self, name: str, child: PlanNode,
+                        movement: DataMovement,
+                        name_map: Dict[int, str]) -> TableDef:
+        columns = [
+            Column(name_map[var.id], var.sql_type)
+            for var in child.output_columns
+        ]
+        target = movement.target
+        if target.kind is DistKind.HASHED:
+            hash_names = []
+            for column_id in target.columns:
+                match = next(
+                    (name_map[var.id] for var in child.output_columns
+                     if var.id == column_id), None)
+                if match is None:
+                    raise PdwOptimizerError(
+                        f"hash column #{column_id} missing from moved "
+                        f"result for {name}")
+                hash_names.append(match)
+            distribution = hash_distributed(*hash_names)
+        elif target.kind is DistKind.REPLICATED:
+            distribution = REPLICATED
+        else:
+            distribution = ON_CONTROL
+        return TableDef(
+            name, columns, distribution,
+            row_count=int(round(child.cardinality)),
+            is_temp=True,
+        )
+
+
+def _output_name(var: ex.ColumnVar, output_vars, output_names,
+                 name_map: Dict[int, str]) -> str:
+    for out_var, out_name in zip(output_vars, output_names):
+        if out_var.id == var.id:
+            return out_name
+    return name_map[var.id]

@@ -1,0 +1,133 @@
+"""The PDW Engine: the full compilation pipeline of Figure 2.
+
+``PdwEngine.compile`` walks the paper's numbered components:
+
+1. **PDW parser** — parse and validate the query text.
+2. **SQL Server compilation** — bind against the shell database, simplify,
+   explore, implement (:class:`repro.optimizer.search.SerialOptimizer`).
+3. **XML generator** — export the MEMO as XML.
+4. **PDW query optimizer** — parse the XML back into a memo, run the
+   bottom-up enumeration with the DMS cost model, extract the optimal
+   distributed plan, and generate the DSQL plan.
+
+The XML round-trip is performed for real on every compilation — the PDW
+optimizer only ever sees the search space through the same serialized
+interface the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.algebra.physical import PlanNode
+from repro.catalog.shell_db import ShellDatabase
+from repro.optimizer.memo import Memo
+from repro.optimizer.memo_xml import memo_from_xml, memo_to_xml
+from repro.optimizer.search import (
+    OptimizationResult,
+    OptimizerConfig,
+    SerialOptimizer,
+)
+from repro.pdw.dsql import DsqlGenerator, DsqlPlan
+from repro.pdw.enumerator import PdwConfig, PdwOptimizer, PdwPlan
+
+
+@dataclass
+class CompiledQuery:
+    """Everything the engine produced for one query."""
+
+    sql: str
+    serial: OptimizationResult
+    memo_xml: str
+    pdw_memo: Memo
+    pdw_root_group: int
+    pdw_plan: PdwPlan
+    dsql_plan: DsqlPlan
+
+    @property
+    def plan_cost(self) -> float:
+        return self.pdw_plan.cost
+
+    @property
+    def serial_plan(self) -> Optional[PlanNode]:
+        return self.serial.best_serial_plan
+
+    def explain(self) -> str:
+        """Human-readable compilation summary."""
+        lines = [
+            f"Query: {self.sql.strip()}",
+            "",
+            "Distributed plan "
+            f"(DMS cost {self.pdw_plan.cost:.6f}s, "
+            f"result {self.pdw_plan.distribution}):",
+            self.pdw_plan.tree_string(),
+            "",
+            "DSQL plan:",
+            self.dsql_plan.describe(),
+        ]
+        return "\n".join(lines)
+
+
+class PdwEngine:
+    """Compiles SQL text into DSQL plans against a shell database."""
+
+    def __init__(self, shell: ShellDatabase,
+                 serial_config: Optional[OptimizerConfig] = None,
+                 pdw_config: Optional[PdwConfig] = None):
+        self.shell = shell
+        self.serial_optimizer = SerialOptimizer(shell, serial_config)
+        self.pdw_config = pdw_config or PdwConfig()
+
+    def compile(self, sql: str,
+                extract_serial: bool = True,
+                hints: Optional[dict] = None) -> CompiledQuery:
+        """Compile ``sql`` into a DSQL plan.
+
+        ``hints`` maps base-table names to a forced movement strategy
+        ('replicate' or 'shuffle') for this query only — the paper's
+        §3.1 distributed-execution query hints.
+        """
+        # Components 1-2: parse, bind, serial optimization on the shell DB.
+        serial = self.serial_optimizer.optimize_sql(
+            sql, extract_serial=extract_serial)
+
+        # Component 3: export the search space as XML ...
+        xml_text = memo_to_xml(serial.memo, serial.root_group, serial.stats)
+        # ... and parse it back on the PDW side (component 4's memo parser).
+        parsed = memo_from_xml(xml_text, self.shell)
+
+        # Component 4: bottom-up PDW optimization.
+        config = self.pdw_config
+        if hints:
+            config = replace(config, hints={
+                name.lower(): strategy
+                for name, strategy in hints.items()
+            })
+        pdw_optimizer = PdwOptimizer(
+            parsed.memo, parsed.root_group,
+            node_count=self.shell.node_count,
+            config=config,
+        )
+        pdw_plan = pdw_optimizer.optimize()
+
+        # DSQL generation.
+        query = serial.query
+        dsql_plan = DsqlGenerator().generate(
+            pdw_plan.root,
+            output_names=query.output_names,
+            output_vars=query.output_columns(),
+            order_by=query.order_by or None,
+            limit=query.limit,
+            final_distribution=pdw_plan.distribution,
+            total_cost=pdw_plan.cost,
+        )
+        return CompiledQuery(
+            sql=sql,
+            serial=serial,
+            memo_xml=xml_text,
+            pdw_memo=parsed.memo,
+            pdw_root_group=parsed.root_group,
+            pdw_plan=pdw_plan,
+            dsql_plan=dsql_plan,
+        )

@@ -1,0 +1,76 @@
+"""PDW memo pre-processing (Figure 4, steps 02-03).
+
+Step 02 — *"Apply MEMO pre-processor rules (bottom-up).  Example: Fix
+cardinality estimates of partial aggregates based on PDW topology."*
+
+The serial optimizer estimated a LOCAL-phase GroupBy's output as if it ran
+on one node; on the appliance each of the N nodes produces up to one row
+per group, so the partial-aggregate cardinality is
+``min(input_rows, global_groups × N)``.
+
+Step 03 — *"Merge equivalent group expressions from the perspective of
+PDW."*  The PDW optimizer executes relational fragments by shipping SQL to
+the compute nodes, so serial physical alternatives (HashJoin vs MergeJoin)
+are indistinguishable to it; only the logical expressions (deduplicated by
+operator identity) survive as enumeration sources.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.algebra.logical import AggPhase, LogicalGroupBy, detached_groupby
+from repro.optimizer.cardinality import estimate_operator_cardinality
+from repro.optimizer.memo import GroupExpression, Memo
+
+
+def fix_partial_aggregate_cardinalities(memo: Memo, node_count: int) -> int:
+    """Figure 4 step 02; returns the number of groups adjusted."""
+    adjusted = 0
+    for group in memo.canonical_groups():
+        local_exprs = [
+            expr for expr in group.logical_expressions
+            if isinstance(expr.op, LogicalGroupBy)
+            and expr.op.phase is AggPhase.LOCAL
+        ]
+        if not local_exprs or len(local_exprs) != len(
+                group.logical_expressions):
+            # Mixed groups keep their serial estimate: some expression in
+            # the group is not a partial aggregate, so the group's result
+            # is a genuine query intermediate.
+            continue
+        expr = local_exprs[0]
+        child = memo.group(expr.children[0])
+        complete = detached_groupby(expr.op.keys, expr.op.aggregates,
+                                    AggPhase.COMPLETE)
+        global_groups = estimate_operator_cardinality(
+            complete, memo.stats, (child.cardinality,),
+            [child.output_vars])
+        fixed = min(child.cardinality, global_groups * node_count)
+        if fixed != group.cardinality:
+            group.cardinality = fixed
+            adjusted += 1
+    return adjusted
+
+
+def pdw_expressions(memo: Memo) -> Dict[int, List[GroupExpression]]:
+    """Figure 4 step 03: per-group logical expressions, deduplicated from
+    the PDW perspective (serial physical variants collapsed away)."""
+    result: Dict[int, List[GroupExpression]] = {}
+    for group in memo.canonical_groups():
+        seen = set()
+        kept: List[GroupExpression] = []
+        for expr in group.logical_expressions:
+            key = expr.key
+            if key in seen:
+                continue
+            seen.add(key)
+            kept.append(expr)
+        result[group.id] = kept
+    return result
+
+
+def preprocess(memo: Memo, node_count: int) -> Dict[int, List[GroupExpression]]:
+    """Run steps 02 and 03; returns the PDW-visible expression lists."""
+    fix_partial_aggregate_cardinalities(memo, node_count)
+    return pdw_expressions(memo)

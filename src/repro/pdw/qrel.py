@@ -1,0 +1,366 @@
+"""QRel: relational trees back to SQL statements (paper §3.4, Figure 6).
+
+*"Performing DSQL generation requires taking an operator tree and
+translating it back to SQL.  We employ the QRel programming framework,
+which encapsulates the knowledge of mapping relational trees to query
+statements."*
+
+The pipeline mirrors the paper's: a physical/logical operator tree is
+converted into an AST (:mod:`repro.sql.ast_nodes`) and rendered to text.
+Every operator nests its input as a derived table with a generated alias
+(``T1_1``, ``T2_1``, ...), which is exactly the shape of the generated SQL
+shown in Figure 7.
+
+The entry point is :func:`plan_fragment_to_sql`, which translates a
+relational fragment whose leaves are base-table Gets (including temp
+tables staged by earlier DSQL steps) and returns both the SQL text and the
+emitted column name for every output variable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.algebra import expressions as ex
+from repro.algebra.logical import (
+    JoinKind,
+    LogicalGet,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalProject,
+    LogicalSelect,
+    LogicalUnionAll,
+)
+from repro.algebra.physical import PlanNode
+from repro.common.errors import PdwOptimizerError
+from repro.common.types import SqlType
+from repro.sql import ast_nodes as ast
+from repro.sql.lexer import KEYWORDS
+
+
+def build_name_map(columns) -> Dict[int, str]:
+    """Deterministic SQL column names for a set of column variables.
+
+    A variable keeps its natural name unless another variable in the set
+    shares it, in which case both get an ``_<id>`` suffix.
+    """
+    by_name: Dict[str, List[int]] = {}
+    order: List[Tuple[int, str]] = []
+    for var in columns:
+        lowered = var.name.lower()
+        by_name.setdefault(lowered, [])
+        if var.id not in by_name[lowered]:
+            by_name[lowered].append(var.id)
+            order.append((var.id, var.name))
+    names: Dict[int, str] = {}
+    for var_id, name in order:
+        owners = by_name[name.lower()]
+        if name.upper() in KEYWORDS or not name.isidentifier():
+            # SUM/COUNT/... make bad column aliases; so do synthesized
+            # names that aren't identifiers.
+            names[var_id] = f"col_{var_id}"
+        elif len(owners) == 1:
+            names[var_id] = name
+        else:
+            names[var_id] = f"{name}_{var_id}"
+    return names
+
+
+def type_name_of(sql_type: SqlType) -> str:
+    """The SQL spelling of a type (for CREATE TABLE / CAST)."""
+    return str(sql_type)
+
+
+class SqlGenerator:
+    """Generates one SELECT statement for a relational fragment."""
+
+    def __init__(self, name_map: Dict[int, str]):
+        self.name_map = name_map
+        self._alias_counter = 0
+
+    def _next_alias(self, depth: int) -> str:
+        self._alias_counter += 1
+        return f"T{depth}_{self._alias_counter}"
+
+    # -- scalar rendering --------------------------------------------------------
+
+    def render_scalar(self, expr: ex.ScalarExpr,
+                      qualifiers: Dict[int, str]) -> ast.Expr:
+        """Bound expression → AST, resolving vars to qualified columns."""
+        if isinstance(expr, ex.ColumnVar):
+            qualifier = qualifiers.get(expr.id)
+            if qualifier is None:
+                raise PdwOptimizerError(
+                    f"column {expr} not in scope during SQL generation")
+            return ast.ColumnRef(self.name_map[expr.id], qualifier)
+        if isinstance(expr, ex.Constant):
+            value = expr.value
+            if hasattr(value, "isoformat"):
+                return ast.Literal(value.isoformat(), is_date=True)
+            return ast.Literal(value)
+        if isinstance(expr, ex.Comparison):
+            return ast.BinaryOp(expr.op,
+                                self.render_scalar(expr.left, qualifiers),
+                                self.render_scalar(expr.right, qualifiers))
+        if isinstance(expr, ex.Arithmetic):
+            return ast.BinaryOp(expr.op,
+                                self.render_scalar(expr.left, qualifiers),
+                                self.render_scalar(expr.right, qualifiers))
+        if isinstance(expr, ex.BoolOp):
+            rendered = [self.render_scalar(a, qualifiers) for a in expr.args]
+            result = rendered[0]
+            for part in rendered[1:]:
+                result = ast.BinaryOp(expr.op, result, part)
+            return result
+        if isinstance(expr, ex.NotExpr):
+            return ast.UnaryOp("NOT",
+                               self.render_scalar(expr.operand, qualifiers))
+        if isinstance(expr, ex.FuncExpr):
+            args = [self.render_scalar(a, qualifiers) for a in expr.args]
+            return ast.FuncCall(expr.name, args)
+        if isinstance(expr, ex.CastExpr):
+            return ast.Cast(self.render_scalar(expr.operand, qualifiers),
+                            type_name_of(expr.target))
+        if isinstance(expr, ex.CaseWhen):
+            whens = [
+                (self.render_scalar(c, qualifiers),
+                 self.render_scalar(r, qualifiers))
+                for c, r in expr.whens
+            ]
+            otherwise = (self.render_scalar(expr.otherwise, qualifiers)
+                         if expr.otherwise is not None else None)
+            return ast.CaseExpr(whens, otherwise)
+        if isinstance(expr, ex.LikeExpr):
+            return ast.Like(self.render_scalar(expr.operand, qualifiers),
+                            ast.Literal(expr.pattern), expr.negated)
+        if isinstance(expr, ex.InListExpr):
+            values = [
+                ast.Literal(v.isoformat(), is_date=True)
+                if hasattr(v, "isoformat") else ast.Literal(v)
+                for v in expr.values
+            ]
+            return ast.InList(self.render_scalar(expr.operand, qualifiers),
+                              values, expr.negated)
+        if isinstance(expr, ex.IsNullExpr):
+            return ast.IsNull(self.render_scalar(expr.operand, qualifiers),
+                              expr.negated)
+        if isinstance(expr, ex.AggExpr):
+            if expr.arg is None:
+                return ast.FuncCall("COUNT", [ast.Star()])
+            return ast.FuncCall(expr.func,
+                                [self.render_scalar(expr.arg, qualifiers)],
+                                distinct=expr.distinct)
+        raise PdwOptimizerError(
+            f"cannot render {type(expr).__name__} to SQL")
+
+    # -- relational rendering -------------------------------------------------------
+
+    def generate(self, node: PlanNode, depth: int = 1) -> Tuple[ast.SelectStatement,
+                                                                str]:
+        """Returns (statement, alias to use when nesting it)."""
+        op = node.op
+
+        if isinstance(op, LogicalGet):
+            alias = self._next_alias(depth)
+            items = [
+                ast.SelectItem(ast.ColumnRef(self._get_column_name(op, var),
+                                             alias),
+                               self.name_map[var.id])
+                for var in op.columns
+            ]
+            statement = ast.SelectStatement(
+                select_items=items,
+                from_items=[ast.TableRef(op.table.name, alias)],
+            )
+            return statement, alias
+
+        if isinstance(op, LogicalSelect):
+            child_stmt, _ = self.generate(node.children[0], depth + 1)
+            alias = self._next_alias(depth)
+            qualifiers = {
+                var.id: alias for var in node.children[0].output_columns
+            }
+            items = [
+                ast.SelectItem(ast.ColumnRef(self.name_map[var.id], alias),
+                               self.name_map[var.id])
+                for var in node.output_columns
+            ]
+            return ast.SelectStatement(
+                select_items=items,
+                from_items=[ast.DerivedTable(child_stmt, alias)],
+                where=self.render_scalar(op.predicate, qualifiers),
+            ), alias
+
+        if isinstance(op, LogicalProject):
+            child_stmt, _ = self.generate(node.children[0], depth + 1)
+            alias = self._next_alias(depth)
+            qualifiers = {
+                var.id: alias for var in node.children[0].output_columns
+            }
+            items = [
+                ast.SelectItem(self.render_scalar(expr, qualifiers),
+                               self.name_map[var.id])
+                for var, expr in op.outputs
+            ]
+            return ast.SelectStatement(
+                select_items=items,
+                from_items=[ast.DerivedTable(child_stmt, alias)],
+            ), alias
+
+        if isinstance(op, LogicalJoin):
+            return self._generate_join(node, op, depth)
+
+        if isinstance(op, LogicalGroupBy):
+            child_stmt, _ = self.generate(node.children[0], depth + 1)
+            alias = self._next_alias(depth)
+            qualifiers = {
+                var.id: alias for var in node.children[0].output_columns
+            }
+            items = [
+                ast.SelectItem(ast.ColumnRef(self.name_map[key.id], alias),
+                               self.name_map[key.id])
+                for key in op.keys
+            ]
+            for var, agg in op.aggregates:
+                items.append(ast.SelectItem(
+                    self.render_scalar(agg, qualifiers),
+                    self.name_map[var.id]))
+            return ast.SelectStatement(
+                select_items=items,
+                from_items=[ast.DerivedTable(child_stmt, alias)],
+                group_by=[
+                    ast.ColumnRef(self.name_map[key.id], alias)
+                    for key in op.keys
+                ],
+            ), alias
+
+        if isinstance(op, LogicalUnionAll):
+            branch_statements = []
+            for child, branch in zip(node.children, op.branch_columns):
+                child_stmt, _ = self.generate(child, depth + 1)
+                alias = self._next_alias(depth)
+                qualifiers = {
+                    var.id: alias for var in child.output_columns}
+                items = [
+                    ast.SelectItem(
+                        self.render_scalar(source_var, qualifiers),
+                        self.name_map[out_var.id])
+                    for out_var, source_var in zip(op.outputs, branch)
+                ]
+                branch_statements.append(ast.SelectStatement(
+                    select_items=items,
+                    from_items=[ast.DerivedTable(child_stmt, alias)],
+                ))
+            return ast.UnionSelect(branch_statements), self._next_alias(depth)
+
+        raise PdwOptimizerError(
+            f"cannot generate SQL for {type(op).__name__}")
+
+    def _get_column_name(self, op: LogicalGet, var: ex.ColumnVar) -> str:
+        # Base-table vars carry the base column name; temp tables staged
+        # by earlier DSQL steps were created with the emitted names.
+        if op.table.is_temp:
+            return self.name_map[var.id]
+        return var.name
+
+    def _generate_join(self, node: PlanNode, op: LogicalJoin,
+                       depth: int) -> Tuple[ast.SelectStatement, str]:
+        left_node, right_node = node.children
+        left_stmt, _ = self.generate(left_node, depth + 1)
+        right_stmt, _ = self.generate(right_node, depth + 1)
+        left_alias = self._next_alias(depth)
+        right_alias = self._next_alias(depth)
+        qualifiers = {var.id: left_alias for var in left_node.output_columns}
+        for var in right_node.output_columns:
+            qualifiers.setdefault(var.id, right_alias)
+
+        if op.kind in (JoinKind.INNER, JoinKind.LEFT, JoinKind.CROSS):
+            items = [
+                ast.SelectItem(
+                    ast.ColumnRef(self.name_map[var.id], qualifiers[var.id]),
+                    self.name_map[var.id])
+                for var in node.output_columns
+            ]
+            join_kind = "CROSS" if op.kind is JoinKind.CROSS else \
+                ("LEFT" if op.kind is JoinKind.LEFT else "INNER")
+            condition = (self.render_scalar(op.predicate, qualifiers)
+                         if op.predicate is not None else None)
+            join_item = ast.JoinClause(
+                join_kind,
+                ast.DerivedTable(left_stmt, left_alias),
+                ast.DerivedTable(right_stmt, right_alias),
+                condition,
+            )
+            return ast.SelectStatement(select_items=items,
+                                       from_items=[join_item]), left_alias
+
+        # SEMI / ANTI: rendered via EXISTS, restricted to left columns.
+        items = [
+            ast.SelectItem(
+                ast.ColumnRef(self.name_map[var.id], left_alias),
+                self.name_map[var.id])
+            for var in node.output_columns
+        ]
+        inner = ast.SelectStatement(
+            select_items=[ast.SelectItem(ast.Literal(1))],
+            from_items=[ast.DerivedTable(right_stmt, right_alias)],
+            where=(self.render_scalar(op.predicate, qualifiers)
+                   if op.predicate is not None else None),
+        )
+        exists = ast.ExistsExpr(inner, negated=op.kind is JoinKind.ANTI)
+        return ast.SelectStatement(
+            select_items=items,
+            from_items=[ast.DerivedTable(left_stmt, left_alias)],
+            where=exists,
+        ), left_alias
+
+
+def plan_fragment_to_sql(node: PlanNode,
+                         name_map: Dict[int, str],
+                         order_by: Optional[List[Tuple[ex.ColumnVar, bool]]] = None,
+                         limit: Optional[int] = None,
+                         output_names: Optional[List[str]] = None,
+                         output_vars: Optional[List[ex.ColumnVar]] = None,
+                         ) -> str:
+    """Render a relational fragment as SQL text.
+
+    ``output_names``/``output_vars`` re-alias the outermost select list to
+    user-facing names (used by the final Return step); ``order_by`` and
+    ``limit`` are appended at the outermost level.
+    """
+    generator = SqlGenerator(name_map)
+    statement, alias = generator.generate(node)
+
+    if output_vars is not None and output_names is not None:
+        inner_alias = "T0_1"
+        items = [
+            ast.SelectItem(ast.ColumnRef(name_map[var.id], inner_alias),
+                           name)
+            for var, name in zip(output_vars, output_names)
+        ]
+        statement = ast.SelectStatement(
+            select_items=items,
+            from_items=[ast.DerivedTable(statement, inner_alias)],
+        )
+        alias = inner_alias
+
+    if order_by:
+        statement.order_by = [
+            ast.OrderItem(ast.ColumnRef(_order_name(var, name_map,
+                                                    output_vars,
+                                                    output_names)),
+                          ascending)
+            for var, ascending in order_by
+        ]
+    if limit is not None:
+        statement.limit = limit
+    return statement.to_sql()
+
+
+def _order_name(var: ex.ColumnVar, name_map: Dict[int, str],
+                output_vars, output_names) -> str:
+    if output_vars is not None and output_names is not None:
+        for out_var, name in zip(output_vars, output_names):
+            if out_var.id == var.id:
+                return name
+    return name_map[var.id]

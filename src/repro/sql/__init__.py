@@ -1,0 +1,15 @@
+"""SQL frontend: lexer, AST and parser for the PDW dialect."""
+
+from repro.sql import ast_nodes
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.parser import parse, parse_expression, parse_select
+
+__all__ = [
+    "ast_nodes",
+    "Token",
+    "TokenType",
+    "tokenize",
+    "parse",
+    "parse_expression",
+    "parse_select",
+]

@@ -1,0 +1,451 @@
+"""Abstract syntax tree for the SQL dialect.
+
+These nodes are the parser's output and the binder's input.  They carry no
+semantic information (no types, no resolved columns) — that is added by
+:mod:`repro.optimizer.binder`, which lowers the AST into the logical algebra.
+
+Each node knows how to render itself back to SQL text (``to_sql``); the PDW
+DSQL generator reuses this to emit step SQL, which gives us the round-trip
+property exercised by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+
+class AstNode:
+    """Base class for all AST nodes."""
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# Scalar expressions
+# ---------------------------------------------------------------------------
+
+class Expr(AstNode):
+    """Base class for scalar expressions."""
+
+
+@dataclass
+class Literal(Expr):
+    """A constant: number, string, boolean, NULL or DATE 'yyyy-mm-dd'."""
+
+    value: object
+    is_date: bool = False
+
+    def to_sql(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if self.is_date:
+            return f"DATE '{self.value}'"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return repr(self.value)
+
+
+@dataclass
+class ColumnRef(Expr):
+    """A possibly-qualified column reference (``o.o_custkey`` or ``name``)."""
+
+    name: str
+    qualifier: Optional[str] = None
+
+    def to_sql(self) -> str:
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
+        return self.name
+
+
+@dataclass
+class Star(Expr):
+    """``*`` or ``alias.*`` in a select list or COUNT(*)."""
+
+    qualifier: Optional[str] = None
+
+    def to_sql(self) -> str:
+        return f"{self.qualifier}.*" if self.qualifier else "*"
+
+
+@dataclass
+class BinaryOp(Expr):
+    """A binary operation: arithmetic, comparison, AND/OR, ``||``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+
+@dataclass
+class UnaryOp(Expr):
+    """Unary ``-`` or ``NOT``."""
+
+    op: str
+    operand: Expr
+
+    def to_sql(self) -> str:
+        if self.op.upper() == "NOT":
+            return f"(NOT {self.operand.to_sql()})"
+        return f"({self.op}{self.operand.to_sql()})"
+
+
+@dataclass
+class FuncCall(Expr):
+    """A function call; aggregates are ordinary calls with known names."""
+
+    name: str
+    args: List[Expr]
+    distinct: bool = False
+
+    AGGREGATES = ("SUM", "COUNT", "AVG", "MIN", "MAX")
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.name.upper() in self.AGGREGATES
+
+    def to_sql(self) -> str:
+        inner = ", ".join(a.to_sql() for a in self.args)
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.name.upper()}({inner})"
+
+
+@dataclass
+class Cast(Expr):
+    """``CAST(expr AS type)``; ``type_name`` is the raw type spelling."""
+
+    operand: Expr
+    type_name: str
+
+    def to_sql(self) -> str:
+        return f"CAST({self.operand.to_sql()} AS {self.type_name})"
+
+
+@dataclass
+class CaseExpr(Expr):
+    """Searched CASE expression."""
+
+    whens: List[Tuple[Expr, Expr]]
+    else_result: Optional[Expr] = None
+
+    def to_sql(self) -> str:
+        parts = ["CASE"]
+        for cond, result in self.whens:
+            parts.append(f"WHEN {cond.to_sql()} THEN {result.to_sql()}")
+        if self.else_result is not None:
+            parts.append(f"ELSE {self.else_result.to_sql()}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+@dataclass
+class InList(Expr):
+    """``expr [NOT] IN (v1, v2, ...)``."""
+
+    operand: Expr
+    values: List[Expr]
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        values = ", ".join(v.to_sql() for v in self.values)
+        maybe_not = "NOT " if self.negated else ""
+        return f"({self.operand.to_sql()} {maybe_not}IN ({values}))"
+
+
+@dataclass
+class InSubquery(Expr):
+    """``expr [NOT] IN (SELECT ...)``."""
+
+    operand: Expr
+    subquery: "SelectStatement"
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        maybe_not = "NOT " if self.negated else ""
+        return f"({self.operand.to_sql()} {maybe_not}IN ({self.subquery.to_sql()}))"
+
+
+@dataclass
+class ExistsExpr(Expr):
+    """``[NOT] EXISTS (SELECT ...)``."""
+
+    subquery: "SelectStatement"
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        maybe_not = "NOT " if self.negated else ""
+        return f"({maybe_not}EXISTS ({self.subquery.to_sql()}))"
+
+
+@dataclass
+class ScalarSubquery(Expr):
+    """A subquery used as a scalar value."""
+
+    subquery: "SelectStatement"
+
+    def to_sql(self) -> str:
+        return f"({self.subquery.to_sql()})"
+
+
+@dataclass
+class Between(Expr):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        maybe_not = "NOT " if self.negated else ""
+        return (f"({self.operand.to_sql()} {maybe_not}BETWEEN "
+                f"{self.low.to_sql()} AND {self.high.to_sql()})")
+
+
+@dataclass
+class Like(Expr):
+    """``expr [NOT] LIKE pattern`` with ``%`` and ``_`` wildcards."""
+
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        maybe_not = "NOT " if self.negated else ""
+        return f"({self.operand.to_sql()} {maybe_not}LIKE {self.pattern.to_sql()})"
+
+
+@dataclass
+class IsNull(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expr
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        maybe_not = "NOT " if self.negated else ""
+        return f"({self.operand.to_sql()} IS {maybe_not}NULL)"
+
+
+# ---------------------------------------------------------------------------
+# Relational AST
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SelectItem(AstNode):
+    """One entry in the SELECT list: an expression with an optional alias."""
+
+    expr: Expr
+    alias: Optional[str] = None
+
+    def to_sql(self) -> str:
+        if self.alias:
+            return f"{self.expr.to_sql()} AS {self.alias}"
+        return self.expr.to_sql()
+
+
+class FromItem(AstNode):
+    """Base class for anything that can appear in FROM."""
+
+
+@dataclass
+class TableRef(FromItem):
+    """A base-table reference with an optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias or self.name
+
+    def to_sql(self) -> str:
+        if self.alias:
+            return f"{self.name} AS {self.alias}"
+        return self.name
+
+
+@dataclass
+class DerivedTable(FromItem):
+    """A parenthesized subquery in FROM; the alias is mandatory in SQL."""
+
+    subquery: "SelectStatement"
+    alias: str
+
+    def to_sql(self) -> str:
+        return f"({self.subquery.to_sql()}) AS {self.alias}"
+
+
+@dataclass
+class JoinClause(FromItem):
+    """An explicit ``A <kind> JOIN B ON cond``; CROSS joins have no
+    condition."""
+
+    kind: str  # INNER | LEFT | RIGHT | FULL | CROSS
+    left: FromItem
+    right: FromItem
+    condition: Optional[Expr] = None
+
+    def to_sql(self) -> str:
+        text = f"{self.left.to_sql()} {self.kind} JOIN {self.right.to_sql()}"
+        if self.condition is not None:
+            text += f" ON {self.condition.to_sql()}"
+        return text
+
+
+@dataclass
+class OrderItem(AstNode):
+    """One ORDER BY entry."""
+
+    expr: Expr
+    ascending: bool = True
+
+    def to_sql(self) -> str:
+        return f"{self.expr.to_sql()} {'ASC' if self.ascending else 'DESC'}"
+
+
+@dataclass
+class SelectStatement(AstNode):
+    """A full SELECT query block (FROM may hold several comma items)."""
+
+    select_items: List[SelectItem]
+    from_items: List[FromItem] = field(default_factory=list)
+    where: Optional[Expr] = None
+    group_by: List[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    distinct: bool = False
+    limit: Optional[int] = None
+
+    def to_sql(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        if self.limit is not None:
+            parts.append(f"TOP {self.limit}")
+        parts.append(", ".join(item.to_sql() for item in self.select_items))
+        if self.from_items:
+            parts.append("FROM " + ", ".join(f.to_sql() for f in self.from_items))
+        if self.where is not None:
+            parts.append("WHERE " + self.where.to_sql())
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(e.to_sql() for e in self.group_by))
+        if self.having is not None:
+            parts.append("HAVING " + self.having.to_sql())
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(o.to_sql() for o in self.order_by))
+        return " ".join(parts)
+
+
+@dataclass
+class UnionSelect(AstNode):
+    """``select UNION ALL select [UNION ALL ...]`` with trailing ORDER BY
+    / LIMIT applying to the whole union."""
+
+    selects: List[SelectStatement]
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+
+    def to_sql(self) -> str:
+        parts = " UNION ALL ".join(s.to_sql() for s in self.selects)
+        if self.order_by:
+            parts += " ORDER BY " + ", ".join(
+                o.to_sql() for o in self.order_by)
+        if self.limit is not None:
+            parts += f" LIMIT {self.limit}"
+        return parts
+
+
+@dataclass
+class ColumnDef(AstNode):
+    """A column in CREATE TABLE."""
+
+    name: str
+    type_name: str
+
+    def to_sql(self) -> str:
+        return f"{self.name} {self.type_name}"
+
+
+@dataclass
+class CreateTableStatement(AstNode):
+    """``CREATE TABLE name (col type, ...)`` — used for temp staging tables."""
+
+    name: str
+    columns: List[ColumnDef]
+
+    def to_sql(self) -> str:
+        cols = ", ".join(c.to_sql() for c in self.columns)
+        return f"CREATE TABLE {self.name} ({cols})"
+
+
+@dataclass
+class InsertStatement(AstNode):
+    """``INSERT INTO name [(cols)] VALUES (...), ... | SELECT ...``."""
+
+    table: str
+    columns: List[str] = field(default_factory=list)
+    values: List[List[Expr]] = field(default_factory=list)
+    select: Optional[SelectStatement] = None
+
+    def to_sql(self) -> str:
+        text = f"INSERT INTO {self.table}"
+        if self.columns:
+            text += " (" + ", ".join(self.columns) + ")"
+        if self.select is not None:
+            return f"{text} {self.select.to_sql()}"
+        rows = ", ".join(
+            "(" + ", ".join(v.to_sql() for v in row) + ")" for row in self.values
+        )
+        return f"{text} VALUES {rows}"
+
+
+Statement = Union[SelectStatement, UnionSelect, CreateTableStatement,
+                  InsertStatement]
+
+
+def walk_expr(expr: Expr):
+    """Yield ``expr`` and every scalar sub-expression beneath it.
+
+    Subqueries are yielded as their wrapper nodes but not descended into —
+    callers that care about nesting handle those explicitly.
+    """
+    yield expr
+    children: Sequence[Expr]
+    if isinstance(expr, BinaryOp):
+        children = (expr.left, expr.right)
+    elif isinstance(expr, UnaryOp):
+        children = (expr.operand,)
+    elif isinstance(expr, FuncCall):
+        children = tuple(expr.args)
+    elif isinstance(expr, Cast):
+        children = (expr.operand,)
+    elif isinstance(expr, CaseExpr):
+        flat: List[Expr] = []
+        for cond, result in expr.whens:
+            flat.extend((cond, result))
+        if expr.else_result is not None:
+            flat.append(expr.else_result)
+        children = tuple(flat)
+    elif isinstance(expr, InList):
+        children = (expr.operand, *expr.values)
+    elif isinstance(expr, (InSubquery, Like)):
+        operand = expr.operand
+        children = (operand, expr.pattern) if isinstance(expr, Like) else (operand,)
+    elif isinstance(expr, Between):
+        children = (expr.operand, expr.low, expr.high)
+    elif isinstance(expr, IsNull):
+        children = (expr.operand,)
+    else:
+        children = ()
+    for child in children:
+        yield from walk_expr(child)

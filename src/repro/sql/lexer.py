@@ -1,0 +1,161 @@
+"""Hand-written SQL lexer.
+
+Produces a flat list of :class:`Token` for the recursive-descent parser.
+The dialect is the subset of T-SQL that PDW's examples and the TPC-H
+workload need: identifiers (optionally ``[bracketed]`` or ``"quoted"``),
+qualified names, numeric / string / date literals, and the operator set of
+standard SQL expressions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.common.errors import SqlSyntaxError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "ASC",
+    "DESC", "AS", "ON", "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER",
+    "CROSS", "AND", "OR", "NOT", "IN", "EXISTS", "BETWEEN", "LIKE", "IS",
+    "NULL", "DISTINCT", "TOP", "LIMIT", "UNION", "ALL", "CASE", "WHEN",
+    "THEN", "ELSE", "END", "CAST", "TRUE", "FALSE", "SUM", "COUNT", "AVG",
+    "MIN", "MAX", "DATE", "DATEADD", "YEAR", "MONTH", "DAY", "SUBSTRING",
+    "INSERT", "INTO", "VALUES", "CREATE", "TABLE", "INTEGER", "INT",
+    "BIGINT", "DOUBLE", "PRECISION", "VARCHAR", "CHAR", "DECIMAL",
+    "BOOLEAN", "ANY", "SOME", "EXTRACT",
+}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its 1-based source position."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def __str__(self) -> str:
+        return f"{self.value!r}"
+
+
+_TWO_CHAR_OPS = ("<=", ">=", "<>", "!=", "||")
+_ONE_CHAR_OPS = "+-*/%(),.=<>;"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split ``text`` into tokens, raising :class:`SqlSyntaxError` on any
+    character that cannot start a token."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+
+    def position() -> tuple:
+        return line, i - line_start + 1
+
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "/" and text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise SqlSyntaxError("unterminated block comment", *position())
+            line += text.count("\n", i, end)
+            i = end + 2
+            continue
+
+        tok_line, tok_col = position()
+
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            while i < n and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+                if text[i] == ".":
+                    # A trailing dot followed by a non-digit is a qualifier dot.
+                    if i + 1 >= n or not text[i + 1].isdigit():
+                        break
+                    seen_dot = True
+                i += 1
+            tokens.append(Token(TokenType.NUMBER, text[start:i], tok_line, tok_col))
+            continue
+
+        if ch == "'":
+            i += 1
+            chars = []
+            while True:
+                if i >= n:
+                    raise SqlSyntaxError("unterminated string literal", tok_line, tok_col)
+                if text[i] == "'":
+                    if i + 1 < n and text[i + 1] == "'":  # escaped quote
+                        chars.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                chars.append(text[i])
+                i += 1
+            tokens.append(Token(TokenType.STRING, "".join(chars), tok_line, tok_col))
+            continue
+
+        if ch == "[" or ch == '"':
+            closer = "]" if ch == "[" else '"'
+            end = text.find(closer, i + 1)
+            if end < 0:
+                raise SqlSyntaxError("unterminated quoted identifier", tok_line, tok_col)
+            tokens.append(Token(TokenType.IDENT, text[i + 1:end], tok_line, tok_col))
+            i = end + 1
+            continue
+
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, tok_line, tok_col))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, tok_line, tok_col))
+            continue
+
+        matched_two = text[i:i + 2]
+        if matched_two in _TWO_CHAR_OPS:
+            tokens.append(Token(TokenType.OPERATOR, matched_two, tok_line, tok_col))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token(TokenType.OPERATOR, ch, tok_line, tok_col))
+            i += 1
+            continue
+
+        raise SqlSyntaxError(f"unexpected character {ch!r}", tok_line, tok_col)
+
+    tokens.append(Token(TokenType.EOF, "", line, i - line_start + 1))
+    return tokens

@@ -1,0 +1,20 @@
+"""Workloads: the TPC-H schema, generator and query set used throughout
+the paper's examples and this repo's benchmarks."""
+
+from repro.workloads.tpch_datagen import TpchGenerator, build_tpch_appliance
+from repro.workloads.tpch_queries import TPCH_QUERIES, query_names
+from repro.workloads.tpch_schema import (
+    SF1_ROW_COUNTS,
+    scaled_row_count,
+    tpch_tables,
+)
+
+__all__ = [
+    "TpchGenerator",
+    "build_tpch_appliance",
+    "TPCH_QUERIES",
+    "query_names",
+    "SF1_ROW_COUNTS",
+    "scaled_row_count",
+    "tpch_tables",
+]

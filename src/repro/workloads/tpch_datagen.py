@@ -1,0 +1,243 @@
+"""Deterministic TPC-H data generator (dbgen stand-in).
+
+Generates value distributions faithful to the specification where the
+reproduced queries care (dates in 1992-1998, ``forest%`` part names with
+the right frequency, MAIL/SHIP ship modes, 5-PLACED priorities, skew-free
+uniform foreign keys), scaled down to laptop sizes.  Everything is driven
+by one seed, so appliances are reproducible across runs.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import Dict, List, Tuple
+
+from repro.appliance.storage import Appliance
+from repro.catalog.shell_db import ShellDatabase
+from repro.workloads.tpch_schema import scaled_row_count, tpch_tables
+
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+             "HOUSEHOLD"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED",
+               "5-LOW"]
+_SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+_SHIP_INSTRUCT = ["DELIVER IN PERSON", "COLLECT COD", "NONE",
+                  "TAKE BACK RETURN"]
+_CONTAINERS = ["SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE",
+               "LG BOX", "JUMBO PKG", "WRAP CASE"]
+_TYPES = ["STANDARD ANODIZED", "SMALL PLATED", "PROMO BURNISHED",
+          "ECONOMY BRUSHED", "LARGE POLISHED", "MEDIUM ANODIZED"]
+_TYPE_MATERIAL = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+_NAME_WORDS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque",
+    "black", "blanched", "blue", "blush", "brown", "burlywood",
+    "chartreuse", "chiffon", "chocolate", "coral", "cornflower",
+    "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+    "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod",
+    "green", "grey", "honeydew", "hot", "indian", "ivory", "khaki",
+    "lace", "lavender", "lawn", "lemon", "light", "lime", "linen",
+    "magenta", "maroon", "medium", "metallic", "midnight", "mint",
+    "misty", "moccasin", "navajo", "navy", "olive", "orange", "orchid",
+    "pale", "papaya", "peach", "peru", "pink", "plum", "powder",
+    "puff", "purple", "red", "rose", "rosy", "royal", "saddle",
+    "salmon", "sandy", "seashell", "sienna", "sky", "slate", "smoke",
+    "snow", "spring", "steel", "tan", "thistle", "tomato", "turquoise",
+    "violet", "wheat", "white", "yellow",
+]
+
+_START_DATE = datetime.date(1992, 1, 1)
+_ORDER_DATE_RANGE = 21_92  # days: orders span 1992-01-01 .. 1998-08-02
+
+
+def _random_date(rng: random.Random) -> datetime.date:
+    return _START_DATE + datetime.timedelta(days=rng.randint(0, 2405))
+
+
+class TpchGenerator:
+    """Generates scaled TPC-H rows, table by table."""
+
+    def __init__(self, scale: float = 0.01, seed: int = 20120520):
+        self.scale = scale
+        self.seed = seed
+        self.counts: Dict[str, int] = {
+            name: scaled_row_count(name, scale)
+            for name in ("region", "nation", "supplier", "customer",
+                         "orders", "part", "partsupp")
+        }
+        # lineitem count is derived: 1-7 lines per order (avg ~4).
+
+    # -- per-table generators -----------------------------------------------------
+
+    def region_rows(self) -> List[Tuple]:
+        return [(i, _REGIONS[i]) for i in range(5)]
+
+    def nation_rows(self) -> List[Tuple]:
+        return [
+            (i, name, region) for i, (name, region) in enumerate(_NATIONS)
+        ]
+
+    def supplier_rows(self) -> List[Tuple]:
+        rng = random.Random(self.seed + 1)
+        rows = []
+        for key in range(1, self.counts["supplier"] + 1):
+            rows.append((
+                key,
+                f"Supplier#{key:09d}",
+                f"addr-{rng.randint(1, 10**6)}",
+                rng.randrange(25),
+                f"{rng.randint(10, 34)}-{rng.randint(100, 999)}-"
+                f"{rng.randint(100, 999)}-{rng.randint(1000, 9999)}",
+                round(rng.uniform(-999.99, 9999.99), 2),
+            ))
+        return rows
+
+    def customer_rows(self) -> List[Tuple]:
+        rng = random.Random(self.seed + 2)
+        rows = []
+        for key in range(1, self.counts["customer"] + 1):
+            rows.append((
+                key,
+                f"Customer#{key:09d}",
+                f"addr-{rng.randint(1, 10**6)}",
+                rng.randrange(25),
+                f"{rng.randint(10, 34)}-{rng.randint(100, 999)}-"
+                f"{rng.randint(100, 999)}-{rng.randint(1000, 9999)}",
+                round(rng.uniform(-999.99, 9999.99), 2),
+                rng.choice(_SEGMENTS),
+            ))
+        return rows
+
+    def part_rows(self) -> List[Tuple]:
+        rng = random.Random(self.seed + 3)
+        rows = []
+        for key in range(1, self.counts["part"] + 1):
+            words = rng.sample(_NAME_WORDS, 5)
+            rows.append((
+                key,
+                " ".join(words),
+                f"Manufacturer#{rng.randint(1, 5)}",
+                f"Brand#{rng.randint(1, 5)}{rng.randint(1, 5)}",
+                f"{rng.choice(_TYPES)} {rng.choice(_TYPE_MATERIAL)}",
+                rng.randint(1, 50),
+                rng.choice(_CONTAINERS),
+                round(900 + key / 10.0 % 200 + rng.uniform(0, 100), 2),
+            ))
+        return rows
+
+    def partsupp_rows(self) -> List[Tuple]:
+        rng = random.Random(self.seed + 4)
+        suppliers = self.counts["supplier"]
+        rows = []
+        for part_key in range(1, self.counts["part"] + 1):
+            for replica in range(4):
+                supp_key = ((part_key + replica * (suppliers // 4 + 1))
+                            % suppliers) + 1
+                rows.append((
+                    part_key,
+                    supp_key,
+                    rng.randint(1, 9999),
+                    round(rng.uniform(1.0, 1000.0), 2),
+                ))
+        return rows
+
+    def orders_rows(self) -> List[Tuple]:
+        rng = random.Random(self.seed + 5)
+        customers = self.counts["customer"]
+        rows = []
+        for key in range(1, self.counts["orders"] + 1):
+            order_date = _random_date(rng)
+            rows.append((
+                key,
+                rng.randint(1, customers),
+                rng.choice("OFP"),
+                round(rng.uniform(1000.0, 450000.0), 2),
+                order_date,
+                rng.choice(_PRIORITIES),
+                f"Clerk#{rng.randint(1, 1000):09d}",
+                0,
+            ))
+        return rows
+
+    def lineitem_rows(self, orders: List[Tuple]) -> List[Tuple]:
+        rng = random.Random(self.seed + 6)
+        parts = self.counts["part"]
+        suppliers = self.counts["supplier"]
+        rows = []
+        for order in orders:
+            order_key = order[0]
+            order_date = order[4]
+            for line_number in range(1, rng.randint(1, 7) + 1):
+                part_key = rng.randint(1, parts)
+                # One of the part's four suppliers, mirroring partsupp.
+                replica = rng.randrange(4)
+                supp_key = ((part_key + replica * (suppliers // 4 + 1))
+                            % suppliers) + 1
+                quantity = rng.randint(1, 50)
+                extended = round(quantity * rng.uniform(900.0, 1100.0), 2)
+                ship_date = order_date + datetime.timedelta(
+                    days=rng.randint(1, 121))
+                commit_date = order_date + datetime.timedelta(
+                    days=rng.randint(30, 90))
+                receipt_date = ship_date + datetime.timedelta(
+                    days=rng.randint(1, 30))
+                return_flag = (
+                    rng.choice("RA") if receipt_date
+                    <= datetime.date(1995, 6, 17) else "N")
+                line_status = ("O" if ship_date
+                               > datetime.date(1995, 6, 17) else "F")
+                rows.append((
+                    order_key,
+                    part_key,
+                    supp_key,
+                    line_number,
+                    float(quantity),
+                    extended,
+                    round(rng.uniform(0.0, 0.10), 2),
+                    round(rng.uniform(0.0, 0.08), 2),
+                    return_flag,
+                    line_status,
+                    ship_date,
+                    commit_date,
+                    receipt_date,
+                    rng.choice(_SHIP_INSTRUCT),
+                    rng.choice(_SHIP_MODES),
+                ))
+        return rows
+
+
+def build_tpch_appliance(scale: float = 0.01, node_count: int = 8,
+                         seed: int = 20120520,
+                         stats_buckets: int = 32
+                         ) -> Tuple[Appliance, ShellDatabase]:
+    """Create a loaded appliance and its derived shell database.
+
+    This is the repo's standard fixture: data is generated, distributed
+    per the paper's placement design, per-node statistics are computed and
+    merged into the shell database (§2.2).
+    """
+    generator = TpchGenerator(scale, seed)
+    appliance = Appliance(node_count)
+    for table in tpch_tables():
+        appliance.create_table(table)
+    appliance.load_rows("region", generator.region_rows())
+    appliance.load_rows("nation", generator.nation_rows())
+    appliance.load_rows("supplier", generator.supplier_rows())
+    appliance.load_rows("customer", generator.customer_rows())
+    appliance.load_rows("part", generator.part_rows())
+    appliance.load_rows("partsupp", generator.partsupp_rows())
+    orders = generator.orders_rows()
+    appliance.load_rows("orders", orders)
+    appliance.load_rows("lineitem", generator.lineitem_rows(orders))
+    shell = appliance.compute_shell_database(stats_buckets)
+    return appliance, shell

@@ -1,0 +1,163 @@
+"""TPC-H schema with the paper's distribution design.
+
+The paper's examples fix the placement (§2.4, §2.5, §4 / Figure 7):
+
+* ``customer``  hash-partitioned on ``c_custkey``
+* ``orders``    hash-partitioned on ``o_orderkey``
+* ``lineitem``  hash-partitioned on ``l_orderkey``  (collocated with orders)
+* ``part``      hash-partitioned on ``p_partkey``
+* ``partsupp``  hash-partitioned on ``ps_partkey``  (collocated with part)
+* ``supplier``  replicated (Figure 7 joins against ``supplier_repl``)
+* ``nation`` / ``region`` replicated dimension tables
+
+Comment columns are omitted — none of the reproduced queries touch them
+and they only inflate simulated byte counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.catalog.schema import (
+    Column,
+    REPLICATED,
+    TableDef,
+    hash_distributed,
+)
+from repro.common.types import DATE, INTEGER, char, decimal, varchar
+
+
+def tpch_tables() -> List[TableDef]:
+    """Fresh table definitions (row counts start at zero)."""
+    return [
+        TableDef(
+            "region",
+            [
+                Column("r_regionkey", INTEGER, nullable=False),
+                Column("r_name", char(25)),
+            ],
+            REPLICATED,
+            primary_key=("r_regionkey",),
+        ),
+        TableDef(
+            "nation",
+            [
+                Column("n_nationkey", INTEGER, nullable=False),
+                Column("n_name", char(25)),
+                Column("n_regionkey", INTEGER),
+            ],
+            REPLICATED,
+            primary_key=("n_nationkey",),
+        ),
+        TableDef(
+            "supplier",
+            [
+                Column("s_suppkey", INTEGER, nullable=False),
+                Column("s_name", char(25)),
+                Column("s_address", varchar(40)),
+                Column("s_nationkey", INTEGER),
+                Column("s_phone", char(15)),
+                Column("s_acctbal", decimal(15, 2)),
+            ],
+            REPLICATED,
+            primary_key=("s_suppkey",),
+        ),
+        TableDef(
+            "customer",
+            [
+                Column("c_custkey", INTEGER, nullable=False),
+                Column("c_name", varchar(25)),
+                Column("c_address", varchar(40)),
+                Column("c_nationkey", INTEGER),
+                Column("c_phone", char(15)),
+                Column("c_acctbal", decimal(15, 2)),
+                Column("c_mktsegment", char(10)),
+            ],
+            hash_distributed("c_custkey"),
+            primary_key=("c_custkey",),
+        ),
+        TableDef(
+            "orders",
+            [
+                Column("o_orderkey", INTEGER, nullable=False),
+                Column("o_custkey", INTEGER),
+                Column("o_orderstatus", char(1)),
+                Column("o_totalprice", decimal(15, 2)),
+                Column("o_orderdate", DATE),
+                Column("o_orderpriority", char(15)),
+                Column("o_clerk", char(15)),
+                Column("o_shippriority", INTEGER),
+            ],
+            hash_distributed("o_orderkey"),
+            primary_key=("o_orderkey",),
+        ),
+        TableDef(
+            "lineitem",
+            [
+                Column("l_orderkey", INTEGER, nullable=False),
+                Column("l_partkey", INTEGER),
+                Column("l_suppkey", INTEGER),
+                Column("l_linenumber", INTEGER),
+                Column("l_quantity", decimal(15, 2)),
+                Column("l_extendedprice", decimal(15, 2)),
+                Column("l_discount", decimal(15, 2)),
+                Column("l_tax", decimal(15, 2)),
+                Column("l_returnflag", char(1)),
+                Column("l_linestatus", char(1)),
+                Column("l_shipdate", DATE),
+                Column("l_commitdate", DATE),
+                Column("l_receiptdate", DATE),
+                Column("l_shipinstruct", char(25)),
+                Column("l_shipmode", char(10)),
+            ],
+            hash_distributed("l_orderkey"),
+            primary_key=("l_orderkey", "l_linenumber"),
+        ),
+        TableDef(
+            "part",
+            [
+                Column("p_partkey", INTEGER, nullable=False),
+                Column("p_name", varchar(55)),
+                Column("p_mfgr", char(25)),
+                Column("p_brand", char(10)),
+                Column("p_type", varchar(25)),
+                Column("p_size", INTEGER),
+                Column("p_container", char(10)),
+                Column("p_retailprice", decimal(15, 2)),
+            ],
+            hash_distributed("p_partkey"),
+            primary_key=("p_partkey",),
+        ),
+        TableDef(
+            "partsupp",
+            [
+                Column("ps_partkey", INTEGER, nullable=False),
+                Column("ps_suppkey", INTEGER, nullable=False),
+                Column("ps_availqty", INTEGER),
+                Column("ps_supplycost", decimal(15, 2)),
+            ],
+            hash_distributed("ps_partkey"),
+            primary_key=("ps_partkey", "ps_suppkey"),
+        ),
+    ]
+
+
+# Base cardinalities at scale factor 1.0 (the TPC-H specification).
+SF1_ROW_COUNTS: Dict[str, int] = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,  # ~4 per order
+    "part": 200_000,
+    "partsupp": 800_000,    # 4 per part
+}
+
+
+def scaled_row_count(table: str, scale: float) -> int:
+    """Row count at a given scale factor (fixed tiny dimension tables)."""
+    base = SF1_ROW_COUNTS[table]
+    if table in ("region", "nation"):
+        return base
+    return max(1, int(base * scale))

@@ -1,0 +1,215 @@
+"""Scalar evaluator tests: SQL three-valued logic and functions."""
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import expressions as ex
+from repro.algebra.evaluator import evaluate, try_fold
+from repro.common.errors import ExecutionError
+from repro.common.types import DATE, INTEGER, TypeKind, varchar
+
+
+def var(i):
+    return ex.ColumnVar(i, f"c{i}", INTEGER)
+
+
+def const(v):
+    return ex.Constant(v)
+
+
+class TestBasics:
+    def test_constant(self):
+        assert evaluate(const(42)) == 42
+
+    def test_column_lookup(self):
+        assert evaluate(var(1), {1: "x"}) == "x"
+
+    def test_arithmetic(self):
+        expr = ex.Arithmetic("+", const(2), ex.Arithmetic("*", const(3),
+                                                          const(4)))
+        assert evaluate(expr) == 14
+
+    def test_division(self):
+        assert evaluate(ex.Arithmetic("/", const(7), const(2))) == 3.5
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ExecutionError):
+            evaluate(ex.Arithmetic("/", const(1), const(0)))
+
+    def test_modulo(self):
+        assert evaluate(ex.Arithmetic("%", const(7), const(3))) == 1
+
+    def test_concat(self):
+        assert evaluate(ex.Arithmetic("||", const("a"), const("b"))) == "ab"
+
+
+class TestThreeValuedLogic:
+    def test_null_comparison_is_null(self):
+        assert evaluate(ex.Comparison("=", const(None), const(1))) is None
+
+    def test_null_arithmetic_is_null(self):
+        assert evaluate(ex.Arithmetic("+", const(None), const(1))) is None
+
+    def test_and_false_dominates_null(self):
+        expr = ex.BoolOp("AND", (const(False), const(None)))
+        assert evaluate(expr) is False
+
+    def test_and_null_with_true(self):
+        expr = ex.BoolOp("AND", (const(True), const(None)))
+        assert evaluate(expr) is None
+
+    def test_or_true_dominates_null(self):
+        expr = ex.BoolOp("OR", (const(True), const(None)))
+        assert evaluate(expr) is True
+
+    def test_or_null_with_false(self):
+        expr = ex.BoolOp("OR", (const(False), const(None)))
+        assert evaluate(expr) is None
+
+    def test_not_null_is_null(self):
+        assert evaluate(ex.NotExpr(const(None))) is None
+
+    def test_is_null(self):
+        assert evaluate(ex.IsNullExpr(const(None))) is True
+        assert evaluate(ex.IsNullExpr(const(1))) is False
+
+    def test_is_not_null(self):
+        assert evaluate(ex.IsNullExpr(const(None), negated=True)) is False
+
+
+class TestLike:
+    def test_prefix(self):
+        expr = ex.LikeExpr(const("forest green"), "forest%")
+        assert evaluate(expr) is True
+
+    def test_no_match(self):
+        assert evaluate(ex.LikeExpr(const("oak"), "forest%")) is False
+
+    def test_underscore(self):
+        assert evaluate(ex.LikeExpr(const("cat"), "c_t")) is True
+
+    def test_contains(self):
+        assert evaluate(ex.LikeExpr(const("xxforestyy"), "%forest%")) is True
+
+    def test_negated(self):
+        assert evaluate(
+            ex.LikeExpr(const("oak"), "forest%", negated=True)) is True
+
+    def test_null_operand(self):
+        assert evaluate(ex.LikeExpr(const(None), "a%")) is None
+
+    def test_regex_metachars_escaped(self):
+        assert evaluate(ex.LikeExpr(const("a.b"), "a.b")) is True
+        assert evaluate(ex.LikeExpr(const("axb"), "a.b")) is False
+
+
+class TestInList:
+    def test_member(self):
+        assert evaluate(ex.InListExpr(const(2), (1, 2, 3))) is True
+
+    def test_non_member(self):
+        assert evaluate(ex.InListExpr(const(9), (1, 2, 3))) is False
+
+    def test_negated(self):
+        assert evaluate(
+            ex.InListExpr(const(9), (1, 2), negated=True)) is True
+
+    def test_null(self):
+        assert evaluate(ex.InListExpr(const(None), (1, 2))) is None
+
+
+class TestCase:
+    def test_first_match_wins(self):
+        expr = ex.CaseWhen(
+            ((ex.Comparison(">", var(1), const(10)), const("big")),
+             (ex.Comparison(">", var(1), const(0)), const("small"))),
+            const("neg"))
+        assert evaluate(expr, {1: 20}) == "big"
+        assert evaluate(expr, {1: 5}) == "small"
+        assert evaluate(expr, {1: -1}) == "neg"
+
+    def test_no_match_no_else_is_null(self):
+        expr = ex.CaseWhen(
+            ((ex.Comparison(">", var(1), const(10)), const(1)),))
+        assert evaluate(expr, {1: 0}) is None
+
+    def test_null_condition_skipped(self):
+        expr = ex.CaseWhen(
+            ((ex.Comparison(">", const(None), const(10)), const(1)),),
+            const(2))
+        assert evaluate(expr) == 2
+
+
+class TestCast:
+    def test_int_cast(self):
+        expr = ex.CastExpr(const("42"), INTEGER)
+        assert evaluate(expr) == 42
+
+    def test_string_cast(self):
+        assert evaluate(ex.CastExpr(const(42), varchar(10))) == "42"
+
+    def test_date_cast_from_string(self):
+        expr = ex.CastExpr(const("1994-01-01"), DATE)
+        assert evaluate(expr) == datetime.date(1994, 1, 1)
+
+    def test_null_cast(self):
+        assert evaluate(ex.CastExpr(const(None), INTEGER)) is None
+
+
+class TestDateFunctions:
+    def test_dateadd_year(self):
+        expr = ex.FuncExpr("DATEADD", (
+            const("year"), const(1), const(datetime.date(1994, 1, 1))))
+        assert evaluate(expr) == datetime.date(1995, 1, 1)
+
+    def test_dateadd_leap_day(self):
+        expr = ex.FuncExpr("DATEADD", (
+            const("year"), const(1), const(datetime.date(1996, 2, 29))))
+        assert evaluate(expr) == datetime.date(1997, 2, 28)
+
+    def test_dateadd_month_clamps_day(self):
+        expr = ex.FuncExpr("DATEADD", (
+            const("month"), const(1), const(datetime.date(1994, 1, 31))))
+        assert evaluate(expr) == datetime.date(1994, 2, 28)
+
+    def test_dateadd_day(self):
+        expr = ex.FuncExpr("DATEADD", (
+            const("day"), const(40), const(datetime.date(1994, 1, 1))))
+        assert evaluate(expr) == datetime.date(1994, 2, 10)
+
+    def test_year_extract(self):
+        expr = ex.FuncExpr("YEAR", (const(datetime.date(1994, 7, 3)),))
+        assert evaluate(expr) == 1994
+
+    def test_substring(self):
+        expr = ex.FuncExpr("SUBSTRING", (const("PROMO ANODIZED"),
+                                         const(1), const(5)))
+        assert evaluate(expr) == "PROMO"
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(ExecutionError):
+            evaluate(ex.FuncExpr("FROBNICATE", (const(1),)))
+
+
+class TestTryFold:
+    def test_constant_expression_folds(self):
+        expr = ex.Arithmetic("*", const(6), const(7))
+        assert try_fold(expr) == 42
+
+    def test_column_expression_does_not_fold(self):
+        assert try_fold(ex.Arithmetic("+", var(1), const(1))) is None
+
+    def test_error_expression_does_not_fold(self):
+        assert try_fold(ex.Arithmetic("/", const(1), const(0))) is None
+
+
+@given(st.integers(-1000, 1000), st.integers(-1000, 1000),
+       st.sampled_from(["=", "<>", "<", "<=", ">", ">="]))
+@settings(max_examples=100, deadline=None)
+def test_comparison_flip_equivalence(a, b, op):
+    """x op y  ≡  y flip(op) x for all values."""
+    cmp = ex.Comparison(op, const(a), const(b))
+    assert evaluate(cmp) == evaluate(cmp.flipped())

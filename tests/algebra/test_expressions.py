@@ -1,0 +1,166 @@
+"""Bound scalar expression tests."""
+
+import pytest
+
+from repro.algebra import expressions as ex
+from repro.common.types import BOOLEAN, DOUBLE, INTEGER, varchar
+
+
+def var(i, name="c", sql_type=INTEGER):
+    return ex.ColumnVar(i, name, sql_type)
+
+
+class TestColumnsUsed:
+    def test_column_var(self):
+        assert var(3).columns_used() == {3}
+
+    def test_constant(self):
+        assert ex.Constant(5).columns_used() == frozenset()
+
+    def test_nested(self):
+        expr = ex.BoolOp("AND", (
+            ex.Comparison("=", var(1), var(2)),
+            ex.Arithmetic("+", var(3), ex.Constant(1)),
+        ))
+        assert expr.columns_used() == {1, 2, 3}
+
+    def test_case(self):
+        expr = ex.CaseWhen(
+            ((ex.Comparison(">", var(1), ex.Constant(0)), var(2)),),
+            var(3))
+        assert expr.columns_used() == {1, 2, 3}
+
+    def test_agg_count_star(self):
+        assert ex.AggExpr("COUNT", None).columns_used() == frozenset()
+
+
+class TestSubstitute:
+    def test_column_replaced(self):
+        assert var(1).substitute({1: var(9)}) == var(9)
+
+    def test_column_unmapped_kept(self):
+        assert var(1).substitute({2: var(9)}) == var(1)
+
+    def test_deep_substitution(self):
+        expr = ex.Comparison("=", var(1), ex.Arithmetic("*", var(2),
+                                                        ex.Constant(2)))
+        replaced = expr.substitute({1: var(7), 2: var(8)})
+        assert replaced.columns_used() == {7, 8}
+
+    def test_substitute_is_pure(self):
+        expr = ex.Comparison("=", var(1), var(2))
+        expr.substitute({1: var(9)})
+        assert expr.columns_used() == {1, 2}
+
+
+class TestEqualityAndHash:
+    def test_identical_comparisons_equal(self):
+        a = ex.Comparison("=", var(1), var(2))
+        b = ex.Comparison("=", var(1), var(2))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_column_identity_is_id_only(self):
+        # Names do not participate in equality.
+        assert var(1, "x") == var(1, "y")
+
+    def test_agg_identity(self):
+        a = ex.AggExpr("SUM", var(1))
+        b = ex.AggExpr("SUM", var(1))
+        assert a == b
+        assert a != ex.AggExpr("SUM", var(1), distinct=True)
+
+
+class TestConjunctions:
+    def test_conjuncts_of_none(self):
+        assert ex.conjuncts(None) == ()
+
+    def test_conjuncts_flatten_nested_and(self):
+        expr = ex.BoolOp("AND", (
+            ex.BoolOp("AND", (var(1), var(2))),
+            var(3),
+        ))
+        assert len(ex.conjuncts(expr)) == 3
+
+    def test_or_is_single_conjunct(self):
+        expr = ex.BoolOp("OR", (var(1), var(2)))
+        assert ex.conjuncts(expr) == (expr,)
+
+    def test_make_conjunction_empty(self):
+        assert ex.make_conjunction([]) is None
+
+    def test_make_conjunction_single(self):
+        pred = ex.Comparison("=", var(1), var(2))
+        assert ex.make_conjunction([pred]) is pred
+
+    def test_make_conjunction_drops_true(self):
+        pred = ex.Comparison("=", var(1), var(2))
+        assert ex.make_conjunction([ex.TRUE, pred]) is pred
+
+    def test_roundtrip_conjunct_make(self):
+        parts = [ex.Comparison("=", var(i), var(i + 1)) for i in range(3)]
+        combined = ex.make_conjunction(parts)
+        assert list(ex.conjuncts(combined)) == parts
+
+
+class TestEquiJoinPairs:
+    def test_simple_pair(self):
+        pred = ex.Comparison("=", var(1), var(2))
+        pairs = ex.equi_join_pairs(pred, frozenset({1}), frozenset({2}))
+        assert pairs == [(var(1), var(2))]
+
+    def test_orientation_normalized(self):
+        pred = ex.Comparison("=", var(2), var(1))
+        pairs = ex.equi_join_pairs(pred, frozenset({1}), frozenset({2}))
+        assert pairs == [(var(1), var(2))]
+
+    def test_single_side_equality_ignored(self):
+        pred = ex.Comparison("=", var(1), var(3))
+        assert ex.equi_join_pairs(pred, frozenset({1, 3}),
+                                  frozenset({2})) == []
+
+    def test_non_equality_ignored(self):
+        pred = ex.Comparison("<", var(1), var(2))
+        assert ex.equi_join_pairs(pred, frozenset({1}),
+                                  frozenset({2})) == []
+
+    def test_expression_sides_ignored(self):
+        pred = ex.Comparison(
+            "=", ex.Arithmetic("+", var(1), ex.Constant(1)), var(2))
+        assert ex.equi_join_pairs(pred, frozenset({1}),
+                                  frozenset({2})) == []
+
+    def test_multiple_pairs_from_conjunction(self):
+        pred = ex.BoolOp("AND", (
+            ex.Comparison("=", var(1), var(3)),
+            ex.Comparison("=", var(2), var(4)),
+        ))
+        pairs = ex.equi_join_pairs(pred, frozenset({1, 2}),
+                                   frozenset({3, 4}))
+        assert len(pairs) == 2
+
+
+class TestComparisonFlip:
+    @pytest.mark.parametrize("op,flipped", [
+        ("=", "="), ("<>", "<>"), ("<", ">"), ("<=", ">="),
+        (">", "<"), (">=", "<="),
+    ])
+    def test_flip_table(self, op, flipped):
+        cmp = ex.Comparison(op, var(1), var(2))
+        assert cmp.flipped().op == flipped
+        assert cmp.flipped().left == var(2)
+
+
+class TestExpressionType:
+    def test_comparison_is_boolean(self):
+        expr = ex.Comparison("=", var(1), var(2))
+        assert ex.expression_type(expr) == BOOLEAN
+
+    def test_column_type_passthrough(self):
+        assert ex.expression_type(var(1, "s", varchar(5))) == varchar(5)
+
+    def test_agg_count_integer(self):
+        assert ex.expression_type(ex.AggExpr("COUNT", var(1))) == INTEGER
+
+    def test_agg_avg_double(self):
+        assert ex.AggExpr("AVG", var(1)).result_type == DOUBLE

@@ -1,0 +1,97 @@
+"""Physical operator and PlanNode utility tests."""
+
+import pytest
+
+from repro.algebra import physical as phys
+from repro.algebra.expressions import ColumnVar, Comparison, Constant
+from repro.algebra.logical import JoinKind
+from repro.catalog.schema import Column, REPLICATED, TableDef
+from repro.common.types import INTEGER
+
+
+def table():
+    return TableDef("t", [Column("a", INTEGER)], REPLICATED)
+
+
+def var(i):
+    return ColumnVar(i, f"c{i}", INTEGER)
+
+
+class TestLocalKeys:
+    def test_scan_key_includes_table_and_columns(self):
+        scan = phys.TableScan(table(), [var(1)])
+        assert scan.local_key() == ("TableScan", "t", (1,))
+
+    def test_join_kind_distinguishes(self):
+        pred = Comparison("=", var(1), var(2))
+        inner = phys.HashJoin(JoinKind.INNER, pred)
+        semi = phys.HashJoin(JoinKind.SEMI, pred)
+        assert inner.local_key() != semi.local_key()
+
+    def test_aggregate_phase_distinguishes(self):
+        complete = phys.HashAggregate([var(1)], [], "complete")
+        local = phys.HashAggregate([var(1)], [], "local")
+        assert complete.local_key() != local.local_key()
+
+    def test_join_implementations_distinguish(self):
+        pred = Comparison("=", var(1), var(2))
+        keys = {
+            phys.HashJoin(JoinKind.INNER, pred).local_key(),
+            phys.MergeJoin(JoinKind.INNER, pred).local_key(),
+            phys.NestedLoopJoin(JoinKind.INNER, pred).local_key(),
+        }
+        assert len(keys) == 3
+
+    def test_describe_is_readable(self):
+        scan = phys.TableScan(table(), [var(1)], alias="x")
+        assert scan.describe() == "TableScan(x)"
+        top = phys.Top(5)
+        assert top.describe() == "Top(5)"
+
+
+class TestPlanNode:
+    def _tree(self):
+        leaf_a = phys.PlanNode(phys.TableScan(table(), [var(1)]),
+                               cardinality=10, cost=1.0)
+        leaf_b = phys.PlanNode(phys.TableScan(table(), [var(2)]),
+                               cardinality=20, cost=2.0)
+        join = phys.PlanNode(
+            phys.HashJoin(JoinKind.INNER,
+                          Comparison("=", var(1), var(2))),
+            [leaf_a, leaf_b], cardinality=15, cost=5.0)
+        return join
+
+    def test_walk_preorder(self):
+        nodes = list(self._tree().walk())
+        assert len(nodes) == 3
+        assert isinstance(nodes[0].op, phys.HashJoin)
+
+    def test_clone_is_deep_for_nodes(self):
+        tree = self._tree()
+        clone = tree.clone_tree()
+        clone.children[0].cardinality = 999
+        assert tree.children[0].cardinality == 10
+
+    def test_clone_shares_operators(self):
+        tree = self._tree()
+        clone = tree.clone_tree()
+        assert clone.op is tree.op
+
+    def test_tree_string_contains_rows_and_cost(self):
+        text = self._tree().tree_string()
+        assert "rows=15" in text
+        assert "cost=5.00" in text
+
+    def test_total_cost(self):
+        assert self._tree().total_cost() == 5.0
+
+
+class TestSortAndConstantOps:
+    def test_sort_key(self):
+        sort = phys.Sort([(var(1), True), (var(2), False)])
+        assert sort.local_key() == ("Sort", ((1, True), (2, False)))
+
+    def test_filter_key_uses_predicate(self):
+        a = phys.Filter(Comparison(">", var(1), Constant(5)))
+        b = phys.Filter(Comparison(">", var(1), Constant(6)))
+        assert a.local_key() != b.local_key()

@@ -1,0 +1,69 @@
+"""Calibration harness tests (§3.3.3)."""
+
+import pytest
+
+from repro.appliance.calibration import Calibrator
+from repro.appliance.dms_runtime import GroundTruthConstants
+from repro.pdw.dms import DmsOperation
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Calibrator(node_count=4).calibrate(
+        sizes=((500, 1), (2000, 2)))
+
+
+class TestFit:
+    def test_reader_direct_recovered(self, result):
+        truth = GroundTruthConstants()
+        assert result.constants.lambda_reader_direct == pytest.approx(
+            truth.reader_direct, rel=0.05)
+
+    def test_reader_hash_recovered(self, result):
+        truth = GroundTruthConstants()
+        assert result.constants.lambda_reader_hash == pytest.approx(
+            truth.reader_hash, rel=0.05)
+
+    def test_writer_recovered(self, result):
+        truth = GroundTruthConstants()
+        assert result.constants.lambda_writer == pytest.approx(
+            truth.writer, rel=0.05)
+
+    def test_bulk_recovered(self, result):
+        truth = GroundTruthConstants()
+        assert result.constants.lambda_bulk_copy == pytest.approx(
+            truth.bulk_copy, rel=0.05)
+
+    def test_network_fit_close_but_conservative(self, result):
+        # Shuffle keeps 1/N of rows locally and trim sends nothing, so the
+        # fitted network λ lands slightly below the ground truth — the
+        # model-vs-reality gap calibration exists to absorb.
+        truth = GroundTruthConstants()
+        assert 0.5 * truth.network < result.constants.lambda_network \
+            <= truth.network * 1.01
+
+    def test_perturbed_truth_tracked(self):
+        truth = GroundTruthConstants(writer=5e-8)
+        result = Calibrator(node_count=4, truth=truth).calibrate(
+            sizes=((1000, 1),))
+        assert result.constants.lambda_writer == pytest.approx(
+            5e-8, rel=0.05)
+
+
+class TestSamples:
+    def test_all_operations_sampled(self, result):
+        operations = {s.operation for s in result.samples}
+        assert operations == set(DmsOperation)
+
+    def test_lambda_spread_reported(self, result):
+        spread = result.implied_lambda_spread()
+        assert "reader" in spread and "writer" in spread
+        low, high = spread["writer"]
+        assert low <= high
+
+    def test_single_operation_run(self):
+        sample = Calibrator(node_count=4).run_one(
+            DmsOperation.SHUFFLE_MOVE, 1000, 1)
+        assert sample.rows == 1000
+        assert sample.model_bytes[0] > 0
+        assert sample.measured_times[0] > 0

@@ -1,0 +1,180 @@
+"""Node-local interpreter tests: every operator, SQL semantics edges."""
+
+import pytest
+
+from repro.appliance.interpreter import InterpreterStats, PlanInterpreter
+from repro.catalog.schema import Catalog, Column, TableDef, REPLICATED
+from repro.common.errors import ExecutionError
+from repro.common.types import INTEGER, varchar
+from repro.optimizer.binder import bind_query
+
+
+@pytest.fixture()
+def catalog():
+    return Catalog([
+        TableDef("t", [Column("a", INTEGER), Column("b", INTEGER),
+                       Column("s", varchar(8))], REPLICATED),
+        TableDef("u", [Column("x", INTEGER), Column("y", INTEGER)],
+                 REPLICATED),
+    ])
+
+
+@pytest.fixture()
+def tables():
+    return {
+        "t": [(1, 10, "one"), (2, 20, "two"), (3, 30, "three"),
+              (4, None, "four")],
+        "u": [(1, 100), (1, 101), (3, 300), (9, 900)],
+    }
+
+
+def run(catalog, tables, sql):
+    query = bind_query(catalog, sql)
+    return PlanInterpreter(tables).run_query(query)
+
+
+class TestScanFilterProject:
+    def test_scan_all(self, catalog, tables):
+        assert len(run(catalog, tables, "SELECT a FROM t")) == 4
+
+    def test_filter(self, catalog, tables):
+        rows = run(catalog, tables, "SELECT a FROM t WHERE a > 2")
+        assert sorted(rows) == [(3,), (4,)]
+
+    def test_filter_null_is_not_true(self, catalog, tables):
+        rows = run(catalog, tables, "SELECT a FROM t WHERE b > 0")
+        assert sorted(rows) == [(1,), (2,), (3,)]
+
+    def test_projection_expression(self, catalog, tables):
+        rows = run(catalog, tables, "SELECT a * 10 FROM t WHERE a = 2")
+        assert rows == [(20,)]
+
+    def test_missing_table_raises(self, catalog):
+        with pytest.raises(ExecutionError):
+            run(catalog, {}, "SELECT a FROM t")
+
+    def test_like_filter(self, catalog, tables):
+        rows = run(catalog, tables, "SELECT a FROM t WHERE s LIKE 't%'")
+        assert sorted(rows) == [(2,), (3,)]
+
+
+class TestJoins:
+    def test_inner_join(self, catalog, tables):
+        rows = run(catalog, tables,
+                   "SELECT a, y FROM t, u WHERE a = x")
+        assert sorted(rows) == [(1, 100), (1, 101), (3, 300)]
+
+    def test_left_join_pads_nulls(self, catalog, tables):
+        rows = run(catalog, tables,
+                   "SELECT a, y FROM t LEFT JOIN u ON a = x ORDER BY a")
+        assert (2, None) in rows
+        assert (4, None) in rows
+
+    def test_cross_join_count(self, catalog, tables):
+        rows = run(catalog, tables, "SELECT a FROM t CROSS JOIN u")
+        assert len(rows) == 16
+
+    def test_semi_join_via_in(self, catalog, tables):
+        rows = run(catalog, tables,
+                   "SELECT a FROM t WHERE a IN (SELECT x FROM u)")
+        assert sorted(rows) == [(1,), (3,)]
+
+    def test_semi_join_no_duplicates(self, catalog, tables):
+        # x=1 appears twice in u; the semi join must not duplicate a=1.
+        rows = run(catalog, tables,
+                   "SELECT a FROM t WHERE a IN (SELECT x FROM u)")
+        assert len(rows) == 2
+
+    def test_anti_join_via_not_in(self, catalog, tables):
+        rows = run(catalog, tables,
+                   "SELECT a FROM t WHERE a NOT IN (SELECT x FROM u)")
+        assert sorted(rows) == [(2,), (4,)]
+
+    def test_non_equi_join_falls_back_to_loops(self, catalog, tables):
+        rows = run(catalog, tables,
+                   "SELECT a, x FROM t, u WHERE a < x")
+        assert rows
+        assert all(a < x for a, x in rows)
+
+    def test_null_keys_never_match(self, catalog, tables):
+        rows = run(catalog, tables,
+                   "SELECT a FROM t, u WHERE b = y")
+        assert rows == []
+
+
+class TestGroupBy:
+    def test_group_counts(self, catalog, tables):
+        rows = run(catalog, tables,
+                   "SELECT x, COUNT(*) FROM u GROUP BY x ORDER BY x")
+        assert rows == [(1, 2), (3, 1), (9, 1)]
+
+    def test_sum_skips_nulls(self, catalog, tables):
+        rows = run(catalog, tables, "SELECT SUM(b) FROM t")
+        assert rows == [(60,)]
+
+    def test_count_column_skips_nulls(self, catalog, tables):
+        assert run(catalog, tables, "SELECT COUNT(b) FROM t") == [(3,)]
+
+    def test_count_star_counts_all(self, catalog, tables):
+        assert run(catalog, tables, "SELECT COUNT(*) FROM t") == [(4,)]
+
+    def test_scalar_agg_on_empty_input(self, catalog, tables):
+        rows = run(catalog, tables,
+                   "SELECT COUNT(*), SUM(a) FROM t WHERE a > 100")
+        assert rows == [(0, None)]
+
+    def test_group_by_on_empty_input_no_rows(self, catalog, tables):
+        rows = run(catalog, tables,
+                   "SELECT a, COUNT(*) FROM t WHERE a > 100 GROUP BY a")
+        assert rows == []
+
+    def test_min_max(self, catalog, tables):
+        assert run(catalog, tables,
+                   "SELECT MIN(a), MAX(a) FROM t") == [(1, 4)]
+
+    def test_avg(self, catalog, tables):
+        rows = run(catalog, tables, "SELECT AVG(b) FROM t")
+        assert rows == [(pytest.approx(20.0),)]
+
+    def test_count_distinct(self, catalog, tables):
+        assert run(catalog, tables,
+                   "SELECT COUNT(DISTINCT x) FROM u") == [(3,)]
+
+    def test_distinct(self, catalog, tables):
+        rows = run(catalog, tables, "SELECT DISTINCT x FROM u")
+        assert sorted(rows) == [(1,), (3,), (9,)]
+
+    def test_having(self, catalog, tables):
+        rows = run(catalog, tables,
+                   "SELECT x FROM u GROUP BY x HAVING COUNT(*) > 1")
+        assert rows == [(1,)]
+
+    def test_null_groups_together(self, catalog):
+        tables = {"t": [(1, None, "a"), (2, None, "b"), (3, 5, "c")],
+                  "u": []}
+        rows = run(catalog, tables,
+                   "SELECT b, COUNT(*) FROM t GROUP BY b")
+        assert sorted(rows, key=str) == sorted([(None, 2), (5, 1)], key=str)
+
+
+class TestOrderLimit:
+    def test_order_desc(self, catalog, tables):
+        rows = run(catalog, tables, "SELECT a FROM t ORDER BY a DESC")
+        assert rows == [(4,), (3,), (2,), (1,)]
+
+    def test_limit(self, catalog, tables):
+        rows = run(catalog, tables, "SELECT a FROM t ORDER BY a LIMIT 2")
+        assert rows == [(1,), (2,)]
+
+    def test_order_by_multiple(self, catalog, tables):
+        rows = run(catalog, tables,
+                   "SELECT x, y FROM u ORDER BY x ASC, y DESC")
+        assert rows == [(1, 101), (1, 100), (3, 300), (9, 900)]
+
+
+class TestStats:
+    def test_rows_scanned_counted(self, catalog, tables):
+        query = bind_query(catalog, "SELECT a FROM t")
+        stats = InterpreterStats()
+        PlanInterpreter(tables, stats).run_query(query)
+        assert stats.rows_scanned == 4

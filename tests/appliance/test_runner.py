@@ -1,0 +1,106 @@
+"""DSQL runner tests: step sequencing, control-node merge, temp
+lifecycle."""
+
+import pytest
+
+from repro.appliance.runner import DsqlRunner, QueryResult, run_reference
+from repro.appliance.dms_runtime import StepExecutionStats
+from repro.common.errors import ExecutionError
+from repro.pdw.dsql import DsqlPlan, DsqlStep, StepKind
+
+
+class TestFinalize:
+    def _runner(self, mini_appliance):
+        return DsqlRunner(mini_appliance)
+
+    def _plan(self, order_by=(), limit=None):
+        return DsqlPlan(steps=[], output_names=["a", "b"],
+                        order_by=list(order_by), limit=limit)
+
+    def test_order_by_single_column(self, mini_appliance):
+        runner = self._runner(mini_appliance)
+        rows = runner._finalize(self._plan(order_by=[("a", False)]),
+                                ["a", "b"], [(1, "x"), (3, "y"), (2, "z")])
+        assert [r[0] for r in rows] == [3, 2, 1]
+
+    def test_order_by_two_columns(self, mini_appliance):
+        runner = self._runner(mini_appliance)
+        rows = runner._finalize(
+            self._plan(order_by=[("a", True), ("b", False)]),
+            ["a", "b"],
+            [(1, "x"), (1, "z"), (0, "q")])
+        assert rows == [(0, "q"), (1, "z"), (1, "x")]
+
+    def test_limit_applied_after_sort(self, mini_appliance):
+        runner = self._runner(mini_appliance)
+        rows = runner._finalize(
+            self._plan(order_by=[("a", False)], limit=1),
+            ["a", "b"], [(1, "x"), (9, "y")])
+        assert rows == [(9, "y")]
+
+    def test_nulls_sort_first(self, mini_appliance):
+        runner = self._runner(mini_appliance)
+        rows = runner._finalize(self._plan(order_by=[("a", True)]),
+                                ["a", "b"], [(2, "x"), (None, "n")])
+        assert rows[0][0] is None
+
+    def test_missing_order_column_raises(self, mini_appliance):
+        runner = self._runner(mini_appliance)
+        with pytest.raises(ExecutionError):
+            runner._finalize(self._plan(order_by=[("zz", True)]),
+                             ["a", "b"], [(1, "x")])
+
+
+class TestExecutionLifecycle:
+    def _compile(self, mini_appliance, sql):
+        from repro.pdw.engine import PdwEngine
+        shell = mini_appliance.compute_shell_database()
+        return PdwEngine(shell).compile(sql)
+
+    def test_keep_temps_flag(self, mini_appliance):
+        # x.b = y.a misaligns with t's hash on a, forcing a movement.
+        compiled = self._compile(
+            mini_appliance,
+            "SELECT x.s FROM t x, t y WHERE x.b = y.a")
+        assert compiled.dsql_plan.movement_steps
+        runner = DsqlRunner(mini_appliance)
+        runner.run(compiled.dsql_plan, keep_temps=True)
+        temps = [t for t in mini_appliance.catalog.tables() if t.is_temp]
+        assert temps
+        mini_appliance.drop_temp_tables()
+
+    def test_temps_dropped_by_default(self, mini_appliance):
+        compiled = self._compile(
+            mini_appliance,
+            "SELECT s FROM t, dim WHERE b = k")
+        DsqlRunner(mini_appliance).run(compiled.dsql_plan)
+        assert not any(t.is_temp for t in mini_appliance.catalog.tables())
+
+    def test_result_columns_named(self, mini_appliance):
+        compiled = self._compile(mini_appliance,
+                                 "SELECT a AS alpha, b beta FROM t")
+        result = DsqlRunner(mini_appliance).run(compiled.dsql_plan)
+        assert result.columns == ["alpha", "beta"]
+
+    def test_reference_matches_direct(self, mini_appliance):
+        sql = "SELECT a, s FROM t WHERE b = 2 ORDER BY a"
+        compiled = self._compile(mini_appliance, sql)
+        result = DsqlRunner(mini_appliance).run(compiled.dsql_plan)
+        reference = run_reference(mini_appliance, sql)
+        assert result.rows == reference.rows
+
+
+class TestQueryResult:
+    def test_dms_seconds_excludes_relational(self):
+        dms = StepExecutionStats(0, None)
+        dms.operation = object()  # truthy marker
+        dms.movement_seconds = 1.0
+        dms.relational_seconds = 5.0
+        dms.elapsed_seconds = 6.0
+        result = QueryResult(["a"], [], 6.0, [dms])
+        assert result.dms_seconds == 1.0
+        assert result.relational_seconds == 5.0
+
+    def test_sorted_rows_canonical(self):
+        result = QueryResult(["a"], [(3,), (1,), (None,)], 0.0)
+        assert result.sorted_rows() == [(None,), (1,), (3,)]

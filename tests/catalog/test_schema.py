@@ -1,0 +1,107 @@
+"""Schema / catalog unit tests."""
+
+import pytest
+
+from repro.catalog.schema import (
+    Catalog,
+    Column,
+    DistributionKind,
+    ON_CONTROL,
+    REPLICATED,
+    TableDef,
+    TableDistribution,
+    hash_distributed,
+)
+from repro.common.errors import CatalogError
+from repro.common.types import INTEGER, varchar
+
+
+def simple_table(name="t", distribution=None):
+    return TableDef(
+        name,
+        [Column("a", INTEGER), Column("b", varchar(10))],
+        distribution or hash_distributed("a"),
+    )
+
+
+class TestDistribution:
+    def test_hash_requires_columns(self):
+        with pytest.raises(CatalogError):
+            TableDistribution(DistributionKind.HASH)
+
+    def test_replicated_takes_no_columns(self):
+        with pytest.raises(CatalogError):
+            TableDistribution(DistributionKind.REPLICATED, ("a",))
+
+    def test_hash_str(self):
+        assert str(hash_distributed("a", "b")) == "HASH(a, b)"
+
+    def test_replicated_str(self):
+        assert str(REPLICATED) == "REPLICATED"
+
+    def test_control_str(self):
+        assert str(ON_CONTROL) == "CONTROL"
+
+
+class TestTableDef:
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError):
+            TableDef("t", [Column("a", INTEGER), Column("A", INTEGER)],
+                     REPLICATED)
+
+    def test_distribution_column_must_exist(self):
+        with pytest.raises(CatalogError):
+            TableDef("t", [Column("a", INTEGER)], hash_distributed("zz"))
+
+    def test_primary_key_column_must_exist(self):
+        with pytest.raises(CatalogError):
+            TableDef("t", [Column("a", INTEGER)], REPLICATED,
+                     primary_key=("nope",))
+
+    def test_column_lookup_case_insensitive(self):
+        table = simple_table()
+        assert table.column("A").name == "a"
+        assert table.has_column("B")
+
+    def test_column_index(self):
+        assert simple_table().column_index("b") == 1
+
+    def test_column_index_unknown_raises(self):
+        with pytest.raises(CatalogError):
+            simple_table().column_index("zzz")
+
+    def test_row_width_sums_column_widths(self):
+        assert simple_table().row_width == 4 + 10
+
+    def test_column_names(self):
+        assert simple_table().column_names == ["a", "b"]
+
+
+class TestCatalog:
+    def test_add_and_get(self):
+        catalog = Catalog([simple_table()])
+        assert catalog.table("T").name == "t"
+        assert "t" in catalog
+        assert len(catalog) == 1
+
+    def test_duplicate_rejected(self):
+        catalog = Catalog([simple_table()])
+        with pytest.raises(CatalogError):
+            catalog.add_table(simple_table())
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().table("missing")
+
+    def test_drop(self):
+        catalog = Catalog([simple_table()])
+        catalog.drop_table("t")
+        assert "t" not in catalog
+
+    def test_drop_missing_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().drop_table("t")
+
+    def test_tables_listing(self):
+        catalog = Catalog([simple_table("x"), simple_table("y")])
+        assert sorted(t.name for t in catalog.tables()) == ["x", "y"]

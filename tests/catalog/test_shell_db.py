@@ -1,0 +1,58 @@
+"""Shell database tests (paper §2.2)."""
+
+import pytest
+
+from repro.catalog.schema import Catalog, Column, TableDef, hash_distributed
+from repro.catalog.shell_db import ShellDatabase
+from repro.catalog.statistics import ColumnStats
+from repro.common.errors import CatalogError
+from repro.common.types import INTEGER, varchar
+
+
+@pytest.fixture()
+def shell():
+    catalog = Catalog([
+        TableDef("t", [Column("a", INTEGER), Column("s", varchar(20))],
+                 hash_distributed("a"), row_count=1000),
+    ])
+    return ShellDatabase(catalog, node_count=4)
+
+
+class TestShellDatabase:
+    def test_requires_positive_node_count(self, shell):
+        with pytest.raises(CatalogError):
+            ShellDatabase(shell.catalog, node_count=0)
+
+    def test_default_stats_synthesized(self, shell):
+        stats = shell.column_stats("t", "a")
+        assert stats.row_count == 1000
+        assert stats.distinct_count > 0
+
+    def test_default_width_from_type(self, shell):
+        assert shell.column_stats("t", "s").avg_width == 20
+
+    def test_set_and_get_stats(self, shell):
+        shell.set_column_stats("t", "a", ColumnStats.build(range(100)))
+        assert shell.has_column_stats("t", "a")
+        assert shell.column_stats("t", "a").distinct_count == 100
+
+    def test_set_stats_unknown_column_raises(self, shell):
+        with pytest.raises(CatalogError):
+            shell.set_column_stats("t", "zzz", ColumnStats.build([1]))
+
+    def test_set_stats_unknown_table_raises(self, shell):
+        with pytest.raises(CatalogError):
+            shell.set_column_stats("missing", "a", ColumnStats.build([1]))
+
+    def test_avg_row_width_uses_stats_when_present(self, shell):
+        shell.set_column_stats("t", "s",
+                               ColumnStats.build(["ab"] * 10))
+        width = shell.avg_row_width("t")
+        assert width == pytest.approx(4 + 2)
+
+    def test_avg_row_width_falls_back_to_declared(self, shell):
+        assert shell.avg_row_width("t") == pytest.approx(24)
+
+    def test_table_passthrough(self, shell):
+        assert shell.table("t").name == "t"
+        assert len(list(shell.tables())) == 1

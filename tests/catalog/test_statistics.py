@@ -1,0 +1,223 @@
+"""Statistics tests: histograms, estimation, and the per-node merge of
+paper §2.2 — including hypothesis invariants."""
+
+import datetime
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.statistics import (
+    ColumnStats,
+    Histogram,
+    merge_column_stats,
+    merge_histograms,
+    numeric_position,
+    sort_key,
+)
+
+
+class TestSortKey:
+    def test_null_sorts_first(self):
+        values = [3, None, 1]
+        assert sorted(values, key=sort_key)[0] is None
+
+    def test_mixed_numerics(self):
+        assert sort_key(1) < sort_key(2.5)
+
+    def test_dates_ordered(self):
+        early = datetime.date(1994, 1, 1)
+        late = datetime.date(1995, 1, 1)
+        assert sort_key(early) < sort_key(late)
+
+    def test_strings_lexicographic(self):
+        assert sort_key("apple") < sort_key("banana")
+
+
+class TestNumericPosition:
+    def test_numbers_identity(self):
+        assert numeric_position(42) == 42.0
+
+    def test_string_order_preserved(self):
+        assert numeric_position("aaa") < numeric_position("zzz")
+
+    def test_date_ordinal(self):
+        d = datetime.date(1994, 6, 1)
+        assert numeric_position(d) == float(d.toordinal())
+
+
+class TestHistogramBuild:
+    def test_empty(self):
+        hist = Histogram.build([])
+        assert hist.total_count == 0
+        assert hist.estimate_le(5) == 0
+
+    def test_total_count_preserved(self):
+        hist = Histogram.build(list(range(1000)), num_buckets=16)
+        assert hist.total_count == 1000
+
+    def test_min_max(self):
+        hist = Histogram.build([5, 1, 9, 3])
+        assert hist.min_value == 1
+        assert hist.max_value == 9
+
+    def test_equal_values_dont_straddle_buckets(self):
+        values = [1] * 50 + [2] * 50
+        hist = Histogram.build(values, num_buckets=10)
+        uppers = [b.upper for b in hist.buckets]
+        assert len(uppers) == len(set(uppers))
+
+    def test_estimate_le_full_range(self):
+        hist = Histogram.build(list(range(100)))
+        assert hist.estimate_le(99) == pytest.approx(100)
+
+    def test_estimate_le_midpoint(self):
+        hist = Histogram.build(list(range(1000)), num_buckets=20)
+        assert hist.estimate_le(499) == pytest.approx(500, rel=0.1)
+
+    def test_estimate_eq_uniform(self):
+        hist = Histogram.build([i % 10 for i in range(1000)])
+        assert hist.estimate_eq(3) == pytest.approx(100, rel=0.2)
+
+    def test_estimate_eq_outside_range(self):
+        hist = Histogram.build(list(range(10)))
+        assert hist.estimate_eq(-5) == 0
+        assert hist.estimate_eq(99) == 0
+
+    def test_estimate_range(self):
+        hist = Histogram.build(list(range(1000)), num_buckets=20)
+        estimate = hist.estimate_range(100, 199)
+        assert estimate == pytest.approx(100, rel=0.25)
+
+    def test_estimate_range_open_ended(self):
+        hist = Histogram.build(list(range(100)))
+        assert hist.estimate_range(None, None) == pytest.approx(100)
+
+
+class TestColumnStats:
+    def test_build_counts(self):
+        stats = ColumnStats.build([1, 2, 2, None, 3])
+        assert stats.row_count == 5
+        assert stats.null_count == 1
+        assert stats.distinct_count == 3
+
+    def test_null_fraction(self):
+        stats = ColumnStats.build([None, None, 1, 2])
+        assert stats.null_fraction == pytest.approx(0.5)
+
+    def test_avg_width_strings(self):
+        stats = ColumnStats.build(["ab", "abcd"])
+        assert stats.avg_width == pytest.approx(3.0)
+
+    def test_empty_column(self):
+        stats = ColumnStats.build([])
+        assert stats.row_count == 0
+        assert stats.distinct_count == 0
+
+
+class TestMerge:
+    def _split(self, values, parts=4, seed=0):
+        rng = random.Random(seed)
+        fragments = [[] for _ in range(parts)]
+        for value in values:
+            fragments[rng.randrange(parts)].append(value)
+        return fragments
+
+    def test_merged_row_count_is_sum(self):
+        values = list(range(500))
+        parts = [ColumnStats.build(f) for f in self._split(values)]
+        merged = merge_column_stats(parts)
+        assert merged.row_count == 500
+
+    def test_merged_min_max(self):
+        values = list(range(-50, 300))
+        parts = [ColumnStats.build(f) for f in self._split(values)]
+        merged = merge_column_stats(parts)
+        assert merged.min_value == -50
+        assert merged.max_value == 299
+
+    def test_merged_distinct_close_to_truth(self):
+        values = [i % 64 for i in range(2000)]
+        parts = [ColumnStats.build(f) for f in self._split(values)]
+        merged = merge_column_stats(parts)
+        # Every value appears on every node, so the sum over-counts; the
+        # integer-domain cap repairs it.
+        assert merged.distinct_count == pytest.approx(64, rel=0.05)
+
+    def test_hash_partitioned_distinct_is_exact(self):
+        # Hash placement puts each key on exactly one node: sum is exact.
+        values = list(range(256))
+        fragments = [[v for v in values if v % 4 == n] for n in range(4)]
+        parts = [ColumnStats.build(f) for f in fragments]
+        merged = merge_column_stats(parts)
+        assert merged.distinct_count == 256
+
+    def test_merged_histogram_estimates(self):
+        values = list(range(2000))
+        parts = [ColumnStats.build(f) for f in self._split(values)]
+        merged = merge_column_stats(parts)
+        estimate = merged.histogram.estimate_le(999)
+        assert estimate == pytest.approx(1000, rel=0.15)
+
+    def test_merge_empty_parts(self):
+        merged = merge_column_stats([])
+        assert merged.row_count == 0
+
+    def test_merge_single_part_identity(self):
+        stats = ColumnStats.build(list(range(100)))
+        merged = merge_column_stats([stats])
+        assert merged.row_count == stats.row_count
+        assert merged.distinct_count == stats.distinct_count
+
+    def test_merge_histograms_preserves_total(self):
+        h1 = Histogram.build(list(range(0, 500)))
+        h2 = Histogram.build(list(range(500, 900)))
+        merged = merge_histograms([h1, h2])
+        assert merged.total_count == 900
+        assert merged.min_value == 0
+        assert merged.max_value == 899
+
+
+# -- hypothesis invariants ----------------------------------------------------
+
+values_strategy = st.lists(
+    st.integers(min_value=-10_000, max_value=10_000),
+    min_size=1, max_size=400,
+)
+
+
+@given(values_strategy)
+@settings(max_examples=60, deadline=None)
+def test_histogram_total_equals_input(values):
+    hist = Histogram.build(values)
+    assert hist.total_count == len(values)
+
+
+@given(values_strategy, st.integers(-10_001, 10_001),
+       st.integers(-10_001, 10_001))
+@settings(max_examples=60, deadline=None)
+def test_estimate_le_monotonic(values, a, b):
+    hist = Histogram.build(values)
+    low, high = min(a, b), max(a, b)
+    assert hist.estimate_le(low) <= hist.estimate_le(high) + 1e-9
+
+
+@given(values_strategy, st.integers(min_value=2, max_value=6))
+@settings(max_examples=60, deadline=None)
+def test_merge_invariants(values, parts):
+    fragments = [values[i::parts] for i in range(parts)]
+    stats = [ColumnStats.build(f) for f in fragments if f]
+    merged = merge_column_stats(stats)
+    assert merged.row_count == len(values)
+    true_distinct = len(set(values))
+    assert merged.distinct_count >= max(
+        (s.distinct_count for s in stats), default=0)
+    # Distinct estimate is bounded by the non-null row count.
+    assert merged.distinct_count <= merged.row_count
+    # And it never undershoots the per-fragment max, never overshoots
+    # the sum.
+    assert merged.distinct_count <= sum(s.distinct_count for s in stats)
+    assert merged.min_value == min(values)
+    assert merged.max_value == max(values)
+    del true_distinct

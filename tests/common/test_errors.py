@@ -1,0 +1,36 @@
+"""Error hierarchy tests."""
+
+import pytest
+
+from repro.common import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.SqlSyntaxError("x"),
+        errors.BindError("x"),
+        errors.CatalogError("x"),
+        errors.OptimizerError("x"),
+        errors.PdwOptimizerError("x"),
+        errors.ExecutionError("x"),
+        errors.DmsError("x"),
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert isinstance(exc, errors.ReproError)
+
+    def test_dms_error_is_execution_error(self):
+        assert isinstance(errors.DmsError("x"), errors.ExecutionError)
+
+    def test_syntax_error_carries_position(self):
+        exc = errors.SqlSyntaxError("bad token", line=3, column=14)
+        assert exc.line == 3
+        assert exc.column == 14
+        assert "line 3" in str(exc)
+
+    def test_syntax_error_without_position(self):
+        exc = errors.SqlSyntaxError("bad")
+        assert "line" not in str(exc)
+
+    def test_catchable_as_single_family(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.BindError("nope")

@@ -1,0 +1,80 @@
+"""SQL type system tests."""
+
+import datetime
+
+import pytest
+
+from repro.common import types as t
+
+
+class TestWidths:
+    @pytest.mark.parametrize("sql_type,width", [
+        (t.INTEGER, 4),
+        (t.BIGINT, 8),
+        (t.DOUBLE, 8),
+        (t.DATE, 4),
+        (t.BOOLEAN, 1),
+        (t.varchar(40), 40),
+        (t.char(15), 15),
+        (t.decimal(15, 2), 8),
+    ])
+    def test_raw_widths(self, sql_type, width):
+        assert sql_type.width == width
+
+    def test_varchar_without_length_defaults(self):
+        assert t.SqlType(t.TypeKind.VARCHAR).width == 32
+
+
+class TestPredicates:
+    def test_numeric_kinds(self):
+        assert t.INTEGER.is_numeric
+        assert t.decimal().is_numeric
+        assert not t.varchar(5).is_numeric
+
+    def test_string_kinds(self):
+        assert t.varchar(5).is_string
+        assert t.char(5).is_string
+        assert not t.DATE.is_string
+
+
+class TestDisplay:
+    def test_strs(self):
+        assert str(t.varchar(25)) == "VARCHAR(25)"
+        assert str(t.char(3)) == "CHAR(3)"
+        assert str(t.decimal(10, 2)) == "DECIMAL(10, 2)"
+        assert str(t.INTEGER) == "INTEGER"
+
+
+class TestValueMatching:
+    @pytest.mark.parametrize("value,sql_type,ok", [
+        (5, t.INTEGER, True),
+        (True, t.INTEGER, False),       # bool is not an int here
+        (5.5, t.INTEGER, False),
+        (5, t.decimal(), True),
+        ("x", t.varchar(3), True),
+        (datetime.date(2020, 1, 1), t.DATE, True),
+        ("2020-01-01", t.DATE, False),
+        (True, t.BOOLEAN, True),
+        (None, t.INTEGER, True),        # NULL fits everywhere
+        (None, t.varchar(1), True),
+    ])
+    def test_value_matches_type(self, value, sql_type, ok):
+        assert t.value_matches_type(value, sql_type) is ok
+
+
+class TestCommonSuperType:
+    def test_same_kind(self):
+        assert t.common_super_type(t.INTEGER, t.INTEGER) == t.INTEGER
+
+    def test_numeric_widening(self):
+        combined = t.common_super_type(t.INTEGER, t.DOUBLE)
+        assert combined.kind is t.TypeKind.DOUBLE
+
+    def test_string_widening(self):
+        combined = t.common_super_type(t.varchar(5), t.char(9))
+        assert combined.kind is t.TypeKind.VARCHAR
+        assert combined.length == 9
+
+    def test_incompatible_raises(self):
+        with pytest.raises(TypeError):
+            t.common_super_type(t.DATE, t.INTEGER)

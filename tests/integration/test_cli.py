@@ -1,0 +1,60 @@
+"""CLI (`python -m repro`) tests."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestCli:
+    def test_explain(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "0.001", "--nodes", "4",
+            "explain", "SELECT n_name FROM nation ORDER BY n_name")
+        assert code == 0
+        assert "DSQL plan" in out
+        assert "Distributed plan" in out
+
+    def test_run_prints_rows(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "0.001", "--nodes", "4",
+            "run", "SELECT n_name FROM nation ORDER BY n_name LIMIT 3")
+        assert code == 0
+        assert "ALGERIA" in out
+        assert "3 rows" in out
+
+    def test_run_truncates(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "0.001", "--nodes", "4",
+            "run", "--max-rows", "2",
+            "SELECT n_name FROM nation ORDER BY n_name")
+        assert code == 0
+        assert "more rows" in out
+
+    def test_memo(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "0.001", "--nodes", "4",
+            "memo", "SELECT n_name FROM nation")
+        assert code == 0
+        assert "Group" in out and "(root)" in out
+
+    def test_calibrate(self, capsys):
+        code, out = run_cli(capsys, "--nodes", "4", "calibrate")
+        assert code == 0
+        assert "reader_hash" in out
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_join_query_roundtrip(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "0.001", "--nodes", "4",
+            "run", "SELECT c_name FROM customer, orders "
+                   "WHERE c_custkey = o_custkey LIMIT 1")
+        assert code == 0
+        assert "DSQL steps" in out

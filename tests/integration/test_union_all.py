@@ -1,0 +1,147 @@
+"""UNION ALL: parser, binder, optimizer, and distributed execution."""
+
+import pytest
+
+from repro.algebra.logical import LogicalUnionAll
+from repro.appliance.runner import DsqlRunner, run_reference
+from repro.appliance.storage import Appliance
+from repro.catalog.schema import Column, TableDef, hash_distributed
+from repro.common.errors import BindError, SqlSyntaxError
+from repro.common.types import INTEGER
+from repro.optimizer.binder import bind_query
+from repro.pdw.engine import PdwEngine
+from repro.sql import ast_nodes as ast
+from repro.sql.parser import parse
+
+from tests.conftest import canonical
+
+
+@pytest.fixture(scope="module")
+def union_env():
+    appliance = Appliance(3)
+    appliance.create_table(TableDef(
+        "t", [Column("a", INTEGER), Column("b", INTEGER)],
+        hash_distributed("a")))
+    appliance.create_table(TableDef(
+        "u", [Column("x", INTEGER), Column("y", INTEGER)],
+        hash_distributed("x")))
+    appliance.load_rows("t", [(i, i % 5) for i in range(40)])
+    appliance.load_rows("u", [(i % 20, i % 3) for i in range(30)])
+    shell = appliance.compute_shell_database()
+    return appliance, PdwEngine(shell)
+
+
+class TestParser:
+    def test_union_all_parses(self):
+        stmt = parse("SELECT a FROM t UNION ALL SELECT x FROM u")
+        assert isinstance(stmt, ast.UnionSelect)
+        assert len(stmt.selects) == 2
+
+    def test_three_branches(self):
+        stmt = parse("SELECT a FROM t UNION ALL SELECT x FROM u "
+                     "UNION ALL SELECT b FROM t")
+        assert len(stmt.selects) == 3
+
+    def test_order_by_lifted_to_union(self):
+        stmt = parse("SELECT a FROM t UNION ALL SELECT x FROM u "
+                     "ORDER BY a LIMIT 3")
+        assert stmt.order_by and stmt.limit == 3
+        assert not stmt.selects[-1].order_by
+        assert stmt.selects[-1].limit is None
+
+    def test_union_without_all_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t UNION SELECT x FROM u")
+
+    def test_inner_order_by_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t ORDER BY a UNION ALL SELECT x FROM u")
+
+    def test_roundtrip(self):
+        sql = "SELECT a FROM t UNION ALL SELECT x FROM u ORDER BY a ASC"
+        assert parse(parse(sql).to_sql()).to_sql() == parse(sql).to_sql()
+
+    def test_union_in_derived_table(self):
+        stmt = parse("SELECT v FROM (SELECT a AS v FROM t UNION ALL "
+                     "SELECT x FROM u) AS d")
+        derived = stmt.from_items[0]
+        assert isinstance(derived.subquery, ast.UnionSelect)
+
+
+class TestBinder:
+    def test_union_builds_logical_union(self, mini_catalog):
+        query = bind_query(
+            mini_catalog,
+            "SELECT c_custkey FROM customer UNION ALL "
+            "SELECT o_custkey FROM orders")
+        assert isinstance(query.root, LogicalUnionAll)
+        assert len(query.root.branch_columns) == 2
+
+    def test_output_names_from_first_branch(self, mini_catalog):
+        query = bind_query(
+            mini_catalog,
+            "SELECT c_custkey AS k FROM customer UNION ALL "
+            "SELECT o_custkey FROM orders")
+        assert query.output_names == ["k"]
+
+    def test_arity_mismatch_rejected(self, mini_catalog):
+        with pytest.raises(BindError):
+            bind_query(
+                mini_catalog,
+                "SELECT c_custkey, c_name FROM customer UNION ALL "
+                "SELECT o_custkey FROM orders")
+
+    def test_order_by_name(self, mini_catalog):
+        query = bind_query(
+            mini_catalog,
+            "SELECT c_custkey AS k FROM customer UNION ALL "
+            "SELECT o_custkey FROM orders ORDER BY k DESC")
+        assert query.order_by[0][1] is False
+
+    def test_order_by_unknown_rejected(self, mini_catalog):
+        with pytest.raises(BindError):
+            bind_query(
+                mini_catalog,
+                "SELECT c_custkey AS k FROM customer UNION ALL "
+                "SELECT o_custkey FROM orders ORDER BY zz")
+
+
+EXECUTION_QUERIES = [
+    "SELECT a AS v FROM t WHERE b = 1 UNION ALL SELECT x FROM u "
+    "ORDER BY v",
+    "SELECT a, b FROM t UNION ALL SELECT x, y FROM u "
+    "UNION ALL SELECT b, a FROM t ORDER BY 1, 2 LIMIT 10",
+    "SELECT v, COUNT(*) AS c FROM (SELECT b AS v FROM t UNION ALL "
+    "SELECT y FROM u) AS d GROUP BY v ORDER BY v",
+    "SELECT a FROM t WHERE a IN (SELECT x FROM u UNION ALL "
+    "SELECT b FROM t WHERE b > 2) ORDER BY a",
+    "SELECT SUM(v) AS total FROM (SELECT a AS v FROM t UNION ALL "
+    "SELECT x FROM u) AS d",
+]
+
+
+class TestExecution:
+    @pytest.mark.parametrize("sql", EXECUTION_QUERIES)
+    def test_union_distributed_equals_reference(self, union_env, sql):
+        appliance, engine = union_env
+        compiled = engine.compile(sql)
+        result = DsqlRunner(appliance).run(compiled.dsql_plan)
+        reference = run_reference(appliance, sql)
+        assert canonical(result.rows) == canonical(reference.rows)
+
+    def test_union_step_sql_reparses(self, union_env):
+        _, engine = union_env
+        compiled = engine.compile(EXECUTION_QUERIES[0])
+        from repro.sql.parser import parse_query
+        for step in compiled.dsql_plan.steps:
+            parse_query(step.sql)
+
+    def test_aligned_union_needs_no_movement(self, union_env):
+        # Both branches hashed on the column feeding output position 0.
+        _, engine = union_env
+        compiled = engine.compile(
+            "SELECT a FROM t UNION ALL SELECT x FROM u")
+        from repro.pdw.dms import DataMovement
+        moves = [n for n in compiled.pdw_plan.root.walk()
+                 if isinstance(n.op, DataMovement)]
+        assert moves == []

@@ -1,0 +1,295 @@
+"""Binder / algebrizer tests: name resolution, aggregation rules,
+subquery unnesting."""
+
+import pytest
+
+from repro.algebra import expressions as ex
+from repro.algebra.logical import (
+    JoinKind,
+    LogicalGet,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalProject,
+    LogicalSelect,
+    collect_gets,
+)
+from repro.common.errors import BindError
+from repro.optimizer.binder import bind_query
+
+
+def bind(catalog, sql):
+    return bind_query(catalog, sql)
+
+
+class TestResolution:
+    def test_unqualified_column(self, mini_catalog):
+        query = bind(mini_catalog, "SELECT c_name FROM customer")
+        assert query.output_names == ["c_name"]
+
+    def test_qualified_column(self, mini_catalog):
+        query = bind(mini_catalog,
+                     "SELECT c.c_name FROM customer AS c")
+        assert query.output_names == ["c_name"]
+
+    def test_unknown_column_raises(self, mini_catalog):
+        with pytest.raises(BindError):
+            bind(mini_catalog, "SELECT nope FROM customer")
+
+    def test_unknown_table_raises(self, mini_catalog):
+        from repro.common.errors import CatalogError
+        with pytest.raises(CatalogError):
+            bind(mini_catalog, "SELECT a FROM missing")
+
+    def test_ambiguous_column_raises(self, mini_catalog):
+        with pytest.raises(BindError):
+            bind(mini_catalog,
+                 "SELECT c_custkey FROM customer a, customer b")
+
+    def test_duplicate_alias_raises(self, mini_catalog):
+        with pytest.raises(BindError):
+            bind(mini_catalog, "SELECT 1 FROM customer c, orders c")
+
+    def test_unknown_alias_qualifier_raises(self, mini_catalog):
+        with pytest.raises(BindError):
+            bind(mini_catalog, "SELECT zz.c_name FROM customer c")
+
+    def test_star_expansion(self, mini_catalog):
+        query = bind(mini_catalog, "SELECT * FROM customer")
+        assert query.output_names == ["c_custkey", "c_name", "c_nationkey"]
+
+    def test_qualified_star(self, mini_catalog):
+        query = bind(mini_catalog,
+                     "SELECT c.* FROM customer c, nation")
+        assert query.output_names == ["c_custkey", "c_name", "c_nationkey"]
+
+    def test_same_table_twice_distinct_vars(self, mini_catalog):
+        query = bind(mini_catalog,
+                     "SELECT a.c_custkey, b.c_custkey FROM "
+                     "customer a, customer b")
+        vars_ = query.output_columns()
+        assert vars_[0].id != vars_[1].id
+
+    def test_expression_gets_generated_name(self, mini_catalog):
+        query = bind(mini_catalog,
+                     "SELECT c_custkey + 1 FROM customer")
+        assert query.output_names == ["col1"]
+
+
+class TestJoins:
+    def test_comma_becomes_cross(self, mini_catalog):
+        query = bind(mini_catalog,
+                     "SELECT c_name FROM customer, orders")
+        joins = [op for op in _walk(query.root)
+                 if isinstance(op, LogicalJoin)]
+        assert joins[0].kind is JoinKind.CROSS
+
+    def test_inner_join_on(self, mini_catalog):
+        query = bind(mini_catalog,
+                     "SELECT c_name FROM customer JOIN orders "
+                     "ON c_custkey = o_custkey")
+        joins = [op for op in _walk(query.root)
+                 if isinstance(op, LogicalJoin)]
+        assert joins[0].kind is JoinKind.INNER
+        assert joins[0].predicate is not None
+
+    def test_right_join_becomes_left_swapped(self, mini_catalog):
+        query = bind(mini_catalog,
+                     "SELECT c_name FROM customer RIGHT JOIN orders "
+                     "ON c_custkey = o_custkey")
+        join = [op for op in _walk(query.root)
+                if isinstance(op, LogicalJoin)][0]
+        assert join.kind is JoinKind.LEFT
+        assert isinstance(join.left, LogicalGet)
+        assert join.left.table.name == "orders"
+
+    def test_derived_table(self, mini_catalog):
+        query = bind(mini_catalog,
+                     "SELECT x FROM (SELECT c_custkey AS x "
+                     "FROM customer) AS d")
+        assert query.output_names == ["x"]
+
+
+class TestAggregation:
+    def test_group_by_builds_groupby(self, mini_catalog):
+        query = bind(mini_catalog,
+                     "SELECT c_nationkey, COUNT(*) FROM customer "
+                     "GROUP BY c_nationkey")
+        group = [op for op in _walk(query.root)
+                 if isinstance(op, LogicalGroupBy)][0]
+        assert len(group.keys) == 1
+        assert group.aggregates[0][1].func == "COUNT"
+
+    def test_ungrouped_column_rejected(self, mini_catalog):
+        with pytest.raises(BindError):
+            bind(mini_catalog,
+                 "SELECT c_name, COUNT(*) FROM customer "
+                 "GROUP BY c_nationkey")
+
+    def test_aggregate_without_group_by(self, mini_catalog):
+        query = bind(mini_catalog, "SELECT SUM(o_totalprice) FROM orders")
+        group = [op for op in _walk(query.root)
+                 if isinstance(op, LogicalGroupBy)][0]
+        assert group.keys == []
+
+    def test_avg_decomposed_into_sum_count(self, mini_catalog):
+        query = bind(mini_catalog,
+                     "SELECT AVG(o_totalprice) FROM orders")
+        group = [op for op in _walk(query.root)
+                 if isinstance(op, LogicalGroupBy)][0]
+        funcs = sorted(agg.func for _, agg in group.aggregates)
+        assert funcs == ["COUNT", "SUM"]
+
+    def test_avg_distinct_rejected(self, mini_catalog):
+        with pytest.raises(BindError):
+            bind(mini_catalog,
+                 "SELECT AVG(DISTINCT o_totalprice) FROM orders")
+
+    def test_duplicate_aggregates_shared(self, mini_catalog):
+        query = bind(mini_catalog,
+                     "SELECT SUM(o_totalprice), SUM(o_totalprice) + 1 "
+                     "FROM orders")
+        group = [op for op in _walk(query.root)
+                 if isinstance(op, LogicalGroupBy)][0]
+        assert len(group.aggregates) == 1
+
+    def test_having_becomes_select_above_groupby(self, mini_catalog):
+        query = bind(mini_catalog,
+                     "SELECT c_nationkey FROM customer "
+                     "GROUP BY c_nationkey HAVING COUNT(*) > 5")
+        select = [op for op in _walk(query.root)
+                  if isinstance(op, LogicalSelect)]
+        assert select, "HAVING should bind to a Select"
+
+    def test_aggregate_in_where_rejected(self, mini_catalog):
+        with pytest.raises(BindError):
+            bind(mini_catalog,
+                 "SELECT c_name FROM customer WHERE SUM(c_custkey) > 3")
+
+    def test_distinct_becomes_groupby(self, mini_catalog):
+        query = bind(mini_catalog,
+                     "SELECT DISTINCT c_nationkey FROM customer")
+        groups = [op for op in _walk(query.root)
+                  if isinstance(op, LogicalGroupBy)]
+        assert groups and groups[0].aggregates == []
+
+    def test_group_by_expression_rejected(self, mini_catalog):
+        with pytest.raises(BindError):
+            bind(mini_catalog,
+                 "SELECT c_nationkey + 1 FROM customer "
+                 "GROUP BY c_nationkey + 1")
+
+
+class TestOrderBy:
+    def test_order_by_alias(self, mini_catalog):
+        query = bind(mini_catalog,
+                     "SELECT c_custkey AS k FROM customer ORDER BY k")
+        assert query.order_by[0][0].id == query.output_columns()[0].id
+
+    def test_order_by_ordinal(self, mini_catalog):
+        query = bind(mini_catalog,
+                     "SELECT c_name, c_custkey FROM customer ORDER BY 2")
+        assert query.order_by[0][0].id == query.output_columns()[1].id
+
+    def test_order_by_ordinal_out_of_range(self, mini_catalog):
+        with pytest.raises(BindError):
+            bind(mini_catalog, "SELECT c_name FROM customer ORDER BY 5")
+
+    def test_order_by_direction(self, mini_catalog):
+        query = bind(mini_catalog,
+                     "SELECT c_name FROM customer ORDER BY c_name DESC")
+        assert query.order_by[0][1] is False
+
+    def test_order_by_missing_from_output_rejected(self, mini_catalog):
+        with pytest.raises(BindError):
+            bind(mini_catalog,
+                 "SELECT c_name FROM customer ORDER BY c_custkey")
+
+
+class TestSubqueryUnnesting:
+    def test_in_subquery_becomes_semi_join(self, mini_catalog):
+        query = bind(mini_catalog,
+                     "SELECT c_name FROM customer WHERE c_custkey IN "
+                     "(SELECT o_custkey FROM orders)")
+        join = [op for op in _walk(query.root)
+                if isinstance(op, LogicalJoin)][0]
+        assert join.kind is JoinKind.SEMI
+
+    def test_not_in_becomes_anti_join(self, mini_catalog):
+        query = bind(mini_catalog,
+                     "SELECT c_name FROM customer WHERE c_custkey NOT IN "
+                     "(SELECT o_custkey FROM orders)")
+        join = [op for op in _walk(query.root)
+                if isinstance(op, LogicalJoin)][0]
+        assert join.kind is JoinKind.ANTI
+
+    def test_correlated_exists(self, mini_catalog):
+        query = bind(mini_catalog,
+                     "SELECT c_name FROM customer c WHERE EXISTS "
+                     "(SELECT 1 FROM orders o "
+                     "WHERE o.o_custkey = c.c_custkey)")
+        join = [op for op in _walk(query.root)
+                if isinstance(op, LogicalJoin)][0]
+        assert join.kind is JoinKind.SEMI
+        assert join.predicate is not None
+
+    def test_uncorrelated_exists_rejected(self, mini_catalog):
+        with pytest.raises(BindError):
+            bind(mini_catalog,
+                 "SELECT c_name FROM customer WHERE EXISTS "
+                 "(SELECT 1 FROM orders)")
+
+    def test_correlated_scalar_agg_decorrelated(self, mini_catalog):
+        query = bind(mini_catalog,
+                     "SELECT o_orderkey FROM orders o WHERE "
+                     "o_totalprice > (SELECT SUM(l_quantity) FROM lineitem"
+                     " WHERE l_orderkey = o.o_orderkey)")
+        groups = [op for op in _walk(query.root)
+                  if isinstance(op, LogicalGroupBy)]
+        assert groups, "decorrelation must introduce a GroupBy"
+        join = [op for op in _walk(query.root)
+                if isinstance(op, LogicalJoin)][0]
+        assert join.kind is JoinKind.INNER
+
+    def test_scalar_subquery_without_agg_rejected(self, mini_catalog):
+        with pytest.raises(BindError):
+            bind(mini_catalog,
+                 "SELECT c_name FROM customer c WHERE c_custkey > "
+                 "(SELECT o_custkey FROM orders "
+                 "WHERE o_custkey = c.c_custkey)")
+
+    def test_in_subquery_multiple_columns_rejected(self, mini_catalog):
+        with pytest.raises(BindError):
+            bind(mini_catalog,
+                 "SELECT c_name FROM customer WHERE c_custkey IN "
+                 "(SELECT o_custkey, o_orderkey FROM orders)")
+
+    def test_in_subquery_with_groupby_having(self, mini_catalog):
+        query = bind(mini_catalog,
+                     "SELECT o_orderkey FROM orders WHERE o_orderkey IN "
+                     "(SELECT l_orderkey FROM lineitem GROUP BY l_orderkey"
+                     " HAVING SUM(l_quantity) > 100)")
+        join = [op for op in _walk(query.root)
+                if isinstance(op, LogicalJoin)][0]
+        assert join.kind is JoinKind.SEMI
+
+
+class TestShapes:
+    def test_gets_in_order(self, mini_catalog):
+        query = bind(mini_catalog,
+                     "SELECT c_name FROM customer, orders, nation")
+        names = [g.table.name for g in collect_gets(query.root)]
+        assert names == ["customer", "orders", "nation"]
+
+    def test_projection_on_top(self, mini_catalog):
+        query = bind(mini_catalog, "SELECT c_name FROM customer")
+        assert isinstance(query.root, LogicalProject)
+
+    def test_limit_recorded(self, mini_catalog):
+        assert bind(mini_catalog,
+                    "SELECT c_name FROM customer LIMIT 5").limit == 5
+
+
+def _walk(op):
+    yield op
+    for child in op.children:
+        yield from _walk(child)

@@ -1,0 +1,154 @@
+"""Cardinality / selectivity estimation tests."""
+
+import pytest
+
+from repro.algebra import expressions as ex
+from repro.catalog.schema import Catalog, Column, TableDef, hash_distributed
+from repro.catalog.shell_db import ShellDatabase
+from repro.catalog.statistics import ColumnStats
+from repro.common.types import INTEGER, varchar
+from repro.optimizer.binder import bind_query
+from repro.optimizer.cardinality import (
+    StatsContext,
+    predicate_selectivity,
+)
+from repro.optimizer.normalize import normalize
+from repro.optimizer.memo import Memo
+
+
+@pytest.fixture()
+def env():
+    catalog = Catalog([
+        TableDef("facts",
+                 [Column("id", INTEGER), Column("grp", INTEGER),
+                  Column("val", INTEGER), Column("tag", varchar(10))],
+                 hash_distributed("id"), row_count=10_000),
+        TableDef("dims",
+                 [Column("d_id", INTEGER), Column("d_name", varchar(10))],
+                 hash_distributed("d_id"), row_count=100),
+    ])
+    shell = ShellDatabase(catalog, node_count=4)
+    shell.set_column_stats("facts", "id",
+                           ColumnStats.build(range(10_000)))
+    shell.set_column_stats("facts", "grp",
+                           ColumnStats.build([i % 50 for i in range(10_000)]))
+    shell.set_column_stats("facts", "val",
+                           ColumnStats.build([i % 1000 for i in range(10_000)]))
+    shell.set_column_stats("dims", "d_id", ColumnStats.build(range(100)))
+    return catalog, shell
+
+
+def group_card(catalog, shell, sql):
+    query = normalize(bind_query(catalog, sql))
+    stats = StatsContext(shell)
+    stats.register_tree(query.root)
+    memo = Memo(stats)
+    root = memo.insert_tree(query.root)
+    return memo.group(root).cardinality
+
+
+class TestBaseAndFilter:
+    def test_base_table(self, env):
+        catalog, shell = env
+        assert group_card(catalog, shell,
+                          "SELECT id FROM facts") == 10_000
+
+    def test_equality_selectivity(self, env):
+        catalog, shell = env
+        card = group_card(catalog, shell,
+                          "SELECT id FROM facts WHERE grp = 7")
+        assert card == pytest.approx(200, rel=0.3)
+
+    def test_range_selectivity(self, env):
+        catalog, shell = env
+        card = group_card(catalog, shell,
+                          "SELECT id FROM facts WHERE val < 100")
+        assert card == pytest.approx(1000, rel=0.3)
+
+    def test_conjunction_multiplies(self, env):
+        catalog, shell = env
+        card = group_card(
+            catalog, shell,
+            "SELECT id FROM facts WHERE grp = 7 AND val < 100")
+        assert card == pytest.approx(20, rel=0.5)
+
+    def test_impossible_predicate_zero(self, env):
+        catalog, shell = env
+        card = group_card(catalog, shell,
+                          "SELECT id FROM facts WHERE val > 99999")
+        assert card < 10
+
+    def test_or_selectivity_additive(self, env):
+        catalog, shell = env
+        card = group_card(
+            catalog, shell,
+            "SELECT id FROM facts WHERE grp = 1 OR grp = 2")
+        assert card == pytest.approx(400, rel=0.4)
+
+
+class TestJoins:
+    def test_fk_join_estimate(self, env):
+        catalog, shell = env
+        card = group_card(
+            catalog, shell,
+            "SELECT id FROM facts, dims WHERE grp = d_id")
+        # 10_000 * 100 / max(50, 100) = 10_000
+        assert card == pytest.approx(10_000, rel=0.3)
+
+    def test_cross_join_is_product(self, env):
+        catalog, shell = env
+        card = group_card(catalog, shell, "SELECT id FROM facts, dims")
+        assert card == pytest.approx(1_000_000)
+
+    def test_semi_join_bounded_by_left(self, env):
+        catalog, shell = env
+        card = group_card(
+            catalog, shell,
+            "SELECT d_id FROM dims WHERE d_id NOT IN "
+            "(SELECT grp FROM facts)")
+        assert 0 <= card <= 100
+
+
+class TestGroupBy:
+    def test_groupby_distinct_keys(self, env):
+        catalog, shell = env
+        card = group_card(
+            catalog, shell,
+            "SELECT grp, COUNT(*) FROM facts GROUP BY grp")
+        assert card == pytest.approx(50, rel=0.1)
+
+    def test_scalar_agg_one_row(self, env):
+        catalog, shell = env
+        card = group_card(catalog, shell,
+                          "SELECT COUNT(*) FROM facts")
+        assert card == 1
+
+    def test_groupby_capped_by_input(self, env):
+        catalog, shell = env
+        card = group_card(
+            catalog, shell,
+            "SELECT id, COUNT(*) FROM facts GROUP BY id")
+        assert card <= 10_000
+
+
+class TestSelectivityHelpers:
+    def test_null_predicate_is_one(self, env):
+        _, shell = env
+        context = StatsContext(shell)
+        assert predicate_selectivity(None, context, 100) == 1.0
+
+    def test_false_constant_zero(self, env):
+        _, shell = env
+        context = StatsContext(shell)
+        sel = predicate_selectivity(ex.FALSE, context, 100)
+        assert sel == pytest.approx(0.0, abs=1e-6)
+
+    def test_selectivity_clamped(self, env):
+        _, shell = env
+        context = StatsContext(shell)
+        var = ex.ColumnVar(1, "x", INTEGER)
+        pred = ex.make_conjunction([
+            ex.Comparison("=", var, ex.Constant(i)) for i in range(50)
+        ])
+        sel = predicate_selectivity(pred, context, 100)
+        assert sel > 0  # floored, never exactly zero from stacking

@@ -1,0 +1,86 @@
+"""Serial cost model tests."""
+
+import pytest
+
+from repro.algebra import physical as phys
+from repro.algebra.expressions import ColumnVar, Comparison
+from repro.algebra.logical import JoinKind
+from repro.catalog.schema import Column, REPLICATED, TableDef
+from repro.common.errors import OptimizerError
+from repro.common.types import INTEGER
+from repro.optimizer.cost import DEFAULT_SERIAL_COST_MODEL, SerialCostModel
+
+MODEL = DEFAULT_SERIAL_COST_MODEL
+
+
+def var(i):
+    return ColumnVar(i, f"c{i}", INTEGER)
+
+
+def pred():
+    return Comparison("=", var(1), var(2))
+
+
+def scan():
+    return phys.TableScan(
+        TableDef("t", [Column("a", INTEGER)], REPLICATED), [var(1)])
+
+
+class TestOperatorCosts:
+    def test_scan_linear_in_rows(self):
+        assert MODEL.local_cost(scan(), 2000, ()) == \
+            2 * MODEL.local_cost(scan(), 1000, ())
+
+    def test_hash_join_build_side_weighted(self):
+        join = phys.HashJoin(JoinKind.INNER, pred())
+        small_build = MODEL.local_cost(join, 100, (1000, 10))
+        big_build = MODEL.local_cost(join, 100, (10, 1000))
+        assert small_build < big_build
+
+    def test_nlj_quadratic(self):
+        join = phys.NestedLoopJoin(JoinKind.INNER, pred())
+        base = MODEL.local_cost(join, 0, (100, 100))
+        double = MODEL.local_cost(join, 0, (200, 200))
+        assert double == pytest.approx(4 * base)
+
+    def test_hash_join_beats_nlj_at_scale(self):
+        hj = MODEL.local_cost(phys.HashJoin(JoinKind.INNER, pred()),
+                              1000, (10_000, 10_000))
+        nlj = MODEL.local_cost(phys.NestedLoopJoin(JoinKind.INNER, pred()),
+                               1000, (10_000, 10_000))
+        assert hj < nlj
+
+    def test_merge_join_includes_sorts(self):
+        mj = MODEL.local_cost(phys.MergeJoin(JoinKind.INNER, pred()),
+                              100, (10_000, 10_000))
+        hj = MODEL.local_cost(phys.HashJoin(JoinKind.INNER, pred()),
+                              100, (10_000, 10_000))
+        assert mj > hj  # sorting both sides costs more here
+
+    def test_stream_aggregate_pays_for_sort(self):
+        hash_agg = MODEL.local_cost(phys.HashAggregate([var(1)], []),
+                                    10, (10_000,))
+        stream_agg = MODEL.local_cost(phys.StreamAggregate([var(1)], []),
+                                      10, (10_000,))
+        assert stream_agg > hash_agg
+
+    def test_sort_superlinear(self):
+        sort = phys.Sort([(var(1), True)])
+        base = MODEL.local_cost(sort, 0, (1000,))
+        ten_x = MODEL.local_cost(sort, 0, (10_000,))
+        assert ten_x > 10 * base
+
+    def test_unknown_operator_raises(self):
+        class Weird:
+            pass
+        with pytest.raises(OptimizerError):
+            MODEL.local_cost(Weird(), 1, (1,))
+
+    def test_union_sums_children(self):
+        union = phys.UnionAllOp([var(1)])
+        assert MODEL.local_cost(union, 0, (100, 200, 300)) == \
+            pytest.approx(MODEL.union_per_row * 600)
+
+    def test_custom_coefficients(self):
+        expensive_scan = SerialCostModel(scan_per_row=100.0)
+        assert expensive_scan.local_cost(scan(), 10, ()) == 1000.0

@@ -1,0 +1,89 @@
+"""Implementation-phase tests: physical alternatives per logical op."""
+
+import pytest
+
+from repro.algebra import physical as phys
+from repro.catalog.shell_db import ShellDatabase
+from repro.optimizer.binder import bind_query
+from repro.optimizer.cardinality import StatsContext
+from repro.optimizer.implementation import implement_memo
+from repro.optimizer.memo import Memo
+from repro.optimizer.normalize import normalize
+
+
+@pytest.fixture()
+def implemented(mini_catalog):
+    shell = ShellDatabase(mini_catalog, node_count=4)
+
+    def build(sql):
+        query = normalize(bind_query(mini_catalog, sql))
+        stats = StatsContext(shell)
+        stats.register_tree(query.root)
+        memo = Memo(stats)
+        root = memo.insert_tree(query.root)
+        implement_memo(memo)
+        return memo, root
+
+    return build
+
+
+def physical_ops(memo, cls):
+    return [
+        e.op for g in memo.canonical_groups()
+        for e in g.physical_expressions if isinstance(e.op, cls)
+    ]
+
+
+class TestImplementations:
+    def test_get_becomes_table_scan(self, implemented):
+        memo, _ = implemented("SELECT c_name FROM customer")
+        assert physical_ops(memo, phys.TableScan)
+
+    def test_equi_join_gets_three_algorithms(self, implemented):
+        memo, _ = implemented(
+            "SELECT c_name FROM customer, orders "
+            "WHERE c_custkey = o_custkey")
+        assert physical_ops(memo, phys.HashJoin)
+        assert physical_ops(memo, phys.MergeJoin)
+        assert physical_ops(memo, phys.NestedLoopJoin)
+
+    def test_inner_hash_join_has_both_build_orders(self, implemented):
+        memo, _ = implemented(
+            "SELECT c_name FROM customer, orders "
+            "WHERE c_custkey = o_custkey")
+        join_exprs = [
+            e for g in memo.canonical_groups()
+            for e in g.physical_expressions
+            if isinstance(e.op, phys.HashJoin)
+        ]
+        child_orders = {e.children for e in join_exprs}
+        assert len(child_orders) == 2
+
+    def test_non_equi_join_gets_only_nlj(self, implemented):
+        memo, _ = implemented(
+            "SELECT c_name FROM customer, orders "
+            "WHERE c_custkey < o_custkey")
+        assert physical_ops(memo, phys.NestedLoopJoin)
+        assert not physical_ops(memo, phys.HashJoin)
+
+    def test_groupby_gets_hash_and_stream(self, implemented):
+        memo, _ = implemented(
+            "SELECT c_nationkey, COUNT(*) FROM customer "
+            "GROUP BY c_nationkey")
+        assert physical_ops(memo, phys.HashAggregate)
+        assert physical_ops(memo, phys.StreamAggregate)
+
+    def test_every_logical_expr_has_physical_peer(self, implemented):
+        memo, _ = implemented(
+            "SELECT c_nationkey, COUNT(*) FROM customer "
+            "WHERE c_custkey > 5 GROUP BY c_nationkey")
+        for group in memo.canonical_groups():
+            if group.logical_expressions:
+                assert group.physical_expressions
+
+    def test_implementation_idempotent(self, implemented):
+        memo, _ = implemented("SELECT c_name FROM customer")
+        before = memo.expression_count()
+        added = implement_memo(memo)
+        assert added == 0
+        assert memo.expression_count() == before

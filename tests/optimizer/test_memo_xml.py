@@ -1,0 +1,129 @@
+"""MEMO ⇄ XML round-trip tests (the Figure 2 interface)."""
+
+import datetime
+
+import pytest
+
+from repro.algebra import expressions as ex
+from repro.catalog.shell_db import ShellDatabase
+from repro.common.types import DATE, INTEGER, varchar
+from repro.optimizer.memo_xml import (
+    expr_from_element,
+    expr_to_element,
+    memo_from_xml,
+    memo_to_xml,
+)
+from repro.optimizer.search import SerialOptimizer
+
+QUERIES = [
+    "SELECT c_name FROM customer",
+    "SELECT c_name FROM customer WHERE c_custkey > 5",
+    "SELECT c.c_custkey, o.o_orderdate FROM orders o, customer c "
+    "WHERE o.o_custkey = c.c_custkey AND o.o_totalprice > 100",
+    "SELECT c_nationkey, COUNT(*) AS n FROM customer GROUP BY c_nationkey",
+    "SELECT c_name FROM customer WHERE c_custkey IN "
+    "(SELECT o_custkey FROM orders)",
+    "SELECT n_name FROM nation WHERE n_name LIKE 'C%' OR n_nationkey IN "
+    "(1, 2, 3)",
+]
+
+
+@pytest.fixture()
+def shell(mini_catalog):
+    return ShellDatabase(mini_catalog, node_count=4)
+
+
+def roundtrip(shell, sql):
+    result = SerialOptimizer(shell).optimize_sql(sql, extract_serial=False)
+    xml = memo_to_xml(result.memo, result.root_group, result.stats)
+    parsed = memo_from_xml(xml, shell)
+    return result, parsed
+
+
+class TestMemoRoundTrip:
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_group_count_preserved(self, shell, sql):
+        result, parsed = roundtrip(shell, sql)
+        assert len(parsed.memo.canonical_groups()) == len(
+            result.memo.canonical_groups())
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_expression_structure_preserved(self, shell, sql):
+        result, parsed = roundtrip(shell, sql)
+        original = sorted(
+            e.op.describe()
+            for g in result.memo.canonical_groups()
+            for e in g.expressions
+            if result.memo.find(g.id) not in [
+                result.memo.find(c) for c in e.children if
+                result.memo.find(c) == result.memo.find(g.id)]
+        )
+        recovered = sorted(
+            e.op.describe()
+            for g in parsed.memo.canonical_groups()
+            for e in g.expressions
+        )
+        assert recovered == original
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_cardinalities_preserved(self, shell, sql):
+        result, parsed = roundtrip(shell, sql)
+        original = sorted(g.cardinality
+                          for g in result.memo.canonical_groups())
+        recovered = sorted(g.cardinality
+                           for g in parsed.memo.canonical_groups())
+        assert recovered == pytest.approx(original)
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_widths_and_origins_preserved(self, shell, sql):
+        result, parsed = roundtrip(shell, sql)
+        for var_id, origin in result.stats.var_origins.items():
+            assert parsed.stats.var_origins.get(var_id) == origin
+
+    def test_root_tracks_original(self, shell):
+        result, parsed = roundtrip(shell, QUERIES[2])
+        root_group = parsed.memo.group(parsed.root_group)
+        original_root = result.memo.group(result.root_group)
+        assert {v.id for v in root_group.output_vars} == {
+            v.id for v in original_root.output_vars}
+
+    def test_double_roundtrip_stable(self, shell):
+        result, parsed = roundtrip(shell, QUERIES[2])
+        xml2 = memo_to_xml(parsed.memo, parsed.root_group, parsed.stats)
+        parsed2 = memo_from_xml(xml2, shell)
+        assert len(parsed2.memo.canonical_groups()) == len(
+            parsed.memo.canonical_groups())
+
+
+class TestExpressionSerialization:
+    VARS = {
+        1: ex.ColumnVar(1, "a", INTEGER),
+        2: ex.ColumnVar(2, "s", varchar(10)),
+    }
+
+    @pytest.mark.parametrize("expr", [
+        ex.Constant(42),
+        ex.Constant(3.5),
+        ex.Constant("text with 'quote'"),
+        ex.Constant(None),
+        ex.Constant(True),
+        ex.Constant(datetime.date(1994, 1, 1)),
+        ex.Comparison("<=", ex.ColumnVar(1, "a", INTEGER), ex.Constant(5)),
+        ex.Arithmetic("*", ex.ColumnVar(1, "a", INTEGER), ex.Constant(2)),
+        ex.BoolOp("OR", (ex.Constant(True), ex.Constant(False))),
+        ex.NotExpr(ex.Constant(False)),
+        ex.FuncExpr("DATEADD", (ex.Constant("year"), ex.Constant(1),
+                                ex.Constant(datetime.date(1994, 1, 1)))),
+        ex.CastExpr(ex.ColumnVar(1, "a", INTEGER), DATE),
+        ex.CaseWhen(((ex.Constant(True), ex.Constant(1)),),
+                    ex.Constant(0)),
+        ex.LikeExpr(ex.ColumnVar(2, "s", varchar(10)), "fo%", True),
+        ex.InListExpr(ex.ColumnVar(1, "a", INTEGER), (1, 2, 3)),
+        ex.IsNullExpr(ex.ColumnVar(1, "a", INTEGER), negated=True),
+        ex.AggExpr("SUM", ex.ColumnVar(1, "a", INTEGER)),
+        ex.AggExpr("COUNT", None, distinct=False),
+    ])
+    def test_expr_roundtrip(self, expr):
+        element = expr_to_element(expr)
+        recovered = expr_from_element(element, self.VARS)
+        assert recovered == expr

@@ -1,0 +1,278 @@
+"""Normalization tests: folding, contradictions, pushdown, semi-join
+conversion, self-join elimination, column pruning."""
+
+import pytest
+
+from repro.algebra import expressions as ex
+from repro.algebra.logical import (
+    JoinKind,
+    LogicalGet,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalProject,
+    LogicalSelect,
+)
+from repro.common.types import INTEGER
+from repro.optimizer.binder import bind_query
+from repro.optimizer.normalize import (
+    fold_expression,
+    normalize,
+)
+
+
+def normalized(catalog, sql):
+    return normalize(bind_query(catalog, sql))
+
+
+def walk(op):
+    yield op
+    for child in op.children:
+        yield from walk(child)
+
+
+def ops_of(root, kind):
+    return [op for op in walk(root) if isinstance(op, kind)]
+
+
+def var(i):
+    return ex.ColumnVar(i, f"c{i}", INTEGER)
+
+
+class TestConstantFolding:
+    def test_arithmetic_folds(self):
+        expr = ex.Arithmetic("*", ex.Constant(6), ex.Constant(7))
+        assert fold_expression(expr) == ex.Constant(42)
+
+    def test_true_conjunct_removed(self):
+        expr = ex.BoolOp("AND", (ex.Constant(True),
+                                 ex.Comparison("=", var(1), var(2))))
+        folded = fold_expression(expr)
+        assert isinstance(folded, ex.Comparison)
+
+    def test_false_conjunct_collapses(self):
+        expr = ex.BoolOp("AND", (ex.Constant(False), var(1)))
+        assert fold_expression(expr) == ex.FALSE
+
+    def test_true_disjunct_collapses(self):
+        expr = ex.BoolOp("OR", (ex.Constant(True), var(1)))
+        assert fold_expression(expr) == ex.TRUE
+
+    def test_not_pushed_through_comparison(self):
+        expr = ex.NotExpr(ex.Comparison("<", var(1), var(2)))
+        folded = fold_expression(expr)
+        assert isinstance(folded, ex.Comparison)
+        assert folded.op == ">="
+
+    def test_double_negation(self):
+        expr = ex.NotExpr(ex.NotExpr(ex.Constant(True)))
+        assert fold_expression(expr).value is True
+
+    def test_folding_inside_projection(self, mini_catalog):
+        query = normalized(mini_catalog,
+                           "SELECT c_custkey + (1 + 1) FROM customer")
+        project = query.root
+        assert isinstance(project, LogicalProject)
+        _, expr = project.outputs[0]
+        assert ex.Constant(2) in expr.children()
+
+
+class TestContradictions:
+    def test_empty_range_detected(self, mini_catalog):
+        query = normalized(
+            mini_catalog,
+            "SELECT c_name FROM customer "
+            "WHERE c_custkey > 10 AND c_custkey < 5")
+        selects = ops_of(query.root, LogicalSelect)
+        assert any(s.predicate == ex.FALSE for s in selects)
+
+    def test_conflicting_equalities(self, mini_catalog):
+        query = normalized(
+            mini_catalog,
+            "SELECT c_name FROM customer "
+            "WHERE c_custkey = 1 AND c_custkey = 2")
+        selects = ops_of(query.root, LogicalSelect)
+        assert any(s.predicate == ex.FALSE for s in selects)
+
+    def test_touching_open_bounds(self, mini_catalog):
+        query = normalized(
+            mini_catalog,
+            "SELECT c_name FROM customer "
+            "WHERE c_custkey >= 5 AND c_custkey < 5")
+        selects = ops_of(query.root, LogicalSelect)
+        assert any(s.predicate == ex.FALSE for s in selects)
+
+    def test_satisfiable_range_untouched(self, mini_catalog):
+        query = normalized(
+            mini_catalog,
+            "SELECT c_name FROM customer "
+            "WHERE c_custkey > 5 AND c_custkey < 10")
+        selects = ops_of(query.root, LogicalSelect)
+        assert all(s.predicate != ex.FALSE for s in selects)
+
+    def test_equality_outside_range(self, mini_catalog):
+        query = normalized(
+            mini_catalog,
+            "SELECT c_name FROM customer "
+            "WHERE c_custkey = 3 AND c_custkey > 10")
+        selects = ops_of(query.root, LogicalSelect)
+        assert any(s.predicate == ex.FALSE for s in selects)
+
+
+class TestPushdown:
+    def test_single_table_predicate_reaches_get(self, mini_catalog):
+        query = normalized(
+            mini_catalog,
+            "SELECT c_name FROM customer, orders "
+            "WHERE c_custkey = o_custkey AND o_totalprice > 100")
+        for select in ops_of(query.root, LogicalSelect):
+            if "o_totalprice" in str(select.predicate):
+                assert isinstance(select.child, LogicalGet)
+                assert select.child.table.name == "orders"
+                break
+        else:
+            pytest.fail("pushed predicate not found")
+
+    def test_cross_join_upgraded_to_inner(self, mini_catalog):
+        query = normalized(
+            mini_catalog,
+            "SELECT c_name FROM customer, orders "
+            "WHERE c_custkey = o_custkey")
+        join = ops_of(query.root, LogicalJoin)[0]
+        assert join.kind is JoinKind.INNER
+        assert join.predicate is not None
+
+    def test_join_predicate_stays_at_join(self, mini_catalog):
+        query = normalized(
+            mini_catalog,
+            "SELECT c_name FROM customer JOIN orders "
+            "ON c_custkey = o_custkey")
+        join = ops_of(query.root, LogicalJoin)[0]
+        assert "c_custkey" in str(join.predicate)
+
+    def test_left_join_where_on_right_stays_above(self, mini_catalog):
+        query = normalized(
+            mini_catalog,
+            "SELECT c_name FROM customer LEFT JOIN orders "
+            "ON c_custkey = o_custkey WHERE o_totalprice IS NULL")
+        join = ops_of(query.root, LogicalJoin)[0]
+        assert join.kind is JoinKind.LEFT
+        # The IS NULL must not be under the join's right side.
+        for select in ops_of(join, LogicalSelect):
+            assert "o_totalprice" not in str(select.predicate)
+
+    def test_left_join_on_right_conjunct_pushes_right(self, mini_catalog):
+        query = normalized(
+            mini_catalog,
+            "SELECT c_name FROM customer LEFT JOIN orders "
+            "ON c_custkey = o_custkey AND o_totalprice > 100")
+        join = ops_of(query.root, LogicalJoin)[0]
+        selects_below_right = ops_of(join.right, LogicalSelect)
+        assert any("o_totalprice" in str(s.predicate)
+                   for s in selects_below_right)
+
+    def test_groupby_key_filter_pushes_below(self, mini_catalog):
+        query = normalized(
+            mini_catalog,
+            "SELECT x, n FROM (SELECT c_nationkey AS x, COUNT(*) AS n "
+            "FROM customer GROUP BY c_nationkey) AS d WHERE x = 3")
+        group = ops_of(query.root, LogicalGroupBy)[0]
+        below = ops_of(group.child, LogicalSelect)
+        assert any("c_nationkey" in str(s.predicate) for s in below)
+
+    def test_groupby_agg_filter_stays_above(self, mini_catalog):
+        query = normalized(
+            mini_catalog,
+            "SELECT x FROM (SELECT c_nationkey AS x, COUNT(*) AS n "
+            "FROM customer GROUP BY c_nationkey) AS d WHERE n > 5")
+        group = ops_of(query.root, LogicalGroupBy)[0]
+        assert not any("count" in str(s.predicate).lower()
+                       for s in ops_of(group.child, LogicalSelect))
+
+
+class TestSemiJoinConversion:
+    def test_equi_semi_becomes_inner_plus_distinct(self, mini_catalog):
+        query = normalized(
+            mini_catalog,
+            "SELECT c_name FROM customer WHERE c_custkey IN "
+            "(SELECT o_custkey FROM orders)")
+        joins = ops_of(query.root, LogicalJoin)
+        assert joins[0].kind is JoinKind.INNER
+        distinct = ops_of(joins[0].right, LogicalGroupBy)
+        assert distinct and distinct[0].aggregates == []
+
+    def test_anti_join_not_converted(self, mini_catalog):
+        query = normalized(
+            mini_catalog,
+            "SELECT c_name FROM customer WHERE c_custkey NOT IN "
+            "(SELECT o_custkey FROM orders)")
+        joins = ops_of(query.root, LogicalJoin)
+        assert joins[0].kind is JoinKind.ANTI
+
+    def test_already_distinct_right_not_rewrapped(self, mini_catalog):
+        query = normalized(
+            mini_catalog,
+            "SELECT c_name FROM customer WHERE c_nationkey IN "
+            "(SELECT DISTINCT n_nationkey FROM nation)")
+        join = ops_of(query.root, LogicalJoin)[0]
+        groups = ops_of(join.right, LogicalGroupBy)
+        assert len(groups) == 1  # the DISTINCT, not a second wrapper
+
+
+class TestSelfJoinElimination:
+    def test_pk_self_join_eliminated(self, mini_catalog):
+        query = normalized(
+            mini_catalog,
+            "SELECT a.c_name FROM customer a, customer b "
+            "WHERE a.c_custkey = b.c_custkey AND b.c_nationkey = 3")
+        gets = ops_of(query.root, LogicalGet)
+        assert len(gets) == 1
+        selects = ops_of(query.root, LogicalSelect)
+        assert any("c_nationkey" in str(s.predicate) for s in selects)
+
+    def test_non_pk_self_join_kept(self, mini_catalog):
+        query = normalized(
+            mini_catalog,
+            "SELECT a.c_name FROM customer a, customer b "
+            "WHERE a.c_nationkey = b.c_nationkey")
+        assert len(ops_of(query.root, LogicalGet)) == 2
+
+    def test_different_tables_kept(self, mini_catalog):
+        query = normalized(
+            mini_catalog,
+            "SELECT c_name FROM customer, orders "
+            "WHERE c_custkey = o_custkey")
+        assert len(ops_of(query.root, LogicalGet)) == 2
+
+
+class TestColumnPruning:
+    def test_get_narrowed_to_used_columns(self, mini_catalog):
+        query = normalized(mini_catalog, "SELECT c_name FROM customer")
+        get = ops_of(query.root, LogicalGet)[0]
+        names = {v.name for v in get.columns}
+        # c_name plus the distribution column (kept for placement info).
+        assert names == {"c_name", "c_custkey"}
+
+    def test_filter_only_columns_projected_away(self, mini_catalog):
+        query = normalized(
+            mini_catalog,
+            "SELECT o_orderdate FROM orders, customer "
+            "WHERE o_custkey = c_custkey AND o_totalprice > 5")
+        join = ops_of(query.root, LogicalJoin)[0]
+        for side in join.children:
+            for v in side.output_columns():
+                assert v.name != "o_totalprice"
+
+    def test_groupby_unused_aggregate_dropped(self, mini_catalog):
+        query = normalized(
+            mini_catalog,
+            "SELECT x FROM (SELECT c_nationkey AS x, COUNT(*) AS n "
+            "FROM customer GROUP BY c_nationkey) AS d")
+        group = ops_of(query.root, LogicalGroupBy)[0]
+        assert group.aggregates == []
+
+    def test_order_by_columns_survive(self, mini_catalog):
+        query = normalized(
+            mini_catalog,
+            "SELECT c_name FROM customer ORDER BY c_name DESC")
+        assert {v.id for v, _ in query.order_by} <= {
+            v.id for v in query.root.output_columns()}

@@ -1,0 +1,90 @@
+"""Normalization over UNION ALL: pushdown and pruning."""
+
+import pytest
+
+from repro.algebra import expressions as ex
+from repro.algebra.logical import (
+    LogicalGet,
+    LogicalSelect,
+    LogicalUnionAll,
+)
+from repro.optimizer.binder import bind_query
+from repro.optimizer.normalize import normalize
+
+
+def walk(op):
+    yield op
+    for child in op.children:
+        yield from walk(child)
+
+
+def normalized(catalog, sql):
+    return normalize(bind_query(catalog, sql))
+
+
+class TestUnionPushdown:
+    def test_filter_pushed_into_every_branch(self, mini_catalog):
+        query = normalized(
+            mini_catalog,
+            "SELECT v FROM (SELECT c_custkey AS v FROM customer "
+            "UNION ALL SELECT o_custkey FROM orders) AS d WHERE v < 10")
+        union = next(op for op in walk(query.root)
+                     if isinstance(op, LogicalUnionAll))
+        for child in union.children:
+            selects = [op for op in walk(child)
+                       if isinstance(op, LogicalSelect)]
+            assert any("< 10" in str(s.predicate).replace("10)", "10)")
+                       or "10" in str(s.predicate) for s in selects)
+
+    def test_pushed_predicate_uses_branch_columns(self, mini_catalog):
+        query = normalized(
+            mini_catalog,
+            "SELECT v FROM (SELECT c_custkey AS v FROM customer "
+            "UNION ALL SELECT o_custkey FROM orders) AS d WHERE v = 3")
+        union = next(op for op in walk(query.root)
+                     if isinstance(op, LogicalUnionAll))
+        # The union's own output vars never leak into branch predicates.
+        output_ids = {v.id for v in union.outputs}
+        for child in union.children:
+            for op in walk(child):
+                if isinstance(op, LogicalSelect):
+                    assert not (set(op.predicate.columns_used())
+                                & output_ids)
+
+
+class TestUnionPruning:
+    def test_unused_output_dropped(self, mini_catalog):
+        query = normalized(
+            mini_catalog,
+            "SELECT a FROM (SELECT c_custkey AS a, c_nationkey AS b "
+            "FROM customer UNION ALL SELECT o_custkey, o_orderkey "
+            "FROM orders) AS d")
+        union = next(op for op in walk(query.root)
+                     if isinstance(op, LogicalUnionAll))
+        assert len(union.outputs) == 1
+        assert all(len(branch) == 1 for branch in union.branch_columns)
+
+    def test_branch_gets_narrowed(self, mini_catalog):
+        query = normalized(
+            mini_catalog,
+            "SELECT a FROM (SELECT c_custkey AS a, c_name AS b "
+            "FROM customer UNION ALL SELECT o_custkey, c_name "
+            "FROM orders, customer WHERE o_custkey = c_custkey) AS d")
+        union = next(op for op in walk(query.root)
+                     if isinstance(op, LogicalUnionAll))
+        first_get = next(op for op in walk(union.children[0])
+                         if isinstance(op, LogicalGet))
+        names = {v.name for v in first_get.columns}
+        assert "c_name" not in names
+
+    def test_execution_after_normalization(self, tpch, tpch_engine):
+        from repro.appliance.runner import DsqlRunner, run_reference
+        from tests.conftest import canonical
+        appliance, _ = tpch
+        sql = ("SELECT v FROM (SELECT c_custkey AS v, c_name AS junk "
+               "FROM customer UNION ALL SELECT o_custkey, o_clerk "
+               "FROM orders) AS d WHERE v < 20 ORDER BY v")
+        compiled = tpch_engine.compile(sql)
+        result = DsqlRunner(appliance).run(compiled.dsql_plan)
+        reference = run_reference(appliance, sql)
+        assert canonical(result.rows) == canonical(reference.rows)

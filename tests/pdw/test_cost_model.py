@@ -1,0 +1,189 @@
+"""DMS cost model tests (paper §3.3): byte formulas, max-composition,
+λ structure."""
+
+import pytest
+
+from repro.algebra.properties import (
+    DistKind,
+    Distribution,
+    ON_CONTROL_DIST,
+    REPLICATED_DIST,
+    hashed_on,
+)
+from repro.common.errors import PdwOptimizerError
+from repro.pdw.cost_model import CostConstants, DmsCostModel
+from repro.pdw.dms import DataMovement, DmsOperation
+
+N = 8
+Y = 80_000.0  # global rows
+W = 10.0      # row width
+
+
+@pytest.fixture()
+def model():
+    return DmsCostModel(N)
+
+
+def move(op, source, target, cols=()):
+    return DataMovement(op, source, target, cols)
+
+
+class TestComponentBytes:
+    def test_shuffle_all_components_per_node(self, model):
+        movement = move(DmsOperation.SHUFFLE_MOVE, hashed_on(1),
+                        hashed_on(2))
+        per_node = Y * W / N
+        assert model.component_bytes(movement, Y, W) == (
+            per_node, per_node, per_node, per_node)
+
+    def test_partition_move_target_sees_everything(self, model):
+        movement = move(DmsOperation.PARTITION_MOVE, hashed_on(1),
+                        ON_CONTROL_DIST)
+        reader, network, writer, bulk = model.component_bytes(movement, Y, W)
+        assert reader == Y * W / N
+        assert writer == Y * W
+        assert bulk == Y * W
+
+    def test_broadcast_network_is_total(self, model):
+        movement = move(DmsOperation.BROADCAST_MOVE, hashed_on(1),
+                        REPLICATED_DIST)
+        reader, network, writer, bulk = model.component_bytes(movement, Y, W)
+        assert reader == Y * W / N
+        assert network == Y * W
+        assert writer == Y * W
+
+    def test_trim_has_no_network(self, model):
+        movement = move(DmsOperation.TRIM_MOVE, REPLICATED_DIST,
+                        hashed_on(1))
+        reader, network, writer, bulk = model.component_bytes(movement, Y, W)
+        assert network == 0.0
+        assert reader == Y * W          # full local replica scanned
+        assert writer == Y * W / N      # keeps only its share
+
+    def test_replicated_broadcast_network_scales_with_n(self, model):
+        movement = move(DmsOperation.REPLICATED_BROADCAST,
+                        Distribution(DistKind.SINGLE_NODE), REPLICATED_DIST)
+        _, network, _, _ = model.component_bytes(movement, Y, W)
+        assert network == Y * W * N
+
+    def test_control_node_move_reads_full_table(self, model):
+        movement = move(DmsOperation.CONTROL_NODE_MOVE, ON_CONTROL_DIST,
+                        REPLICATED_DIST)
+        reader, network, _, _ = model.component_bytes(movement, Y, W)
+        assert reader == Y * W
+        assert network == Y * W * N
+
+    def test_remote_copy_from_distributed(self, model):
+        movement = move(DmsOperation.REMOTE_COPY, hashed_on(1),
+                        ON_CONTROL_DIST)
+        reader, _, writer, _ = model.component_bytes(movement, Y, W)
+        assert reader == Y * W / N
+        assert writer == Y * W
+
+
+class TestMaxComposition:
+    def test_source_is_max_of_reader_network(self, model):
+        movement = move(DmsOperation.BROADCAST_MOVE, hashed_on(1),
+                        REPLICATED_DIST)
+        breakdown = model.cost_breakdown(movement, Y, W)
+        assert breakdown.source == max(breakdown.reader, breakdown.network)
+
+    def test_target_is_max_of_writer_bulk(self, model):
+        movement = move(DmsOperation.SHUFFLE_MOVE, hashed_on(1),
+                        hashed_on(2))
+        breakdown = model.cost_breakdown(movement, Y, W)
+        assert breakdown.target == max(breakdown.writer,
+                                       breakdown.bulk_copy)
+
+    def test_total_is_max_of_source_target(self, model):
+        movement = move(DmsOperation.PARTITION_MOVE, hashed_on(1),
+                        ON_CONTROL_DIST)
+        breakdown = model.cost_breakdown(movement, Y, W)
+        assert breakdown.total == max(breakdown.source, breakdown.target)
+
+    def test_cost_equals_breakdown_total(self, model):
+        movement = move(DmsOperation.SHUFFLE_MOVE, hashed_on(1),
+                        hashed_on(2))
+        assert model.cost(movement, Y, W) == \
+            model.cost_breakdown(movement, Y, W).total
+
+
+class TestLambdaStructure:
+    def test_hashing_ops_use_lambda_hash(self):
+        constants = CostConstants(lambda_reader_direct=1e-9,
+                                  lambda_reader_hash=9e-9)
+        assert constants.reader_lambda(True) == 9e-9
+        assert constants.reader_lambda(False) == 1e-9
+
+    def test_shuffle_and_trim_use_hashing(self):
+        assert DmsOperation.SHUFFLE_MOVE.uses_hashing
+        assert DmsOperation.TRIM_MOVE.uses_hashing
+        assert not DmsOperation.BROADCAST_MOVE.uses_hashing
+
+    def test_with_constants(self, model):
+        other = model.with_constants(CostConstants(lambda_network=1.0))
+        assert other.constants.lambda_network == 1.0
+        assert other.node_count == model.node_count
+
+
+class TestScaling:
+    def test_cost_linear_in_rows(self, model):
+        movement = move(DmsOperation.SHUFFLE_MOVE, hashed_on(1),
+                        hashed_on(2))
+        assert model.cost(movement, 2 * Y, W) == pytest.approx(
+            2 * model.cost(movement, Y, W))
+
+    def test_cost_linear_in_width(self, model):
+        movement = move(DmsOperation.SHUFFLE_MOVE, hashed_on(1),
+                        hashed_on(2))
+        assert model.cost(movement, Y, 3 * W) == pytest.approx(
+            3 * model.cost(movement, Y, W))
+
+    def test_shuffle_cheaper_with_more_nodes(self):
+        movement = move(DmsOperation.SHUFFLE_MOVE, hashed_on(1),
+                        hashed_on(2))
+        small = DmsCostModel(2).cost(movement, Y, W)
+        big = DmsCostModel(16).cost(movement, Y, W)
+        assert big < small
+
+    def test_broadcast_cost_insensitive_to_n_in_bulk(self):
+        # Broadcast target work (Y·w per node) does not shrink with N —
+        # the crossover driver of benchmark E13.
+        movement = move(DmsOperation.BROADCAST_MOVE, hashed_on(1),
+                        REPLICATED_DIST)
+        small = DmsCostModel(2).cost(movement, Y, W)
+        big = DmsCostModel(16).cost(movement, Y, W)
+        assert big >= small * 0.99
+
+    def test_zero_rows_zero_cost(self, model):
+        movement = move(DmsOperation.SHUFFLE_MOVE, hashed_on(1),
+                        hashed_on(2))
+        assert model.cost(movement, 0, W) == 0.0
+
+    def test_invalid_node_count_rejected(self):
+        with pytest.raises(PdwOptimizerError):
+            DmsCostModel(0)
+
+
+class TestShuffleVsBroadcastCrossover:
+    def test_small_table_broadcast_wins(self):
+        """The core §3.3 trade-off: broadcasting a small table beats
+        shuffling a large one, and vice versa."""
+        model = DmsCostModel(8)
+        shuffle_big = model.cost(
+            move(DmsOperation.SHUFFLE_MOVE, hashed_on(1), hashed_on(2)),
+            1_000_000, 10)
+        broadcast_small = model.cost(
+            move(DmsOperation.BROADCAST_MOVE, hashed_on(1),
+                 REPLICATED_DIST), 1_000, 10)
+        assert broadcast_small < shuffle_big
+
+    def test_large_table_shuffle_wins(self):
+        model = DmsCostModel(8)
+        shuffle = model.cost(
+            move(DmsOperation.SHUFFLE_MOVE, hashed_on(1), hashed_on(2)),
+            1_000_000, 10)
+        broadcast = model.cost(
+            move(DmsOperation.BROADCAST_MOVE, hashed_on(1),
+                 REPLICATED_DIST), 1_000_000, 10)
+        assert shuffle < broadcast

@@ -1,0 +1,88 @@
+"""DMS operation classification tests (the 7 operation types, §3.3.2)."""
+
+import pytest
+
+from repro.algebra.expressions import ColumnVar
+from repro.algebra.properties import (
+    DistKind,
+    Distribution,
+    ON_CONTROL_DIST,
+    REPLICATED_DIST,
+    SINGLE_NODE_DIST,
+    hashed_on,
+)
+from repro.common.types import INTEGER
+from repro.pdw.dms import DataMovement, DmsOperation, classify_movement
+
+COL = ColumnVar(7, "k", INTEGER)
+
+
+class TestClassification:
+    def test_no_move_for_identical(self):
+        assert classify_movement(hashed_on(7), hashed_on(7)) is None
+
+    def test_hash_to_hash_is_shuffle(self):
+        movement = classify_movement(hashed_on(1), hashed_on(7), (COL,))
+        assert movement.operation is DmsOperation.SHUFFLE_MOVE
+        assert movement.hash_columns == (COL,)
+
+    def test_replicated_to_hash_is_trim(self):
+        movement = classify_movement(REPLICATED_DIST, hashed_on(7), (COL,))
+        assert movement.operation is DmsOperation.TRIM_MOVE
+
+    def test_control_to_hash_is_shuffle(self):
+        movement = classify_movement(ON_CONTROL_DIST, hashed_on(7), (COL,))
+        assert movement.operation is DmsOperation.SHUFFLE_MOVE
+
+    def test_hash_to_replicated_is_broadcast(self):
+        movement = classify_movement(hashed_on(1), REPLICATED_DIST)
+        assert movement.operation is DmsOperation.BROADCAST_MOVE
+
+    def test_control_to_replicated_is_control_node_move(self):
+        movement = classify_movement(ON_CONTROL_DIST, REPLICATED_DIST)
+        assert movement.operation is DmsOperation.CONTROL_NODE_MOVE
+
+    def test_single_node_to_replicated_is_replicated_broadcast(self):
+        movement = classify_movement(SINGLE_NODE_DIST, REPLICATED_DIST)
+        assert movement.operation is DmsOperation.REPLICATED_BROADCAST
+
+    def test_hash_to_control_is_partition_move(self):
+        movement = classify_movement(hashed_on(1), ON_CONTROL_DIST)
+        assert movement.operation is DmsOperation.PARTITION_MOVE
+
+    def test_replicated_to_control_is_remote_copy(self):
+        movement = classify_movement(REPLICATED_DIST, ON_CONTROL_DIST)
+        assert movement.operation is DmsOperation.REMOTE_COPY
+
+    def test_single_to_control_is_remote_copy(self):
+        movement = classify_movement(SINGLE_NODE_DIST, ON_CONTROL_DIST)
+        assert movement.operation is DmsOperation.REMOTE_COPY
+
+    def test_seven_operations_exist(self):
+        assert len(DmsOperation) == 7
+
+
+class TestDataMovementNode:
+    def test_describe_with_columns(self):
+        movement = DataMovement(DmsOperation.SHUFFLE_MOVE, hashed_on(1),
+                                hashed_on(7), (COL,))
+        assert movement.describe() == "ShuffleMove(k)"
+
+    def test_describe_without_columns(self):
+        movement = DataMovement(DmsOperation.BROADCAST_MOVE, hashed_on(1),
+                                REPLICATED_DIST)
+        assert movement.describe() == "BroadcastMove"
+
+    def test_local_key_distinguishes_targets(self):
+        shuffle_a = DataMovement(DmsOperation.SHUFFLE_MOVE, hashed_on(1),
+                                 hashed_on(7), (COL,))
+        shuffle_b = DataMovement(DmsOperation.SHUFFLE_MOVE, hashed_on(1),
+                                 hashed_on(8),
+                                 (ColumnVar(8, "j", INTEGER),))
+        assert shuffle_a.local_key() != shuffle_b.local_key()
+
+    def test_source_and_target_recorded(self):
+        movement = DataMovement(DmsOperation.BROADCAST_MOVE, hashed_on(1),
+                                REPLICATED_DIST)
+        assert movement.source == hashed_on(1)
+        assert movement.target == REPLICATED_DIST

@@ -1,0 +1,143 @@
+"""DSQL generation tests (§2.4, §3.4): step structure, temp tables,
+re-parseable SQL."""
+
+import pytest
+
+from repro.catalog.schema import DistributionKind
+from repro.pdw.dms import DmsOperation
+from repro.pdw.dsql import StepKind
+from repro.pdw.engine import PdwEngine
+from repro.pdw.qrel import build_name_map
+from repro.sql.parser import parse_select
+
+
+@pytest.fixture()
+def engine(mini_shell):
+    return PdwEngine(mini_shell)
+
+
+SEC24 = ("SELECT c_custkey, o_orderdate FROM orders, customer "
+         "WHERE o_custkey = c_custkey AND o_totalprice > 100")
+
+
+class TestStepStructure:
+    def test_sec24_two_steps(self, engine):
+        plan = engine.compile(SEC24).dsql_plan
+        assert len(plan.steps) == 2
+        assert plan.steps[0].kind is StepKind.DMS
+        assert plan.steps[1].kind is StepKind.RETURN
+
+    def test_sec24_first_step_shuffles_orders(self, engine):
+        step = engine.compile(SEC24).dsql_plan.steps[0]
+        assert step.movement.operation is DmsOperation.SHUFFLE_MOVE
+        assert step.hash_column == "o_custkey"
+        assert "orders" in step.sql.lower()
+
+    def test_steps_numbered_sequentially(self, engine):
+        plan = engine.compile(SEC24).dsql_plan
+        assert [s.index for s in plan.steps] == list(range(len(plan.steps)))
+
+    def test_return_step_is_last_and_unique(self, engine):
+        plan = engine.compile(SEC24).dsql_plan
+        kinds = [s.kind for s in plan.steps]
+        assert kinds.count(StepKind.RETURN) == 1
+        assert kinds[-1] is StepKind.RETURN
+
+    def test_collocated_query_single_step(self, engine):
+        plan = engine.compile(
+            "SELECT o_orderdate FROM orders, lineitem "
+            "WHERE o_orderkey = l_orderkey").dsql_plan
+        assert len(plan.steps) == 1
+        assert plan.steps[0].kind is StepKind.RETURN
+
+    def test_describe_contains_sql(self, engine):
+        plan = engine.compile(SEC24).dsql_plan
+        text = plan.describe()
+        assert "DSQL step 0" in text
+        assert "SELECT" in text
+
+
+class TestTempTables:
+    def test_temp_table_named_and_typed(self, engine):
+        step = engine.compile(SEC24).dsql_plan.steps[0]
+        temp = step.destination_table
+        assert temp.name == "TEMP_ID_1"
+        assert temp.is_temp
+        names = [c.name for c in temp.columns]
+        assert "o_custkey" in names
+
+    def test_shuffle_temp_is_hash_distributed(self, engine):
+        temp = engine.compile(SEC24).dsql_plan.steps[0].destination_table
+        assert temp.distribution.kind is DistributionKind.HASH
+        assert temp.distribution.columns == ("o_custkey",)
+
+    def test_broadcast_temp_is_replicated(self, engine):
+        plan = engine.compile(
+            "SELECT n_name FROM customer, orders, nation "
+            "WHERE c_custkey = o_custkey AND c_nationkey = n_nationkey"
+        ).dsql_plan
+        moved = [s for s in plan.movement_steps
+                 if s.movement.operation is DmsOperation.BROADCAST_MOVE]
+        for step in moved:
+            assert step.destination_table.distribution.kind is \
+                DistributionKind.REPLICATED
+
+    def test_later_steps_reference_earlier_temps(self, engine):
+        plan = engine.compile(SEC24).dsql_plan
+        assert "TEMP_ID_1" in plan.steps[1].sql
+
+
+class TestGeneratedSql:
+    def test_every_step_sql_reparses(self, engine):
+        plan = engine.compile(SEC24).dsql_plan
+        for step in plan.steps:
+            parse_select(step.sql)  # must not raise
+
+    def test_order_by_only_in_return_step(self, engine):
+        plan = engine.compile(SEC24 + " ORDER BY o_orderdate").dsql_plan
+        assert "ORDER BY" in plan.steps[-1].sql
+        for step in plan.steps[:-1]:
+            assert "ORDER BY" not in step.sql
+
+    def test_top_preserved(self, engine):
+        plan = engine.compile(
+            "SELECT c_name FROM customer ORDER BY c_name LIMIT 7"
+        ).dsql_plan
+        assert plan.limit == 7
+        assert "TOP 7" in plan.steps[-1].sql
+
+    def test_output_aliases_are_user_names(self, engine):
+        plan = engine.compile(
+            "SELECT c_custkey AS the_key FROM customer").dsql_plan
+        assert "the_key" in plan.steps[-1].sql
+        assert plan.output_names == ["the_key"]
+
+    def test_plan_generation_does_not_mutate_plan_tree(self, engine):
+        compiled = engine.compile(SEC24)
+        from repro.pdw.dms import DataMovement
+        moves = [n for n in compiled.pdw_plan.root.walk()
+                 if isinstance(n.op, DataMovement)]
+        assert moves, "plan tree must retain its DataMovement nodes"
+
+
+class TestNameMap:
+    def _var(self, i, name):
+        from repro.algebra.expressions import ColumnVar
+        from repro.common.types import INTEGER
+        return ColumnVar(i, name, INTEGER)
+
+    def test_unique_names_kept(self):
+        names = build_name_map([self._var(1, "a"), self._var(2, "b")])
+        assert names == {1: "a", 2: "b"}
+
+    def test_collisions_suffixed(self):
+        names = build_name_map([self._var(1, "a"), self._var(2, "a")])
+        assert names[1] != names[2]
+
+    def test_keyword_names_sanitized(self):
+        names = build_name_map([self._var(1, "count")])
+        assert names[1].upper() not in ("COUNT",)
+
+    def test_deterministic(self):
+        vars_ = [self._var(i, f"c{i % 3}") for i in range(9)]
+        assert build_name_map(vars_) == build_name_map(vars_)

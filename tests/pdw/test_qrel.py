@@ -1,0 +1,119 @@
+"""QRel SQL generation unit tests (§3.4, Figure 6)."""
+
+import datetime
+
+import pytest
+
+from repro.algebra import expressions as ex
+from repro.common.errors import PdwOptimizerError
+from repro.common.types import DATE, INTEGER, varchar
+from repro.pdw.qrel import SqlGenerator, build_name_map, type_name_of
+from repro.sql.parser import parse_expression
+
+
+def var(i, name="c", sql_type=INTEGER):
+    return ex.ColumnVar(i, name, sql_type)
+
+
+@pytest.fixture()
+def generator():
+    name_map = {1: "a", 2: "b", 3: "s"}
+    return SqlGenerator(name_map), {1: "T1", 2: "T1", 3: "T2"}
+
+
+def render(generator_pair, expr):
+    generator, qualifiers = generator_pair
+    return generator.render_scalar(expr, qualifiers).to_sql()
+
+
+class TestScalarRendering:
+    def test_column(self, generator):
+        assert render(generator, var(1, "a")) == "T1.a"
+
+    def test_uses_name_map_not_var_name(self, generator):
+        # Var #2 is named "weird" but the emitted name is "b".
+        assert render(generator, var(2, "weird")) == "T1.b"
+
+    def test_comparison(self, generator):
+        expr = ex.Comparison("<=", var(1, "a"), ex.Constant(5))
+        assert render(generator, expr) == "(T1.a <= 5)"
+
+    def test_date_constant(self, generator):
+        expr = ex.Comparison(">", var(1, "a"),
+                             ex.Constant(datetime.date(1994, 1, 1)))
+        assert "DATE '1994-01-01'" in render(generator, expr)
+
+    def test_string_quote_escaped(self, generator):
+        expr = ex.Comparison("=", var(3, "s"), ex.Constant("it's"))
+        assert "'it''s'" in render(generator, expr)
+
+    def test_and_chain(self, generator):
+        expr = ex.BoolOp("AND", (
+            ex.Comparison("=", var(1), ex.Constant(1)),
+            ex.Comparison("=", var(2), ex.Constant(2)),
+            ex.Comparison("=", var(3), ex.Constant(3)),
+        ))
+        sql = render(generator, expr)
+        assert sql.count("AND") == 2
+        parse_expression(sql)  # re-parses
+
+    def test_case(self, generator):
+        expr = ex.CaseWhen(
+            ((ex.Comparison(">", var(1), ex.Constant(0)),
+              ex.Constant(1)),), ex.Constant(0))
+        sql = render(generator, expr)
+        assert sql.startswith("CASE WHEN")
+        parse_expression(sql)
+
+    def test_like(self, generator):
+        expr = ex.LikeExpr(var(3), "forest%")
+        assert "LIKE 'forest%'" in render(generator, expr)
+
+    def test_cast(self, generator):
+        expr = ex.CastExpr(var(1), DATE)
+        assert render(generator, expr) == "CAST(T1.a AS DATE)"
+
+    def test_agg_count_star(self, generator):
+        assert render(generator, ex.AggExpr("COUNT", None)) == "COUNT(*)"
+
+    def test_agg_distinct(self, generator):
+        expr = ex.AggExpr("SUM", var(1), distinct=True)
+        assert render(generator, expr) == "SUM(DISTINCT T1.a)"
+
+    def test_out_of_scope_column_raises(self, generator):
+        with pytest.raises(PdwOptimizerError):
+            render(generator, var(99, "ghost"))
+
+    def test_every_rendered_expr_reparses(self, generator):
+        exprs = [
+            ex.Arithmetic("*", var(1), ex.Constant(2)),
+            ex.NotExpr(ex.Comparison("=", var(1), var(2))),
+            ex.InListExpr(var(1), (1, 2, 3), negated=True),
+            ex.IsNullExpr(var(3), negated=True),
+            ex.FuncExpr("DATEADD", (ex.Constant("year"), ex.Constant(1),
+                                    ex.Constant(datetime.date(1994, 1, 1)))),
+        ]
+        for expr in exprs:
+            parse_expression(render(generator, expr))
+
+
+class TestTypeNames:
+    def test_varchar(self):
+        assert type_name_of(varchar(25)) == "VARCHAR(25)"
+
+    def test_integer(self):
+        assert type_name_of(INTEGER) == "INTEGER"
+
+
+class TestNameMapEdgeCases:
+    def test_empty(self):
+        assert build_name_map([]) == {}
+
+    def test_non_identifier_sanitized(self):
+        names = build_name_map([var(1, "col 1")])
+        assert names[1].isidentifier()
+
+    def test_same_var_seen_twice(self):
+        v = var(1, "a")
+        names = build_name_map([v, v, v])
+        assert names == {1: "a"}

@@ -1,0 +1,134 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.common.errors import SqlSyntaxError
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)[:-1]]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_are_case_insensitive(self):
+        tokens = tokenize("select SELECT SeLeCt")
+        assert all(t.is_keyword("SELECT") for t in tokens[:-1])
+
+    def test_identifier(self):
+        token = tokenize("my_table")[0]
+        assert token.type is TokenType.IDENT
+        assert token.value == "my_table"
+
+    def test_identifier_keeps_case(self):
+        assert tokenize("MyTable")[0].value == "MyTable"
+
+    def test_integer_literal(self):
+        token = tokenize("42")[0]
+        assert token.type is TokenType.NUMBER
+        assert token.value == "42"
+
+    def test_decimal_literal(self):
+        assert tokenize("0.5")[0].value == "0.5"
+
+    def test_leading_dot_number(self):
+        assert tokenize(".25")[0].value == ".25"
+
+    def test_qualified_name_is_three_tokens(self):
+        assert values("a.b") == ["a", ".", "b"]
+
+    def test_number_then_qualifier_dot(self):
+        # "1.e" should not swallow the dot into the number.
+        tokens = tokenize("x.y.z")
+        assert [t.value for t in tokens[:-1]] == ["x", ".", "y", ".", "z"]
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+
+class TestStrings:
+    def test_simple_string(self):
+        token = tokenize("'hello'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "hello"
+
+    def test_escaped_quote(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].value == ""
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_string_keeps_case_and_spaces(self):
+        assert tokenize("'Hello World'")[0].value == "Hello World"
+
+
+class TestQuotedIdentifiers:
+    def test_bracketed_identifier(self):
+        token = tokenize("[tpch table]")[0]
+        assert token.type is TokenType.IDENT
+        assert token.value == "tpch table"
+
+    def test_double_quoted_identifier(self):
+        assert tokenize('"Weird Name"')[0].value == "Weird Name"
+
+    def test_unterminated_bracket_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("[oops")
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["<=", ">=", "<>", "!=", "||"])
+    def test_two_char_operators(self, op):
+        token = tokenize(op)[0]
+        assert token.type is TokenType.OPERATOR
+        assert token.value == op
+
+    def test_all_single_char_operators(self):
+        text = "+ - * / % ( ) , . = < > ;"
+        assert values(text) == text.split()
+
+    def test_comparison_not_split(self):
+        assert values("a<=b") == ["a", "<=", "b"]
+
+
+class TestCommentsAndErrors:
+    def test_line_comment_skipped(self):
+        assert values("a -- comment here\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert values("a /* multi\nline */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("a /* never closed")
+
+    def test_unexpected_character_raises_with_position(self):
+        with pytest.raises(SqlSyntaxError) as info:
+            tokenize("select @")
+        assert info.value.column == 8
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("a\nb\n  c")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+        assert tokens[2].column == 3
+
+
+class TestTokenHelpers:
+    def test_is_keyword_multiple(self):
+        token = tokenize("FROM")[0]
+        assert token.is_keyword("SELECT", "FROM")
+        assert not token.is_keyword("WHERE")
+
+    def test_ident_is_not_keyword(self):
+        assert not tokenize("frombar")[0].is_keyword("FROM")
+
+    def test_str_repr(self):
+        assert "SELECT" in str(tokenize("select")[0])

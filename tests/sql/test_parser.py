@@ -1,0 +1,304 @@
+"""Parser unit tests: clause coverage, precedence, subqueries, errors."""
+
+import pytest
+
+from repro.common.errors import SqlSyntaxError
+from repro.sql import ast_nodes as ast
+from repro.sql.parser import parse, parse_expression, parse_select
+
+
+class TestSelectClauses:
+    def test_minimal_select(self):
+        stmt = parse_select("SELECT a FROM t")
+        assert len(stmt.select_items) == 1
+        assert isinstance(stmt.from_items[0], ast.TableRef)
+
+    def test_select_star(self):
+        stmt = parse_select("SELECT * FROM t")
+        assert isinstance(stmt.select_items[0].expr, ast.Star)
+
+    def test_qualified_star(self):
+        stmt = parse_select("SELECT t.* FROM t")
+        assert stmt.select_items[0].expr.qualifier == "t"
+
+    def test_alias_with_as(self):
+        stmt = parse_select("SELECT a AS x FROM t")
+        assert stmt.select_items[0].alias == "x"
+
+    def test_alias_without_as(self):
+        stmt = parse_select("SELECT a x FROM t")
+        assert stmt.select_items[0].alias == "x"
+
+    def test_distinct(self):
+        assert parse_select("SELECT DISTINCT a FROM t").distinct
+
+    def test_top(self):
+        assert parse_select("SELECT TOP 5 a FROM t").limit == 5
+
+    def test_limit(self):
+        assert parse_select("SELECT a FROM t LIMIT 7").limit == 7
+
+    def test_where(self):
+        stmt = parse_select("SELECT a FROM t WHERE a > 1")
+        assert isinstance(stmt.where, ast.BinaryOp)
+
+    def test_group_by_multiple(self):
+        stmt = parse_select("SELECT a, b FROM t GROUP BY a, b")
+        assert len(stmt.group_by) == 2
+
+    def test_having(self):
+        stmt = parse_select(
+            "SELECT a, SUM(b) FROM t GROUP BY a HAVING SUM(b) > 10")
+        assert stmt.having is not None
+
+    def test_order_by_directions(self):
+        stmt = parse_select("SELECT a, b FROM t ORDER BY a DESC, b ASC, a")
+        assert [o.ascending for o in stmt.order_by] == [False, True, True]
+
+    def test_comma_join_list(self):
+        stmt = parse_select("SELECT a FROM t, u, v")
+        assert len(stmt.from_items) == 3
+
+    def test_trailing_semicolon_ok(self):
+        assert parse("SELECT a FROM t;")
+
+    def test_qualified_table_name_collapses(self):
+        stmt = parse_select("SELECT a FROM [tpch].[dbo].[orders]")
+        assert stmt.from_items[0].name == "orders"
+
+
+class TestJoins:
+    def test_inner_join(self):
+        stmt = parse_select("SELECT a FROM t JOIN u ON t.a = u.b")
+        join = stmt.from_items[0]
+        assert isinstance(join, ast.JoinClause)
+        assert join.kind == "INNER"
+
+    def test_explicit_inner(self):
+        join = parse_select(
+            "SELECT a FROM t INNER JOIN u ON t.a = u.b").from_items[0]
+        assert join.kind == "INNER"
+
+    def test_left_outer(self):
+        join = parse_select(
+            "SELECT a FROM t LEFT OUTER JOIN u ON t.a = u.b").from_items[0]
+        assert join.kind == "LEFT"
+
+    def test_cross_join_has_no_condition(self):
+        join = parse_select("SELECT a FROM t CROSS JOIN u").from_items[0]
+        assert join.kind == "CROSS"
+        assert join.condition is None
+
+    def test_chained_joins_left_associative(self):
+        join = parse_select(
+            "SELECT a FROM t JOIN u ON t.a = u.a JOIN v ON u.b = v.b"
+        ).from_items[0]
+        assert isinstance(join.left, ast.JoinClause)
+        assert isinstance(join.right, ast.TableRef)
+
+    def test_derived_table_requires_alias(self):
+        stmt = parse_select("SELECT x FROM (SELECT a AS x FROM t) AS d")
+        derived = stmt.from_items[0]
+        assert isinstance(derived, ast.DerivedTable)
+        assert derived.alias == "d"
+
+    def test_join_missing_on_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT a FROM t JOIN u")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_and_over_or(self):
+        expr = parse_expression("a OR b AND c")
+        assert expr.op == "OR"
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_not_binds_tighter_than_and(self):
+        expr = parse_expression("NOT a AND b")
+        assert expr.op == "AND"
+        assert isinstance(expr.left, ast.UnaryOp)
+
+    def test_comparison_chain_not_allowed_as_chain(self):
+        expr = parse_expression("a < b")
+        assert expr.op == "<"
+
+    def test_neq_normalized(self):
+        assert parse_expression("a != b").op == "<>"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-a")
+        assert isinstance(expr, ast.UnaryOp)
+
+    def test_between(self):
+        expr = parse_expression("a BETWEEN 1 AND 5")
+        assert isinstance(expr, ast.Between)
+
+    def test_not_between(self):
+        assert parse_expression("a NOT BETWEEN 1 AND 5").negated
+
+    def test_like(self):
+        expr = parse_expression("name LIKE 'forest%'")
+        assert isinstance(expr, ast.Like)
+
+    def test_in_list(self):
+        expr = parse_expression("x IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.values) == 3
+
+    def test_not_in_list(self):
+        assert parse_expression("x NOT IN (1)").negated
+
+    def test_is_null(self):
+        assert isinstance(parse_expression("x IS NULL"), ast.IsNull)
+
+    def test_is_not_null(self):
+        assert parse_expression("x IS NOT NULL").negated
+
+    def test_case_expression(self):
+        expr = parse_expression(
+            "CASE WHEN a = 1 THEN 'one' WHEN a = 2 THEN 'two' "
+            "ELSE 'many' END")
+        assert isinstance(expr, ast.CaseExpr)
+        assert len(expr.whens) == 2
+        assert expr.else_result is not None
+
+    def test_case_without_else(self):
+        expr = parse_expression("CASE WHEN a = 1 THEN 1 END")
+        assert expr.else_result is None
+
+    def test_case_without_when_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_expression("CASE END")
+
+    def test_cast(self):
+        expr = parse_expression("CAST(a AS DECIMAL(10, 2))")
+        assert isinstance(expr, ast.Cast)
+        assert expr.type_name == "DECIMAL(10, 2)"
+
+    def test_date_literal(self):
+        expr = parse_expression("DATE '1994-01-01'")
+        assert isinstance(expr, ast.Literal)
+        assert expr.is_date
+
+    def test_dateadd(self):
+        expr = parse_expression("DATEADD(year, 1, DATE '1994-01-01')")
+        assert isinstance(expr, ast.FuncCall)
+        assert expr.args[0].value == "year"
+
+    def test_string_concat(self):
+        assert parse_expression("a || b").op == "||"
+
+    def test_null_literal(self):
+        assert parse_expression("NULL").value is None
+
+    def test_boolean_literals(self):
+        assert parse_expression("TRUE").value is True
+        assert parse_expression("FALSE").value is False
+
+
+class TestAggregates:
+    def test_count_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert isinstance(expr.args[0], ast.Star)
+
+    def test_count_distinct(self):
+        expr = parse_expression("COUNT(DISTINCT a)")
+        assert expr.distinct
+
+    @pytest.mark.parametrize("func", ["SUM", "AVG", "MIN", "MAX"])
+    def test_aggregate_functions(self, func):
+        expr = parse_expression(f"{func}(a)")
+        assert expr.is_aggregate
+        assert expr.name == func
+
+
+class TestSubqueries:
+    def test_in_subquery(self):
+        stmt = parse_select(
+            "SELECT a FROM t WHERE a IN (SELECT b FROM u)")
+        assert isinstance(stmt.where, ast.InSubquery)
+
+    def test_not_in_subquery(self):
+        stmt = parse_select(
+            "SELECT a FROM t WHERE a NOT IN (SELECT b FROM u)")
+        assert stmt.where.negated
+
+    def test_exists(self):
+        stmt = parse_select(
+            "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.b = t.a)")
+        assert isinstance(stmt.where, ast.ExistsExpr)
+
+    def test_scalar_subquery_in_comparison(self):
+        stmt = parse_select(
+            "SELECT a FROM t WHERE a > (SELECT MAX(b) FROM u)")
+        assert isinstance(stmt.where.right, ast.ScalarSubquery)
+
+    def test_nested_subqueries(self):
+        stmt = parse_select(
+            "SELECT a FROM t WHERE a IN "
+            "(SELECT b FROM u WHERE b IN (SELECT c FROM v))")
+        inner = stmt.where.subquery.where
+        assert isinstance(inner, ast.InSubquery)
+
+
+class TestOtherStatements:
+    def test_create_table(self):
+        stmt = parse("CREATE TABLE temp1 (a INTEGER, b VARCHAR(10))")
+        assert isinstance(stmt, ast.CreateTableStatement)
+        assert [c.name for c in stmt.columns] == ["a", "b"]
+
+    def test_insert_values(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, ast.InsertStatement)
+        assert len(stmt.values) == 2
+
+    def test_insert_select(self):
+        stmt = parse("INSERT INTO t SELECT a, b FROM u")
+        assert stmt.select is not None
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "SELECT",
+        "SELECT FROM t",
+        "SELECT a FROM",
+        "SELECT a FROM t WHERE",
+        "SELECT a FROM t GROUP",
+        "SELECT a FROM t ORDER a",
+        "FROB x",
+        "SELECT a FROM t extra garbage here",
+        "SELECT a, FROM t",
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(SqlSyntaxError):
+            parse(bad)
+
+    def test_parse_select_rejects_create(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("CREATE TABLE t (a INTEGER)")
+
+
+class TestRoundTrip:
+    QUERIES = [
+        "SELECT a FROM t",
+        "SELECT DISTINCT a, b AS x FROM t WHERE (a > 1) ORDER BY a ASC",
+        "SELECT a FROM t AS x INNER JOIN u AS y ON (x.a = y.b)",
+        "SELECT a, SUM(b) AS s FROM t GROUP BY a HAVING (SUM(b) > 3)",
+        "SELECT a FROM t WHERE (a IN (SELECT b FROM u))",
+        "SELECT a FROM t WHERE (EXISTS (SELECT 1 FROM u WHERE (u.b = t.a)))",
+        "SELECT CASE WHEN (a = 1) THEN 'x' ELSE 'y' END AS c FROM t",
+    ]
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_to_sql_reparses_to_same_text(self, sql):
+        once = parse(sql).to_sql()
+        twice = parse(once).to_sql()
+        assert once == twice

@@ -1,0 +1,91 @@
+"""Property-based round-trip tests: generated ASTs survive
+``to_sql`` → ``parse`` → ``to_sql`` unchanged."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import ast_nodes as ast
+from repro.sql.parser import parse_expression, parse_select
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s.upper() not in __import__(
+        "repro.sql.lexer", fromlist=["KEYWORDS"]).KEYWORDS
+)
+
+literals = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6).map(ast.Literal),
+    st.floats(min_value=0.001, max_value=10**6,
+              allow_nan=False).map(lambda f: ast.Literal(round(f, 4))),
+    st.text(alphabet="abcXYZ '", min_size=0, max_size=8).map(ast.Literal),
+    st.just(ast.Literal(None)),
+    st.booleans().map(ast.Literal),
+)
+
+
+def columns():
+    return st.one_of(
+        identifiers.map(ast.ColumnRef),
+        st.tuples(identifiers, identifiers).map(
+            lambda pair: ast.ColumnRef(pair[0], pair[1])),
+    )
+
+
+def expressions(depth=3):
+    base = st.one_of(literals, columns())
+    if depth == 0:
+        return base
+    sub = expressions(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(st.sampled_from(["+", "-", "*", "/"]), sub, sub).map(
+            lambda t: ast.BinaryOp(t[0], t[1], t[2])),
+        st.tuples(st.sampled_from(["=", "<>", "<", "<=", ">", ">="]),
+                  sub, sub).map(lambda t: ast.BinaryOp(t[0], t[1], t[2])),
+        st.tuples(st.sampled_from(["AND", "OR"]), sub, sub).map(
+            lambda t: ast.BinaryOp(t[0], t[1], t[2])),
+        sub.map(lambda e: ast.UnaryOp("NOT", e)),
+        st.tuples(sub, sub, sub).map(
+            lambda t: ast.Between(t[0], t[1], t[2])),
+        sub.map(lambda e: ast.IsNull(e)),
+    )
+
+
+@given(expressions())
+@settings(max_examples=200, deadline=None)
+def test_expression_roundtrip(expr):
+    sql = expr.to_sql()
+    reparsed = parse_expression(sql)
+    assert reparsed.to_sql() == sql
+
+
+@given(
+    items=st.lists(st.tuples(expressions(2), identifiers),
+                   min_size=1, max_size=4),
+    table=identifiers,
+    where=st.none() | expressions(2),
+    limit=st.none() | st.integers(min_value=1, max_value=100),
+)
+@settings(max_examples=100, deadline=None)
+def test_select_roundtrip(items, table, where, limit):
+    stmt = ast.SelectStatement(
+        select_items=[ast.SelectItem(e, alias) for e, alias in items],
+        from_items=[ast.TableRef(table)],
+        where=where,
+        limit=limit,
+    )
+    sql = stmt.to_sql()
+    assert parse_select(sql).to_sql() == sql
+
+
+@given(st.lists(
+    st.tuples(identifiers,
+              st.sampled_from(["INTEGER", "BIGINT", "DATE",
+                               "VARCHAR(12)", "DECIMAL(10, 2)"])),
+    min_size=1, max_size=5, unique_by=lambda t: t[0]))
+@settings(max_examples=50, deadline=None)
+def test_create_table_roundtrip(cols):
+    stmt = ast.CreateTableStatement(
+        "temp_x", [ast.ColumnDef(n, t) for n, t in cols])
+    sql = stmt.to_sql()
+    from repro.sql.parser import parse
+    assert parse(sql).to_sql() == sql

@@ -1,0 +1,104 @@
+"""TPC-H workload tests: schema, generator determinism, placement."""
+
+import pytest
+
+from repro.catalog.schema import DistributionKind
+from repro.workloads.tpch_datagen import TpchGenerator, build_tpch_appliance
+from repro.workloads.tpch_queries import TPCH_QUERIES, query_names
+from repro.workloads.tpch_schema import (
+    SF1_ROW_COUNTS,
+    scaled_row_count,
+    tpch_tables,
+)
+
+
+class TestSchema:
+    def test_eight_tables(self):
+        assert len(tpch_tables()) == 8
+
+    def test_paper_distribution_design(self):
+        tables = {t.name: t for t in tpch_tables()}
+        assert tables["customer"].distribution.columns == ("c_custkey",)
+        assert tables["orders"].distribution.columns == ("o_orderkey",)
+        assert tables["lineitem"].distribution.columns == ("l_orderkey",)
+        assert tables["partsupp"].distribution.columns == ("ps_partkey",)
+        assert tables["part"].distribution.columns == ("p_partkey",)
+        assert tables["supplier"].distribution.kind is \
+            DistributionKind.REPLICATED
+        assert tables["nation"].distribution.kind is \
+            DistributionKind.REPLICATED
+
+    def test_scaling_keeps_dimensions_fixed(self):
+        assert scaled_row_count("nation", 0.001) == 25
+        assert scaled_row_count("region", 0.001) == 5
+
+    def test_scaling_is_linear(self):
+        assert scaled_row_count("orders", 0.01) == \
+            SF1_ROW_COUNTS["orders"] // 100
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = TpchGenerator(scale=0.001, seed=1).customer_rows()
+        b = TpchGenerator(scale=0.001, seed=1).customer_rows()
+        assert a == b
+
+    def test_seed_changes_data(self):
+        a = TpchGenerator(scale=0.001, seed=1).orders_rows()
+        b = TpchGenerator(scale=0.001, seed=2).orders_rows()
+        assert a != b
+
+    def test_orders_reference_valid_customers(self):
+        generator = TpchGenerator(scale=0.001)
+        customers = generator.counts["customer"]
+        for order in generator.orders_rows():
+            assert 1 <= order[1] <= customers
+
+    def test_lineitems_match_partsupp_pairs(self):
+        generator = TpchGenerator(scale=0.001)
+        pairs = {(ps[0], ps[1]) for ps in generator.partsupp_rows()}
+        orders = generator.orders_rows()
+        for line in generator.lineitem_rows(orders[:50]):
+            assert (line[1], line[2]) in pairs
+
+    def test_forest_parts_exist_at_scale(self):
+        generator = TpchGenerator(scale=0.01)
+        names = [row[1] for row in generator.part_rows()]
+        assert any("forest" in n for n in names)
+
+    def test_dates_in_spec_range(self):
+        import datetime
+        generator = TpchGenerator(scale=0.001)
+        for order in generator.orders_rows():
+            assert datetime.date(1992, 1, 1) <= order[4] \
+                <= datetime.date(1998, 12, 31)
+
+
+class TestApplianceBuild:
+    def test_build_returns_consistent_shell(self, tpch):
+        appliance, shell = tpch
+        assert shell.node_count == appliance.node_count
+        for table in shell.tables():
+            assert table.row_count == len(
+                appliance.table_rows_everywhere(table.name))
+
+    def test_stats_present_for_all_columns(self, tpch):
+        _, shell = tpch
+        for table in shell.tables():
+            for column in table.columns:
+                assert shell.has_column_stats(table.name, column.name)
+
+
+class TestQueries:
+    def test_fifteen_queries(self):
+        assert len(query_names()) == 15
+
+    @pytest.mark.parametrize("name", query_names())
+    def test_queries_parse(self, name):
+        from repro.sql.parser import parse_select
+        parse_select(TPCH_QUERIES[name])
+
+    @pytest.mark.parametrize("name", query_names())
+    def test_queries_compile(self, name, tpch_engine):
+        compiled = tpch_engine.compile(TPCH_QUERIES[name])
+        assert compiled.dsql_plan.steps
