@@ -21,7 +21,24 @@ a simulated appliance:
 * :mod:`repro.workloads` — TPC-H schema/generator/queries with the
   paper's placement design.
 
-Quickstart::
+Quickstart — the recommended front door is :class:`repro.session.PdwSession`,
+which owns the appliance, shell database, engine and telemetry tracer::
+
+    from repro import PdwSession
+
+    session = PdwSession(scale=0.01, node_count=8)
+    print(session.explain("SELECT COUNT(*) AS n FROM lineitem",
+                          analyze=True))   # EXPLAIN ANALYZE table
+    result = session.run("SELECT n_name FROM nation ORDER BY n_name")
+    print(result.rows, result.dms_seconds)
+    print(session.trace_report())          # nested span tree
+
+**Which API do I want?**  Use :class:`PdwSession` when you want the whole
+pipeline with sane defaults and telemetry.  Drop to the low-level pieces —
+:class:`PdwEngine` (compile SQL against a shell database you built
+yourself) and :class:`DsqlRunner` (execute a DSQL plan on an appliance) —
+when you need custom schemas, configs, or to hold the intermediate
+artifacts::
 
     from repro import PdwEngine, DsqlRunner, build_tpch_appliance
 
@@ -60,6 +77,8 @@ from repro.pdw.baseline import parallelize_serial_plan
 from repro.pdw.cost_model import CostConstants, DmsCostModel
 from repro.pdw.engine import CompiledQuery, PdwEngine
 from repro.pdw.enumerator import PdwConfig, PdwOptimizer, PdwPlan
+from repro.session import PdwSession, StepAnalysis
+from repro.telemetry import NULL_TRACER, Span, Tracer
 from repro.workloads.tpch_datagen import build_tpch_appliance
 from repro.workloads.tpch_queries import TPCH_QUERIES
 
@@ -80,6 +99,7 @@ __all__ = [
     "DmsRuntime",
     "DsqlRunner",
     "GroundTruthConstants",
+    "NULL_TRACER",
     "ON_CONTROL",
     "OptimizationResult",
     "OptimizerConfig",
@@ -87,11 +107,15 @@ __all__ = [
     "PdwEngine",
     "PdwOptimizer",
     "PdwPlan",
+    "PdwSession",
     "QueryResult",
     "REPLICATED",
     "SerialOptimizer",
     "ShellDatabase",
+    "Span",
+    "StepAnalysis",
     "TableDef",
+    "Tracer",
     "TPCH_QUERIES",
     "build_tpch_appliance",
     "hash_distributed",

@@ -2,13 +2,17 @@
 TPC-H appliance.
 
     python -m repro explain "SELECT COUNT(*) AS n FROM lineitem"
+    python -m repro explain --analyze "SELECT COUNT(*) AS n FROM lineitem"
     python -m repro run "SELECT n_name FROM nation ORDER BY n_name LIMIT 5"
     python -m repro memo "SELECT c_name FROM customer WHERE c_custkey < 10"
+    python -m repro stats "SELECT COUNT(*) AS n FROM lineitem"
     python -m repro calibrate --nodes 8
 
 Options ``--scale`` and ``--nodes`` size the appliance (defaults: scale
-0.002, 8 nodes).  The appliance is regenerated deterministically on every
-invocation, so results are reproducible.
+0.002, 8 nodes).  ``--trace`` appends the nested telemetry span tree
+(parse → serial → XML → PDW → DSQL → execute) to any command's output.
+The appliance is regenerated deterministically on every invocation, so
+results are reproducible.
 """
 
 from __future__ import annotations
@@ -17,13 +21,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro import (
-    Calibrator,
-    DsqlRunner,
-    GroundTruthConstants,
-    PdwEngine,
-    build_tpch_appliance,
-)
+from repro import Calibrator, GroundTruthConstants, PdwSession
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -34,11 +32,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="TPC-H scale factor (default 0.002)")
     parser.add_argument("--nodes", type=int, default=8,
                         help="compute node count (default 8)")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the telemetry span tree afterwards")
     sub = parser.add_subparsers(dest="command", required=True)
 
     explain = sub.add_parser(
         "explain", help="compile a query and show plan + DSQL steps")
     explain.add_argument("sql")
+    explain.add_argument("--analyze", action="store_true",
+                         help="execute the plan and show estimated vs. "
+                              "actual rows/bytes/time per DSQL step")
+    explain.add_argument("--verbose", action="store_true",
+                         help="include memo/pruning compilation counters")
 
     run = sub.add_parser(
         "run", help="compile, execute on the appliance, print rows")
@@ -49,6 +54,10 @@ def build_parser() -> argparse.ArgumentParser:
     memo = sub.add_parser(
         "memo", help="show the serial MEMO the PDW side consumes")
     memo.add_argument("sql")
+
+    stats = sub.add_parser(
+        "stats", help="compile a query and print phase timings + counters")
+    stats.add_argument("sql")
 
     sub.add_parser(
         "calibrate", help="run the lambda calibration (paper 3.3.3)")
@@ -76,30 +85,36 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {label:<14} {fitted:.3e}  (truth {target:.3e})")
         return 0
 
-    appliance, shell = build_tpch_appliance(scale=args.scale,
-                                            node_count=args.nodes)
-    engine = PdwEngine(shell)
-    compiled = engine.compile(args.sql)
+    session = PdwSession(args.sql, scale=args.scale, node_count=args.nodes)
 
     if args.command == "memo":
+        compiled = session.compile()
         print(compiled.serial.memo.dump(compiled.serial.root_group))
-        return 0
 
-    if args.command == "explain":
-        print(compiled.explain())
-        return 0
+    elif args.command == "explain":
+        print(session.explain(analyze=args.analyze, verbose=args.verbose))
 
-    # run
-    result = DsqlRunner(appliance).run(compiled.dsql_plan)
-    print(" | ".join(result.columns))
-    for row in result.rows[:args.max_rows]:
-        print(" | ".join(str(value) for value in row))
-    if len(result.rows) > args.max_rows:
-        print(f"... {len(result.rows) - args.max_rows} more rows")
-    print(f"-- {len(result.rows)} rows, "
-          f"{result.elapsed_seconds * 1e3:.3f} ms simulated "
-          f"({result.dms_seconds * 1e3:.3f} ms data movement), "
-          f"{len(compiled.dsql_plan.steps)} DSQL steps")
+    elif args.command == "stats":
+        session.compile()
+        print(session.stats_report())
+
+    else:  # run
+        compiled = session.compile()
+        result = session.runner.run(compiled.dsql_plan)
+        print(" | ".join(result.columns))
+        for row in result.rows[:args.max_rows]:
+            print(" | ".join(str(value) for value in row))
+        if len(result.rows) > args.max_rows:
+            print(f"... {len(result.rows) - args.max_rows} more rows")
+        print(f"-- {len(result.rows)} rows, "
+              f"{result.elapsed_seconds * 1e3:.3f} ms simulated "
+              f"({result.dms_seconds * 1e3:.3f} ms data movement), "
+              f"{len(compiled.dsql_plan.steps)} DSQL steps")
+
+    if args.trace:
+        print()
+        print("Telemetry spans:")
+        print(session.trace_report())
     return 0
 
 

@@ -32,6 +32,7 @@ from repro.optimizer.binder import Binder
 from repro.pdw.dms import DmsOperation
 from repro.pdw.dsql import DsqlStep
 from repro.sql.parser import parse_query
+from repro.telemetry import NULL_TRACER, Tracer
 
 
 @dataclass(frozen=True)
@@ -91,9 +92,29 @@ class DmsRuntime:
     """Executes DSQL steps against an :class:`Appliance`."""
 
     def __init__(self, appliance: Appliance,
-                 truth: Optional[GroundTruthConstants] = None):
+                 truth: Optional[GroundTruthConstants] = None,
+                 tracer: Tracer = NULL_TRACER):
         self.appliance = appliance
         self.truth = truth or GroundTruthConstants()
+        self.tracer = tracer
+
+    def _record_movement(self, stats: StepExecutionStats,
+                         operation: Optional[DmsOperation]) -> None:
+        """Aggregate per-operation-kind byte/row/time counters."""
+        tracer = self.tracer
+        if not tracer.enabled:
+            return
+        kind = operation.value if operation is not None else "return"
+        # DMS steps read every moved row on the source side; the Return
+        # step only ships network bytes up to the control node.
+        moved = (stats.total_bytes() if operation is not None
+                 else sum(stats.network_bytes.values()))
+        tracer.count("dms.rows_moved", stats.rows_moved)
+        tracer.count("dms.bytes_moved", moved)
+        tracer.count("dms.seconds", stats.movement_seconds)
+        tracer.count(f"dms.rows.{kind}", stats.rows_moved)
+        tracer.count(f"dms.bytes.{kind}", moved)
+        tracer.count(f"dms.seconds.{kind}", stats.movement_seconds)
 
     # -- node-local SQL ------------------------------------------------------------
 
@@ -174,6 +195,7 @@ class DmsRuntime:
             stats.relational_rows * self.truth.relational_per_row)
         stats.elapsed_seconds = (stats.movement_seconds
                                  + stats.relational_seconds)
+        self._record_movement(stats, movement.operation)
         return stats
 
     def _route(self, operation: DmsOperation, row: Tuple,
@@ -222,4 +244,5 @@ class DmsRuntime:
         stats.elapsed_seconds = (stats.movement_seconds
                                  + stats.relational_seconds)
         stats.rows_moved = len(rows)
+        self._record_movement(stats, None)
         return rows, names, stats

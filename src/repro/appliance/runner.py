@@ -28,6 +28,7 @@ from repro.optimizer.binder import Binder
 from repro.optimizer.normalize import normalize
 from repro.pdw.dsql import DsqlPlan, StepKind
 from repro.sql.parser import parse_query
+from repro.telemetry import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -62,23 +63,35 @@ class DsqlRunner:
     """Executes DSQL plans serially, one step at a time (§2.4)."""
 
     def __init__(self, appliance: Appliance,
-                 truth: Optional[GroundTruthConstants] = None):
+                 truth: Optional[GroundTruthConstants] = None,
+                 tracer: Tracer = NULL_TRACER):
         self.appliance = appliance
-        self.runtime = DmsRuntime(appliance, truth)
+        self.tracer = tracer
+        self.runtime = DmsRuntime(appliance, truth, tracer)
 
     def run(self, plan: DsqlPlan, keep_temps: bool = False) -> QueryResult:
         stats: List[StepExecutionStats] = []
         rows: List[Tuple] = []
         names: List[str] = list(plan.output_names)
+        tracer = self.tracer
         try:
-            for step in plan.steps:
-                if step.kind is StepKind.DMS:
-                    stats.append(self.runtime.execute_movement(step))
-                else:
-                    rows, names, return_stats = \
-                        self.runtime.execute_return(step)
-                    stats.append(return_stats)
-            rows = self._finalize(plan, names, rows)
+            with tracer.span("execute"):
+                for step in plan.steps:
+                    label = (f"step{step.index}."
+                             + (step.movement.operation.value
+                                if step.movement else "return"))
+                    with tracer.span(label) as span:
+                        if step.kind is StepKind.DMS:
+                            step_stats = self.runtime.execute_movement(step)
+                        else:
+                            rows, names, step_stats = \
+                                self.runtime.execute_return(step)
+                        stats.append(step_stats)
+                        if tracer.enabled:
+                            span.set("rows", step_stats.rows_moved)
+                            span.set("simulated_seconds",
+                                     step_stats.elapsed_seconds)
+                rows = self._finalize(plan, names, rows)
         finally:
             if not keep_temps:
                 self.appliance.drop_temp_tables()

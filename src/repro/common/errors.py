@@ -44,6 +44,12 @@ class PdwOptimizerError(ReproError):
     """The PDW-side optimizer could not produce a distributed plan."""
 
 
+class HintError(PdwOptimizerError):
+    """A §3.1 distributed-execution hint is invalid: it names a table the
+    shell database does not know, or a strategy other than ``'replicate'``
+    / ``'shuffle'``."""
+
+
 class ExecutionError(ReproError):
     """A DSQL step failed while executing on the simulated appliance."""
 

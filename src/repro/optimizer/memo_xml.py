@@ -44,6 +44,7 @@ from repro.common.errors import OptimizerError
 from repro.common.types import SqlType, TypeKind
 from repro.optimizer.cardinality import StatsContext
 from repro.optimizer.memo import Group, GroupExpression, Memo
+from repro.telemetry import NULL_TRACER, Tracer
 
 
 # ---------------------------------------------------------------------------
@@ -256,8 +257,20 @@ def expr_from_element(element: ET.Element,
 # ---------------------------------------------------------------------------
 
 def memo_to_xml(memo: Memo, root_group: int,
-                stats: StatsContext) -> str:
+                stats: StatsContext,
+                tracer: Tracer = NULL_TRACER) -> str:
     """Encode the MEMO as the XML document PDW consumes."""
+    with tracer.span("xml.serialize") as span:
+        text = _memo_to_xml(memo, root_group, stats)
+        if tracer.enabled:
+            size = len(text.encode("utf-8"))
+            span.set("bytes", size)
+            tracer.count("xml.serialized_bytes", size)
+    return text
+
+
+def _memo_to_xml(memo: Memo, root_group: int,
+                 stats: StatsContext) -> str:
     document = ET.Element("memo")
     document.set("root", str(memo.find(root_group)))
 
@@ -437,9 +450,21 @@ class ParsedMemo:
         self.stats = stats
 
 
-def memo_from_xml(xml_text: str, shell: ShellDatabase) -> ParsedMemo:
+def memo_from_xml(xml_text: str, shell: ShellDatabase,
+                  tracer: Tracer = NULL_TRACER) -> ParsedMemo:
     """Parse the XML search space back into a MEMO (PDW component 4's
     first step, Figure 4 line 01)."""
+    with tracer.span("xml.parse") as span:
+        parsed = _memo_from_xml(xml_text, shell)
+        if tracer.enabled:
+            size = len(xml_text.encode("utf-8"))
+            span.set("bytes", size)
+            span.set("groups", len(parsed.memo.canonical_groups()))
+            tracer.count("xml.parsed_bytes", size)
+    return parsed
+
+
+def _memo_from_xml(xml_text: str, shell: ShellDatabase) -> ParsedMemo:
     document = ET.fromstring(xml_text)
     root_group = int(document.get("root"))
 

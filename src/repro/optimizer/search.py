@@ -59,6 +59,7 @@ from repro.optimizer.implementation import implement_memo
 from repro.optimizer.memo import Group, GroupExpression, Memo
 from repro.optimizer.normalize import normalize
 from repro.sql.parser import parse_query
+from repro.telemetry import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -96,20 +97,27 @@ class SerialOptimizer:
     """Normalize → memoize → explore → implement → cost."""
 
     def __init__(self, shell: ShellDatabase,
-                 config: Optional[OptimizerConfig] = None):
+                 config: Optional[OptimizerConfig] = None,
+                 tracer: Tracer = NULL_TRACER):
         self.shell = shell
         self.config = config or OptimizerConfig()
+        self.tracer = tracer
 
     # -- public API -----------------------------------------------------------
 
     def optimize_sql(self, sql: str, extract_serial: bool = True
                      ) -> OptimizationResult:
-        query = Binder(self.shell.catalog).bind(parse_query(sql))
+        with self.tracer.span("parse"):
+            statement = parse_query(sql)
+        with self.tracer.span("bind"):
+            query = Binder(self.shell.catalog).bind(statement)
         return self.optimize_query(query, extract_serial)
 
     def optimize_query(self, query: Query, extract_serial: bool = True
                        ) -> OptimizationResult:
-        query = normalize(query)
+        tracer = self.tracer
+        with tracer.span("normalize"):
+            query = normalize(query)
         stats = StatsContext(self.shell)
         stats.register_tree(query.root)
         memo = Memo(stats)
@@ -118,12 +126,26 @@ class SerialOptimizer:
         equivalence = ColumnEquivalence()
         self._collect_equalities(query.root, equivalence)
 
-        self._explore_join_regions(memo, query.root, equivalence)
-        if self.config.enable_groupby_pushdown:
-            self._explore_groupby_pushdown(memo)
-        if self.config.enable_aggregate_split:
-            self._explore_aggregate_splits(memo)
-        implement_memo(memo)
+        with tracer.span("explore") as span:
+            self._explore_join_regions(memo, query.root, equivalence)
+            if self.config.enable_groupby_pushdown:
+                self._explore_groupby_pushdown(memo)
+            if self.config.enable_aggregate_split:
+                self._explore_aggregate_splits(memo)
+            if tracer.enabled:
+                span.set("groups", len(memo.canonical_groups()))
+                span.set("logical_expressions",
+                         memo.expression_count(logical_only=True))
+        with tracer.span("implement"):
+            implement_memo(memo)
+        if tracer.enabled:
+            groups = len(memo.canonical_groups())
+            expressions = memo.expression_count()
+            logical = memo.expression_count(logical_only=True)
+            tracer.count("serial.memo.groups", groups)
+            tracer.count("serial.memo.expressions.logical", logical)
+            tracer.count("serial.memo.expressions.physical",
+                         expressions - logical)
 
         result = OptimizationResult(
             query=query,
@@ -133,8 +155,9 @@ class SerialOptimizer:
             equivalence=equivalence,
         )
         if extract_serial:
-            result.best_serial_plan = extract_best_serial_plan(
-                memo, result.root_group, self.config.cost_model)
+            with tracer.span("extract_serial"):
+                result.best_serial_plan = extract_best_serial_plan(
+                    memo, result.root_group, self.config.cost_model)
         return result
 
     # -- equivalence ----------------------------------------------------------

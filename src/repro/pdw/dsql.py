@@ -36,6 +36,7 @@ from repro.catalog.schema import (
 from repro.common.errors import PdwOptimizerError
 from repro.pdw.dms import DataMovement
 from repro.pdw.qrel import build_name_map, plan_fragment_to_sql
+from repro.telemetry import NULL_TRACER, Tracer
 
 
 class StepKind(enum.Enum):
@@ -55,6 +56,7 @@ class DsqlStep:
     destination_table: Optional[TableDef] = None
     hash_column: Optional[str] = None
     estimated_rows: float = 0.0
+    estimated_bytes: float = 0.0
     estimated_cost: float = 0.0
 
     def describe(self) -> str:
@@ -101,7 +103,26 @@ class DsqlGenerator:
                  order_by: Optional[List[Tuple[ex.ColumnVar, bool]]] = None,
                  limit: Optional[int] = None,
                  final_distribution: Optional[Distribution] = None,
-                 total_cost: float = 0.0) -> DsqlPlan:
+                 total_cost: float = 0.0,
+                 tracer: Tracer = NULL_TRACER) -> DsqlPlan:
+        with tracer.span("dsql.generate") as span:
+            result = self._generate(
+                plan, output_names, output_vars, order_by, limit,
+                final_distribution, total_cost)
+            if tracer.enabled:
+                span.set("steps", len(result.steps))
+                tracer.count("dsql.steps_emitted", len(result.steps))
+                tracer.count("dsql.dms_steps",
+                             len(result.movement_steps))
+        return result
+
+    def _generate(self, plan: PlanNode,
+                  output_names: List[str],
+                  output_vars: List[ex.ColumnVar],
+                  order_by: Optional[List[Tuple[ex.ColumnVar, bool]]],
+                  limit: Optional[int],
+                  final_distribution: Optional[Distribution],
+                  total_cost: float) -> DsqlPlan:
         plan = plan.clone_tree()  # cutting rewrites nodes in place
         name_map = self._name_map(plan)
         steps: List[DsqlStep] = []
@@ -119,6 +140,8 @@ class DsqlGenerator:
             kind=StepKind.RETURN,
             sql=final_sql,
             source_location=location,
+            estimated_rows=rewritten.cardinality,
+            estimated_bytes=rewritten.cardinality * rewritten.row_width,
         ))
         return DsqlPlan(
             steps=steps,
@@ -167,6 +190,7 @@ class DsqlGenerator:
             destination_table=temp_def,
             hash_column=hash_column,
             estimated_rows=node.cardinality,
+            estimated_bytes=node.cardinality * node.row_width,
             estimated_cost=max(0.0, node.cost - child.cost),
         ))
         get = LogicalGet(temp_def, list(child.output_columns),

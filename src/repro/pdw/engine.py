@@ -13,15 +13,22 @@
 The XML round-trip is performed for real on every compilation — the PDW
 optimizer only ever sees the search space through the same serialized
 interface the paper describes.
+
+Every phase reports spans and counters into the engine's
+:class:`repro.telemetry.Tracer` (default: the free no-op tracer); the
+counters accumulated during one compilation are snapshotted onto the
+returned :class:`CompiledQuery` so ``explain(verbose=True)`` can show the
+memo/pruning breakdown without the caller holding the tracer.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
 
 from repro.algebra.physical import PlanNode
 from repro.catalog.shell_db import ShellDatabase
+from repro.common.errors import HintError
 from repro.optimizer.memo import Memo
 from repro.optimizer.memo_xml import memo_from_xml, memo_to_xml
 from repro.optimizer.search import (
@@ -31,6 +38,9 @@ from repro.optimizer.search import (
 )
 from repro.pdw.dsql import DsqlGenerator, DsqlPlan
 from repro.pdw.enumerator import PdwConfig, PdwOptimizer, PdwPlan
+from repro.telemetry import NULL_TRACER, Tracer, counter_delta
+
+VALID_HINT_STRATEGIES = ("replicate", "shuffle")
 
 
 @dataclass
@@ -44,6 +54,7 @@ class CompiledQuery:
     pdw_root_group: int
     pdw_plan: PdwPlan
     dsql_plan: DsqlPlan
+    counters: Dict[str, float] = field(default_factory=dict)
 
     @property
     def plan_cost(self) -> float:
@@ -53,8 +64,13 @@ class CompiledQuery:
     def serial_plan(self) -> Optional[PlanNode]:
         return self.serial.best_serial_plan
 
-    def explain(self) -> str:
-        """Human-readable compilation summary."""
+    def explain(self, verbose: bool = False) -> str:
+        """Human-readable compilation summary.
+
+        With ``verbose=True`` the summary is extended with the search-space
+        and pruning counters of this compilation (memo sizes, alternatives
+        generated vs. retained, XML interface bytes).
+        """
         lines = [
             f"Query: {self.sql.strip()}",
             "",
@@ -66,7 +82,44 @@ class CompiledQuery:
             "DSQL plan:",
             self.dsql_plan.describe(),
         ]
+        if verbose:
+            lines += ["", "Compilation counters:"]
+            for name, value in sorted(self.compile_counters().items()):
+                rendered = (f"{value:.0f}" if value == int(value)
+                            else f"{value:.6g}")
+                lines.append(f"  {name:<36} {rendered}")
         return "\n".join(lines)
+
+    def compile_counters(self) -> Dict[str, float]:
+        """Search-space / pruning counters for this compilation.
+
+        Structural counts are derived from the compiled artifacts, so they
+        are available even when the engine ran with the no-op tracer;
+        tracer-recorded counters (per-property pruning, cost-model
+        invocations, phase extras) are merged in when present.
+        """
+        memo = self.pdw_memo
+        derived = {
+            "serial.memo.groups": float(len(memo.canonical_groups())),
+            "serial.memo.expressions.logical": float(
+                memo.expression_count(logical_only=True)),
+            "serial.memo.expressions.physical": float(
+                memo.expression_count()
+                - memo.expression_count(logical_only=True)),
+            "xml.serialized_bytes": float(
+                len(self.memo_xml.encode("utf-8"))),
+            "pdw.alternatives.generated": float(
+                self.pdw_plan.options_considered),
+            "pdw.alternatives.retained": float(
+                self.pdw_plan.options_retained),
+            "pdw.alternatives.pruned": float(
+                self.pdw_plan.options_considered
+                - self.pdw_plan.options_retained),
+            "dsql.steps_emitted": float(len(self.dsql_plan.steps)),
+            "dsql.dms_steps": float(len(self.dsql_plan.movement_steps)),
+        }
+        derived.update(self.counters)
+        return derived
 
 
 class PdwEngine:
@@ -74,10 +127,29 @@ class PdwEngine:
 
     def __init__(self, shell: ShellDatabase,
                  serial_config: Optional[OptimizerConfig] = None,
-                 pdw_config: Optional[PdwConfig] = None):
+                 pdw_config: Optional[PdwConfig] = None,
+                 tracer: Tracer = NULL_TRACER):
         self.shell = shell
-        self.serial_optimizer = SerialOptimizer(shell, serial_config)
+        self.tracer = tracer
+        self.serial_optimizer = SerialOptimizer(shell, serial_config,
+                                                tracer=tracer)
         self.pdw_config = pdw_config or PdwConfig()
+
+    def _validate_hints(self, hints: dict) -> Dict[str, str]:
+        """§3.1 hints must name known tables and known strategies."""
+        validated = {}
+        for name, strategy in hints.items():
+            lowered = name.lower()
+            if not self.shell.catalog.has_table(lowered):
+                raise HintError(
+                    f"hint names unknown table {name!r} "
+                    "(not in the shell database)")
+            if strategy not in VALID_HINT_STRATEGIES:
+                raise HintError(
+                    f"unknown hint strategy {strategy!r} for table "
+                    f"{name!r} (use 'replicate' or 'shuffle')")
+            validated[lowered] = strategy
+        return validated
 
     def compile(self, sql: str,
                 extract_serial: bool = True,
@@ -86,42 +158,58 @@ class PdwEngine:
 
         ``hints`` maps base-table names to a forced movement strategy
         ('replicate' or 'shuffle') for this query only — the paper's
-        §3.1 distributed-execution query hints.
+        §3.1 distributed-execution query hints.  Hints naming unknown
+        tables or strategies raise :class:`repro.common.errors.HintError`.
         """
-        # Components 1-2: parse, bind, serial optimization on the shell DB.
-        serial = self.serial_optimizer.optimize_sql(
-            sql, extract_serial=extract_serial)
-
-        # Component 3: export the search space as XML ...
-        xml_text = memo_to_xml(serial.memo, serial.root_group, serial.stats)
-        # ... and parse it back on the PDW side (component 4's memo parser).
-        parsed = memo_from_xml(xml_text, self.shell)
-
-        # Component 4: bottom-up PDW optimization.
+        tracer = self.tracer
+        counters_before = (tracer.counter_snapshot() if tracer.enabled
+                           else {})
         config = self.pdw_config
         if hints:
-            config = replace(config, hints={
-                name.lower(): strategy
-                for name, strategy in hints.items()
-            })
-        pdw_optimizer = PdwOptimizer(
-            parsed.memo, parsed.root_group,
-            node_count=self.shell.node_count,
-            config=config,
-        )
-        pdw_plan = pdw_optimizer.optimize()
+            config = replace(config, hints=self._validate_hints(hints))
 
-        # DSQL generation.
-        query = serial.query
-        dsql_plan = DsqlGenerator().generate(
-            pdw_plan.root,
-            output_names=query.output_names,
-            output_vars=query.output_columns(),
-            order_by=query.order_by or None,
-            limit=query.limit,
-            final_distribution=pdw_plan.distribution,
-            total_cost=pdw_plan.cost,
-        )
+        with tracer.span("compile") as compile_span:
+            # Components 1-2: parse, bind, serial optimization on the
+            # shell DB.
+            with tracer.span("serial"):
+                serial = self.serial_optimizer.optimize_sql(
+                    sql, extract_serial=extract_serial)
+
+            # Component 3: export the search space as XML ...
+            xml_text = memo_to_xml(serial.memo, serial.root_group,
+                                   serial.stats, tracer=tracer)
+            # ... and parse it back on the PDW side (component 4's memo
+            # parser).
+            parsed = memo_from_xml(xml_text, self.shell, tracer=tracer)
+
+            # Component 4: bottom-up PDW optimization.
+            with tracer.span("pdw.optimize"):
+                pdw_optimizer = PdwOptimizer(
+                    parsed.memo, parsed.root_group,
+                    node_count=self.shell.node_count,
+                    config=config,
+                    tracer=tracer,
+                )
+                pdw_plan = pdw_optimizer.optimize()
+
+            # DSQL generation.
+            query = serial.query
+            dsql_plan = DsqlGenerator().generate(
+                pdw_plan.root,
+                output_names=query.output_names,
+                output_vars=query.output_columns(),
+                order_by=query.order_by or None,
+                limit=query.limit,
+                final_distribution=pdw_plan.distribution,
+                total_cost=pdw_plan.cost,
+                tracer=tracer,
+            )
+            if tracer.enabled:
+                compile_span.set("dms_cost_seconds", pdw_plan.cost)
+
+        counters = (counter_delta(counters_before,
+                                  tracer.counter_snapshot())
+                    if tracer.enabled else {})
         return CompiledQuery(
             sql=sql,
             serial=serial,
@@ -130,4 +218,5 @@ class PdwEngine:
             pdw_root_group=parsed.root_group,
             pdw_plan=pdw_plan,
             dsql_plan=dsql_plan,
+            counters=counters,
         )

@@ -49,7 +49,7 @@ from repro.algebra.properties import (
     hashed_on,
 )
 from repro.catalog.schema import DistributionKind
-from repro.common.errors import PdwOptimizerError
+from repro.common.errors import HintError, PdwOptimizerError
 from repro.optimizer.memo import GroupExpression, Memo, topological_order
 from repro.pdw.cost_model import CostConstants, DEFAULT_COST_CONSTANTS, DmsCostModel
 from repro.pdw.dms import DataMovement, classify_movement
@@ -64,6 +64,7 @@ from repro.pdw.interesting import (
     property_key_of,
 )
 from repro.pdw.preprocess import preprocess
+from repro.telemetry import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -86,7 +87,7 @@ class PdwConfig:
     def __post_init__(self):
         for table, strategy in self.hints.items():
             if strategy not in ("replicate", "shuffle"):
-                raise PdwOptimizerError(
+                raise HintError(
                     f"unknown hint {strategy!r} for table {table!r} "
                     "(use 'replicate' or 'shuffle')")
 
@@ -129,7 +130,8 @@ class PdwOptimizer:
 
     def __init__(self, memo: Memo, root_group: int, node_count: int,
                  equivalence: Optional[ColumnEquivalence] = None,
-                 config: Optional[PdwConfig] = None):
+                 config: Optional[PdwConfig] = None,
+                 tracer: Tracer = NULL_TRACER):
         self.memo = memo
         self.root_group = memo.find(root_group)
         self.node_count = node_count
@@ -138,17 +140,28 @@ class PdwOptimizer:
         self.equivalence = equivalence or build_equivalence(memo, root_group)
         self.options: Dict[int, List[PdwOption]] = {}
         self.options_considered = 0
+        self.tracer = tracer
 
     # -- public API -----------------------------------------------------------
 
     def optimize(self) -> PdwPlan:
         """Run steps 01-09 of Figure 4 and extract the optimal plan."""
-        pdw_exprs = preprocess(self.memo, self.node_count)       # steps 02-03
-        self.interesting = derive_interesting_properties(        # step 04
-            self.memo, self.root_group, self.equivalence)
+        tracer = self.tracer
+        with tracer.span("preprocess"):
+            pdw_exprs = preprocess(self.memo, self.node_count)   # steps 02-03
+        with tracer.span("interesting_properties") as span:
+            self.interesting = derive_interesting_properties(    # step 04
+                self.memo, self.root_group, self.equivalence)
+            if tracer.enabled:
+                span.set("properties",
+                         sum(len(v) for v in self.interesting.values()))
 
-        for group_id in topological_order(self.memo, self.root_group):
-            self._optimize_group(group_id, pdw_exprs)            # steps 05-07
+        with tracer.span("enumerate") as span:
+            order = topological_order(self.memo, self.root_group)
+            for group_id in order:
+                self._optimize_group(group_id, pdw_exprs)        # steps 05-07
+            if tracer.enabled:
+                span.set("groups", len(order))
 
         root_options = self.options.get(self.root_group, [])
         if not root_options:
@@ -156,6 +169,13 @@ class PdwOptimizer:
         best = min(root_options, key=lambda o: o.cost)           # step 08
         plan = self._materialize(best)                            # steps 08-09
         retained = sum(len(opts) for opts in self.options.values())
+        if tracer.enabled:
+            tracer.count("pdw.groups_enumerated", len(order))
+            tracer.count("pdw.alternatives.generated",
+                         self.options_considered)
+            tracer.count("pdw.alternatives.retained", retained)
+            tracer.count("pdw.alternatives.pruned",
+                         self.options_considered - retained)
         return PdwPlan(
             root=plan,
             cost=best.cost,
@@ -428,6 +448,7 @@ class PdwOptimizer:
                         move_cost = self.cost_model.cost(
                             movement, child_group.cardinality,
                             child_group.row_width)
+                        self.tracer.count("pdw.cost_model.invocations")
                         candidate = PdwOption(
                             movement, (option,), child_id, target,
                             option.cost + move_cost)
@@ -465,6 +486,12 @@ class PdwOptimizer:
         kept = {id(best_overall): best_overall}
         for option in best_by_key.values():
             kept[id(option)] = option
+        if self.tracer.enabled:
+            for option in candidates:
+                if id(option) not in kept:
+                    key = property_key_of(option.distribution,
+                                          self.equivalence)
+                    self.tracer.count(f"pdw.pruned.{key[0]}")
         return sorted(kept.values(), key=lambda o: o.cost)
 
     def _enforce(self, group_id: int,
@@ -490,12 +517,14 @@ class PdwOptimizer:
                     continue
                 move_cost = self.cost_model.cost(
                     movement, group.cardinality, group.row_width)
+                self.tracer.count("pdw.cost_model.invocations")
                 total = option.cost + move_cost
                 if best is None or total < best.cost:
                     best = PdwOption(movement, (option,), group_id, target,
                                      total)
             if best is not None:
                 additions.append(best)
+                self.tracer.count("pdw.enforcers.added")
                 self.options_considered += 1
         if not additions:
             return options

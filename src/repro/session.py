@@ -1,0 +1,218 @@
+"""``PdwSession`` — the unified front door to the reproduction.
+
+The session owns the four pieces every caller previously wired by hand
+(appliance, shell database, compilation engine, tracer) and exposes the
+three verbs that cover the pipeline end to end:
+
+* :meth:`PdwSession.compile` — SQL text → :class:`CompiledQuery`;
+* :meth:`PdwSession.run` — compile + execute on the appliance →
+  :class:`QueryResult`;
+* :meth:`PdwSession.explain` — human-readable plan report;
+  ``explain(analyze=True)`` *executes* the plan and renders a per-DSQL-step
+  table of estimated vs. actual rows / DMS bytes / simulated seconds — the
+  reproduction's EXPLAIN ANALYZE.
+
+A session created with just SQL text binds that text as its default query,
+so the one-liner from the README works::
+
+    print(PdwSession("SELECT COUNT(*) AS n FROM lineitem")
+          .explain(analyze=True))
+
+Telemetry is on by default (the session is the observability surface; the
+low-level classes default to the no-op tracer): every compile and run
+appends spans to :attr:`PdwSession.tracer`, and :meth:`trace_report` /
+:meth:`stats_report` render the span tree and the counter totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.appliance.runner import DsqlRunner, QueryResult
+from repro.appliance.storage import Appliance
+from repro.catalog.shell_db import ShellDatabase
+from repro.common.errors import ReproError
+from repro.optimizer.search import OptimizerConfig
+from repro.pdw.dsql import StepKind
+from repro.pdw.engine import CompiledQuery, PdwEngine
+from repro.pdw.enumerator import PdwConfig
+from repro.telemetry import NULL_TRACER, Tracer
+from repro.workloads.tpch_datagen import build_tpch_appliance
+
+
+@dataclass
+class StepAnalysis:
+    """One row of the EXPLAIN ANALYZE table: estimate vs. measurement."""
+
+    index: int
+    kind: str                 # "DMS" or "Return"
+    operation: str            # movement description or "Return"
+    estimated_rows: float
+    actual_rows: int
+    estimated_bytes: float
+    actual_bytes: int
+    estimated_seconds: float  # DMS cost model prediction
+    actual_seconds: float     # simulated elapsed (movement + local SQL)
+
+
+class PdwSession:
+    """Owns appliance + shell + engine + tracer; the recommended API."""
+
+    def __init__(self, sql: Optional[str] = None, *,
+                 scale: float = 0.002,
+                 node_count: int = 8,
+                 appliance: Optional[Appliance] = None,
+                 shell: Optional[ShellDatabase] = None,
+                 serial_config: Optional[OptimizerConfig] = None,
+                 pdw_config: Optional[PdwConfig] = None,
+                 tracer: Optional[Tracer] = None,
+                 trace: bool = True):
+        if (appliance is None) != (shell is None):
+            raise ReproError(
+                "pass both appliance and shell, or neither "
+                "(a shell database must describe its appliance)")
+        if appliance is None:
+            appliance, shell = build_tpch_appliance(scale=scale,
+                                                    node_count=node_count)
+        self.sql = sql
+        self.appliance = appliance
+        self.shell = shell
+        if tracer is None:
+            tracer = Tracer() if trace else NULL_TRACER
+        self.tracer = tracer
+        self.engine = PdwEngine(shell, serial_config, pdw_config,
+                                tracer=tracer)
+        self.runner = DsqlRunner(appliance, tracer=tracer)
+
+    # -- the three verbs -------------------------------------------------------
+
+    def compile(self, sql: Optional[str] = None,
+                hints: Optional[dict] = None) -> CompiledQuery:
+        """Compile SQL (or the session's bound query) into a DSQL plan."""
+        return self.engine.compile(self._resolve(sql), hints=hints)
+
+    def run(self, sql: Optional[str] = None,
+            hints: Optional[dict] = None) -> QueryResult:
+        """Compile and execute on the appliance; returns client rows plus
+        per-step execution stats."""
+        compiled = self.compile(sql, hints=hints)
+        return self.runner.run(compiled.dsql_plan)
+
+    def explain(self, sql: Optional[str] = None,
+                analyze: bool = False,
+                verbose: bool = False,
+                hints: Optional[dict] = None) -> str:
+        """Render the compiled plan; ``analyze=True`` also executes it and
+        appends the per-step estimated-vs-actual table."""
+        compiled = self.compile(sql, hints=hints)
+        text = compiled.explain(verbose=verbose)
+        if not analyze:
+            return text
+        analyses, result = self.analyze_plan(compiled)
+        return "\n".join([
+            text,
+            "",
+            render_analysis_table(analyses),
+            f"-- {len(result.rows)} result rows, "
+            f"{result.elapsed_seconds * 1e3:.3f} ms simulated "
+            f"({result.dms_seconds * 1e3:.3f} ms data movement)",
+        ])
+
+    # -- EXPLAIN ANALYZE internals --------------------------------------------
+
+    def analyze_plan(self, compiled: CompiledQuery
+                     ) -> Tuple[List[StepAnalysis], QueryResult]:
+        """Execute a compiled plan and join each DSQL step's estimates
+        with its measured execution stats."""
+        result = self.runner.run(compiled.dsql_plan)
+        analyses: List[StepAnalysis] = []
+        for step, stats in zip(compiled.dsql_plan.steps, result.step_stats):
+            if step.kind is StepKind.DMS:
+                kind = "DMS"
+                operation = (step.movement.describe() if step.movement
+                             else "Move")
+                actual_bytes = stats.total_bytes()
+            else:
+                kind = "Return"
+                operation = "Return"
+                actual_bytes = sum(stats.network_bytes.values())
+            analyses.append(StepAnalysis(
+                index=step.index,
+                kind=kind,
+                operation=operation,
+                estimated_rows=step.estimated_rows,
+                actual_rows=stats.rows_moved,
+                estimated_bytes=step.estimated_bytes,
+                actual_bytes=actual_bytes,
+                estimated_seconds=step.estimated_cost,
+                actual_seconds=stats.elapsed_seconds,
+            ))
+        return analyses, result
+
+    # -- telemetry reports -----------------------------------------------------
+
+    def trace_report(self) -> str:
+        """The nested span tree accumulated so far."""
+        return self.tracer.render_spans()
+
+    def stats_report(self) -> str:
+        """Compile-phase timing breakdown plus all counter totals."""
+        lines = ["Phase timings:"]
+        compile_span = self.tracer.find("compile")
+        if compile_span is None:
+            lines.append("  (no compilation traced)")
+        else:
+            for span in compile_span.walk():
+                lines.append(
+                    f"  {span.name:<28} "
+                    f"{span.duration_seconds * 1e3:9.3f} ms")
+        lines += ["", "Counters:"]
+        counters = self.tracer.render_counters()
+        lines += ["  " + line for line in counters.splitlines()]
+        return "\n".join(lines)
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _resolve(self, sql: Optional[str]) -> str:
+        resolved = sql if sql is not None else self.sql
+        if resolved is None:
+            raise ReproError(
+                "no SQL given: pass sql to the method or bind a query "
+                "when creating the PdwSession")
+        return resolved
+
+
+def render_analysis_table(analyses: List[StepAnalysis]) -> str:
+    """The EXPLAIN ANALYZE table: one aligned row per DSQL step."""
+    headers = ["step", "operation", "est rows", "act rows",
+               "est bytes", "act bytes", "est s", "act s"]
+    rows = [[
+        str(a.index),
+        a.operation,
+        f"{a.estimated_rows:.0f}",
+        str(a.actual_rows),
+        f"{a.estimated_bytes:.0f}",
+        str(a.actual_bytes),
+        f"{a.estimated_seconds:.6f}",
+        f"{a.actual_seconds:.6f}",
+    ] for a in analyses]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def fmt(cells: List[str]) -> str:
+        padded = []
+        for i, cell in enumerate(cells):
+            # left-align the operation column, right-align numbers
+            if i == 1:
+                padded.append(cell.ljust(widths[i]))
+            else:
+                padded.append(cell.rjust(widths[i]))
+        return "  ".join(padded).rstrip()
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines += [fmt(r) for r in rows]
+    return "\n".join(lines)

@@ -1,0 +1,209 @@
+"""Pipeline telemetry: span trees, named counters, a no-op default.
+
+Every stage of the compilation and execution pipeline accepts a
+:class:`Tracer` and reports into it:
+
+* **spans** — named, nested timing scopes (``with tracer.span("explore")``)
+  recording wall-clock start and monotonic duration, with arbitrary
+  key/value attributes attached as the stage learns them;
+* **counters** — named accumulating values (``tracer.count("memo.groups",
+  12)``) that aggregate across the whole tracer lifetime, so a session
+  can total DMS bytes over many queries.
+
+The default everywhere is :data:`NULL_TRACER`, whose ``span`` returns a
+shared no-op context manager and whose ``count`` does nothing — the hot
+path pays a single attribute lookup and method call when telemetry is
+off.  Stages that would loop to *compute* a telemetry value guard on
+``tracer.enabled`` so the disabled path does no extra work at all.
+
+The module is intentionally dependency-free (``time`` only) so it can be
+imported from every layer without cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+class Span:
+    """One named timing scope in the trace tree."""
+
+    __slots__ = ("name", "attributes", "children", "started_at",
+                 "duration_seconds", "_t0")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.attributes: Dict[str, Any] = {}
+        self.children: List["Span"] = []
+        self.started_at = time.time()         # wall clock, for logs
+        self.duration_seconds = 0.0
+        self._t0 = time.perf_counter()        # monotonic, for duration
+
+    def set(self, name: str, value: Any) -> None:
+        """Attach an attribute to the span."""
+        self.attributes[name] = value
+
+    def finish(self) -> None:
+        self.duration_seconds = time.perf_counter() - self._t0
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First span named ``name`` in this subtree (depth-first)."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def tree_string(self, indent: int = 0) -> str:
+        attrs = ""
+        if self.attributes:
+            attrs = "  [" + ", ".join(
+                f"{k}={_fmt_value(v)}"
+                for k, v in sorted(self.attributes.items())) + "]"
+        line = (f"{'  ' * indent}{self.name:<{max(1, 40 - 2 * indent)}} "
+                f"{self.duration_seconds * 1e3:9.3f} ms{attrs}")
+        return "\n".join([line] + [
+            child.tree_string(indent + 1) for child in self.children
+        ])
+
+
+class _SpanScope:
+    """Context manager pushing/popping one span on a tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._stack.append(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        span = self._tracer._stack.pop()
+        span.finish()
+        del exc_type, exc, tb
+
+
+class Tracer:
+    """Collects a forest of spans plus a flat counter map."""
+
+    enabled = True
+
+    def __init__(self):
+        self.roots: List[Span] = []
+        self.counters: Dict[str, float] = {}
+        self._stack: List[Span] = []
+
+    # -- spans ---------------------------------------------------------------
+
+    def span(self, name: str) -> _SpanScope:
+        """Open a nested timing scope: ``with tracer.span("bind"): ...``."""
+        span = Span(name)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        return _SpanScope(self, span)
+
+    @property
+    def current_span(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def find(self, name: str) -> Optional[Span]:
+        for root in self.roots:
+            found = root.find(name)
+            if found is not None:
+                return found
+        return None
+
+    # -- counters ------------------------------------------------------------
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the named counter (creating it at zero)."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
+
+    def counter_snapshot(self) -> Dict[str, float]:
+        return dict(self.counters)
+
+    # -- reporting -----------------------------------------------------------
+
+    def reset(self) -> None:
+        self.roots = []
+        self.counters = {}
+        self._stack = []
+
+    def render_spans(self) -> str:
+        if not self.roots:
+            return "(no spans recorded)"
+        return "\n".join(root.tree_string() for root in self.roots)
+
+    def render_counters(self) -> str:
+        if not self.counters:
+            return "(no counters recorded)"
+        width = max(len(name) for name in self.counters)
+        return "\n".join(
+            f"{name:<{width}}  {_fmt_value(value)}"
+            for name, value in sorted(self.counters.items()))
+
+
+class _NullSpan:
+    """Shared do-nothing stand-in for both the scope and the span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        del exc_type, exc, tb
+
+    def set(self, name: str, value: Any) -> None:
+        del name, value
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """The default tracer: records nothing, costs ~nothing."""
+
+    enabled = False
+
+    def span(self, name: str) -> _NullSpan:  # type: ignore[override]
+        del name
+        return _NULL_SPAN
+
+    def count(self, name: str, value: float = 1) -> None:
+        del name, value
+
+
+NULL_TRACER = NullTracer()
+
+
+def _fmt_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.6g}"
+    return str(value)
+
+
+def counter_delta(before: Dict[str, float],
+                  after: Dict[str, float]) -> Dict[str, float]:
+    """Counters accumulated between two snapshots (only changed keys)."""
+    delta = {}
+    for name, value in after.items():
+        change = value - before.get(name, 0.0)
+        if change:
+            delta[name] = change
+    return delta

@@ -1,0 +1,172 @@
+"""Unit tests for repro.telemetry: spans, counters, no-op tracer."""
+
+import pytest
+
+from repro.telemetry import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    counter_delta,
+)
+
+
+class TestSpanNesting:
+    def test_nested_spans_form_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("compile"):
+            with tracer.span("serial"):
+                with tracer.span("parse"):
+                    pass
+                with tracer.span("bind"):
+                    pass
+            with tracer.span("pdw"):
+                pass
+        assert len(tracer.roots) == 1
+        compile_span = tracer.roots[0]
+        assert compile_span.name == "compile"
+        assert [c.name for c in compile_span.children] == ["serial", "pdw"]
+        serial = compile_span.children[0]
+        assert [c.name for c in serial.children] == ["parse", "bind"]
+
+    def test_sibling_roots(self):
+        tracer = Tracer()
+        with tracer.span("compile"):
+            pass
+        with tracer.span("execute"):
+            pass
+        assert [s.name for s in tracer.roots] == ["compile", "execute"]
+
+    def test_durations_are_positive_and_nested_leq_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                sum(range(1000))
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        assert inner.duration_seconds > 0.0
+        assert outer.duration_seconds >= inner.duration_seconds
+
+    def test_attributes(self):
+        tracer = Tracer()
+        with tracer.span("explore") as span:
+            span.set("groups", 12)
+        assert tracer.roots[0].attributes == {"groups": 12}
+
+    def test_span_finishes_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("fails"):
+                raise ValueError("boom")
+        assert tracer.current_span is None
+        assert tracer.roots[0].duration_seconds > 0.0
+
+    def test_find_depth_first(self):
+        tracer = Tracer()
+        with tracer.span("compile"):
+            with tracer.span("serial"):
+                with tracer.span("parse"):
+                    pass
+        assert tracer.find("parse") is not None
+        assert tracer.find("parse").name == "parse"
+        assert tracer.find("missing") is None
+
+    def test_walk_and_tree_string(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b") as span:
+                span.set("rows", 3)
+        names = [s.name for s in tracer.roots[0].walk()]
+        assert names == ["a", "b"]
+        rendered = tracer.render_spans()
+        assert "a" in rendered and "b" in rendered
+        assert "rows=3" in rendered
+        assert "ms" in rendered
+
+
+class TestCounterAggregation:
+    def test_counts_accumulate(self):
+        tracer = Tracer()
+        tracer.count("dms.bytes_moved", 100)
+        tracer.count("dms.bytes_moved", 50)
+        tracer.count("pdw.enforcers.added")
+        assert tracer.counter("dms.bytes_moved") == 150
+        assert tracer.counter("pdw.enforcers.added") == 1
+
+    def test_missing_counter_reads_zero(self):
+        assert Tracer().counter("nope") == 0.0
+
+    def test_snapshot_is_independent(self):
+        tracer = Tracer()
+        tracer.count("x", 1)
+        snapshot = tracer.counter_snapshot()
+        tracer.count("x", 1)
+        assert snapshot["x"] == 1
+        assert tracer.counter("x") == 2
+
+    def test_counter_delta(self):
+        tracer = Tracer()
+        tracer.count("a", 5)
+        before = tracer.counter_snapshot()
+        tracer.count("a", 3)
+        tracer.count("b", 7)
+        delta = counter_delta(before, tracer.counter_snapshot())
+        assert delta == {"a": 3, "b": 7}
+
+    def test_render_counters_sorted(self):
+        tracer = Tracer()
+        tracer.count("zeta", 2)
+        tracer.count("alpha", 1)
+        rendered = tracer.render_counters()
+        assert rendered.index("alpha") < rendered.index("zeta")
+
+    def test_reset(self):
+        tracer = Tracer()
+        tracer.count("x")
+        with tracer.span("s"):
+            pass
+        tracer.reset()
+        assert tracer.counters == {}
+        assert tracer.roots == []
+
+
+class TestNullTracer:
+    """The disabled path must record nothing and allocate ~nothing."""
+
+    def test_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer.enabled is True
+
+    def test_span_records_nothing(self):
+        with NULL_TRACER.span("compile") as span:
+            span.set("ignored", 1)
+            with NULL_TRACER.span("inner"):
+                pass
+        assert NULL_TRACER.roots == []
+        assert NULL_TRACER.current_span is None
+
+    def test_count_records_nothing(self):
+        NULL_TRACER.count("x", 100)
+        assert NULL_TRACER.counters == {}
+        assert NULL_TRACER.counter("x") == 0.0
+
+    def test_span_scope_is_shared_singleton(self):
+        # The no-op path must not allocate per call.
+        a = NULL_TRACER.span("a")
+        b = NULL_TRACER.span("b")
+        assert a is b
+
+    def test_fresh_null_tracer_behaves_the_same(self):
+        tracer = NullTracer()
+        with tracer.span("s"):
+            tracer.count("c")
+        assert tracer.roots == []
+        assert tracer.counters == {}
+
+
+class TestSpanDirect:
+    def test_span_records_wall_clock_start(self):
+        span = Span("s")
+        assert span.started_at > 0
+        span.finish()
+        assert span.duration_seconds >= 0.0

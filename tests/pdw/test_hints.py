@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.errors import PdwOptimizerError
+from repro.common.errors import HintError, PdwOptimizerError
 from repro.pdw.dms import DataMovement, DmsOperation
 from repro.pdw.engine import PdwEngine
 from repro.pdw.enumerator import PdwConfig
@@ -30,6 +30,26 @@ class TestHintValidation:
         config = PdwConfig(hints={"orders": "shuffle",
                                   "customer": "replicate"})
         assert config.hints["orders"] == "shuffle"
+
+    def test_compile_rejects_unknown_table(self, engine):
+        with pytest.raises(HintError, match="unknown table"):
+            engine.compile(SQL, hints={"no_such_table": "replicate"})
+
+    def test_compile_rejects_unknown_strategy(self, engine):
+        with pytest.raises(HintError, match="unknown hint strategy"):
+            engine.compile(SQL, hints={"orders": "teleport"})
+
+    def test_hint_error_is_catchable_as_pdw_error(self, engine):
+        # HintError stays inside the documented hierarchy.
+        with pytest.raises(PdwOptimizerError):
+            engine.compile(SQL, hints={"no_such_table": "shuffle"})
+
+    def test_hint_table_names_case_insensitive(self, engine):
+        compiled = engine.compile(SQL, hints={"ORDERS": "replicate"})
+        moved = movements(compiled)
+        assert len(moved) == 1
+        assert moved[0].operation in (DmsOperation.BROADCAST_MOVE,
+                                      DmsOperation.REPLICATED_BROADCAST)
 
 
 class TestHintEffects:
