@@ -1,0 +1,147 @@
+"""Executor throughput: compiled closure backend vs. reference interpreter.
+
+Compiles the TPC-H workload once, then executes every DSQL plan with both
+executor backends and reports wall-clock throughput in processed rows per
+second.  "Processed rows" counts every row each plan touches — rows moved
+by DMS steps plus rows gathered by the Return step — so both backends are
+charged for identical work and the rows/sec ratio equals the wall-clock
+speedup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_executor_throughput.py
+    PYTHONPATH=src python benchmarks/bench_executor_throughput.py --quick
+
+``--quick`` shrinks the appliance and query set for the CI perf smoke and
+exits non-zero if the compiled backend is not faster than the interpreter
+(a compiled-executor performance regression).  The full run archives its
+table under ``benchmarks/results/executor_throughput.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import Dict, List, Tuple
+
+from repro.appliance.runner import DsqlRunner
+from repro.pdw.engine import PdwEngine
+from repro.workloads.tpch_datagen import build_tpch_appliance
+from repro.workloads.tpch_queries import TPCH_QUERIES, query_names
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+QUICK_QUERIES = ("Q1", "Q6", "Q12", "Q14")
+
+
+def compile_workload(engine: PdwEngine, names) -> Dict[str, object]:
+    return {name: engine.compile(TPCH_QUERIES[name]).dsql_plan
+            for name in names}
+
+
+def processed_rows(result) -> int:
+    """Rows the executor touched: DMS-moved rows + returned rows."""
+    return sum(stats.rows_moved for stats in result.step_stats)
+
+
+def time_backend(appliance, plans: Dict[str, object], compiled: bool,
+                 repeat: int) -> Dict[str, Tuple[float, int]]:
+    """Per query: (best wall-clock seconds, processed rows per run)."""
+    runner = DsqlRunner(appliance, compiled=compiled)
+    timings: Dict[str, Tuple[float, int]] = {}
+    for name, plan in plans.items():
+        best = float("inf")
+        rows = 0
+        for _ in range(repeat):
+            started = time.perf_counter()
+            result = runner.run(plan)
+            elapsed = time.perf_counter() - started
+            best = min(best, elapsed)
+            rows = processed_rows(result)
+        timings[name] = (best, rows)
+    return timings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="executor throughput: compiled vs interpreter")
+    parser.add_argument("--quick", action="store_true",
+                        help="small appliance + query subset; exit 1 if "
+                             "the compiled backend is slower (CI smoke)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="TPC-H scale (default 0.003, quick 0.002)")
+    parser.add_argument("--nodes", type=int, default=None,
+                        help="compute nodes (default 8, quick 4)")
+    parser.add_argument("--repeat", type=int, default=None,
+                        help="timed runs per query, best kept "
+                             "(default 3, quick 2)")
+    args = parser.parse_args(argv)
+
+    scale = args.scale if args.scale is not None else (
+        0.002 if args.quick else 0.003)
+    nodes = args.nodes if args.nodes is not None else (
+        4 if args.quick else 8)
+    repeat = args.repeat if args.repeat is not None else (
+        2 if args.quick else 3)
+    names = QUICK_QUERIES if args.quick else tuple(query_names())
+
+    print(f"building TPC-H appliance (scale={scale}, nodes={nodes}) ...")
+    appliance, shell = build_tpch_appliance(scale=scale, node_count=nodes)
+    engine = PdwEngine(shell)
+    plans = compile_workload(engine, names)
+
+    # Warm both backends once (populates caches, excludes first-run
+    # artifacts from the timings below).
+    time_backend(appliance, plans, compiled=True, repeat=1)
+    time_backend(appliance, plans, compiled=False, repeat=1)
+
+    interpreted = time_backend(appliance, plans, compiled=False,
+                               repeat=repeat)
+    compiled = time_backend(appliance, plans, compiled=True,
+                            repeat=repeat)
+
+    header = (f"{'query':<6} {'rows':>8} {'interp s':>10} "
+              f"{'compiled s':>10} {'interp r/s':>12} "
+              f"{'compiled r/s':>13} {'speedup':>8}")
+    lines: List[str] = [header, "-" * len(header)]
+    total_rows = 0
+    total_interp = 0.0
+    total_compiled = 0.0
+    for name in names:
+        interp_s, rows = interpreted[name]
+        compiled_s, _ = compiled[name]
+        total_rows += rows
+        total_interp += interp_s
+        total_compiled += compiled_s
+        lines.append(
+            f"{name:<6} {rows:>8} {interp_s:>10.4f} {compiled_s:>10.4f} "
+            f"{rows / interp_s:>12.0f} {rows / compiled_s:>13.0f} "
+            f"{interp_s / compiled_s:>7.2f}x")
+    speedup = total_interp / total_compiled
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'total':<6} {total_rows:>8} {total_interp:>10.4f} "
+        f"{total_compiled:>10.4f} {total_rows / total_interp:>12.0f} "
+        f"{total_rows / total_compiled:>13.0f} {speedup:>7.2f}x")
+
+    table = "\n".join(lines)
+    print()
+    print(table)
+
+    if not args.quick:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / "executor_throughput.txt"
+        path.write_text(table + "\n")
+        print(f"\narchived to {path}")
+
+    if args.quick and speedup <= 1.0:
+        print(f"\nFAIL: compiled backend is not faster than the "
+              f"interpreter (speedup {speedup:.2f}x)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,8 +11,10 @@ TPC-H appliance.
 Options ``--scale`` and ``--nodes`` size the appliance (defaults: scale
 0.002, 8 nodes).  ``--trace`` appends the nested telemetry span tree
 (parse → serial → XML → PDW → DSQL → execute) to any command's output.
-The appliance is regenerated deterministically on every invocation, so
-results are reproducible.
+``--no-compiled-exec`` runs queries with the reference tree-walking
+interpreter instead of the compiled closure backend.  The appliance is
+regenerated deterministically on every invocation, so results are
+reproducible.
 """
 
 from __future__ import annotations
@@ -34,6 +36,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="compute node count (default 8)")
     parser.add_argument("--trace", action="store_true",
                         help="print the telemetry span tree afterwards")
+    parser.add_argument("--no-compiled-exec", action="store_true",
+                        help="execute with the reference tree-walking "
+                             "interpreter instead of the compiled "
+                             "closure backend")
     sub = parser.add_subparsers(dest="command", required=True)
 
     explain = sub.add_parser(
@@ -85,7 +91,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {label:<14} {fitted:.3e}  (truth {target:.3e})")
         return 0
 
-    session = PdwSession(args.sql, scale=args.scale, node_count=args.nodes)
+    session = PdwSession(args.sql, scale=args.scale, node_count=args.nodes,
+                         compiled=not args.no_compiled_exec)
 
     if args.command == "memo":
         compiled = session.compile()

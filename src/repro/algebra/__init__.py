@@ -1,6 +1,15 @@
 """Bound algebra: scalar expressions, logical/physical operators,
-distribution properties, and the shared expression evaluator."""
+distribution properties, the shared expression evaluator, and the
+closure compiler backing the compiled execution path."""
 
-from repro.algebra import expressions, evaluator, logical, physical, properties
+from repro.algebra import (
+    compiler,
+    evaluator,
+    expressions,
+    logical,
+    physical,
+    properties,
+)
 
-__all__ = ["expressions", "evaluator", "logical", "physical", "properties"]
+__all__ = ["compiler", "evaluator", "expressions", "logical", "physical",
+           "properties"]

@@ -1,0 +1,478 @@
+"""Compilation of bound scalar expressions into Python closures.
+
+The tree-walking :func:`repro.algebra.evaluator.evaluate` pays isinstance
+dispatch and attribute traffic for every node on every row.  This module
+walks each :class:`~repro.algebra.expressions.ScalarExpr` tree **once**
+and returns a closure ``env -> value`` whose per-row work is just the
+captured operations — the executor's hot path calls the closure instead
+of re-interpreting the tree.
+
+Semantics are identical to the evaluator by construction:
+
+* SQL three-valued logic — NULL (``None``) operands propagate through
+  comparisons/arithmetic, AND/OR follow Kleene semantics;
+* operand evaluation order matches (both sides are evaluated before the
+  NULL check, so errors surface identically);
+* error behaviour matches — missing columns raise
+  :class:`~repro.algebra.evaluator.UnboundColumn`, division by zero and
+  unsupported constructs raise :class:`ExecutionError` *at row time*,
+  never at compile time (an operator over an empty input must not fail).
+
+LIKE patterns are compiled to regexes and IN lists to hash sets at
+compile time, so that cost is paid once per operator rather than once
+per row.  Compiled closures are memoized per expression object, so a
+step whose bound tree is cached and re-run on every compute node
+compiles each expression exactly once.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.algebra import expressions as ex
+from repro.algebra.evaluator import (
+    UnboundColumn,
+    _cast,
+    _like_regex,
+    apply_scalar_function,
+)
+from repro.common.errors import ExecutionError
+
+Env = Dict[int, object]
+CompiledExpr = Callable[[Env], object]
+
+_COMPARISONS: Dict[str, Callable] = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_PLAIN_ARITHMETIC: Dict[str, Callable] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+}
+
+# Compiled-closure memo, keyed by expression *identity*.  Value equality
+# would be wrong here: dataclass ``==`` calls ``Constant(0) ==
+# Constant(False)`` equal (Python's ``0 == False``), yet Kleene logic
+# distinguishes them with ``is True`` / ``is False`` checks.  Identity
+# still captures the win that matters — a step's bound tree is cached in
+# the DMS runtime and re-run per node, so each expression object
+# compiles once.  Entries pin their key expression, so a live entry's id
+# cannot be reused by a different object; bounded so a long-lived
+# session cannot grow the memo without limit.
+_CACHE: Dict[int, Tuple[ex.ScalarExpr, CompiledExpr]] = {}
+_CACHE_LIMIT = 8192
+
+
+def compile_expr(expr: ex.ScalarExpr) -> CompiledExpr:
+    """Compile ``expr`` into a closure ``env -> value``."""
+    key = id(expr)
+    entry = _CACHE.get(key)
+    if entry is not None and entry[0] is expr:
+        return entry[1]
+    fn = _compile(expr)
+    if len(_CACHE) >= _CACHE_LIMIT:
+        _CACHE.clear()
+    _CACHE[key] = (expr, fn)
+    return fn
+
+
+def compile_predicate(expr: Optional[ex.ScalarExpr]) -> Callable[[Env], bool]:
+    """Compile a predicate into ``env -> bool`` (NULL counts as False)."""
+    if expr is None:
+        return lambda env: True
+    fn = compile_expr(expr)
+    return lambda env: fn(env) is True
+
+
+def compile_projection(
+    outputs,
+) -> Callable[[Env], Env]:
+    """Compile ``(ColumnVar, ScalarExpr)`` pairs into ``env -> new env``."""
+    compiled: List[Tuple[int, CompiledExpr]] = [
+        (var.id, compile_expr(expr)) for var, expr in outputs
+    ]
+    return lambda env: {var_id: fn(env) for var_id, fn in compiled}
+
+
+def clear_cache() -> None:
+    """Drop all memoized closures (tests / memory pressure)."""
+    _CACHE.clear()
+
+
+# -- node compilers --------------------------------------------------------------
+
+
+def _compile(expr: ex.ScalarExpr) -> CompiledExpr:
+    if isinstance(expr, ex.Constant):
+        value = expr.value
+        return lambda env: value
+
+    if isinstance(expr, ex.ColumnVar):
+        var_id = expr.id
+
+        def load_column(env):
+            try:
+                return env[var_id]
+            except KeyError:
+                raise UnboundColumn(var_id) from None
+
+        return load_column
+
+    if isinstance(expr, ex.Comparison):
+        return _compile_comparison(expr)
+
+    if isinstance(expr, ex.Arithmetic):
+        return _compile_arithmetic(expr)
+
+    if isinstance(expr, ex.BoolOp):
+        return _compile_bool_op(expr)
+
+    if isinstance(expr, ex.NotExpr):
+        operand = compile_expr(expr.operand)
+
+        def negate(env):
+            value = operand(env)
+            return None if value is None else (not value)
+
+        return negate
+
+    if isinstance(expr, ex.LikeExpr):
+        return _compile_like(expr)
+
+    if isinstance(expr, ex.InListExpr):
+        return _compile_in_list(expr)
+
+    if isinstance(expr, ex.IsNullExpr):
+        operand = compile_expr(expr.operand)
+        if expr.negated:
+            return lambda env: operand(env) is not None
+        return lambda env: operand(env) is None
+
+    if isinstance(expr, ex.CastExpr):
+        operand = compile_expr(expr.operand)
+        kind = expr.target.kind
+        return lambda env: _cast(operand(env), kind)
+
+    if isinstance(expr, ex.CaseWhen):
+        return _compile_case(expr)
+
+    if isinstance(expr, ex.FuncExpr):
+        return _compile_function(expr)
+
+    if isinstance(expr, ex.AggExpr):
+        return _raising("aggregate evaluated outside GroupBy")
+
+    return _raising(f"cannot evaluate {type(expr).__name__}")
+
+
+def _raising(message: str) -> CompiledExpr:
+    def fail(env):
+        raise ExecutionError(message)
+
+    return fail
+
+
+def _compile_comparison(expr: ex.Comparison) -> CompiledExpr:
+    compare = _COMPARISONS.get(expr.op)
+    if compare is None:
+        return _raising(f"unknown comparison {expr.op}")
+
+    # Fused shapes for the hot cases.  Semantics match the generic
+    # closure below exactly: a constant operand has no side effects, so
+    # only its *value* matters to evaluation order, and a missing column
+    # raises UnboundColumn before anything else — as the evaluator's
+    # left-to-right operand evaluation would.
+    left_is_const = isinstance(expr.left, ex.Constant)
+    right_is_const = isinstance(expr.right, ex.Constant)
+
+    if (isinstance(expr.left, ex.ColumnVar)
+            and isinstance(expr.right, ex.ColumnVar)):
+        left_id = expr.left.id
+        right_id = expr.right.id
+
+        def compare_columns(env):
+            try:
+                left_value = env[left_id]
+                right_value = env[right_id]
+            except KeyError as exc:
+                raise UnboundColumn(exc.args[0]) from None
+            if left_value is None or right_value is None:
+                return None
+            return compare(left_value, right_value)
+
+        return compare_columns
+
+    if right_is_const and not left_is_const:
+        constant = expr.right.value
+        left = compile_expr(expr.left)
+        if constant is None:
+
+            def left_then_null(env):
+                left(env)
+                return None
+
+            return left_then_null
+
+        def compare_right_const(env):
+            left_value = left(env)
+            if left_value is None:
+                return None
+            return compare(left_value, constant)
+
+        return compare_right_const
+
+    if left_is_const and not right_is_const:
+        constant = expr.left.value
+        right = compile_expr(expr.right)
+        if constant is None:
+
+            def right_then_null(env):
+                right(env)
+                return None
+
+            return right_then_null
+
+        def compare_left_const(env):
+            right_value = right(env)
+            if right_value is None:
+                return None
+            return compare(constant, right_value)
+
+        return compare_left_const
+
+    left = compile_expr(expr.left)
+    right = compile_expr(expr.right)
+
+    def comparison(env):
+        left_value = left(env)
+        right_value = right(env)
+        if left_value is None or right_value is None:
+            return None
+        return compare(left_value, right_value)
+
+    return comparison
+
+
+def _compile_arithmetic(expr: ex.Arithmetic) -> CompiledExpr:
+    apply = _PLAIN_ARITHMETIC.get(expr.op)
+    if apply is not None:
+        # Constant-operand fusion for + - * (the common literal shapes
+        # like ``1 - l_discount``); a non-NULL constant never short
+        # circuits, so only the other operand needs per-row work.
+        if (isinstance(expr.right, ex.Constant)
+                and expr.right.value is not None
+                and not isinstance(expr.left, ex.Constant)):
+            constant = expr.right.value
+            left = compile_expr(expr.left)
+
+            def apply_right_const(env):
+                left_value = left(env)
+                if left_value is None:
+                    return None
+                return apply(left_value, constant)
+
+            return apply_right_const
+
+        if (isinstance(expr.left, ex.Constant)
+                and expr.left.value is not None
+                and not isinstance(expr.right, ex.Constant)):
+            constant = expr.left.value
+            right = compile_expr(expr.right)
+
+            def apply_left_const(env):
+                right_value = right(env)
+                if right_value is None:
+                    return None
+                return apply(constant, right_value)
+
+            return apply_left_const
+
+    left = compile_expr(expr.left)
+    right = compile_expr(expr.right)
+    if apply is not None:
+
+        def arithmetic(env):
+            left_value = left(env)
+            right_value = right(env)
+            if left_value is None or right_value is None:
+                return None
+            return apply(left_value, right_value)
+
+        return arithmetic
+
+    if expr.op in ("/", "%"):
+        modulo = expr.op == "%"
+
+        def divide(env):
+            left_value = left(env)
+            right_value = right(env)
+            if left_value is None or right_value is None:
+                return None
+            if right_value == 0:
+                raise ExecutionError("division by zero")
+            if modulo:
+                return left_value % right_value
+            return left_value / right_value
+
+        return divide
+
+    if expr.op == "||":
+
+        def concat(env):
+            left_value = left(env)
+            right_value = right(env)
+            if left_value is None or right_value is None:
+                return None
+            return str(left_value) + str(right_value)
+
+        return concat
+
+    return _raising(f"unknown arithmetic operator {expr.op}")
+
+
+def _compile_bool_op(expr: ex.BoolOp) -> CompiledExpr:
+    args = [compile_expr(a) for a in expr.args]
+    if len(args) == 2:
+        # Unrolled binary AND/OR — same left-to-right evaluation and the
+        # same short-circuit-on-decisive-value as the generic loops.
+        first, second = args
+        if expr.op == "AND":
+
+            def conjunction2(env):
+                left_value = first(env)
+                if left_value is False:
+                    return False
+                right_value = second(env)
+                if right_value is False:
+                    return False
+                if left_value is None or right_value is None:
+                    return None
+                return True
+
+            return conjunction2
+
+        def disjunction2(env):
+            left_value = first(env)
+            if left_value is True:
+                return True
+            right_value = second(env)
+            if right_value is True:
+                return True
+            if left_value is None or right_value is None:
+                return None
+            return False
+
+        return disjunction2
+
+    if expr.op == "AND":
+
+        def conjunction(env):
+            saw_null = False
+            for arg in args:
+                value = arg(env)
+                if value is False:
+                    return False
+                if value is None:
+                    saw_null = True
+            return None if saw_null else True
+
+        return conjunction
+
+    def disjunction(env):
+        saw_null = False
+        for arg in args:
+            value = arg(env)
+            if value is True:
+                return True
+            if value is None:
+                saw_null = True
+        return None if saw_null else False
+
+    return disjunction
+
+
+def _compile_like(expr: ex.LikeExpr) -> CompiledExpr:
+    operand = compile_expr(expr.operand)
+    match = _like_regex(expr.pattern).match
+    negated = expr.negated
+
+    def like(env):
+        value = operand(env)
+        if value is None:
+            return None
+        matched = match(str(value)) is not None
+        return (not matched) if negated else matched
+
+    return like
+
+
+def _compile_in_list(expr: ex.InListExpr) -> CompiledExpr:
+    operand = compile_expr(expr.operand)
+    negated = expr.negated
+    values = expr.values
+    try:
+        table = frozenset(values)
+    except TypeError:  # unhashable literal — keep the linear scan
+        table = None
+
+    if table is not None:
+
+        def in_set(env):
+            value = operand(env)
+            if value is None:
+                return None
+            try:
+                found = value in table
+            except TypeError:  # unhashable probe value
+                found = value in values
+            return (not found) if negated else found
+
+        return in_set
+
+    def in_tuple(env):
+        value = operand(env)
+        if value is None:
+            return None
+        found = value in values
+        return (not found) if negated else found
+
+    return in_tuple
+
+
+def _compile_case(expr: ex.CaseWhen) -> CompiledExpr:
+    whens = [
+        (compile_expr(condition), compile_expr(result))
+        for condition, result in expr.whens
+    ]
+    otherwise = (compile_expr(expr.otherwise)
+                 if expr.otherwise is not None else None)
+
+    def case(env):
+        for condition, result in whens:
+            if condition(env) is True:
+                return result(env)
+        if otherwise is not None:
+            return otherwise(env)
+        return None
+
+    return case
+
+
+def _compile_function(expr: ex.FuncExpr) -> CompiledExpr:
+    args = [compile_expr(a) for a in expr.args]
+    name = expr.name.upper()
+
+    def call(env):
+        values = [arg(env) for arg in args]
+        if any(value is None for value in values):
+            return None
+        return apply_scalar_function(name, values)
+
+    return call

@@ -188,11 +188,18 @@ def _cast(value, kind: TypeKind):
 
 
 def _scalar_function(expr: ex.FuncExpr, env):
-    name = expr.name.upper()
     args = [evaluate(a, env) for a in expr.args]
     if any(a is None for a in args):
         return None
+    return apply_scalar_function(expr.name.upper(), args)
 
+
+def apply_scalar_function(name: str, args):
+    """Dispatch a scalar function over already-evaluated, non-NULL args.
+
+    Shared by the tree-walking evaluator and the closure compiler
+    (:mod:`repro.algebra.compiler`) so both backends agree exactly.
+    """
     if name == "DATEADD":
         unit, amount, base = args
         base_date = _cast(base, TypeKind.DATE)

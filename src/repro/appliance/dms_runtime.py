@@ -15,9 +15,11 @@ performance tests" exactly as the paper describes.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from repro.algebra.logical import Query, collect_gets
 from repro.algebra.properties import DistKind
 from repro.appliance.interpreter import InterpreterStats, PlanInterpreter
 from repro.appliance.storage import (
@@ -88,15 +90,43 @@ class StepExecutionStats:
         return sum(self.reader_bytes.values())
 
 
+@dataclass
+class _CachedStep:
+    """A step's SQL parsed + bound once, reusable on every node."""
+
+    query: Query
+    tables: FrozenSet[str]  # lower-cased names the bound tree reads
+
+
+# Bounded so a long-lived session executing many distinct queries cannot
+# grow the cache without limit (steps are tiny; the bound trees are not).
+_STEP_CACHE_LIMIT = 256
+
+
 class DmsRuntime:
-    """Executes DSQL steps against an :class:`Appliance`."""
+    """Executes DSQL steps against an :class:`Appliance`.
+
+    With ``compiled=True`` (default) each DSQL step's SQL text is parsed
+    and bound **once** and the bound plan is re-run against every node's
+    local tables with the closure-compiled executor; ``compiled=False``
+    restores the reference behaviour (re-parse per node, tree-walking
+    evaluator).  Cache effectiveness is observable through the
+    ``exec.compile_cache_hit`` / ``exec.compile_cache_miss`` telemetry
+    counters.
+    """
 
     def __init__(self, appliance: Appliance,
                  truth: Optional[GroundTruthConstants] = None,
-                 tracer: Tracer = NULL_TRACER):
+                 tracer: Tracer = NULL_TRACER,
+                 compiled: bool = True):
         self.appliance = appliance
         self.truth = truth or GroundTruthConstants()
         self.tracer = tracer
+        self.compiled = compiled
+        self._step_cache: "OrderedDict[str, _CachedStep]" = OrderedDict()
+        # Parse trees are schema-independent, so they survive the
+        # temp-table evictions that invalidate bound entries.
+        self._parse_cache: Dict[str, object] = {}
 
     def _record_movement(self, stats: StepExecutionStats,
                          operation: Optional[DmsOperation]) -> None:
@@ -121,12 +151,47 @@ class DmsRuntime:
     def run_sql_on_node(self, sql: str, node: NodeStorage,
                         stats: Optional[InterpreterStats] = None
                         ) -> Tuple[List[Tuple], List[str]]:
-        """Parse, bind and interpret a step's SQL on one node."""
-        statement = parse_query(sql)
-        query = Binder(self.appliance.catalog).bind(statement)
-        interpreter = PlanInterpreter(node.tables, stats)
+        """Bind (cached) and execute a step's SQL on one node."""
+        query = self._bind_step(sql)
+        interpreter = PlanInterpreter(node.tables, stats,
+                                      compiled=self.compiled)
         rows = interpreter.run_query(query)
         return rows, query.output_names
+
+    def _bind_step(self, sql: str) -> Query:
+        """Parse + bind ``sql`` once per step; re-runs hit the cache."""
+        if not self.compiled:
+            # Reference path: re-parse per node, exactly the old cost.
+            return Binder(self.appliance.catalog).bind(parse_query(sql))
+        cached = self._step_cache.get(sql)
+        if cached is not None:
+            self._step_cache.move_to_end(sql)
+            self.tracer.count("exec.compile_cache_hit")
+            return cached.query
+        self.tracer.count("exec.compile_cache_miss")
+        statement = self._parse_cache.get(sql)
+        if statement is None:
+            statement = parse_query(sql)
+            if len(self._parse_cache) >= _STEP_CACHE_LIMIT:
+                self._parse_cache.clear()
+            self._parse_cache[sql] = statement
+        query = Binder(self.appliance.catalog).bind(statement)
+        tables = frozenset(
+            get.table.name.lower() for get in collect_gets(query.root))
+        self._step_cache[sql] = _CachedStep(query, tables)
+        if len(self._step_cache) > _STEP_CACHE_LIMIT:
+            self._step_cache.popitem(last=False)
+        return query
+
+    def _evict_cached(self, table_name: str) -> None:
+        """Drop cached steps reading ``table_name`` — called when a temp
+        table is (re)created, since the same TEMP_ID_k name can carry a
+        different schema on the next query."""
+        lowered = table_name.lower()
+        stale = [sql for sql, cached in self._step_cache.items()
+                 if lowered in cached.tables]
+        for sql in stale:
+            del self._step_cache[sql]
 
     def _source_nodes(self, step: DsqlStep) -> List[NodeStorage]:
         location = step.source_location
@@ -149,6 +214,7 @@ class DmsRuntime:
         movement = step.movement
         destination = step.destination_table
         self.appliance.create_temp_table(destination)
+        self._evict_cached(destination.name)
 
         stats = StepExecutionStats(step.index, movement.operation)
         node_count = self.appliance.node_count
@@ -158,34 +224,34 @@ class DmsRuntime:
         )
 
         received: Dict[int, List[Tuple]] = {}
+        received_bytes: Dict[int, int] = {}
 
         for source in self._source_nodes(step):
             sql_stats = InterpreterStats()
             rows, _names = self.run_sql_on_node(step.sql, source, sql_stats)
             stats.relational_rows += (
                 sql_stats.rows_scanned + sql_stats.rows_processed)
-            source_read = sum(row_bytes(r) for r in rows)
-            stats.reader_bytes[source.node_id] = (
-                stats.reader_bytes.get(source.node_id, 0) + source_read)
+            # One row_bytes pass per batch serves reader, network and
+            # writer accounting alike.
+            sizes = [row_bytes(r) for r in rows]
+            source_id = source.node_id
+            stats.reader_bytes[source_id] = (
+                stats.reader_bytes.get(source_id, 0) + sum(sizes))
             stats.rows_moved += len(rows)
 
-            for row in rows:
-                targets = self._route(movement.operation, row, hash_index,
-                                      node_count, source.node_id)
-                size = row_bytes(row)
-                for target_id in targets:
-                    if target_id != source.node_id:
-                        stats.network_bytes[source.node_id] = (
-                            stats.network_bytes.get(source.node_id, 0)
-                            + size)
-                    received.setdefault(target_id, []).append(row)
+            sent = self._route_batch(movement.operation, rows, sizes,
+                                     hash_index, node_count, source_id,
+                                     received, received_bytes)
+            if sent:
+                stats.network_bytes[source_id] = (
+                    stats.network_bytes.get(source_id, 0) + sent)
 
-        for target_id, rows in received.items():
+        for target_id, batch in received.items():
             node = self.appliance.node_storage(target_id)
-            incoming = sum(row_bytes(r) for r in rows)
+            incoming = received_bytes[target_id]
             stats.writer_bytes[target_id] = incoming
             stats.bulk_bytes[target_id] = incoming
-            node.insert(destination.name, rows)
+            node.insert(destination.name, batch)
 
         reader, network, writer, bulk = stats.component_times(
             self.truth, movement.operation.uses_hashing)
@@ -198,25 +264,71 @@ class DmsRuntime:
         self._record_movement(stats, movement.operation)
         return stats
 
-    def _route(self, operation: DmsOperation, row: Tuple,
-               hash_index: Optional[int], node_count: int,
-               source_id: int) -> List[int]:
-        if operation in (DmsOperation.SHUFFLE_MOVE,):
+    def _route_batch(self, operation: DmsOperation, rows: List[Tuple],
+                     sizes: List[int], hash_index: Optional[int],
+                     node_count: int, source_id: int,
+                     received: Dict[int, List[Tuple]],
+                     received_bytes: Dict[int, int]) -> int:
+        """Bucket one source batch into per-target row lists and byte
+        totals; returns the bytes this source puts on the network (rows
+        routed to a node other than itself)."""
+        if not rows:
+            return 0
+
+        def deliver(target_id: int, batch: List[Tuple],
+                    batch_bytes: int) -> None:
+            received.setdefault(target_id, []).extend(batch)
+            received_bytes[target_id] = (
+                received_bytes.get(target_id, 0) + batch_bytes)
+
+        if operation is DmsOperation.SHUFFLE_MOVE:
             if hash_index is None:
                 raise DmsError("shuffle move without a hash column")
-            return [node_for_row(row, [hash_index], node_count)]
+            hash_indexes = [hash_index]
+            buckets: Dict[int, List[Tuple]] = {}
+            bucket_bytes: Dict[int, int] = {}
+            for row, size in zip(rows, sizes):
+                owner = node_for_row(row, hash_indexes, node_count)
+                buckets.setdefault(owner, []).append(row)
+                bucket_bytes[owner] = bucket_bytes.get(owner, 0) + size
+            sent = 0
+            for owner, batch in buckets.items():
+                deliver(owner, batch, bucket_bytes[owner])
+                if owner != source_id:
+                    sent += bucket_bytes[owner]
+            return sent
+
         if operation is DmsOperation.TRIM_MOVE:
             if hash_index is None:
                 raise DmsError("trim move without a hash column")
-            owner = node_for_row(row, [hash_index], node_count)
-            return [owner] if owner == source_id else []
+            hash_indexes = [hash_index]
+            kept: List[Tuple] = []
+            kept_bytes = 0
+            for row, size in zip(rows, sizes):
+                if node_for_row(row, hash_indexes,
+                                node_count) == source_id:
+                    kept.append(row)
+                    kept_bytes += size
+            if kept:
+                deliver(source_id, kept, kept_bytes)
+            return 0  # trimmed rows never leave their node
+
         if operation in (DmsOperation.BROADCAST_MOVE,
                          DmsOperation.CONTROL_NODE_MOVE,
                          DmsOperation.REPLICATED_BROADCAST):
-            return list(range(node_count))
+            total = sum(sizes)
+            for target_id in range(node_count):
+                deliver(target_id, rows, total)
+            remote_targets = node_count - (
+                1 if 0 <= source_id < node_count else 0)
+            return total * remote_targets
+
         if operation in (DmsOperation.PARTITION_MOVE,
                          DmsOperation.REMOTE_COPY):
-            return [CONTROL_NODE]
+            total = sum(sizes)
+            deliver(CONTROL_NODE, rows, total)
+            return 0 if source_id == CONTROL_NODE else total
+
         raise DmsError(f"unknown DMS operation {operation}")
 
     # -- return step --------------------------------------------------------------------

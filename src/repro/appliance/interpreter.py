@@ -1,22 +1,33 @@
-"""Naive logical-plan interpreter: the compute-node "DBMS instance".
+"""Logical-plan interpreter: the compute-node "DBMS instance".
 
 Each DSQL step ships a SQL statement to the nodes; the node parses and
-binds it against its local catalog and runs it with this tuple-at-a-time
-interpreter.  No local optimization is done — a deliberate simplification
+binds it against its local catalog and runs it against its local table
+fragments.  No local optimization is done — a deliberate simplification
 (the paper's cost model does not charge for local relational work either),
 but joins do use hashing on equality predicates so execution stays
 polynomial.
 
-Rows travel as ``dict`` environments mapping column-variable id → value,
-which plugs directly into :mod:`repro.algebra.evaluator`.
+Rows travel as ``dict`` environments mapping column-variable id → value.
+Two scalar backends share all operator logic:
+
+* **compiled** (default) — every predicate / projection / aggregate
+  argument is compiled once per operator into a Python closure via
+  :mod:`repro.algebra.compiler`, then applied per row;
+* **interpreted** (``compiled=False``) — the reference path, calling the
+  recursive :func:`repro.algebra.evaluator.evaluate` per row.
+
+The differential tests assert both backends produce identical multisets
+on the full TPC-H suite.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import operator
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.algebra import expressions as ex
-from repro.algebra.evaluator import evaluate
+from repro.algebra.compiler import compile_expr, compile_predicate
+from repro.algebra.evaluator import UnboundColumn, evaluate
 from repro.algebra.logical import (
     JoinKind,
     LogicalGet,
@@ -46,9 +57,28 @@ class PlanInterpreter:
     """Evaluates a bound logical tree against a table-name → rows map."""
 
     def __init__(self, tables: Dict[str, List[Tuple]],
-                 stats: Optional[InterpreterStats] = None):
+                 stats: Optional[InterpreterStats] = None,
+                 compiled: bool = True):
         self.tables = {name.lower(): rows for name, rows in tables.items()}
         self.stats = stats or InterpreterStats()
+        self.compiled = compiled
+
+    # -- scalar backends ----------------------------------------------------------
+
+    def _scalar_fn(self, expr: ex.ScalarExpr) -> Callable[[Env], object]:
+        """``env -> value`` for one expression, per the active backend."""
+        if self.compiled:
+            return compile_expr(expr)
+        return lambda env: evaluate(expr, env)
+
+    def _predicate_fn(self, predicate: Optional[ex.ScalarExpr]
+                      ) -> Optional[Callable[[Env], bool]]:
+        """``env -> bool`` (NULL counts as False); None for no predicate."""
+        if predicate is None:
+            return None
+        if self.compiled:
+            return compile_predicate(predicate)
+        return lambda env: evaluate(predicate, env) is True
 
     # -- entry points -------------------------------------------------------------
 
@@ -62,6 +92,9 @@ class PlanInterpreter:
         if query.limit is not None:
             envs = envs[:query.limit]
         outputs = query.output_columns()
+        if self.compiled:
+            ids = [var.id for var in outputs]
+            return [tuple(map(env.get, ids)) for env in envs]
         return [tuple(env.get(var.id) for var in outputs) for env in envs]
 
     def run(self, op: LogicalOp) -> List[Env]:
@@ -88,22 +121,55 @@ class PlanInterpreter:
         rows = self.tables[name]
         indexes = [op.table.column_index(var.name) for var in op.columns]
         self.stats.rows_scanned += len(rows)
+        ids = [var.id for var in op.columns]
+        if self.compiled:
+            # C-level env construction: itemgetter + dict(zip(...)).
+            if len(indexes) > 1:
+                if indexes == list(range(len(indexes))):
+                    # Leading columns in storage order: zip stops at the
+                    # shortest sequence, no gather pass needed.
+                    return [dict(zip(ids, row)) for row in rows]
+                pick = operator.itemgetter(*indexes)
+                return [dict(zip(ids, pick(row))) for row in rows]
+            if indexes:
+                var_id, index = ids[0], indexes[0]
+                return [{var_id: row[index]} for row in rows]
+            return [{} for _ in rows]
         return [
-            {var.id: row[index] for var, index in zip(op.columns, indexes)}
+            {var_id: row[index] for var_id, index in zip(ids, indexes)}
             for row in rows
         ]
 
     def _run_select(self, op: LogicalSelect) -> List[Env]:
         envs = self.run(op.child)
         self.stats.rows_processed += len(envs)
-        return [env for env in envs
-                if evaluate(op.predicate, env) is True]
+        if self.compiled:
+            fn = compile_expr(op.predicate)
+            return [env for env in envs if fn(env) is True]
+        accept = self._predicate_fn(op.predicate)
+        return [env for env in envs if accept(env)]
 
     def _run_project(self, op: LogicalProject) -> List[Env]:
         envs = self.run(op.child)
         self.stats.rows_processed += len(envs)
+        if self.compiled and all(
+                isinstance(expr, ex.ColumnVar) for _, expr in op.outputs):
+            # Pure-rename projection.  If it maps every column to itself
+            # it only prunes columns, and envs (never mutated downstream)
+            # can pass through unchanged; otherwise remap without going
+            # through closures at all.
+            if all(var.id == expr.id for var, expr in op.outputs):
+                return envs
+            pairs = [(var.id, expr.id) for var, expr in op.outputs]
+            try:
+                return [{out_id: env[src_id] for out_id, src_id in pairs}
+                        for env in envs]
+            except KeyError as exc:
+                raise UnboundColumn(exc.args[0]) from None
+        outputs = [(var.id, self._scalar_fn(expr))
+                   for var, expr in op.outputs]
         return [
-            {var.id: evaluate(expr, env) for var, expr in op.outputs}
+            {var_id: fn(env) for var_id, fn in outputs}
             for env in envs
         ]
 
@@ -116,31 +182,59 @@ class PlanInterpreter:
         right_ids = frozenset(
             var.id for var in op.right.output_columns())
         pairs = ex.equi_join_pairs(op.predicate, left_ids, right_ids)
+        accept = self._predicate_fn(op.predicate)
+        if (self.compiled and pairs
+                and len(pairs) == len(ex.conjuncts(op.predicate))):
+            # The predicate is exactly its equi-join conjuncts: a hash
+            # match already proves every conjunct true (keys are non-NULL
+            # and ``==``-equal), so the residual re-check is redundant.
+            accept = None
         if pairs:
-            return self._hash_join(op, left, right, pairs)
-        return self._loop_join(op, left, right)
+            return self._hash_join(op, left, right, pairs, accept)
+        return self._loop_join(op, left, right, accept)
 
     def _hash_join(self, op: LogicalJoin, left: List[Env],
-                   right: List[Env], pairs) -> List[Env]:
+                   right: List[Env], pairs, accept) -> List[Env]:
         left_keys = [lv.id for lv, _ in pairs]
         right_keys = [rv.id for _, rv in pairs]
+        single = self.compiled and len(pairs) == 1
         table: Dict[Tuple, List[Env]] = {}
-        for env in right:
-            key = tuple(env.get(k) for k in right_keys)
-            if any(v is None for v in key):
-                continue
-            table.setdefault(key, []).append(env)
+        if single:
+            right_key = right_keys[0]
+            lookup = table.get
+            for env in right:
+                value = env.get(right_key)
+                if value is not None:
+                    bucket = lookup(value)
+                    if bucket is None:
+                        table[value] = bucket = []
+                    bucket.append(env)
+        else:
+            for env in right:
+                key = tuple(env.get(k) for k in right_keys)
+                if any(v is None for v in key):
+                    continue
+                table.setdefault(key, []).append(env)
+
+        if accept is None and single:
+            fast = self._hash_join_fast(op, left, table, left_keys[0])
+            if fast is not None:
+                return fast
 
         out: List[Env] = []
         for env in left:
-            key = tuple(env.get(k) for k in left_keys)
-            matches = table.get(key, ()) if not any(
-                v is None for v in key) else ()
+            if single:
+                value = env.get(left_keys[0])
+                matches = (table.get(value, ())
+                           if value is not None else ())
+            else:
+                key = tuple(env.get(k) for k in left_keys)
+                matches = table.get(key, ()) if not any(
+                    v is None for v in key) else ()
             matched = False
             for right_env in matches:
                 combined = {**env, **right_env}
-                if op.predicate is None or evaluate(op.predicate,
-                                                    combined) is True:
+                if accept is None or accept(combined):
                     matched = True
                     if op.kind in (JoinKind.INNER, JoinKind.LEFT,
                                    JoinKind.CROSS):
@@ -160,15 +254,57 @@ class PlanInterpreter:
                     out.append(dict(env))
         return out
 
+    @staticmethod
+    def _hash_join_fast(op: LogicalJoin, left: List[Env],
+                        table: Dict, left_key: int) -> Optional[List[Env]]:
+        """Residual-free single-key probes: the per-kind loops below are
+        the general loop with the accept/matched bookkeeping stripped."""
+        lookup = table.get
+        if op.kind in (JoinKind.INNER, JoinKind.CROSS):
+            out: List[Env] = []
+            append = out.append
+            for env in left:
+                value = env.get(left_key)
+                if value is None:
+                    continue
+                matches = lookup(value)
+                if matches:
+                    for right_env in matches:
+                        append({**env, **right_env})
+            return out
+        if op.kind is JoinKind.SEMI:
+            return [dict(env) for env in left
+                    if (value := env.get(left_key)) is not None
+                    and lookup(value)]
+        if op.kind is JoinKind.ANTI:
+            return [dict(env) for env in left
+                    if (value := env.get(left_key)) is None
+                    or not lookup(value)]
+        if op.kind is JoinKind.LEFT:
+            pad_ids = [var.id for var in op.right.output_columns()]
+            out = []
+            for env in left:
+                value = env.get(left_key)
+                matches = lookup(value) if value is not None else None
+                if matches:
+                    for right_env in matches:
+                        out.append({**env, **right_env})
+                else:
+                    padded = dict(env)
+                    for pad_id in pad_ids:
+                        padded[pad_id] = None
+                    out.append(padded)
+            return out
+        return None
+
     def _loop_join(self, op: LogicalJoin, left: List[Env],
-                   right: List[Env]) -> List[Env]:
+                   right: List[Env], accept) -> List[Env]:
         out: List[Env] = []
         for env in left:
             matched = False
             for right_env in right:
                 combined = {**env, **right_env}
-                if op.predicate is None or evaluate(op.predicate,
-                                                    combined) is True:
+                if accept is None or accept(combined):
                     matched = True
                     if op.kind in (JoinKind.INNER, JoinKind.LEFT,
                                    JoinKind.CROSS):
@@ -194,12 +330,41 @@ class PlanInterpreter:
         key_ids = [k.id for k in op.keys]
         groups: Dict[Tuple, List[Env]] = {}
         order: List[Tuple] = []
-        for env in envs:
-            key = tuple(_group_key(env.get(k)) for k in key_ids)
-            if key not in groups:
-                groups[key] = []
-                order.append(key)
-            groups[key].append(env)
+        if self.compiled and len(key_ids) == 1:
+            key_id = key_ids[0]
+            lookup = groups.get
+            for env in envs:
+                key = env.get(key_id)
+                if key.__class__ is bool:
+                    key = ("b", key)
+                members = lookup(key)
+                if members is None:
+                    groups[key] = members = []
+                    order.append(key)
+                members.append(env)
+        elif self.compiled and len(key_ids) == 2:
+            first_id, second_id = key_ids
+            lookup = groups.get
+            for env in envs:
+                first = env.get(first_id)
+                if first.__class__ is bool:
+                    first = ("b", first)
+                second = env.get(second_id)
+                if second.__class__ is bool:
+                    second = ("b", second)
+                key = (first, second)
+                members = lookup(key)
+                if members is None:
+                    groups[key] = members = []
+                    order.append(key)
+                members.append(env)
+        else:
+            for env in envs:
+                key = tuple(_group_key(env.get(k)) for k in key_ids)
+                if key not in groups:
+                    groups[key] = []
+                    order.append(key)
+                groups[key].append(env)
 
         if not op.keys and not groups:
             # Scalar aggregation over an empty input: one row of neutral
@@ -209,14 +374,19 @@ class PlanInterpreter:
                 for var, agg in op.aggregates
             }]
 
+        aggregates = [
+            (var.id, agg,
+             self._scalar_fn(agg.arg) if agg.arg is not None else None)
+            for var, agg in op.aggregates
+        ]
         out: List[Env] = []
         for key in order:
             members = groups[key]
             env: Env = {
                 k: members[0].get(k) for k in key_ids
             }
-            for var, agg in op.aggregates:
-                env[var.id] = _aggregate(agg, members)
+            for var_id, agg, arg_fn in aggregates:
+                env[var_id] = _aggregate(agg, members, arg_fn)
             out.append(env)
         return out
 
@@ -239,19 +409,39 @@ def _group_key(value):
     return value
 
 
-def _aggregate(agg: ex.AggExpr, members: Sequence[Env]):
-    if agg.func == "COUNT" and agg.arg is None:
-        return len(members)
-    values = [evaluate(agg.arg, env) for env in members]
-    values = [v for v in values if v is not None]
-    if agg.distinct:
-        seen = []
+def _distinct(values: List) -> List:
+    """First occurrence of each distinct value (``==`` semantics).
+
+    Hash-based for hashable values; falls back to the linear scan only
+    when some value is unhashable, preserving exact ``==`` dedup.
+    """
+    try:
+        seen = set()
         unique = []
         for value in values:
             if value not in seen:
-                seen.append(value)
+                seen.add(value)
                 unique.append(value)
-        values = unique
+        return unique
+    except TypeError:
+        unique = []
+        for value in values:
+            if value not in unique:
+                unique.append(value)
+        return unique
+
+
+def _aggregate(agg: ex.AggExpr, members: Sequence[Env],
+               arg_fn: Optional[Callable[[Env], object]] = None):
+    if agg.func == "COUNT" and agg.arg is None:
+        return len(members)
+    if arg_fn is None:
+        arg = agg.arg
+        arg_fn = lambda env: evaluate(arg, env)  # noqa: E731
+    values = [arg_fn(env) for env in members]
+    values = [v for v in values if v is not None]
+    if agg.distinct:
+        values = _distinct(values)
     if agg.func == "COUNT":
         return len(values)
     if not values:

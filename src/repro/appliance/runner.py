@@ -60,14 +60,22 @@ class QueryResult:
 
 
 class DsqlRunner:
-    """Executes DSQL plans serially, one step at a time (§2.4)."""
+    """Executes DSQL plans serially, one step at a time (§2.4).
+
+    ``compiled`` selects the executor backend: closure-compiled
+    expressions with a per-step parse/bind cache (default), or the
+    tree-walking reference interpreter (``compiled=False``).
+    """
 
     def __init__(self, appliance: Appliance,
                  truth: Optional[GroundTruthConstants] = None,
-                 tracer: Tracer = NULL_TRACER):
+                 tracer: Tracer = NULL_TRACER,
+                 compiled: bool = True):
         self.appliance = appliance
         self.tracer = tracer
-        self.runtime = DmsRuntime(appliance, truth, tracer)
+        self.compiled = compiled
+        self.runtime = DmsRuntime(appliance, truth, tracer,
+                                  compiled=compiled)
 
     def run(self, plan: DsqlPlan, keep_temps: bool = False) -> QueryResult:
         stats: List[StepExecutionStats] = []
@@ -122,20 +130,20 @@ class DsqlRunner:
         return rows
 
 
-def run_reference(appliance: Appliance, sql: str) -> QueryResult:
+def run_reference(appliance: Appliance, sql: str,
+                  compiled: bool = True) -> QueryResult:
     """Execute ``sql`` against the single-system image (ground truth).
 
     The bound tree is normalized first so comma-joins become hash joins —
     the naive interpreter would otherwise materialize raw cross products.
+    The image itself is cached on the appliance (invalidated on loads and
+    drops), so repeated reference runs skip re-gathering every fragment.
+    ``compiled=False`` forces the tree-walking evaluator.
     """
     statement = parse_query(sql)
     query = normalize(Binder(appliance.catalog).bind(statement))
-    tables = {
-        table.name: appliance.table_rows_everywhere(table.name)
-        for table in appliance.catalog.tables()
-        if not table.is_temp
-    }
-    interpreter = PlanInterpreter(tables)
+    interpreter = PlanInterpreter(appliance.single_system_image(),
+                                  compiled=compiled)
     rows = interpreter.run_query(query)
     return QueryResult(
         columns=list(query.output_names),

@@ -9,7 +9,7 @@ storage.  Rows are plain tuples in table-column order.
 from __future__ import annotations
 
 import zlib
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.catalog.schema import (
     Catalog,
@@ -109,6 +109,7 @@ class Appliance:
         self.catalog = Catalog()
         self.control = NodeStorage(CONTROL_NODE)
         self.compute = [NodeStorage(i) for i in range(node_count)]
+        self._image_cache: Optional[Dict[str, List[Tuple]]] = None
 
     # -- placement ---------------------------------------------------------------
 
@@ -124,13 +125,19 @@ class Appliance:
             self.catalog.add_table(table)
         for node in self._nodes_holding(table):
             node.create(table.name)
+        if not table.is_temp:
+            self._invalidate_image()
 
     def drop_table(self, name: str) -> None:
+        is_temp = (self.catalog.has_table(name)
+                   and self.catalog.table(name).is_temp)
         if self.catalog.has_table(name):
             self.catalog.drop_table(name)
         self.control.drop(name)
         for node in self.compute:
             node.drop(name)
+        if not is_temp:
+            self._invalidate_image()
 
     def load_rows(self, name: str, rows: Iterable[Tuple]) -> int:
         """Route rows to their nodes per the table's distribution.
@@ -157,6 +164,8 @@ class Appliance:
             for node, bucket in zip(self.compute, buckets):
                 node.insert(table.name, bucket)
         table.row_count += len(rows)
+        if not table.is_temp:
+            self._invalidate_image()
         return len(rows)
 
     def node_storage(self, node_id: int) -> NodeStorage:
@@ -176,6 +185,27 @@ class Appliance:
         for node in self.compute:
             result.extend(node.rows(name))
         return result
+
+    # -- single-system image -------------------------------------------------------
+
+    def _invalidate_image(self) -> None:
+        self._image_cache = None
+
+    def single_system_image(self) -> Dict[str, List[Tuple]]:
+        """Every non-temp table's full contents gathered into one map.
+
+        Cached on the appliance (``run_reference`` rebuilds this for
+        every correctness comparison otherwise) and invalidated whenever
+        base-table storage changes — loads, creates, drops.  Callers
+        must treat the returned row lists as read-only.
+        """
+        if self._image_cache is None:
+            self._image_cache = {
+                table.name: self.table_rows_everywhere(table.name)
+                for table in self.catalog.tables()
+                if not table.is_temp
+            }
+        return self._image_cache
 
     # -- temp table lifecycle ------------------------------------------------------
 

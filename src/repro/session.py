@@ -18,6 +18,11 @@ so the one-liner from the README works::
     print(PdwSession("SELECT COUNT(*) AS n FROM lineitem")
           .explain(analyze=True))
 
+Execution uses the compiled backend by default — scalar expressions are
+compiled to Python closures and each DSQL step's SQL is parsed + bound
+once, then re-run on every compute node.  ``PdwSession(compiled=False)``
+(CLI: ``--no-compiled-exec``) forces the reference interpreter instead.
+
 Telemetry is on by default (the session is the observability surface; the
 low-level classes default to the no-op tracer): every compile and run
 appends spans to :attr:`PdwSession.tracer`, and :meth:`trace_report` /
@@ -67,7 +72,8 @@ class PdwSession:
                  serial_config: Optional[OptimizerConfig] = None,
                  pdw_config: Optional[PdwConfig] = None,
                  tracer: Optional[Tracer] = None,
-                 trace: bool = True):
+                 trace: bool = True,
+                 compiled: bool = True):
         if (appliance is None) != (shell is None):
             raise ReproError(
                 "pass both appliance and shell, or neither "
@@ -81,9 +87,11 @@ class PdwSession:
         if tracer is None:
             tracer = Tracer() if trace else NULL_TRACER
         self.tracer = tracer
+        self.compiled = compiled
         self.engine = PdwEngine(shell, serial_config, pdw_config,
                                 tracer=tracer)
-        self.runner = DsqlRunner(appliance, tracer=tracer)
+        self.runner = DsqlRunner(appliance, tracer=tracer,
+                                 compiled=compiled)
 
     # -- the three verbs -------------------------------------------------------
 

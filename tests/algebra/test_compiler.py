@@ -1,0 +1,326 @@
+"""Compiler ⇄ evaluator differential tests.
+
+The closure compiler must agree with the tree-walking evaluator on every
+expression — values, NULL propagation, and error behaviour alike.  A
+deterministic random generator produces NULL-laden expression trees
+(comparisons, arithmetic, LIKE, IN, CASE, boolean logic) and every tree
+is checked on many environments, including ones with missing columns.
+"""
+
+import datetime
+import random
+
+import pytest
+
+from repro.algebra import expressions as ex
+from repro.algebra.compiler import (
+    clear_cache,
+    compile_expr,
+    compile_predicate,
+    compile_projection,
+)
+from repro.algebra.evaluator import UnboundColumn, evaluate
+from repro.common.errors import ExecutionError
+from repro.common.types import BOOLEAN, DOUBLE, INTEGER, varchar
+
+INT_A = ex.ColumnVar(1, "a", INTEGER)
+INT_B = ex.ColumnVar(2, "b", INTEGER)
+DBL_C = ex.ColumnVar(3, "c", DOUBLE)
+STR_S = ex.ColumnVar(4, "s", varchar(20))
+STR_T = ex.ColumnVar(5, "t", varchar(20))
+
+
+def outcome(fn, *args):
+    """(tag, value) summary of a call, folding errors into the tag."""
+    try:
+        return ("ok", fn(*args))
+    except ExecutionError:
+        return ("execution-error",)
+    except UnboundColumn:
+        return ("unbound-column",)
+
+
+def assert_agree(expr, env):
+    interpreted = outcome(evaluate, expr, env)
+    compiled = outcome(compile_expr(expr), env)
+    assert compiled == interpreted, (
+        f"backends disagree on {expr} with env {env}: "
+        f"compiled={compiled} interpreted={interpreted}")
+
+
+# -- targeted three-valued-logic cases --------------------------------------------
+
+NULL = ex.Constant(None)
+ONE = ex.Constant(1)
+TWO = ex.Constant(2)
+
+
+class TestThreeValuedLogic:
+    @pytest.mark.parametrize("op", ["=", "<>", "<", "<=", ">", ">="])
+    def test_comparison_with_null_is_null(self, op):
+        for pair in [(NULL, ONE), (ONE, NULL), (NULL, NULL)]:
+            expr = ex.Comparison(op, *pair)
+            assert compile_expr(expr)({}) is None
+            assert_agree(expr, {})
+
+    @pytest.mark.parametrize("op", ["+", "-", "*", "/", "%", "||"])
+    def test_arithmetic_with_null_is_null(self, op):
+        expr = ex.Arithmetic(op, NULL, TWO)
+        assert compile_expr(expr)({}) is None
+        assert_agree(expr, {})
+
+    @pytest.mark.parametrize("args,expected", [
+        ((True, True), True), ((True, None), None), ((True, False), False),
+        ((None, None), None), ((False, None), False),
+    ])
+    def test_kleene_and(self, args, expected):
+        expr = ex.BoolOp("AND", tuple(ex.Constant(a, BOOLEAN) for a in args))
+        assert compile_expr(expr)({}) is expected
+        assert_agree(expr, {})
+
+    @pytest.mark.parametrize("args,expected", [
+        ((False, False), False), ((False, None), None),
+        ((True, None), True), ((None, None), None),
+    ])
+    def test_kleene_or(self, args, expected):
+        expr = ex.BoolOp("OR", tuple(ex.Constant(a, BOOLEAN) for a in args))
+        assert compile_expr(expr)({}) is expected
+        assert_agree(expr, {})
+
+    def test_not_null_is_null(self):
+        expr = ex.NotExpr(NULL)
+        assert compile_expr(expr)({}) is None
+        assert_agree(expr, {})
+
+    def test_like_null_operand(self):
+        expr = ex.LikeExpr(STR_S, "a%")
+        assert compile_expr(expr)({4: None}) is None
+        assert_agree(expr, {4: None})
+
+    def test_in_list_null_operand(self):
+        expr = ex.InListExpr(INT_A, (1, 2, 3), negated=True)
+        assert compile_expr(expr)({1: None}) is None
+        assert_agree(expr, {1: None})
+
+    def test_is_null_and_negation(self):
+        for negated in (False, True):
+            expr = ex.IsNullExpr(INT_A, negated=negated)
+            for value in (None, 7):
+                assert_agree(expr, {1: value})
+
+    def test_case_without_match_is_null(self):
+        expr = ex.CaseWhen(
+            whens=((ex.Comparison("=", INT_A, TWO), ex.Constant("two")),))
+        assert compile_expr(expr)({1: 1}) is None
+        assert_agree(expr, {1: 1})
+
+    def test_case_null_condition_not_taken(self):
+        expr = ex.CaseWhen(
+            whens=((ex.Comparison("=", INT_A, TWO), ex.Constant("two")),),
+            otherwise=ex.Constant("other"))
+        assert compile_expr(expr)({1: None}) == "other"
+        assert_agree(expr, {1: None})
+
+
+class TestErrorParity:
+    def test_division_by_zero_raises(self):
+        for op in ("/", "%"):
+            expr = ex.Arithmetic(op, ONE, ex.Constant(0))
+            with pytest.raises(ExecutionError):
+                compile_expr(expr)({})
+            assert_agree(expr, {})
+
+    def test_unbound_column_raises(self):
+        expr = ex.Arithmetic("+", INT_A, ONE)
+        with pytest.raises(UnboundColumn):
+            compile_expr(expr)({})
+        assert_agree(expr, {})
+
+    def test_aggregate_raises_at_row_time_not_compile_time(self):
+        expr = ex.AggExpr("SUM", INT_A)
+        fn = compile_expr(expr)  # compiling must not raise
+        with pytest.raises(ExecutionError):
+            fn({1: 3})
+        assert_agree(expr, {1: 3})
+
+    def test_division_error_beats_null_left_operand(self):
+        # evaluate() computes both operands before the NULL check, so a
+        # zero divisor raises even when the other side is NULL.
+        expr = ex.Arithmetic("/", NULL, ex.Constant(0))
+        assert_agree(expr, {})
+
+
+class TestScalarFunctions:
+    def test_dateadd_parity(self):
+        base = ex.Constant(datetime.date(2020, 1, 31))
+        for unit, amount in (("day", 3), ("month", 1), ("year", 2)):
+            expr = ex.FuncExpr(
+                "DATEADD", (ex.Constant(unit), ex.Constant(amount), base))
+            assert_agree(expr, {})
+
+    def test_substring_and_year(self):
+        assert_agree(ex.FuncExpr("SUBSTRING", (
+            STR_S, ex.Constant(2), ex.Constant(3))), {4: "abcdef"})
+        assert_agree(ex.FuncExpr("YEAR", (
+            ex.Constant(datetime.date(1995, 5, 5)),)), {})
+
+    def test_null_argument_short_circuits(self):
+        expr = ex.FuncExpr("SUBSTRING", (STR_S, NULL, ex.Constant(3)))
+        assert compile_expr(expr)({4: "abc"}) is None
+        assert_agree(expr, {4: "abc"})
+
+    def test_unknown_function_raises_at_row_time(self):
+        expr = ex.FuncExpr("NO_SUCH_FN", (ONE,))
+        fn = compile_expr(expr)
+        with pytest.raises(ExecutionError):
+            fn({})
+        assert_agree(expr, {})
+
+
+class TestCastAndHelpers:
+    def test_cast_parity(self):
+        cases = [
+            (ex.CastExpr(ex.Constant("12"), INTEGER), {}),
+            (ex.CastExpr(ex.Constant(3), DOUBLE), {}),
+            (ex.CastExpr(ex.Constant(3.9), varchar(10)), {}),
+            (ex.CastExpr(NULL, INTEGER), {}),
+        ]
+        for expr, env in cases:
+            assert_agree(expr, env)
+
+    def test_compile_predicate_null_counts_as_false(self):
+        accept = compile_predicate(ex.Comparison("=", INT_A, ONE))
+        assert accept({1: 1}) is True
+        assert accept({1: 2}) is False
+        assert accept({1: None}) is False
+
+    def test_compile_predicate_none_always_true(self):
+        assert compile_predicate(None)({}) is True
+
+    def test_compile_projection(self):
+        out_var = ex.ColumnVar(9, "out", INTEGER)
+        project = compile_projection(
+            [(out_var, ex.Arithmetic("+", INT_A, ONE))])
+        assert project({1: 41}) == {9: 42}
+
+    def test_memoized_per_expression_object(self):
+        clear_cache()
+        expr = ex.Comparison("<", INT_A, TWO)
+        assert compile_expr(expr) is compile_expr(expr)
+
+    def test_memo_distinguishes_equal_but_typed_constants(self):
+        # Constant(0) == Constant(False) under dataclass equality, but
+        # Kleene logic must tell them apart (`is False` identity check).
+        clear_cache()
+        zero = ex.BoolOp("AND", (ex.Constant(0),))
+        false = ex.BoolOp("AND", (ex.Constant(False),))
+        assert compile_expr(zero)({}) is evaluate(zero, {})
+        assert compile_expr(false)({}) is evaluate(false, {})
+
+
+# -- randomized differential sweep ------------------------------------------------
+
+
+class ExprGen:
+    """Deterministic random expression trees, typed to avoid Python
+    TypeErrors that SQL would never produce (e.g. ``'x' < 3``)."""
+
+    LIKE_PATTERNS = ["%", "a%", "%z", "_b%", "abc", "%bc_", "a_c"]
+
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+
+    def const_int(self):
+        return ex.Constant(self.rng.choice([None, -3, 0, 1, 2, 7, 100]))
+
+    def const_str(self):
+        return ex.Constant(self.rng.choice(
+            [None, "", "a", "abc", "abz", "zebra", "bcb"]))
+
+    def num(self, depth):
+        if depth <= 0 or self.rng.random() < 0.3:
+            return self.rng.choice([
+                self.const_int, lambda: INT_A, lambda: INT_B,
+                lambda: DBL_C])()
+        pick = self.rng.random()
+        if pick < 0.7:
+            op = self.rng.choice(["+", "-", "*", "/", "%"])
+            return ex.Arithmetic(op, self.num(depth - 1),
+                                 self.num(depth - 1))
+        return ex.CaseWhen(
+            whens=((self.boolean(depth - 1), self.num(depth - 1)),),
+            otherwise=(self.num(depth - 1)
+                       if self.rng.random() < 0.7 else None))
+
+    def string(self, depth):
+        if depth <= 0 or self.rng.random() < 0.5:
+            return self.rng.choice(
+                [self.const_str, lambda: STR_S, lambda: STR_T])()
+        return ex.Arithmetic("||", self.string(depth - 1),
+                             self.string(depth - 1))
+
+    def boolean(self, depth):
+        if depth <= 0:
+            return ex.Constant(self.rng.choice([True, False, None]),
+                               BOOLEAN)
+        pick = self.rng.random()
+        if pick < 0.30:
+            op = self.rng.choice(["=", "<>", "<", "<=", ">", ">="])
+            if self.rng.random() < 0.7:
+                return ex.Comparison(op, self.num(depth - 1),
+                                     self.num(depth - 1))
+            return ex.Comparison(op, self.string(depth - 1),
+                                 self.string(depth - 1))
+        if pick < 0.45:
+            return ex.BoolOp(
+                self.rng.choice(["AND", "OR"]),
+                tuple(self.boolean(depth - 1)
+                      for _ in range(self.rng.randint(2, 3))))
+        if pick < 0.55:
+            return ex.NotExpr(self.boolean(depth - 1))
+        if pick < 0.70:
+            return ex.LikeExpr(self.string(depth - 1),
+                               self.rng.choice(self.LIKE_PATTERNS),
+                               negated=self.rng.random() < 0.5)
+        if pick < 0.85:
+            values = tuple(self.rng.sample([-3, 0, 1, 2, 7, 100],
+                                           self.rng.randint(1, 4)))
+            return ex.InListExpr(self.num(depth - 1), values,
+                                 negated=self.rng.random() < 0.5)
+        return ex.IsNullExpr(
+            self.rng.choice([self.num, self.string])(depth - 1),
+            negated=self.rng.random() < 0.5)
+
+    def env(self):
+        env = {}
+        for var, values in [
+            (INT_A, [None, -3, 0, 1, 2, 7]),
+            (INT_B, [None, 0, 1, 5, 100]),
+            (DBL_C, [None, -1.5, 0.0, 2.25, 9.5]),
+            (STR_S, [None, "", "a", "abc", "bcb", "zebra"]),
+            (STR_T, [None, "a", "abz", "xyz"]),
+        ]:
+            if self.rng.random() < 0.9:  # sometimes leave columns unbound
+                env[var.id] = self.rng.choice(values)
+        return env
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_random_expressions_differential(seed):
+    gen = ExprGen(seed)
+    for _ in range(25):
+        expr = gen.rng.choice(
+            [gen.boolean, gen.num, gen.string])(gen.rng.randint(1, 4))
+        for _ in range(8):
+            assert_agree(expr, gen.env())
+
+
+def test_random_predicates_match_row_filtering():
+    """compile_predicate and evaluate-is-True agree on filter decisions."""
+    gen = ExprGen(12345)
+    for _ in range(200):
+        predicate = gen.boolean(3)
+        env = gen.env()
+        accept = compile_predicate(predicate)
+        assert (outcome(accept, env)
+                == outcome(lambda e: evaluate(predicate, e) is True, env))
