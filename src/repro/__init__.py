@@ -63,6 +63,15 @@ from repro.catalog.schema import (
     hash_distributed,
 )
 from repro.catalog.shell_db import ShellDatabase
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.profiler import (
+    QErrorSummary,
+    QueryProfile,
+    SkewStats,
+    build_query_profile,
+    q_error,
+    skew_stats,
+)
 from repro.optimizer.search import (
     OptimizationResult,
     OptimizerConfig,
@@ -99,8 +108,16 @@ __all__ = [
     "DmsRuntime",
     "DsqlRunner",
     "GroundTruthConstants",
+    "MetricsRegistry",
+    "NULL_METRICS",
     "NULL_TRACER",
     "ON_CONTROL",
+    "QErrorSummary",
+    "QueryProfile",
+    "SkewStats",
+    "build_query_profile",
+    "q_error",
+    "skew_stats",
     "OptimizationResult",
     "OptimizerConfig",
     "PdwConfig",

@@ -6,7 +6,15 @@ TPC-H appliance.
     python -m repro run "SELECT n_name FROM nation ORDER BY n_name LIMIT 5"
     python -m repro memo "SELECT c_name FROM customer WHERE c_custkey < 10"
     python -m repro stats "SELECT COUNT(*) AS n FROM lineitem"
+    python -m repro profile "SELECT COUNT(*) AS n FROM lineitem, orders \
+WHERE l_orderkey = o_orderkey"
     python -m repro calibrate --nodes 8
+
+``profile`` executes the query with per-node / per-operator profiling on
+and renders skew + Q-error tables; ``--json`` prints the structured
+profile document instead, ``--jsonl PATH`` writes the validated event
+log, and ``--prometheus PATH`` dumps the session metrics registry in
+Prometheus text format.
 
 Options ``--scale`` and ``--nodes`` size the appliance (defaults: scale
 0.002, 8 nodes).  ``--trace`` appends the nested telemetry span tree
@@ -20,6 +28,7 @@ reproducible.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -64,6 +73,21 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser(
         "stats", help="compile a query and print phase timings + counters")
     stats.add_argument("sql")
+    stats.add_argument("--json", action="store_true",
+                       help="print spans + counters as a JSON document")
+
+    profile = sub.add_parser(
+        "profile",
+        help="execute with per-node/per-operator profiling: skew + Q-error")
+    profile.add_argument("sql")
+    profile.add_argument("--json", action="store_true",
+                         help="print the profile document as JSON instead "
+                              "of tables")
+    profile.add_argument("--jsonl", metavar="PATH",
+                         help="write the schema-validated JSONL event log")
+    profile.add_argument("--prometheus", metavar="PATH",
+                         help="write the metrics registry in Prometheus "
+                              "text format")
 
     sub.add_parser(
         "calibrate", help="run the lambda calibration (paper 3.3.3)")
@@ -103,7 +127,40 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     elif args.command == "stats":
         session.compile()
-        print(session.stats_report())
+        if args.json:
+            print(session.tracer.to_json())
+        else:
+            print(session.stats_report())
+
+    elif args.command == "profile":
+        from repro.obs.export import (
+            events_to_jsonl,
+            profile_to_events,
+            validate_events,
+        )
+        from repro.obs.report import render_profile_report
+
+        profile = session.profile()
+        if args.json:
+            print(json.dumps(profile.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(render_profile_report(profile))
+        if args.jsonl:
+            events = profile_to_events(profile)
+            errors = validate_events(events)
+            if errors:
+                for error in errors:
+                    print(f"schema error: {error}", file=sys.stderr)
+                return 1
+            with open(args.jsonl, "w", encoding="utf-8") as handle:
+                handle.write(events_to_jsonl(events))
+            print(f"-- wrote {len(events)} events to {args.jsonl}",
+                  file=sys.stderr)
+        if args.prometheus:
+            with open(args.prometheus, "w", encoding="utf-8") as handle:
+                handle.write(session.metrics.render_prometheus())
+            print(f"-- wrote metrics to {args.prometheus}",
+                  file=sys.stderr)
 
     else:  # run
         compiled = session.compile()

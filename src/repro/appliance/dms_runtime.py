@@ -30,6 +30,8 @@ from repro.appliance.storage import (
     row_bytes,
 )
 from repro.common.errors import DmsError
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.profiler import OperatorObserver
 from repro.optimizer.binder import Binder
 from repro.pdw.dms import DmsOperation
 from repro.pdw.dsql import DsqlStep
@@ -62,7 +64,16 @@ class GroundTruthConstants:
 
 @dataclass
 class StepExecutionStats:
-    """Per-step accounting: bytes per component per node + elapsed time."""
+    """Per-step accounting: bytes per component per node + elapsed time.
+
+    ``node_rows`` (rows each executing node's local SQL produced) is
+    always recorded — one dict store per node per step.  The remaining
+    profiling fields are populated only under a profiled run
+    (``DsqlRunner.run(plan, profile=True)``): ``transfers`` is the
+    per-movement N×N matrix ``(source, destination) → [rows, bytes]``
+    and ``node_operators`` maps each node to the postorder
+    ``(kind, label, rows_out)`` records its interpreter observed.
+    """
 
     step_index: int
     operation: Optional[DmsOperation]
@@ -75,6 +86,11 @@ class StepExecutionStats:
     movement_seconds: float = 0.0    # max-composed DMS component time
     relational_seconds: float = 0.0  # local SQL extraction time
     elapsed_seconds: float = 0.0     # movement + relational
+    node_rows: Dict[int, int] = field(default_factory=dict)
+    transfers: Dict[Tuple[int, int], List[int]] = field(
+        default_factory=dict)
+    node_operators: Dict[int, List[Tuple[str, str, int]]] = field(
+        default_factory=dict)
 
     def component_times(self, truth: GroundTruthConstants,
                         uses_hashing: bool) -> Tuple[float, float, float, float]:
@@ -118,11 +134,16 @@ class DmsRuntime:
     def __init__(self, appliance: Appliance,
                  truth: Optional[GroundTruthConstants] = None,
                  tracer: Tracer = NULL_TRACER,
-                 compiled: bool = True):
+                 compiled: bool = True,
+                 metrics: MetricsRegistry = NULL_METRICS):
         self.appliance = appliance
         self.truth = truth or GroundTruthConstants()
         self.tracer = tracer
         self.compiled = compiled
+        self.metrics = metrics
+        # Profiled runs (DsqlRunner.run(profile=True)) flip this on to
+        # collect transfer matrices and per-operator actuals.
+        self.profiling = False
         self._step_cache: "OrderedDict[str, _CachedStep]" = OrderedDict()
         # Parse trees are schema-independent, so they survive the
         # temp-table evictions that invalidate bound entries.
@@ -132,29 +153,56 @@ class DmsRuntime:
                          operation: Optional[DmsOperation]) -> None:
         """Aggregate per-operation-kind byte/row/time counters."""
         tracer = self.tracer
-        if not tracer.enabled:
-            return
         kind = operation.value if operation is not None else "return"
-        # DMS steps read every moved row on the source side; the Return
-        # step only ships network bytes up to the control node.
-        moved = (stats.total_bytes() if operation is not None
-                 else sum(stats.network_bytes.values()))
-        tracer.count("dms.rows_moved", stats.rows_moved)
-        tracer.count("dms.bytes_moved", moved)
-        tracer.count("dms.seconds", stats.movement_seconds)
-        tracer.count(f"dms.rows.{kind}", stats.rows_moved)
-        tracer.count(f"dms.bytes.{kind}", moved)
-        tracer.count(f"dms.seconds.{kind}", stats.movement_seconds)
+        if tracer.enabled:
+            # DMS steps read every moved row on the source side; the
+            # Return step only ships network bytes up to the control node.
+            moved = (stats.total_bytes() if operation is not None
+                     else sum(stats.network_bytes.values()))
+            tracer.count("dms.rows_moved", stats.rows_moved)
+            tracer.count("dms.bytes_moved", moved)
+            tracer.count("dms.seconds", stats.movement_seconds)
+            tracer.count(f"dms.rows.{kind}", stats.rows_moved)
+            tracer.count(f"dms.bytes.{kind}", moved)
+            tracer.count(f"dms.seconds.{kind}", stats.movement_seconds)
+        metrics = self.metrics
+        if metrics.enabled:
+            step = str(stats.step_index)
+            rows_counter = metrics.counter(
+                "pdw_step_rows_total",
+                "Rows produced per source node per DSQL step",
+                labelnames=("step", "op", "node"))
+            bytes_counter = metrics.counter(
+                "pdw_step_reader_bytes_total",
+                "Bytes read per source node per DSQL step",
+                labelnames=("step", "op", "node"))
+            for node, rows in stats.node_rows.items():
+                rows_counter.labels(step=step, op=kind,
+                                    node=str(node)).inc(rows)
+            for node, nbytes in stats.reader_bytes.items():
+                bytes_counter.labels(step=step, op=kind,
+                                     node=str(node)).inc(nbytes)
+            metrics.counter(
+                "pdw_dms_rows_moved_total",
+                "Rows moved per DMS operation kind",
+                labelnames=("op",)).labels(op=kind).inc(stats.rows_moved)
+            metrics.histogram(
+                "pdw_step_seconds",
+                "Simulated elapsed seconds per DSQL step",
+                labelnames=("op",)).labels(op=kind).observe(
+                    stats.elapsed_seconds)
 
     # -- node-local SQL ------------------------------------------------------------
 
     def run_sql_on_node(self, sql: str, node: NodeStorage,
-                        stats: Optional[InterpreterStats] = None
+                        stats: Optional[InterpreterStats] = None,
+                        observer: Optional[OperatorObserver] = None
                         ) -> Tuple[List[Tuple], List[str]]:
         """Bind (cached) and execute a step's SQL on one node."""
         query = self._bind_step(sql)
         interpreter = PlanInterpreter(node.tables, stats,
-                                      compiled=self.compiled)
+                                      compiled=self.compiled,
+                                      observer=observer)
         rows = interpreter.run_query(query)
         return rows, query.output_names
 
@@ -225,10 +273,13 @@ class DmsRuntime:
 
         received: Dict[int, List[Tuple]] = {}
         received_bytes: Dict[int, int] = {}
+        profiling = self.profiling
 
         for source in self._source_nodes(step):
             sql_stats = InterpreterStats()
-            rows, _names = self.run_sql_on_node(step.sql, source, sql_stats)
+            observer = OperatorObserver() if profiling else None
+            rows, _names = self.run_sql_on_node(step.sql, source,
+                                                sql_stats, observer)
             stats.relational_rows += (
                 sql_stats.rows_scanned + sql_stats.rows_processed)
             # One row_bytes pass per batch serves reader, network and
@@ -237,11 +288,17 @@ class DmsRuntime:
             source_id = source.node_id
             stats.reader_bytes[source_id] = (
                 stats.reader_bytes.get(source_id, 0) + sum(sizes))
+            stats.node_rows[source_id] = (
+                stats.node_rows.get(source_id, 0) + len(rows))
             stats.rows_moved += len(rows)
+            if observer is not None:
+                stats.node_operators[source_id] = observer.records
 
             sent = self._route_batch(movement.operation, rows, sizes,
                                      hash_index, node_count, source_id,
-                                     received, received_bytes)
+                                     received, received_bytes,
+                                     stats.transfers if profiling
+                                     else None)
             if sent:
                 stats.network_bytes[source_id] = (
                     stats.network_bytes.get(source_id, 0) + sent)
@@ -268,10 +325,16 @@ class DmsRuntime:
                      sizes: List[int], hash_index: Optional[int],
                      node_count: int, source_id: int,
                      received: Dict[int, List[Tuple]],
-                     received_bytes: Dict[int, int]) -> int:
+                     received_bytes: Dict[int, int],
+                     transfers: Optional[Dict[Tuple[int, int],
+                                              List[int]]] = None) -> int:
         """Bucket one source batch into per-target row lists and byte
         totals; returns the bytes this source puts on the network (rows
-        routed to a node other than itself)."""
+        routed to a node other than itself).  With ``transfers`` (a
+        profiled run) every delivery is also recorded into the
+        ``(source, target) → [rows, bytes]`` matrix, local deliveries
+        included — the diagonal is what distinguishes a co-located
+        shuffle from a network-heavy one."""
         if not rows:
             return 0
 
@@ -280,6 +343,14 @@ class DmsRuntime:
             received.setdefault(target_id, []).extend(batch)
             received_bytes[target_id] = (
                 received_bytes.get(target_id, 0) + batch_bytes)
+            if transfers is not None:
+                entry = transfers.get((source_id, target_id))
+                if entry is None:
+                    transfers[(source_id, target_id)] = [len(batch),
+                                                         batch_bytes]
+                else:
+                    entry[0] += len(batch)
+                    entry[1] += batch_bytes
 
         if operation is DmsOperation.SHUFFLE_MOVE:
             if hash_index is None:
@@ -339,15 +410,24 @@ class DmsRuntime:
         stats = StepExecutionStats(step.index, None)
         rows: List[Tuple] = []
         names: List[str] = []
+        profiling = self.profiling
         for source in self._source_nodes(step):
             sql_stats = InterpreterStats()
+            observer = OperatorObserver() if profiling else None
             node_rows, names = self.run_sql_on_node(step.sql, source,
-                                                    sql_stats)
+                                                    sql_stats, observer)
             stats.relational_rows += (
                 sql_stats.rows_scanned + sql_stats.rows_processed)
             if source.node_id != CONTROL_NODE:
                 stats.network_bytes[source.node_id] = sum(
                     row_bytes(r) for r in node_rows)
+            stats.node_rows[source.node_id] = len(node_rows)
+            if observer is not None:
+                stats.node_operators[source.node_id] = observer.records
+                stats.transfers[(source.node_id, CONTROL_NODE)] = [
+                    len(node_rows),
+                    stats.network_bytes.get(source.node_id, 0),
+                ]
             rows.extend(node_rows)
         stats.movement_seconds = max(
             stats.network_bytes.values(), default=0) * self.truth.network

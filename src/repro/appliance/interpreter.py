@@ -54,14 +54,23 @@ class InterpreterStats:
 
 
 class PlanInterpreter:
-    """Evaluates a bound logical tree against a table-name → rows map."""
+    """Evaluates a bound logical tree against a table-name → rows map.
+
+    ``observer`` (a :class:`repro.obs.profiler.OperatorObserver`, or any
+    object with ``record(op, rows_out)``) receives each operator's output
+    row count as it completes, in postorder.  The default ``None`` costs
+    one identity test per *operator* — never per row — so the disabled
+    path preserves the compiled backend's throughput.
+    """
 
     def __init__(self, tables: Dict[str, List[Tuple]],
                  stats: Optional[InterpreterStats] = None,
-                 compiled: bool = True):
+                 compiled: bool = True,
+                 observer=None):
         self.tables = {name.lower(): rows for name, rows in tables.items()}
         self.stats = stats or InterpreterStats()
         self.compiled = compiled
+        self.observer = observer
 
     # -- scalar backends ----------------------------------------------------------
 
@@ -98,6 +107,12 @@ class PlanInterpreter:
         return [tuple(env.get(var.id) for var in outputs) for env in envs]
 
     def run(self, op: LogicalOp) -> List[Env]:
+        envs = self._dispatch(op)
+        if self.observer is not None:
+            self.observer.record(op, len(envs))
+        return envs
+
+    def _dispatch(self, op: LogicalOp) -> List[Env]:
         if isinstance(op, LogicalGet):
             return self._run_get(op)
         if isinstance(op, LogicalSelect):

@@ -23,6 +23,7 @@ from repro.appliance.dms_runtime import (
 from repro.appliance.interpreter import PlanInterpreter
 from repro.appliance.storage import Appliance
 from repro.catalog.statistics import sort_key
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.common.errors import ExecutionError
 from repro.optimizer.binder import Binder
 from repro.optimizer.normalize import normalize
@@ -70,18 +71,26 @@ class DsqlRunner:
     def __init__(self, appliance: Appliance,
                  truth: Optional[GroundTruthConstants] = None,
                  tracer: Tracer = NULL_TRACER,
-                 compiled: bool = True):
+                 compiled: bool = True,
+                 metrics: MetricsRegistry = NULL_METRICS):
         self.appliance = appliance
         self.tracer = tracer
         self.compiled = compiled
+        self.metrics = metrics
         self.runtime = DmsRuntime(appliance, truth, tracer,
-                                  compiled=compiled)
+                                  compiled=compiled, metrics=metrics)
 
-    def run(self, plan: DsqlPlan, keep_temps: bool = False) -> QueryResult:
+    def run(self, plan: DsqlPlan, keep_temps: bool = False,
+            profile: bool = False) -> QueryResult:
+        """Execute a DSQL plan.  ``profile=True`` additionally collects
+        per-node per-operator actuals and per-movement transfer matrices
+        onto each step's :class:`StepExecutionStats` (see
+        :func:`repro.obs.profiler.build_query_profile`)."""
         stats: List[StepExecutionStats] = []
         rows: List[Tuple] = []
         names: List[str] = list(plan.output_names)
         tracer = self.tracer
+        self.runtime.profiling = profile
         try:
             with tracer.span("execute"):
                 for step in plan.steps:
@@ -101,6 +110,7 @@ class DsqlRunner:
                                      step_stats.elapsed_seconds)
                 rows = self._finalize(plan, names, rows)
         finally:
+            self.runtime.profiling = False
             if not keep_temps:
                 self.appliance.drop_temp_tables()
         return QueryResult(

@@ -1,0 +1,88 @@
+"""repro.obs — the observability subsystem.
+
+Grown out of :mod:`repro.telemetry` (PR 1's span trees and flat
+counters), this package adds the feedback layer the paper's §2.5 claim
+needs to be *checked* rather than assumed:
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of labeled
+  counters/gauges/histograms with a zero-overhead no-op default
+  (:data:`NULL_METRICS`), mirroring the ``NULL_TRACER`` contract;
+* :mod:`repro.obs.profiler` — per-node / per-operator runtime actuals
+  joined with the winning plan's cardinality estimates: skew statistics
+  (max/mean, coefficient of variation) and Q-error profiles;
+* :mod:`repro.obs.export` — structured sinks: JSONL event log with
+  schema validation, JSON profile documents, Prometheus text;
+* :mod:`repro.obs.report` — the rendered ``repro profile`` tables;
+* :mod:`repro.obs.schema_check` — ``python -m repro.obs.schema_check``
+  CLI used by CI to validate emitted JSONL.
+"""
+
+from repro.obs.export import (
+    EVENT_SCHEMAS,
+    events_to_jsonl,
+    profile_to_events,
+    profile_to_metrics,
+    validate_event,
+    validate_events,
+    validate_jsonl,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsError,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetricsRegistry,
+)
+from repro.obs.profiler import (
+    OperatorEstimate,
+    OperatorObserver,
+    OperatorProfile,
+    QErrorSummary,
+    QueryProfile,
+    SkewStats,
+    StepProfile,
+    build_query_profile,
+    fragment_operator_estimates,
+    operator_kind,
+    q_error,
+    skew_stats,
+    summarize_q_errors,
+)
+from repro.obs.report import (
+    render_operator_table,
+    render_profile_report,
+    render_step_table,
+)
+
+__all__ = [
+    "EVENT_SCHEMAS",
+    "events_to_jsonl",
+    "profile_to_events",
+    "profile_to_metrics",
+    "validate_event",
+    "validate_events",
+    "validate_jsonl",
+    "write_jsonl",
+    "DEFAULT_BUCKETS",
+    "MetricsError",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NullMetricsRegistry",
+    "OperatorEstimate",
+    "OperatorObserver",
+    "OperatorProfile",
+    "QErrorSummary",
+    "QueryProfile",
+    "SkewStats",
+    "StepProfile",
+    "build_query_profile",
+    "fragment_operator_estimates",
+    "operator_kind",
+    "q_error",
+    "skew_stats",
+    "summarize_q_errors",
+    "render_operator_table",
+    "render_profile_report",
+    "render_step_table",
+]

@@ -1,0 +1,274 @@
+"""Structured export sinks for query profiles.
+
+Three formats, one source of truth (:class:`repro.obs.profiler.QueryProfile`):
+
+* **JSONL event log** — one self-describing event per line (``query``,
+  ``step``, ``operator``), append-friendly and greppable; every event is
+  checkable against :data:`EVENT_SCHEMAS` (hand-rolled validation — no
+  third-party schema library is assumed in the environment);
+* **JSON profile document** — the nested ``QueryProfile.to_dict()`` form;
+* **Prometheus text** — labeled series via
+  :func:`profile_to_metrics` into a
+  :class:`repro.obs.metrics.MetricsRegistry` plus the registry's
+  ``render_prometheus``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import QueryProfile
+
+__all__ = [
+    "profile_to_events",
+    "events_to_jsonl",
+    "write_jsonl",
+    "EVENT_SCHEMAS",
+    "validate_event",
+    "validate_events",
+    "validate_jsonl",
+    "profile_to_metrics",
+]
+
+
+# -- event log -----------------------------------------------------------------
+
+
+def profile_to_events(profile: QueryProfile) -> List[dict]:
+    """Flatten a profile into schema-checked events: one ``query`` event,
+    one ``step`` event per DSQL step, one ``operator`` event per joined
+    operator."""
+    summary = profile.q_error_summary()
+    events: List[dict] = [{
+        "event": "query",
+        "sql": profile.sql,
+        "node_count": profile.node_count,
+        "steps": len(profile.steps),
+        "elapsed_seconds": profile.elapsed_seconds,
+        "dms_seconds": profile.dms_seconds,
+        "q_error_count": summary.count,
+        "q_error_median": summary.median,
+        "q_error_p95": summary.p95,
+        "q_error_max": summary.max,
+    }]
+    for step in profile.steps:
+        events.append({"event": "step", **step.to_dict()})
+    for op in profile.operators:
+        events.append({"event": "operator", **op.to_dict()})
+    return events
+
+
+def events_to_jsonl(events: Iterable[dict]) -> str:
+    return "".join(json.dumps(event, sort_keys=True) + "\n"
+                   for event in events)
+
+
+def write_jsonl(events: Iterable[dict], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(events_to_jsonl(events))
+
+
+# -- schema validation ---------------------------------------------------------
+
+# Field → (type spec, required).  Type specs: a type / tuple of types,
+# "number", "number?" (number or null), "str_int_map" (JSON object keyed
+# by stringified node ids with integer values), or "transfer_list".
+_NUM = "number"
+_OPT_NUM = "number?"
+
+EVENT_SCHEMAS: Dict[str, Dict[str, Tuple[object, bool]]] = {
+    "query": {
+        "sql": (str, True),
+        "node_count": (int, True),
+        "steps": (int, True),
+        "elapsed_seconds": (_NUM, True),
+        "dms_seconds": (_NUM, True),
+        "q_error_count": (int, True),
+        "q_error_median": (_NUM, True),
+        "q_error_p95": (_NUM, True),
+        "q_error_max": (_NUM, True),
+    },
+    "step": {
+        "step": (int, True),
+        "kind": (str, True),
+        "operation": (str, True),
+        "estimated_rows": (_NUM, True),
+        "actual_rows": (int, True),
+        "estimated_bytes": (_NUM, True),
+        "actual_bytes": (int, True),
+        "estimated_seconds": (_NUM, True),
+        "actual_seconds": (_NUM, True),
+        "q_error": (_NUM, True),
+        "source_rows": ("str_int_map", True),
+        "source_skew_cov": (_NUM, True),
+        "source_skew_imbalance": (_NUM, True),
+        "received_bytes": ("str_int_map", True),
+        "receive_skew_cov": (_NUM, True),
+        "transfers": ("transfer_list", True),
+    },
+    "operator": {
+        "step": (int, True),
+        "kind": (str, True),
+        "label": (str, True),
+        "node_rows": ("str_int_map", True),
+        "actual_rows": (int, True),
+        "estimated_rows": (_OPT_NUM, True),
+        "q_error": (_OPT_NUM, True),
+        "skew_cov": (_NUM, True),
+        "skew_imbalance": (_NUM, True),
+    },
+}
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _check_field(name: str, value: object, spec: object) -> Optional[str]:
+    if spec == _NUM:
+        if not _is_number(value):
+            return f"field {name!r} must be a number, got {value!r}"
+        return None
+    if spec == _OPT_NUM:
+        if value is not None and not _is_number(value):
+            return f"field {name!r} must be a number or null, got {value!r}"
+        return None
+    if spec == "str_int_map":
+        if not isinstance(value, dict):
+            return f"field {name!r} must be an object, got {value!r}"
+        for key, entry in value.items():
+            if not isinstance(key, str) or not _lenient_int(key):
+                return f"field {name!r} has non-node key {key!r}"
+            if not isinstance(entry, int) or isinstance(entry, bool):
+                return f"field {name!r}[{key}] must be an int, got {entry!r}"
+        return None
+    if spec == "transfer_list":
+        if not isinstance(value, list):
+            return f"field {name!r} must be a list, got {value!r}"
+        for entry in value:
+            if not isinstance(entry, dict):
+                return f"field {name!r} entries must be objects"
+            for part in ("src", "dst", "rows", "bytes"):
+                if not isinstance(entry.get(part), int) or isinstance(
+                        entry.get(part), bool):
+                    return (f"field {name!r} entry missing int "
+                            f"{part!r}: {entry!r}")
+        return None
+    if isinstance(value, bool) and spec in (int, float):
+        return f"field {name!r} must be {spec}, got bool"
+    if not isinstance(value, spec):  # type: ignore[arg-type]
+        return f"field {name!r} must be {spec}, got {value!r}"
+    return None
+
+
+def _lenient_int(text: str) -> bool:
+    try:
+        int(text)
+        return True
+    except ValueError:
+        return False
+
+
+def validate_event(event: object) -> List[str]:
+    """Schema errors for one event (empty list — valid)."""
+    if not isinstance(event, dict):
+        return [f"event must be an object, got {type(event).__name__}"]
+    kind = event.get("event")
+    schema = EVENT_SCHEMAS.get(kind)  # type: ignore[arg-type]
+    if schema is None:
+        return [f"unknown event type {kind!r}"]
+    errors: List[str] = []
+    for name, (spec, required) in schema.items():
+        if name not in event:
+            if required:
+                errors.append(f"missing field {name!r}")
+            continue
+        error = _check_field(name, event[name], spec)
+        if error:
+            errors.append(error)
+    for name in event:
+        if name != "event" and name not in schema:
+            errors.append(f"unexpected field {name!r}")
+    return errors
+
+
+def validate_events(events: Iterable[object]) -> List[str]:
+    """Schema errors across a whole event stream, prefixed by position."""
+    errors: List[str] = []
+    for index, event in enumerate(events):
+        for error in validate_event(event):
+            errors.append(f"event {index}: {error}")
+    return errors
+
+
+def validate_jsonl(text: str) -> List[str]:
+    """Validate raw JSONL content (parse errors become schema errors)."""
+    events: List[object] = []
+    errors: List[str] = []
+    for index, line in enumerate(text.splitlines()):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {index}: invalid JSON ({exc})")
+    return errors + validate_events(events)
+
+
+# -- metrics sink --------------------------------------------------------------
+
+
+def profile_to_metrics(profile: QueryProfile,
+                       registry: MetricsRegistry) -> None:
+    """Record a profile into a registry as labeled series.
+
+    Families: ``pdw_operator_rows_total{step,op,node}``,
+    ``pdw_step_rows_total{step,op,node}``,
+    ``pdw_step_received_bytes_total{step,node}``,
+    ``pdw_step_skew_cov{step}`` / ``pdw_step_receive_skew_cov{step}``
+    gauges, and a ``pdw_q_error`` histogram over every joined
+    estimate/actual pair.
+    """
+    if not registry.enabled:
+        return
+    step_rows = registry.counter(
+        "pdw_step_rows_total",
+        "Rows produced per source node per DSQL step",
+        labelnames=("step", "op", "node"))
+    received = registry.counter(
+        "pdw_step_received_bytes_total",
+        "Bytes received per destination node per DSQL step",
+        labelnames=("step", "node"))
+    source_skew = registry.gauge(
+        "pdw_step_skew_cov",
+        "Coefficient of variation of per-node source rows per DSQL step",
+        labelnames=("step",))
+    receive_skew = registry.gauge(
+        "pdw_step_receive_skew_cov",
+        "Coefficient of variation of per-node received bytes per DSQL step",
+        labelnames=("step",))
+    op_rows = registry.counter(
+        "pdw_operator_rows_total",
+        "Rows produced per operator per node",
+        labelnames=("step", "op", "node"))
+    q_hist = registry.histogram(
+        "pdw_q_error",
+        "Q-error of every joined estimate/actual pair")
+    for step in profile.steps:
+        step_label = str(step.index)
+        for node, rows in step.source_rows.items():
+            step_rows.labels(step=step_label, op=step.operation,
+                             node=str(node)).inc(rows)
+        for node, nbytes in step.received_bytes.items():
+            received.labels(step=step_label, node=str(node)).inc(nbytes)
+        source_skew.labels(step=step_label).set(step.source_skew.cov)
+        receive_skew.labels(step=step_label).set(step.receive_skew.cov)
+        q_hist.observe(step.q_error)
+        for op in step.operators:
+            for node, rows in op.node_rows.items():
+                op_rows.labels(step=step_label, op=op.kind,
+                               node=str(node)).inc(rows)
+            if op.q_error is not None:
+                q_hist.observe(op.q_error)

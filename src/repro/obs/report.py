@@ -1,0 +1,125 @@
+"""Human-readable rendering of query profiles.
+
+``render_profile_report`` produces the ``repro profile`` output: a
+per-step table (movement, skew coefficient, Q-error), a per-operator
+table (per-node row counts, skew, Q-error), and the workload-style
+Q-error summary line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.profiler import QueryProfile
+
+__all__ = [
+    "render_table",
+    "render_step_table",
+    "render_operator_table",
+    "render_profile_report",
+]
+
+# Per-node row vectors are shown verbatim up to this many participants;
+# larger appliances collapse to min/mean/max.
+_MAX_INLINE_NODES = 8
+
+
+def render_table(headers: List[str], rows: List[List[str]],
+                 left_columns: frozenset = frozenset()) -> str:
+    """Aligned fixed-width table (numbers right, names left)."""
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def fmt(cells: List[str]) -> str:
+        padded = []
+        for i, cell in enumerate(cells):
+            if i in left_columns:
+                padded.append(cell.ljust(widths[i]))
+            else:
+                padded.append(cell.rjust(widths[i]))
+        return "  ".join(padded).rstrip()
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines += [fmt(r) for r in rows]
+    return "\n".join(lines)
+
+
+def _node_vector(node_rows: Dict[int, int]) -> str:
+    if not node_rows:
+        return "-"
+    values = [rows for _node, rows in sorted(node_rows.items())]
+    if len(values) == 1:
+        return str(values[0])
+    if len(values) <= _MAX_INLINE_NODES:
+        return "[" + " ".join(str(v) for v in values) + "]"
+    mean = sum(values) / len(values)
+    return f"min={min(values)} mean={mean:.0f} max={max(values)}"
+
+
+def _fmt_q(q: Optional[float]) -> str:
+    if q is None:
+        return "-"
+    if q >= 1000:
+        return f"{q:.3g}"
+    return f"{q:.2f}"
+
+
+def render_step_table(profile: QueryProfile) -> str:
+    headers = ["step", "operation", "est rows", "act rows", "node rows",
+               "skew cov", "max/mean", "recv skew", "q-err"]
+    rows = [[
+        str(s.index),
+        s.operation,
+        f"{s.estimated_rows:.0f}",
+        str(s.actual_rows),
+        _node_vector(s.source_rows),
+        f"{s.source_skew.cov:.3f}",
+        f"{s.source_skew.imbalance:.2f}",
+        f"{s.receive_skew.cov:.3f}" if s.kind == "DMS" else "-",
+        _fmt_q(s.q_error),
+    ] for s in profile.steps]
+    return render_table(headers, rows, left_columns=frozenset({1}))
+
+
+def render_operator_table(profile: QueryProfile) -> str:
+    headers = ["step", "operator", "node rows", "act rows", "est rows",
+               "skew cov", "q-err"]
+    rows = [[
+        str(op.step),
+        op.label,
+        _node_vector(op.node_rows),
+        str(op.actual_rows),
+        f"{op.estimated_rows:.0f}" if op.estimated_rows is not None
+        else "-",
+        f"{op.skew.cov:.3f}",
+        _fmt_q(op.q_error),
+    ] for op in profile.operators]
+    return render_table(headers, rows, left_columns=frozenset({1}))
+
+
+def render_profile_report(profile: QueryProfile) -> str:
+    summary = profile.q_error_summary()
+    lines = [
+        "Per-step profile (skew over source nodes, recv over "
+        "destination bytes):",
+        render_step_table(profile),
+    ]
+    if profile.operators:
+        lines += [
+            "",
+            "Per-operator profile (winning-plan estimates vs. "
+            "interpreter actuals):",
+            render_operator_table(profile),
+        ]
+    lines += [
+        "",
+        f"Q-error: n={summary.count} median={_fmt_q(summary.median)} "
+        f"p95={_fmt_q(summary.p95)} max={_fmt_q(summary.max)}",
+        f"-- {profile.elapsed_seconds * 1e3:.3f} ms simulated "
+        f"({profile.dms_seconds * 1e3:.3f} ms data movement) on "
+        f"{profile.node_count} nodes",
+    ]
+    return "\n".join(lines)

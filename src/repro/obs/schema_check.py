@@ -1,0 +1,44 @@
+"""Validate profiler JSONL event logs against the event schemas.
+
+    python -m repro.obs.schema_check profile.jsonl [more.jsonl ...]
+
+Exit status 0 when every event in every file validates, 1 otherwise —
+the CI smoke step runs this against a fresh ``repro profile --jsonl``
+dump so the exported schema cannot drift silently.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.obs.export import validate_jsonl
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.schema_check",
+        description="validate profiler JSONL event logs")
+    parser.add_argument("paths", nargs="+", metavar="events.jsonl")
+    args = parser.parse_args(argv)
+
+    failed = False
+    for path in args.paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        errors = validate_jsonl(text)
+        count = sum(1 for line in text.splitlines() if line.strip())
+        if errors:
+            failed = True
+            print(f"{path}: {len(errors)} schema error(s) "
+                  f"in {count} event(s)")
+            for error in errors:
+                print(f"  {error}")
+        else:
+            print(f"{path}: {count} event(s) ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,7 @@ from repro.catalog.schema import (
     hash_distributed,
 )
 from repro.common.errors import PdwOptimizerError
+from repro.obs.profiler import OperatorEstimate, fragment_operator_estimates
 from repro.pdw.dms import DataMovement
 from repro.pdw.qrel import build_name_map, plan_fragment_to_sql
 from repro.telemetry import NULL_TRACER, Tracer
@@ -58,6 +59,9 @@ class DsqlStep:
     estimated_rows: float = 0.0
     estimated_bytes: float = 0.0
     estimated_cost: float = 0.0
+    #: Per-operator cardinality estimates of the step's source fragment
+    #: (postorder), joined against runtime actuals by the profiler.
+    operator_estimates: List[OperatorEstimate] = field(default_factory=list)
 
     def describe(self) -> str:
         if self.kind is StepKind.RETURN:
@@ -142,6 +146,7 @@ class DsqlGenerator:
             source_location=location,
             estimated_rows=rewritten.cardinality,
             estimated_bytes=rewritten.cardinality * rewritten.row_width,
+            operator_estimates=fragment_operator_estimates(rewritten),
         ))
         return DsqlPlan(
             steps=steps,
@@ -192,6 +197,7 @@ class DsqlGenerator:
             estimated_rows=node.cardinality,
             estimated_bytes=node.cardinality * node.row_width,
             estimated_cost=max(0.0, node.cost - child.cost),
+            operator_estimates=fragment_operator_estimates(child),
         ))
         get = LogicalGet(temp_def, list(child.output_columns),
                          alias=temp_name)

@@ -10,7 +10,12 @@ three verbs that cover the pipeline end to end:
 * :meth:`PdwSession.explain` — human-readable plan report;
   ``explain(analyze=True)`` *executes* the plan and renders a per-DSQL-step
   table of estimated vs. actual rows / DMS bytes / simulated seconds — the
-  reproduction's EXPLAIN ANALYZE.
+  reproduction's EXPLAIN ANALYZE;
+* :meth:`PdwSession.profile` — compile + execute with per-node /
+  per-operator profiling: skew statistics over the DMS transfer matrices
+  and Q-errors joining optimizer estimates against runtime actuals
+  (:meth:`profile_report` renders the tables; ``repro profile`` on the
+  CLI).
 
 A session created with just SQL text binds that text as its default query,
 so the one-liner from the README works::
@@ -38,6 +43,10 @@ from repro.appliance.runner import DsqlRunner, QueryResult
 from repro.appliance.storage import Appliance
 from repro.catalog.shell_db import ShellDatabase
 from repro.common.errors import ReproError
+from repro.obs.export import profile_to_metrics
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.profiler import QueryProfile, build_query_profile
+from repro.obs.report import render_profile_report
 from repro.optimizer.search import OptimizerConfig
 from repro.pdw.dsql import StepKind
 from repro.pdw.engine import CompiledQuery, PdwEngine
@@ -73,7 +82,8 @@ class PdwSession:
                  pdw_config: Optional[PdwConfig] = None,
                  tracer: Optional[Tracer] = None,
                  trace: bool = True,
-                 compiled: bool = True):
+                 compiled: bool = True,
+                 metrics: Optional[MetricsRegistry] = None):
         if (appliance is None) != (shell is None):
             raise ReproError(
                 "pass both appliance and shell, or neither "
@@ -87,11 +97,14 @@ class PdwSession:
         if tracer is None:
             tracer = Tracer() if trace else NULL_TRACER
         self.tracer = tracer
+        if metrics is None:
+            metrics = MetricsRegistry() if trace else NULL_METRICS
+        self.metrics = metrics
         self.compiled = compiled
         self.engine = PdwEngine(shell, serial_config, pdw_config,
                                 tracer=tracer)
         self.runner = DsqlRunner(appliance, tracer=tracer,
-                                 compiled=compiled)
+                                 compiled=compiled, metrics=metrics)
 
     # -- the three verbs -------------------------------------------------------
 
@@ -126,6 +139,37 @@ class PdwSession:
             f"{result.elapsed_seconds * 1e3:.3f} ms simulated "
             f"({result.dms_seconds * 1e3:.3f} ms data movement)",
         ])
+
+    def profile(self, sql: Optional[str] = None,
+                hints: Optional[dict] = None) -> QueryProfile:
+        """Compile and execute with per-node / per-operator profiling on.
+
+        Returns a :class:`repro.obs.profiler.QueryProfile`: per-step skew
+        statistics over the DMS transfer matrices, per-operator actual row
+        counts on every node, and Q-errors joining the winning plan's
+        cardinality estimates against those actuals.  When the session's
+        metrics registry is live the profile is also folded into it, so
+        ``session.metrics.render_prometheus()`` includes the run.
+        """
+        resolved = self._resolve(sql)
+        compiled = self.compile(resolved, hints=hints)
+        result = self.runner.run(compiled.dsql_plan, profile=True)
+        profile = build_query_profile(
+            compiled.dsql_plan.steps, result.step_stats,
+            node_count=self.appliance.node_count,
+            sql=resolved,
+            elapsed_seconds=result.elapsed_seconds,
+            dms_seconds=result.dms_seconds,
+        )
+        if self.metrics.enabled:
+            profile_to_metrics(profile, self.metrics)
+        return profile
+
+    def profile_report(self, sql: Optional[str] = None,
+                       hints: Optional[dict] = None) -> str:
+        """:meth:`profile` rendered as per-step and per-operator tables
+        with skew and Q-error columns."""
+        return render_profile_report(self.profile(sql, hints=hints))
 
     # -- EXPLAIN ANALYZE internals --------------------------------------------
 
@@ -192,9 +236,16 @@ class PdwSession:
 
 
 def render_analysis_table(analyses: List[StepAnalysis]) -> str:
-    """The EXPLAIN ANALYZE table: one aligned row per DSQL step."""
+    """The EXPLAIN ANALYZE table: one aligned row per DSQL step plus a
+    totals row.
+
+    "est s (DMS)" is the DMS cost model's *data-movement* prediction only
+    — local SQL extraction time is outside the model (§5) — whereas
+    "act s" is the full simulated step time, so the two columns are not
+    directly comparable on movement-light steps.
+    """
     headers = ["step", "operation", "est rows", "act rows",
-               "est bytes", "act bytes", "est s", "act s"]
+               "est bytes", "act bytes", "est s (DMS)", "act s"]
     rows = [[
         str(a.index),
         a.operation,
@@ -205,6 +256,17 @@ def render_analysis_table(analyses: List[StepAnalysis]) -> str:
         f"{a.estimated_seconds:.6f}",
         f"{a.actual_seconds:.6f}",
     ] for a in analyses]
+    if analyses:
+        rows.append([
+            "",
+            "total",
+            f"{sum(a.estimated_rows for a in analyses):.0f}",
+            str(sum(a.actual_rows for a in analyses)),
+            f"{sum(a.estimated_bytes for a in analyses):.0f}",
+            str(sum(a.actual_bytes for a in analyses)),
+            f"{sum(a.estimated_seconds for a in analyses):.6f}",
+            f"{sum(a.actual_seconds for a in analyses):.6f}",
+        ])
     widths = [
         max(len(headers[i]), *(len(r[i]) for r in rows)) if rows
         else len(headers[i])
@@ -222,5 +284,8 @@ def render_analysis_table(analyses: List[StepAnalysis]) -> str:
         return "  ".join(padded).rstrip()
 
     lines = [fmt(headers), fmt(["-" * w for w in widths])]
-    lines += [fmt(r) for r in rows]
+    lines += [fmt(r) for r in rows[:len(analyses)]]
+    if analyses:
+        lines.append(fmt(["-" * w for w in widths]))
+        lines.append(fmt(rows[-1]))
     return "\n".join(lines)

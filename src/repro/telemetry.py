@@ -22,8 +22,9 @@ imported from every layer without cycles.
 
 from __future__ import annotations
 
+import json
 import time
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional
 
 
 class Span:
@@ -58,6 +59,17 @@ class Span:
             if span.name == name:
                 return span
         return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The span subtree as plain data (JSON-serializable as long as
+        attribute values are)."""
+        return {
+            "name": self.name,
+            "started_at": self.started_at,
+            "duration_seconds": self.duration_seconds,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
 
     def tree_string(self, indent: int = 0) -> str:
         attrs = ""
@@ -155,6 +167,17 @@ class Tracer:
             f"{name:<{width}}  {_fmt_value(value)}"
             for name, value in sorted(self.counters.items()))
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Spans and counters as plain data."""
+        return {
+            "spans": [root.to_dict() for root in self.roots],
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The whole trace as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
 
 class _NullSpan:
     """Shared do-nothing stand-in for both the scope and the span."""
@@ -200,10 +223,16 @@ def _fmt_value(value: Any) -> str:
 
 def counter_delta(before: Dict[str, float],
                   after: Dict[str, float]) -> Dict[str, float]:
-    """Counters accumulated between two snapshots (only changed keys)."""
+    """Counters accumulated between two snapshots.
+
+    Keys that changed appear with their delta; a counter *first touched*
+    between the snapshots appears even when its accumulated change is 0.0
+    (a stage that ran but counted nothing is different from a stage that
+    never ran).
+    """
     delta = {}
     for name, value in after.items():
         change = value - before.get(name, 0.0)
-        if change:
+        if change or name not in before:
             delta[name] = change
     return delta

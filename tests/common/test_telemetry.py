@@ -113,6 +113,22 @@ class TestCounterAggregation:
         delta = counter_delta(before, tracer.counter_snapshot())
         assert delta == {"a": 3, "b": 7}
 
+    def test_counter_delta_surfaces_new_zero_counters(self):
+        # A counter first touched between the snapshots must appear even
+        # when its accumulated change is zero — "ran but counted nothing"
+        # is not the same as "never ran".
+        tracer = Tracer()
+        tracer.count("old", 5)
+        before = tracer.counter_snapshot()
+        tracer.count("fresh", 0)
+        delta = counter_delta(before, tracer.counter_snapshot())
+        assert delta == {"fresh": 0.0}
+
+    def test_counter_delta_omits_unchanged_existing(self):
+        before = {"a": 5.0, "b": 2.0}
+        after = {"a": 5.0, "b": 3.0}
+        assert counter_delta(before, after) == {"b": 1.0}
+
     def test_render_counters_sorted(self):
         tracer = Tracer()
         tracer.count("zeta", 2)
@@ -170,3 +186,38 @@ class TestSpanDirect:
         assert span.started_at > 0
         span.finish()
         assert span.duration_seconds >= 0.0
+
+
+class TestStructuredExport:
+    def test_span_to_dict_round_trips_tree(self):
+        tracer = Tracer()
+        with tracer.span("compile") as span:
+            span.set("steps", 2)
+            with tracer.span("serial"):
+                pass
+        data = tracer.roots[0].to_dict()
+        assert data["name"] == "compile"
+        assert data["attributes"] == {"steps": 2}
+        assert [c["name"] for c in data["children"]] == ["serial"]
+        assert data["duration_seconds"] > 0.0
+        assert data["started_at"] > 0.0
+
+    def test_tracer_to_dict_includes_counters(self):
+        tracer = Tracer()
+        tracer.count("zeta", 2)
+        tracer.count("alpha", 1)
+        with tracer.span("s"):
+            pass
+        data = tracer.to_dict()
+        assert [s["name"] for s in data["spans"]] == ["s"]
+        assert data["counters"] == {"alpha": 1.0, "zeta": 2.0}
+
+    def test_to_json_parses(self):
+        import json
+
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            span.set("obj", object())  # non-serializable → default=str
+        parsed = json.loads(tracer.to_json())
+        assert parsed["spans"][0]["name"] == "s"
+        assert isinstance(parsed["spans"][0]["attributes"]["obj"], str)

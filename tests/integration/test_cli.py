@@ -1,5 +1,7 @@
 """CLI (`python -m repro`) tests."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -58,3 +60,61 @@ class TestCli:
                    "WHERE c_custkey = o_custkey LIMIT 1")
         assert code == 0
         assert "DSQL steps" in out
+
+    def test_stats_json_parses(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "0.001", "--nodes", "4",
+            "stats", "--json", "SELECT COUNT(*) AS n FROM nation")
+        assert code == 0
+        parsed = json.loads(out)
+        assert [s["name"] for s in parsed["spans"]] == ["compile"]
+        assert parsed["counters"]
+
+
+class TestProfileCli:
+    SQL = ("SELECT l_returnflag, COUNT(*) AS n FROM lineitem "
+           "GROUP BY l_returnflag")
+
+    def test_profile_renders_tables(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "0.001", "--nodes", "4",
+            "profile", self.SQL)
+        assert code == 0
+        assert "skew cov" in out
+        assert "q-err" in out
+        assert "Q-error:" in out
+        assert "Get(lineitem)" in out
+
+    def test_profile_json_parses(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "0.001", "--nodes", "4",
+            "profile", "--json", self.SQL)
+        assert code == 0
+        parsed = json.loads(out)
+        assert parsed["node_count"] == 4
+        assert parsed["steps"]
+        assert parsed["operators"]
+        assert parsed["q_error"]["count"] > 0
+
+    def test_profile_jsonl_and_prometheus_sinks(self, capsys, tmp_path):
+        from repro.obs.export import validate_jsonl
+
+        jsonl = tmp_path / "events.jsonl"
+        prom = tmp_path / "metrics.prom"
+        code, out = run_cli(
+            capsys, "--scale", "0.001", "--nodes", "4",
+            "profile", self.SQL,
+            "--jsonl", str(jsonl), "--prometheus", str(prom))
+        assert code == 0
+        assert validate_jsonl(jsonl.read_text()) == []
+        assert "pdw_step_rows_total" in prom.read_text()
+
+    def test_schema_check_module(self, capsys, tmp_path):
+        from repro.obs.schema_check import main as check_main
+
+        jsonl = tmp_path / "events.jsonl"
+        run_cli(capsys, "--scale", "0.001", "--nodes", "4",
+                "profile", self.SQL, "--jsonl", str(jsonl))
+        assert check_main([str(jsonl)]) == 0
+        jsonl.write_text('{"event": "bogus"}\n')
+        assert check_main([str(jsonl)]) == 1

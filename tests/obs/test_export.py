@@ -1,0 +1,154 @@
+"""Unit tests for repro.obs.export: events, schema validation, sinks."""
+
+import json
+
+from repro.obs.export import (
+    events_to_jsonl,
+    profile_to_events,
+    profile_to_metrics,
+    validate_event,
+    validate_events,
+    validate_jsonl,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.profiler import (
+    OperatorProfile,
+    QueryProfile,
+    StepProfile,
+    skew_stats,
+)
+
+
+def make_profile() -> QueryProfile:
+    operator = OperatorProfile(
+        step=0, kind="Get", label="Get(a)",
+        node_rows={0: 30, 1: 50}, actual_rows=80,
+        estimated_rows=40.0, q_error=2.0,
+        skew=skew_stats([30, 50]),
+    )
+    unjoined = OperatorProfile(
+        step=0, kind="Join", label="J",
+        node_rows={0: 1, 1: 1}, actual_rows=2,
+        estimated_rows=None, q_error=None,
+        skew=skew_stats([1, 1]),
+    )
+    step = StepProfile(
+        index=0, kind="DMS", operation="ShuffleMove(c)",
+        estimated_rows=40.0, actual_rows=80,
+        estimated_bytes=400.0, actual_bytes=800,
+        estimated_seconds=0.1, actual_seconds=0.2,
+        q_error=2.0,
+        source_rows={0: 30, 1: 50}, source_skew=skew_stats([30, 50]),
+        received_bytes={0: 500, 1: 300},
+        receive_skew=skew_stats([500, 300]),
+        transfers={(0, 1): (30, 300), (1, 0): (50, 500)},
+        operators=[operator, unjoined],
+    )
+    return QueryProfile(sql="SELECT 1", node_count=2, steps=[step],
+                        elapsed_seconds=0.3, dms_seconds=0.2)
+
+
+class TestEventLog:
+    def test_events_validate_cleanly(self):
+        events = profile_to_events(make_profile())
+        assert [e["event"] for e in events] == \
+            ["query", "step", "operator", "operator"]
+        assert validate_events(events) == []
+
+    def test_query_event_carries_summary(self):
+        query = profile_to_events(make_profile())[0]
+        assert query["node_count"] == 2
+        assert query["steps"] == 1
+        # one joined operator + one step; the unjoined operator has no
+        # q_error and is excluded
+        assert query["q_error_count"] == 2
+
+    def test_jsonl_round_trip(self):
+        events = profile_to_events(make_profile())
+        text = events_to_jsonl(events)
+        assert validate_jsonl(text) == []
+        parsed = [json.loads(line) for line in text.splitlines()]
+        assert parsed == json.loads(json.dumps(events))
+
+    def test_write_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_jsonl(profile_to_events(make_profile()), str(path))
+        assert validate_jsonl(path.read_text()) == []
+
+
+class TestValidation:
+    def test_unknown_event_type(self):
+        assert validate_event({"event": "nope"}) == \
+            ["unknown event type 'nope'"]
+
+    def test_non_object_event(self):
+        assert validate_event([1, 2]) != []
+
+    def test_missing_field_reported(self):
+        events = profile_to_events(make_profile())
+        step = dict(events[1])
+        del step["q_error"]
+        assert any("missing field 'q_error'" in e
+                   for e in validate_event(step))
+
+    def test_unexpected_field_reported(self):
+        events = profile_to_events(make_profile())
+        query = dict(events[0])
+        query["surprise"] = 1
+        assert any("unexpected field" in e for e in validate_event(query))
+
+    def test_wrong_type_reported(self):
+        events = profile_to_events(make_profile())
+        query = dict(events[0])
+        query["node_count"] = "two"
+        assert any("node_count" in e for e in validate_event(query))
+
+    def test_bool_is_not_a_number(self):
+        events = profile_to_events(make_profile())
+        query = dict(events[0])
+        query["elapsed_seconds"] = True
+        assert any("elapsed_seconds" in e for e in validate_event(query))
+
+    def test_node_map_keys_must_be_node_ids(self):
+        events = profile_to_events(make_profile())
+        step = dict(events[1])
+        step["source_rows"] = {"node-zero": 1}
+        assert any("non-node key" in e for e in validate_event(step))
+
+    def test_transfer_entries_checked(self):
+        events = profile_to_events(make_profile())
+        step = dict(events[1])
+        step["transfers"] = [{"src": 0, "dst": 1, "rows": "x", "bytes": 0}]
+        assert any("transfers" in e for e in validate_event(step))
+
+    def test_validate_jsonl_flags_bad_json(self):
+        errors = validate_jsonl('{"event": "query"\nnot json\n')
+        assert any("invalid JSON" in e for e in errors)
+
+    def test_errors_carry_event_index(self):
+        errors = validate_events([{"event": "nope"}, {"event": "what"}])
+        assert errors[0].startswith("event 0:")
+        assert errors[1].startswith("event 1:")
+
+
+class TestMetricsSink:
+    def test_families_populated(self):
+        registry = MetricsRegistry()
+        profile_to_metrics(make_profile(), registry)
+        snapshot = registry.snapshot()
+        assert snapshot["pdw_step_rows_total"][
+            (("node", "0"), ("op", "ShuffleMove(c)"), ("step", "0"))] == 30
+        assert snapshot["pdw_step_received_bytes_total"][
+            (("node", "1"), ("step", "0"))] == 300
+        assert snapshot["pdw_operator_rows_total"][
+            (("node", "1"), ("op", "Get"), ("step", "0"))] == 50
+        # histogram counts observations: step q_error + joined operator
+        assert snapshot["pdw_q_error"][()] == 2
+        text = registry.render_prometheus()
+        assert "pdw_step_skew_cov" in text
+        assert "pdw_q_error_bucket" in text
+
+    def test_null_registry_is_a_no_op(self):
+        profile_to_metrics(make_profile(), NULL_METRICS)
+        assert NULL_METRICS.snapshot() == {}

@@ -1,0 +1,142 @@
+"""Unit tests for repro.obs.metrics: registry, labels, Prometheus text."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsError,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetricsRegistry,
+)
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates_per_label_set(self):
+        registry = MetricsRegistry()
+        rows = registry.counter("rows_total", labelnames=("node",))
+        rows.labels(node=0).inc(10)
+        rows.labels(node=0).inc(5)
+        rows.labels(node=1).inc(2)
+        snapshot = registry.snapshot()["rows_total"]
+        assert snapshot[(("node", "0"),)] == 15
+        assert snapshot[(("node", "1"),)] == 2
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        with pytest.raises(MetricsError):
+            counter.inc(-1)
+
+    def test_gauge_set_and_inc(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g", labelnames=("step",))
+        gauge.labels(step=1).set(3.5)
+        gauge.labels(step=1).inc(0.5)
+        assert registry.snapshot()["g"][(("step", "1"),)] == 4.0
+
+    def test_label_free_convenience(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(2)
+        assert registry.snapshot()["hits"][()] == 3
+
+    def test_unknown_label_names_rejected(self):
+        registry = MetricsRegistry()
+        metric = registry.counter("c", labelnames=("node",))
+        with pytest.raises(MetricsError):
+            metric.labels(node=1, extra=2)
+        with pytest.raises(MetricsError):
+            metric.labels()
+
+    def test_reregistration_must_match(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c", labelnames=("a",))
+        assert registry.counter("c", labelnames=("a",)) is first
+        with pytest.raises(MetricsError):
+            registry.gauge("c", labelnames=("a",))
+        with pytest.raises(MetricsError):
+            registry.counter("c", labelnames=("b",))
+
+
+class TestHistograms:
+    def test_observations_land_in_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        child = hist.labels()
+        assert child.count == 3
+        assert child.total == 55.5
+        assert child.cumulative() == [(1.0, 1), (10.0, 2)]
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestPrometheusRendering:
+    def test_counter_series_lines(self):
+        registry = MetricsRegistry()
+        rows = registry.counter("pdw_rows_total", "Rows moved",
+                                labelnames=("node", "op"))
+        rows.labels(node=1, op="shuffle").inc(42)
+        text = registry.render_prometheus()
+        assert "# HELP pdw_rows_total Rows moved" in text
+        assert "# TYPE pdw_rows_total counter" in text
+        assert 'pdw_rows_total{node="1",op="shuffle"} 42' in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("pdw_q_error", buckets=(1.0, 2.0))
+        hist.observe(1.5)
+        text = registry.render_prometheus()
+        assert 'pdw_q_error_bucket{le="1"} 0' in text
+        assert 'pdw_q_error_bucket{le="2"} 1' in text
+        assert 'pdw_q_error_bucket{le="+Inf"} 1' in text
+        assert "pdw_q_error_sum 1.5" in text
+        assert "pdw_q_error_count 1" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        metric = registry.counter("c", labelnames=("op",))
+        metric.labels(op='say "hi"\nback\\slash').inc()
+        text = registry.render_prometheus()
+        assert r'op="say \"hi\"\nback\\slash"' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot() == {}
+
+
+class TestNullRegistry:
+    """The disabled path must record nothing and allocate nothing."""
+
+    def test_is_disabled(self):
+        assert NULL_METRICS.enabled is False
+        assert MetricsRegistry.enabled is True
+
+    def test_records_nothing(self):
+        NULL_METRICS.counter("c", labelnames=("node",)).labels(node=1).inc(5)
+        NULL_METRICS.gauge("g").set(1)
+        NULL_METRICS.histogram("h").observe(2)
+        assert NULL_METRICS.snapshot() == {}
+        assert NULL_METRICS.render_prometheus() == ""
+
+    def test_shared_singletons(self):
+        # No per-call allocation: every family and child is the same
+        # shared no-op object.
+        a = NULL_METRICS.counter("a")
+        b = NULL_METRICS.histogram("b")
+        assert a is b
+        assert a.labels(x=1) is b.labels(y=2)
+
+    def test_fresh_null_registry_behaves_the_same(self):
+        registry = NullMetricsRegistry()
+        registry.counter("c").inc()
+        assert registry.snapshot() == {}
