@@ -16,7 +16,8 @@ a simulated appliance:
   with interesting distribution properties, DMS enforcement and the
   DMS-only cost model (§3.2, §3.3), plus DSQL generation (§3.4);
 * :mod:`repro.appliance` — the simulated appliance: distributed storage,
-  node-local SQL execution, the DMS runtime with byte accounting, and the
+  node-local SQL execution, the DMS runtime with byte accounting, the
+  parallel runtime (step-DAG scheduling + node worker pools), and the
   λ calibration harness (§3.3.3);
 * :mod:`repro.workloads` — TPC-H schema/generator/queries with the
   paper's placement design.
@@ -53,6 +54,12 @@ artifacts::
 from repro.appliance.calibration import CalibrationResult, Calibrator
 from repro.appliance.dms_runtime import DmsRuntime, GroundTruthConstants
 from repro.appliance.runner import DsqlRunner, QueryResult, run_reference
+from repro.appliance.scheduler import (
+    PARALLEL_ENV_VAR,
+    StepDag,
+    WorkerPool,
+    resolve_parallel,
+)
 from repro.appliance.storage import Appliance
 from repro.catalog.schema import (
     Catalog,
@@ -120,6 +127,10 @@ __all__ = [
     "skew_stats",
     "OptimizationResult",
     "OptimizerConfig",
+    "PARALLEL_ENV_VAR",
+    "StepDag",
+    "WorkerPool",
+    "resolve_parallel",
     "PdwConfig",
     "PdwEngine",
     "PdwOptimizer",

@@ -20,9 +20,12 @@ Options ``--scale`` and ``--nodes`` size the appliance (defaults: scale
 0.002, 8 nodes).  ``--trace`` appends the nested telemetry span tree
 (parse → serial → XML → PDW → DSQL → execute) to any command's output.
 ``--no-compiled-exec`` runs queries with the reference tree-walking
-interpreter instead of the compiled closure backend.  The appliance is
-regenerated deterministically on every invocation, so results are
-reproducible.
+interpreter instead of the compiled closure backend.
+``--serial-runtime`` executes DSQL plans with the §2.4 serial reference
+walk (one step at a time, one node at a time) instead of the parallel
+runtime (step DAG + node thread pool + fast-path routing); both produce
+identical rows and stats.  The appliance is regenerated
+deterministically on every invocation, so results are reproducible.
 """
 
 from __future__ import annotations
@@ -49,6 +52,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="execute with the reference tree-walking "
                              "interpreter instead of the compiled "
                              "closure backend")
+    parser.add_argument("--serial-runtime", action="store_true",
+                        help="execute DSQL plans serially (one step at "
+                             "a time, one node at a time) instead of "
+                             "the parallel DAG/thread-pool runtime")
     sub = parser.add_subparsers(dest="command", required=True)
 
     explain = sub.add_parser(
@@ -116,7 +123,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     session = PdwSession(args.sql, scale=args.scale, node_count=args.nodes,
-                         compiled=not args.no_compiled_exec)
+                         compiled=not args.no_compiled_exec,
+                         parallel=False if args.serial_runtime else None)
 
     if args.command == "memo":
         compiled = session.compile()

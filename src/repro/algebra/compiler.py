@@ -28,6 +28,7 @@ compiles each expression exactly once.
 from __future__ import annotations
 
 import operator
+import threading
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.algebra import expressions as ex
@@ -68,19 +69,24 @@ _PLAIN_ARITHMETIC: Dict[str, Callable] = {
 # session cannot grow the memo without limit.
 _CACHE: Dict[int, Tuple[ex.ScalarExpr, CompiledExpr]] = {}
 _CACHE_LIMIT = 8192
+# Re-entrant: _compile recurses through compile_expr for operands.  The
+# parallel runtime compiles the same cached bound tree from one worker
+# per node, so the memo insert/evict pair must be atomic.
+_CACHE_LOCK = threading.RLock()
 
 
 def compile_expr(expr: ex.ScalarExpr) -> CompiledExpr:
-    """Compile ``expr`` into a closure ``env -> value``."""
+    """Compile ``expr`` into a closure ``env -> value``.  Thread-safe."""
     key = id(expr)
-    entry = _CACHE.get(key)
-    if entry is not None and entry[0] is expr:
-        return entry[1]
-    fn = _compile(expr)
-    if len(_CACHE) >= _CACHE_LIMIT:
-        _CACHE.clear()
-    _CACHE[key] = (expr, fn)
-    return fn
+    with _CACHE_LOCK:
+        entry = _CACHE.get(key)
+        if entry is not None and entry[0] is expr:
+            return entry[1]
+        fn = _compile(expr)
+        if len(_CACHE) >= _CACHE_LIMIT:
+            _CACHE.clear()
+        _CACHE[key] = (expr, fn)
+        return fn
 
 
 def compile_predicate(expr: Optional[ex.ScalarExpr]) -> Callable[[Env], bool]:
@@ -103,7 +109,8 @@ def compile_projection(
 
 def clear_cache() -> None:
     """Drop all memoized closures (tests / memory pressure)."""
-    _CACHE.clear()
+    with _CACHE_LOCK:
+        _CACHE.clear()
 
 
 # -- node compilers --------------------------------------------------------------

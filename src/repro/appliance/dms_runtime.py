@@ -11,10 +11,24 @@ elapsed time is derived with the ground-truth λ constants and the paper's
 max-composition: ``max(max(reader, network), max(writer, bulkcopy))`` over
 nodes — so the calibration harness (§3.3.3) can fit λ from "targeted
 performance tests" exactly as the paper describes.
+
+Node parallelism (§2.1, §2.4): with ``parallel=True`` the per-node
+extract+route work of a step runs on a thread pool (one worker per
+node), and routing uses the fast path — a single fused pass per source
+batch that sizes each row, hashes it once and appends it into a
+preallocated per-target bucket table.  Results are merged in node-id
+order, so rows, stats and profiles are identical to the serial backend;
+the serial path keeps the original per-row ``dict.setdefault``
+accounting as the reference implementation.  Broadcast-style moves
+deliver one shared row list to every target in **both** modes (the
+destination node copies only if it later mutates), instead of
+materializing N copies of every row.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
@@ -22,11 +36,13 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 from repro.algebra.logical import Query, collect_gets
 from repro.algebra.properties import DistKind
 from repro.appliance.interpreter import InterpreterStats, PlanInterpreter
+from repro.appliance.scheduler import WorkerPool, resolve_parallel
 from repro.appliance.storage import (
     Appliance,
     CONTROL_NODE,
     NodeStorage,
     node_for_row,
+    pdw_hash,
     row_bytes,
 )
 from repro.common.errors import DmsError
@@ -73,6 +89,11 @@ class StepExecutionStats:
     per-movement N×N matrix ``(source, destination) → [rows, bytes]``
     and ``node_operators`` maps each node to the postorder
     ``(kind, label, rows_out)`` records its interpreter observed.
+
+    ``node_wall_seconds`` / ``wall_seconds`` are *measured* wall-clock
+    actuals (per node-task and per step), unlike the simulated
+    ``*_seconds`` fields; they differ between the serial and parallel
+    backends and are excluded from equivalence comparisons.
     """
 
     step_index: int
@@ -91,6 +112,8 @@ class StepExecutionStats:
         default_factory=dict)
     node_operators: Dict[int, List[Tuple[str, str, int]]] = field(
         default_factory=dict)
+    node_wall_seconds: Dict[int, float] = field(default_factory=dict)
+    wall_seconds: float = 0.0
 
     def component_times(self, truth: GroundTruthConstants,
                         uses_hashing: bool) -> Tuple[float, float, float, float]:
@@ -119,6 +142,97 @@ class _CachedStep:
 _STEP_CACHE_LIMIT = 256
 
 
+#: One routed delivery: (target node id, row batch, batch bytes).  The
+#: batch list may be *shared* between targets (broadcast) — consumers
+#: must treat it as immutable and go through ``NodeStorage.adopt`` /
+#: ``insert`` which copy on mutation.
+Delivery = Tuple[int, List[Tuple], int]
+
+
+def route_batch_fast(operation: DmsOperation, rows: List[Tuple],
+                     sizes: List[int], hash_index: Optional[int],
+                     node_count: int, source_id: int
+                     ) -> Tuple[List[Delivery], int]:
+    """Shuffle routing fast path: pure per-source tuple routing.
+
+    One pass over the batch appends each row into a preallocated
+    per-target bucket table (no per-row ``dict.setdefault`` / ``get``),
+    with byte totals summed per bucket; broadcast-style moves deliver a
+    single shared row list to every target.  Returns the per-target
+    deliveries plus the bytes this source puts on the network (rows
+    routed to a node other than itself).  Byte/row accounting is
+    bit-identical to :meth:`DmsRuntime._route_batch_reference`.
+    """
+    if not rows:
+        return [], 0
+
+    if operation is DmsOperation.SHUFFLE_MOVE:
+        if hash_index is None:
+            raise DmsError("shuffle move without a hash column")
+        buckets: List[List[Tuple]] = [[] for _ in range(node_count)]
+        bucket_bytes = [0] * node_count
+        for row, size in zip(rows, sizes):
+            owner = pdw_hash(row[hash_index]) % node_count
+            buckets[owner].append(row)
+            bucket_bytes[owner] += size
+        deliveries = [
+            (owner, buckets[owner], bucket_bytes[owner])
+            for owner in range(node_count) if buckets[owner]
+        ]
+        sent = sum(
+            bucket_bytes[owner] for owner in range(node_count)
+            if buckets[owner] and owner != source_id
+        )
+        return deliveries, sent
+
+    if operation is DmsOperation.TRIM_MOVE:
+        if hash_index is None:
+            raise DmsError("trim move without a hash column")
+        kept: List[Tuple] = []
+        kept_bytes = 0
+        for row, size in zip(rows, sizes):
+            if pdw_hash(row[hash_index]) % node_count == source_id:
+                kept.append(row)
+                kept_bytes += size
+        if kept:
+            return [(source_id, kept, kept_bytes)], 0
+        return [], 0  # trimmed rows never leave their node
+
+    if operation in (DmsOperation.BROADCAST_MOVE,
+                     DmsOperation.CONTROL_NODE_MOVE,
+                     DmsOperation.REPLICATED_BROADCAST):
+        total = sum(sizes)
+        # One shared list for every target — no per-target copies.
+        deliveries = [(target_id, rows, total)
+                      for target_id in range(node_count)]
+        remote_targets = node_count - (
+            1 if 0 <= source_id < node_count else 0)
+        return deliveries, total * remote_targets
+
+    if operation in (DmsOperation.PARTITION_MOVE,
+                     DmsOperation.REMOTE_COPY):
+        total = sum(sizes)
+        return ([(CONTROL_NODE, rows, total)],
+                0 if source_id == CONTROL_NODE else total)
+
+    raise DmsError(f"unknown DMS operation {operation}")
+
+
+@dataclass
+class _SourceRun:
+    """One node's extract+route output, merged in node order."""
+
+    node_id: int
+    rows: List[Tuple]
+    names: List[str]
+    read_bytes: int
+    relational_rows: int
+    deliveries: List[Delivery]
+    sent: int
+    observer: Optional[OperatorObserver]
+    wall_seconds: float
+
+
 class DmsRuntime:
     """Executes DSQL steps against an :class:`Appliance`.
 
@@ -129,21 +243,32 @@ class DmsRuntime:
     evaluator).  Cache effectiveness is observable through the
     ``exec.compile_cache_hit`` / ``exec.compile_cache_miss`` telemetry
     counters.
+
+    ``parallel`` selects the runtime backend (default serial; the
+    ``REPRO_PARALLEL_RUNTIME`` environment variable overrides the
+    default): with it on, every source node's extract+route work runs
+    on a thread pool sized to the appliance's node count and routing
+    takes the fast path (:func:`route_batch_fast`).  The parse/bind
+    caches are lock-guarded, so worker threads share them safely.
     """
 
     def __init__(self, appliance: Appliance,
                  truth: Optional[GroundTruthConstants] = None,
                  tracer: Tracer = NULL_TRACER,
                  compiled: bool = True,
-                 metrics: MetricsRegistry = NULL_METRICS):
+                 metrics: MetricsRegistry = NULL_METRICS,
+                 parallel: Optional[bool] = None):
         self.appliance = appliance
         self.truth = truth or GroundTruthConstants()
         self.tracer = tracer
         self.compiled = compiled
         self.metrics = metrics
+        self.parallel = resolve_parallel(parallel, default=False)
         # Profiled runs (DsqlRunner.run(profile=True)) flip this on to
         # collect transfer matrices and per-operator actuals.
         self.profiling = False
+        self._node_pool = WorkerPool(appliance.node_count, "repro-node")
+        self._cache_lock = threading.RLock()
         self._step_cache: "OrderedDict[str, _CachedStep]" = OrderedDict()
         # Parse trees are schema-independent, so they survive the
         # temp-table evictions that invalidate bound entries.
@@ -191,6 +316,15 @@ class DmsRuntime:
                 "Simulated elapsed seconds per DSQL step",
                 labelnames=("op",)).labels(op=kind).observe(
                     stats.elapsed_seconds)
+            # Measured (not simulated) per-node wall clock of the
+            # extract+route task — the skew a real scheduler would see.
+            wall_gauge = metrics.gauge(
+                "pdw_step_node_wall_seconds",
+                "Measured wall-clock seconds per node task per DSQL step",
+                labelnames=("step", "op", "node"))
+            for node, wall in stats.node_wall_seconds.items():
+                wall_gauge.labels(step=step, op=kind,
+                                  node=str(node)).set(wall)
 
     # -- node-local SQL ------------------------------------------------------------
 
@@ -207,39 +341,46 @@ class DmsRuntime:
         return rows, query.output_names
 
     def _bind_step(self, sql: str) -> Query:
-        """Parse + bind ``sql`` once per step; re-runs hit the cache."""
+        """Parse + bind ``sql`` once per step; re-runs hit the cache.
+
+        Lock-guarded: under the parallel runtime every node worker calls
+        this concurrently, and the first caller must finish binding
+        before the others read the entry (same hit/miss counts as the
+        serial backend)."""
         if not self.compiled:
             # Reference path: re-parse per node, exactly the old cost.
             return Binder(self.appliance.catalog).bind(parse_query(sql))
-        cached = self._step_cache.get(sql)
-        if cached is not None:
-            self._step_cache.move_to_end(sql)
-            self.tracer.count("exec.compile_cache_hit")
-            return cached.query
-        self.tracer.count("exec.compile_cache_miss")
-        statement = self._parse_cache.get(sql)
-        if statement is None:
-            statement = parse_query(sql)
-            if len(self._parse_cache) >= _STEP_CACHE_LIMIT:
-                self._parse_cache.clear()
-            self._parse_cache[sql] = statement
-        query = Binder(self.appliance.catalog).bind(statement)
-        tables = frozenset(
-            get.table.name.lower() for get in collect_gets(query.root))
-        self._step_cache[sql] = _CachedStep(query, tables)
-        if len(self._step_cache) > _STEP_CACHE_LIMIT:
-            self._step_cache.popitem(last=False)
-        return query
+        with self._cache_lock:
+            cached = self._step_cache.get(sql)
+            if cached is not None:
+                self._step_cache.move_to_end(sql)
+                self.tracer.count("exec.compile_cache_hit")
+                return cached.query
+            self.tracer.count("exec.compile_cache_miss")
+            statement = self._parse_cache.get(sql)
+            if statement is None:
+                statement = parse_query(sql)
+                if len(self._parse_cache) >= _STEP_CACHE_LIMIT:
+                    self._parse_cache.clear()
+                self._parse_cache[sql] = statement
+            query = Binder(self.appliance.catalog).bind(statement)
+            tables = frozenset(
+                get.table.name.lower() for get in collect_gets(query.root))
+            self._step_cache[sql] = _CachedStep(query, tables)
+            if len(self._step_cache) > _STEP_CACHE_LIMIT:
+                self._step_cache.popitem(last=False)
+            return query
 
     def _evict_cached(self, table_name: str) -> None:
         """Drop cached steps reading ``table_name`` — called when a temp
         table is (re)created, since the same TEMP_ID_k name can carry a
         different schema on the next query."""
         lowered = table_name.lower()
-        stale = [sql for sql, cached in self._step_cache.items()
-                 if lowered in cached.tables]
-        for sql in stale:
-            del self._step_cache[sql]
+        with self._cache_lock:
+            stale = [sql for sql, cached in self._step_cache.items()
+                     if lowered in cached.tables]
+            for sql in stale:
+                del self._step_cache[sql]
 
     def _source_nodes(self, step: DsqlStep) -> List[NodeStorage]:
         location = step.source_location
@@ -256,59 +397,125 @@ class DmsRuntime:
 
     # -- movement execution -----------------------------------------------------------
 
+    def _run_sources(self, step: DsqlStep,
+                     hash_index: Optional[int]) -> List[_SourceRun]:
+        """Run extract+route for every source node of a step.
+
+        Under the parallel runtime the per-node tasks run concurrently
+        on the node pool; results always come back in source-node order,
+        so the caller's merge is deterministic either way."""
+        node_count = self.appliance.node_count
+        operation = step.movement.operation if step.movement else None
+        profiling = self.profiling
+        parallel = self.parallel
+
+        def run_one(source: NodeStorage) -> _SourceRun:
+            started = time.perf_counter()
+            sql_stats = InterpreterStats()
+            observer = OperatorObserver() if profiling else None
+            rows, names = self.run_sql_on_node(step.sql, source,
+                                               sql_stats, observer)
+            source_id = source.node_id
+            if operation is None:
+                # Return step: no routing, only network accounting.
+                sizes_total = (sum(row_bytes(r) for r in rows)
+                               if source_id != CONTROL_NODE else 0)
+                deliveries: List[Delivery] = []
+                sent = sizes_total
+            else:
+                # One row_bytes pass per batch serves reader, network
+                # and writer accounting alike.
+                sizes = [row_bytes(r) for r in rows]
+                sizes_total = sum(sizes)
+                if parallel:
+                    deliveries, sent = route_batch_fast(
+                        operation, rows, sizes, hash_index,
+                        node_count, source_id)
+                else:
+                    deliveries, sent = self._route_batch_reference(
+                        operation, rows, sizes, hash_index,
+                        node_count, source_id)
+            return _SourceRun(
+                node_id=source_id,
+                rows=rows,
+                names=names,
+                read_bytes=sizes_total,
+                relational_rows=(sql_stats.rows_scanned
+                                 + sql_stats.rows_processed),
+                deliveries=deliveries,
+                sent=sent,
+                observer=observer,
+                wall_seconds=time.perf_counter() - started,
+            )
+
+        sources = self._source_nodes(step)
+        if parallel and len(sources) > 1:
+            return self._node_pool.map_ordered(run_one, sources)
+        return [run_one(source) for source in sources]
+
     def execute_movement(self, step: DsqlStep) -> StepExecutionStats:
         if step.movement is None or step.destination_table is None:
             raise DmsError(f"step {step.index} is not a DMS step")
+        started = time.perf_counter()
         movement = step.movement
         destination = step.destination_table
         self.appliance.create_temp_table(destination)
         self._evict_cached(destination.name)
 
         stats = StepExecutionStats(step.index, movement.operation)
-        node_count = self.appliance.node_count
         hash_index = (
             destination.column_index(step.hash_column)
             if step.hash_column is not None else None
         )
 
-        received: Dict[int, List[Tuple]] = {}
+        received: Dict[int, List[List[Tuple]]] = {}
         received_bytes: Dict[int, int] = {}
         profiling = self.profiling
 
-        for source in self._source_nodes(step):
-            sql_stats = InterpreterStats()
-            observer = OperatorObserver() if profiling else None
-            rows, _names = self.run_sql_on_node(step.sql, source,
-                                                sql_stats, observer)
-            stats.relational_rows += (
-                sql_stats.rows_scanned + sql_stats.rows_processed)
-            # One row_bytes pass per batch serves reader, network and
-            # writer accounting alike.
-            sizes = [row_bytes(r) for r in rows]
-            source_id = source.node_id
+        # Merge in source-node order — identical accounting and row
+        # order whether the sources ran serially or on the pool.
+        for run in self._run_sources(step, hash_index):
+            source_id = run.node_id
+            stats.relational_rows += run.relational_rows
             stats.reader_bytes[source_id] = (
-                stats.reader_bytes.get(source_id, 0) + sum(sizes))
+                stats.reader_bytes.get(source_id, 0) + run.read_bytes)
             stats.node_rows[source_id] = (
-                stats.node_rows.get(source_id, 0) + len(rows))
-            stats.rows_moved += len(rows)
-            if observer is not None:
-                stats.node_operators[source_id] = observer.records
-
-            sent = self._route_batch(movement.operation, rows, sizes,
-                                     hash_index, node_count, source_id,
-                                     received, received_bytes,
-                                     stats.transfers if profiling
-                                     else None)
-            if sent:
+                stats.node_rows.get(source_id, 0) + len(run.rows))
+            stats.rows_moved += len(run.rows)
+            stats.node_wall_seconds[source_id] = (
+                stats.node_wall_seconds.get(source_id, 0.0)
+                + run.wall_seconds)
+            if run.observer is not None:
+                stats.node_operators[source_id] = run.observer.records
+            for target_id, batch, batch_bytes in run.deliveries:
+                received.setdefault(target_id, []).append(batch)
+                received_bytes[target_id] = (
+                    received_bytes.get(target_id, 0) + batch_bytes)
+                if profiling:
+                    entry = stats.transfers.get((source_id, target_id))
+                    if entry is None:
+                        stats.transfers[(source_id, target_id)] = [
+                            len(batch), batch_bytes]
+                    else:
+                        entry[0] += len(batch)
+                        entry[1] += batch_bytes
+            if run.sent:
                 stats.network_bytes[source_id] = (
-                    stats.network_bytes.get(source_id, 0) + sent)
+                    stats.network_bytes.get(source_id, 0) + run.sent)
 
-        for target_id, batch in received.items():
+        for target_id, batches in received.items():
             node = self.appliance.node_storage(target_id)
             incoming = received_bytes[target_id]
             stats.writer_bytes[target_id] = incoming
             stats.bulk_bytes[target_id] = incoming
-            node.insert(destination.name, batch)
+            if len(batches) == 1:
+                # Single batch (broadcast share, or a lone shuffle
+                # bucket): alias it into storage; the node copies only
+                # if it later mutates.
+                node.adopt(destination.name, batches[0])
+            else:
+                for batch in batches:
+                    node.insert(destination.name, batch)
 
         reader, network, writer, bulk = stats.component_times(
             self.truth, movement.operation.uses_hashing)
@@ -318,39 +525,21 @@ class DmsRuntime:
             stats.relational_rows * self.truth.relational_per_row)
         stats.elapsed_seconds = (stats.movement_seconds
                                  + stats.relational_seconds)
+        stats.wall_seconds = time.perf_counter() - started
         self._record_movement(stats, movement.operation)
         return stats
 
-    def _route_batch(self, operation: DmsOperation, rows: List[Tuple],
-                     sizes: List[int], hash_index: Optional[int],
-                     node_count: int, source_id: int,
-                     received: Dict[int, List[Tuple]],
-                     received_bytes: Dict[int, int],
-                     transfers: Optional[Dict[Tuple[int, int],
-                                              List[int]]] = None) -> int:
-        """Bucket one source batch into per-target row lists and byte
-        totals; returns the bytes this source puts on the network (rows
-        routed to a node other than itself).  With ``transfers`` (a
-        profiled run) every delivery is also recorded into the
-        ``(source, target) → [rows, bytes]`` matrix, local deliveries
-        included — the diagonal is what distinguishes a co-located
-        shuffle from a network-heavy one."""
+    def _route_batch_reference(self, operation: DmsOperation,
+                               rows: List[Tuple], sizes: List[int],
+                               hash_index: Optional[int],
+                               node_count: int, source_id: int
+                               ) -> Tuple[List[Delivery], int]:
+        """Reference tuple routing: per-row dict accounting (the serial
+        backend's original code path).  Semantically identical to
+        :func:`route_batch_fast`; the equivalence tests pin the two
+        against each other on the full TPC-H workload."""
         if not rows:
-            return 0
-
-        def deliver(target_id: int, batch: List[Tuple],
-                    batch_bytes: int) -> None:
-            received.setdefault(target_id, []).extend(batch)
-            received_bytes[target_id] = (
-                received_bytes.get(target_id, 0) + batch_bytes)
-            if transfers is not None:
-                entry = transfers.get((source_id, target_id))
-                if entry is None:
-                    transfers[(source_id, target_id)] = [len(batch),
-                                                         batch_bytes]
-                else:
-                    entry[0] += len(batch)
-                    entry[1] += batch_bytes
+            return [], 0
 
         if operation is DmsOperation.SHUFFLE_MOVE:
             if hash_index is None:
@@ -363,11 +552,12 @@ class DmsRuntime:
                 buckets.setdefault(owner, []).append(row)
                 bucket_bytes[owner] = bucket_bytes.get(owner, 0) + size
             sent = 0
+            deliveries: List[Delivery] = []
             for owner, batch in buckets.items():
-                deliver(owner, batch, bucket_bytes[owner])
+                deliveries.append((owner, batch, bucket_bytes[owner]))
                 if owner != source_id:
                     sent += bucket_bytes[owner]
-            return sent
+            return deliveries, sent
 
         if operation is DmsOperation.TRIM_MOVE:
             if hash_index is None:
@@ -381,24 +571,24 @@ class DmsRuntime:
                     kept.append(row)
                     kept_bytes += size
             if kept:
-                deliver(source_id, kept, kept_bytes)
-            return 0  # trimmed rows never leave their node
+                return [(source_id, kept, kept_bytes)], 0
+            return [], 0  # trimmed rows never leave their node
 
         if operation in (DmsOperation.BROADCAST_MOVE,
                          DmsOperation.CONTROL_NODE_MOVE,
                          DmsOperation.REPLICATED_BROADCAST):
             total = sum(sizes)
-            for target_id in range(node_count):
-                deliver(target_id, rows, total)
+            deliveries = [(target_id, rows, total)
+                          for target_id in range(node_count)]
             remote_targets = node_count - (
                 1 if 0 <= source_id < node_count else 0)
-            return total * remote_targets
+            return deliveries, total * remote_targets
 
         if operation in (DmsOperation.PARTITION_MOVE,
                          DmsOperation.REMOTE_COPY):
             total = sum(sizes)
-            deliver(CONTROL_NODE, rows, total)
-            return 0 if source_id == CONTROL_NODE else total
+            return ([(CONTROL_NODE, rows, total)],
+                    0 if source_id == CONTROL_NODE else total)
 
         raise DmsError(f"unknown DMS operation {operation}")
 
@@ -407,28 +597,29 @@ class DmsRuntime:
     def execute_return(self, step: DsqlStep) -> Tuple[List[Tuple], List[str],
                                                       StepExecutionStats]:
         """Run the final Return SQL and gather rows at the control node."""
+        started = time.perf_counter()
         stats = StepExecutionStats(step.index, None)
         rows: List[Tuple] = []
         names: List[str] = []
         profiling = self.profiling
-        for source in self._source_nodes(step):
-            sql_stats = InterpreterStats()
-            observer = OperatorObserver() if profiling else None
-            node_rows, names = self.run_sql_on_node(step.sql, source,
-                                                    sql_stats, observer)
-            stats.relational_rows += (
-                sql_stats.rows_scanned + sql_stats.rows_processed)
-            if source.node_id != CONTROL_NODE:
-                stats.network_bytes[source.node_id] = sum(
-                    row_bytes(r) for r in node_rows)
-            stats.node_rows[source.node_id] = len(node_rows)
-            if observer is not None:
-                stats.node_operators[source.node_id] = observer.records
-                stats.transfers[(source.node_id, CONTROL_NODE)] = [
-                    len(node_rows),
-                    stats.network_bytes.get(source.node_id, 0),
+        for run in self._run_sources(step, None):
+            source_id = run.node_id
+            stats.relational_rows += run.relational_rows
+            if source_id != CONTROL_NODE:
+                stats.network_bytes[source_id] = run.read_bytes
+            stats.node_rows[source_id] = len(run.rows)
+            stats.node_wall_seconds[source_id] = (
+                stats.node_wall_seconds.get(source_id, 0.0)
+                + run.wall_seconds)
+            if run.observer is not None:
+                stats.node_operators[source_id] = run.observer.records
+            if profiling:
+                stats.transfers[(source_id, CONTROL_NODE)] = [
+                    len(run.rows),
+                    stats.network_bytes.get(source_id, 0),
                 ]
-            rows.extend(node_rows)
+            rows.extend(run.rows)
+            names = run.names
         stats.movement_seconds = max(
             stats.network_bytes.values(), default=0) * self.truth.network
         stats.relational_seconds = (
@@ -436,5 +627,6 @@ class DmsRuntime:
         stats.elapsed_seconds = (stats.movement_seconds
                                  + stats.relational_seconds)
         stats.rows_moved = len(rows)
+        stats.wall_seconds = time.perf_counter() - started
         self._record_movement(stats, None)
         return rows, names, stats

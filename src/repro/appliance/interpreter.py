@@ -23,6 +23,7 @@ on the full TPC-H suite.
 from __future__ import annotations
 
 import operator
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.algebra import expressions as ex
@@ -46,11 +47,19 @@ Env = Dict[int, object]
 
 
 class InterpreterStats:
-    """Row-processing counters (feed the simulated relational time)."""
+    """Row-processing counters (feed the simulated relational time).
+
+    ``wall_seconds`` is the *measured* wall clock spent in
+    :meth:`PlanInterpreter.run_query` — the per-node actual the parallel
+    runtime reports alongside the simulated time.  An interpreter (and
+    its stats object) is confined to the one worker thread executing
+    that node's fragment, so the counters need no locks.
+    """
 
     def __init__(self):
         self.rows_scanned = 0
         self.rows_processed = 0
+        self.wall_seconds = 0.0
 
 
 class PlanInterpreter:
@@ -93,6 +102,13 @@ class PlanInterpreter:
 
     def run_query(self, query: Query) -> List[Tuple]:
         """Execute a bound query, honoring ORDER BY and TOP."""
+        started = time.perf_counter()
+        try:
+            return self._run_query(query)
+        finally:
+            self.stats.wall_seconds += time.perf_counter() - started
+
+    def _run_query(self, query: Query) -> List[Tuple]:
         envs = self.run(query.root)
         if query.order_by:
             for var, ascending in reversed(query.order_by):

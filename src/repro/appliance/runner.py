@@ -5,6 +5,14 @@ against a simulated appliance: DMS steps move data into temp tables, the
 Return step gathers result tuples through the control node, which applies
 the final ORDER BY / TOP and hands the result to the "client".
 
+With the parallel runtime on (``parallel=True``, or the
+``REPRO_PARALLEL_RUNTIME`` environment override) the runner derives a
+dependency DAG from each step's input temp tables and submits steps the
+moment their inputs are materialized, so independent join subtrees —
+e.g. TPC-H Q5's bushy shape — overlap instead of executing strictly in
+index order.  Step stats are always assembled in index order, so
+results and accounting are identical to the serial walk.
+
 ``run_reference`` executes the original query on the single-system image
 (all data gathered in one storage map) for correctness comparison — the
 distributed execution must produce exactly the same multiset of rows.
@@ -13,7 +21,7 @@ distributed execution must produce exactly the same multiset of rows.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.appliance.dms_runtime import (
     DmsRuntime,
@@ -21,15 +29,27 @@ from repro.appliance.dms_runtime import (
     StepExecutionStats,
 )
 from repro.appliance.interpreter import PlanInterpreter
+from repro.appliance.scheduler import (
+    StepDag,
+    WorkerPool,
+    resolve_parallel,
+    run_dag,
+)
 from repro.appliance.storage import Appliance
 from repro.catalog.statistics import sort_key
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.common.errors import ExecutionError
 from repro.optimizer.binder import Binder
 from repro.optimizer.normalize import normalize
-from repro.pdw.dsql import DsqlPlan, StepKind
+from repro.pdw.dsql import DsqlPlan, DsqlStep, StepKind
 from repro.sql.parser import parse_query
 from repro.telemetry import NULL_TRACER, Tracer
+
+#: Upper bound on concurrently executing DSQL steps.  Plans are small
+#: (a handful of steps), and each step fans out its own node workers,
+#: so a narrow step pool keeps total thread count proportional to the
+#: appliance rather than to plan size.
+MAX_STEP_WORKERS = 8
 
 
 @dataclass
@@ -54,6 +74,11 @@ class QueryResult:
     def relational_seconds(self) -> float:
         return sum(s.relational_seconds for s in self.step_stats)
 
+    @property
+    def wall_seconds(self) -> float:
+        """Measured wall clock summed over steps (not simulated time)."""
+        return sum(s.wall_seconds for s in self.step_stats)
+
     def sorted_rows(self) -> List[Tuple]:
         """Rows in a canonical order (for comparisons in tests)."""
         return sorted(self.rows,
@@ -61,24 +86,36 @@ class QueryResult:
 
 
 class DsqlRunner:
-    """Executes DSQL plans serially, one step at a time (§2.4).
+    """Executes DSQL plans: serially one step at a time (§2.4), or —
+    with ``parallel=True`` — as a dependency DAG with node-parallel
+    steps (§2.1's "single step typically involves parallel operations
+    across multiple compute nodes", taken literally).
 
     ``compiled`` selects the executor backend: closure-compiled
     expressions with a per-step parse/bind cache (default), or the
     tree-walking reference interpreter (``compiled=False``).
+    ``parallel=None`` (default) resolves to the serial walk unless the
+    ``REPRO_PARALLEL_RUNTIME`` environment variable overrides it; the
+    :class:`repro.session.PdwSession` front door defaults to parallel.
     """
 
     def __init__(self, appliance: Appliance,
                  truth: Optional[GroundTruthConstants] = None,
                  tracer: Tracer = NULL_TRACER,
                  compiled: bool = True,
-                 metrics: MetricsRegistry = NULL_METRICS):
+                 metrics: MetricsRegistry = NULL_METRICS,
+                 parallel: Optional[bool] = None):
         self.appliance = appliance
         self.tracer = tracer
         self.compiled = compiled
         self.metrics = metrics
+        self.parallel = resolve_parallel(parallel, default=False)
         self.runtime = DmsRuntime(appliance, truth, tracer,
-                                  compiled=compiled, metrics=metrics)
+                                  compiled=compiled, metrics=metrics,
+                                  parallel=self.parallel)
+        self._step_pool = WorkerPool(
+            min(MAX_STEP_WORKERS, max(2, appliance.node_count)),
+            "repro-step")
 
     def run(self, plan: DsqlPlan, keep_temps: bool = False,
             profile: bool = False) -> QueryResult:
@@ -93,21 +130,22 @@ class DsqlRunner:
         self.runtime.profiling = profile
         try:
             with tracer.span("execute"):
-                for step in plan.steps:
-                    label = (f"step{step.index}."
-                             + (step.movement.operation.value
-                                if step.movement else "return"))
-                    with tracer.span(label) as span:
-                        if step.kind is StepKind.DMS:
-                            step_stats = self.runtime.execute_movement(step)
-                        else:
-                            rows, names, step_stats = \
-                                self.runtime.execute_return(step)
-                        stats.append(step_stats)
-                        if tracer.enabled:
-                            span.set("rows", step_stats.rows_moved)
-                            span.set("simulated_seconds",
-                                     step_stats.elapsed_seconds)
+                if self.parallel and len(plan.steps) > 1:
+                    rows, names, stats = self._run_dag(plan, rows, names)
+                else:
+                    for step in plan.steps:
+                        with tracer.span(self._step_label(step)) as span:
+                            if step.kind is StepKind.DMS:
+                                step_stats = \
+                                    self.runtime.execute_movement(step)
+                            else:
+                                rows, names, step_stats = \
+                                    self.runtime.execute_return(step)
+                            stats.append(step_stats)
+                            if tracer.enabled:
+                                span.set("rows", step_stats.rows_moved)
+                                span.set("simulated_seconds",
+                                         step_stats.elapsed_seconds)
                 rows = self._finalize(plan, names, rows)
         finally:
             self.runtime.profiling = False
@@ -119,6 +157,45 @@ class DsqlRunner:
             elapsed_seconds=sum(s.elapsed_seconds for s in stats),
             step_stats=stats,
         )
+
+    @staticmethod
+    def _step_label(step: DsqlStep) -> str:
+        return (f"step{step.index}."
+                + (step.movement.operation.value
+                   if step.movement else "return"))
+
+    def _run_dag(self, plan: DsqlPlan, rows: List[Tuple],
+                 names: List[str]) -> Tuple[List[Tuple], List[str],
+                                            List[StepExecutionStats]]:
+        """DAG-scheduled execution: submit each step once its input
+        temp tables are materialized.  Worker threads must not touch
+        the tracer's span stack, so per-step spans are emitted post-hoc
+        (index order, measured durations attached as attributes)."""
+        dag = StepDag(plan)
+        returned: Dict[int, Tuple[List[Tuple], List[str]]] = {}
+
+        def execute(index: int) -> StepExecutionStats:
+            step = plan.steps[index]
+            if step.kind is StepKind.DMS:
+                return self.runtime.execute_movement(step)
+            step_rows, step_names, step_stats = \
+                self.runtime.execute_return(step)
+            returned[index] = (step_rows, step_names)
+            return step_stats
+
+        results = run_dag(dag, execute, self._step_pool)
+        stats = [results[index] for index in range(len(plan.steps))]
+        tracer = self.tracer
+        if tracer.enabled:
+            for step, step_stats in zip(plan.steps, stats):
+                with tracer.span(self._step_label(step)) as span:
+                    span.set("rows", step_stats.rows_moved)
+                    span.set("simulated_seconds",
+                             step_stats.elapsed_seconds)
+                    span.set("wall_seconds", step_stats.wall_seconds)
+        for index in sorted(returned):
+            rows, names = returned[index]
+        return rows, names, stats
 
     def _finalize(self, plan: DsqlPlan, names: List[str],
                   rows: List[Tuple]) -> List[Tuple]:

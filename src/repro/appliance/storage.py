@@ -8,8 +8,9 @@ storage.  Rows are plain tuples in table-column order.
 
 from __future__ import annotations
 
+import threading
 import zlib
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.catalog.schema import (
     Catalog,
@@ -72,17 +73,28 @@ def row_bytes(row: Tuple) -> int:
 
 
 class NodeStorage:
-    """One node's table fragments: table name → list of row tuples."""
+    """One node's table fragments: table name → list of row tuples.
+
+    A fragment list may be **adopted** rather than inserted: broadcast
+    moves deliver one shared row list to every node, and :meth:`adopt`
+    aliases it in place of copying.  Adopted lists are copy-on-write —
+    the first :meth:`insert` into an adopted table materializes a
+    private copy — so sharing is invisible to mutating callers.
+    Readers must already treat fragment lists as read-only.
+    """
 
     def __init__(self, node_id: int):
         self.node_id = node_id
         self.tables: Dict[str, List[Tuple]] = {}
+        self._adopted: Set[str] = set()
 
     def create(self, name: str) -> None:
         self.tables.setdefault(name.lower(), [])
 
     def drop(self, name: str) -> None:
-        self.tables.pop(name.lower(), None)
+        key = name.lower()
+        self.tables.pop(key, None)
+        self._adopted.discard(key)
 
     def rows(self, name: str) -> List[Tuple]:
         try:
@@ -93,7 +105,25 @@ class NodeStorage:
             ) from None
 
     def insert(self, name: str, rows: Iterable[Tuple]) -> None:
+        key = name.lower()
+        if key in self._adopted:
+            self.tables[key] = list(self.tables[key])
+            self._adopted.discard(key)
         self.rows(name).extend(rows)
+
+    def adopt(self, name: str, rows: List[Tuple]) -> None:
+        """Alias ``rows`` as the table's fragment without copying.
+
+        Only an empty fragment can adopt; a non-empty one falls back to
+        a copying :meth:`insert`.  The caller must not mutate ``rows``
+        afterwards (the DMS runtime delivers shared broadcast batches
+        exactly once and drops its reference)."""
+        key = name.lower()
+        if self.rows(name):
+            self.insert(name, rows)
+            return
+        self.tables[key] = rows
+        self._adopted.add(key)
 
 
 CONTROL_NODE = -1
@@ -110,6 +140,10 @@ class Appliance:
         self.control = NodeStorage(CONTROL_NODE)
         self.compute = [NodeStorage(i) for i in range(node_count)]
         self._image_cache: Optional[Dict[str, List[Tuple]]] = None
+        # Guards catalog/storage DDL and the image cache: under the
+        # parallel runtime, independent DSQL steps create their temp
+        # tables concurrently from worker threads.
+        self._lock = threading.RLock()
 
     # -- placement ---------------------------------------------------------------
 
@@ -121,23 +155,25 @@ class Appliance:
     def create_table(self, table: TableDef,
                      register: bool = True) -> None:
         """Create empty storage for a table on the right nodes."""
-        if register:
-            self.catalog.add_table(table)
-        for node in self._nodes_holding(table):
-            node.create(table.name)
-        if not table.is_temp:
-            self._invalidate_image()
+        with self._lock:
+            if register:
+                self.catalog.add_table(table)
+            for node in self._nodes_holding(table):
+                node.create(table.name)
+            if not table.is_temp:
+                self._invalidate_image()
 
     def drop_table(self, name: str) -> None:
-        is_temp = (self.catalog.has_table(name)
-                   and self.catalog.table(name).is_temp)
-        if self.catalog.has_table(name):
-            self.catalog.drop_table(name)
-        self.control.drop(name)
-        for node in self.compute:
-            node.drop(name)
-        if not is_temp:
-            self._invalidate_image()
+        with self._lock:
+            is_temp = (self.catalog.has_table(name)
+                       and self.catalog.table(name).is_temp)
+            if self.catalog.has_table(name):
+                self.catalog.drop_table(name)
+            self.control.drop(name)
+            for node in self.compute:
+                node.drop(name)
+            if not is_temp:
+                self._invalidate_image()
 
     def load_rows(self, name: str, rows: Iterable[Tuple]) -> int:
         """Route rows to their nodes per the table's distribution.
@@ -145,6 +181,10 @@ class Appliance:
         Returns the number of rows loaded and updates the table's global
         ``row_count``.
         """
+        with self._lock:
+            return self._load_rows_locked(name, rows)
+
+    def _load_rows_locked(self, name: str, rows: Iterable[Tuple]) -> int:
         table = self.catalog.table(name)
         rows = list(rows)
         kind = table.distribution.kind
@@ -197,15 +237,21 @@ class Appliance:
         Cached on the appliance (``run_reference`` rebuilds this for
         every correctness comparison otherwise) and invalidated whenever
         base-table storage changes — loads, creates, drops.  Callers
-        must treat the returned row lists as read-only.
+        must treat the returned row lists as read-only.  Thread-safe:
+        concurrent first calls build the image once, under the
+        appliance lock.
         """
-        if self._image_cache is None:
-            self._image_cache = {
-                table.name: self.table_rows_everywhere(table.name)
-                for table in self.catalog.tables()
-                if not table.is_temp
-            }
-        return self._image_cache
+        image = self._image_cache
+        if image is None:
+            with self._lock:
+                if self._image_cache is None:
+                    self._image_cache = {
+                        table.name: self.table_rows_everywhere(table.name)
+                        for table in self.catalog.tables()
+                        if not table.is_temp
+                    }
+                image = self._image_cache
+        return image
 
     # -- temp table lifecycle ------------------------------------------------------
 

@@ -25,6 +25,7 @@ imported from every layer without cycles.
 from __future__ import annotations
 
 import math
+import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
@@ -48,8 +49,16 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 )
 
 
+# Value mutations (`self.value += amount`) are read-modify-writes, and
+# the DMS runtime increments series from node/step worker threads under
+# the parallel runtime.  One shared lock keeps every series consistent;
+# the critical sections are a few arithmetic ops, far cheaper than the
+# label lookup that precedes them.
+_VALUE_LOCK = threading.Lock()
+
+
 class CounterValue:
-    """One labeled time series of a counter metric."""
+    """One labeled time series of a counter metric.  Thread-safe."""
 
     __slots__ = ("value",)
 
@@ -59,11 +68,12 @@ class CounterValue:
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise MetricsError("counters can only increase")
-        self.value += amount
+        with _VALUE_LOCK:
+            self.value += amount
 
 
 class GaugeValue:
-    """One labeled time series of a gauge metric."""
+    """One labeled time series of a gauge metric.  Thread-safe."""
 
     __slots__ = ("value",)
 
@@ -74,11 +84,12 @@ class GaugeValue:
         self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with _VALUE_LOCK:
+            self.value += amount
 
 
 class HistogramValue:
-    """One labeled time series of a histogram metric."""
+    """One labeled time series of a histogram metric.  Thread-safe."""
 
     __slots__ = ("buckets", "counts", "total", "count")
 
@@ -90,13 +101,14 @@ class HistogramValue:
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.total += value
-        self.count += 1
-        # counts are per-bucket; cumulative() folds them for exposition
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[i] += 1
-                break
+        with _VALUE_LOCK:
+            self.total += value
+            self.count += 1
+            # per-bucket counts; cumulative() folds them for exposition
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[i] += 1
+                    break
 
     def cumulative(self) -> List[Tuple[float, int]]:
         """(upper bound, cumulative count) pairs, excluding +Inf."""
@@ -119,7 +131,7 @@ class Metric:
     """A named metric family: one value object per distinct label set."""
 
     __slots__ = ("name", "help", "kind", "labelnames", "buckets",
-                 "_children")
+                 "_children", "_lock")
 
     def __init__(self, name: str, help: str, kind: str,
                  labelnames: Sequence[str] = (),
@@ -130,9 +142,11 @@ class Metric:
         self.labelnames = tuple(labelnames)
         self.buckets = tuple(buckets)
         self._children: Dict[Tuple[str, ...], object] = {}
+        self._lock = threading.Lock()
 
     def labels(self, **labels: object):
-        """The child time series for one concrete label assignment."""
+        """The child time series for one concrete label assignment.
+        Thread-safe: concurrent first touches create one child."""
         if set(labels) != set(self.labelnames):
             raise MetricsError(
                 f"metric {self.name!r} takes labels {self.labelnames}, "
@@ -140,11 +154,14 @@ class Metric:
         key = tuple(str(labels[name]) for name in self.labelnames)
         child = self._children.get(key)
         if child is None:
-            if self.kind == "histogram":
-                child = HistogramValue(self.buckets)
-            else:
-                child = _KIND_VALUES[self.kind]()
-            self._children[key] = child
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    if self.kind == "histogram":
+                        child = HistogramValue(self.buckets)
+                    else:
+                        child = _KIND_VALUES[self.kind]()
+                    self._children[key] = child
         return child
 
     # Label-free conveniences --------------------------------------------------
@@ -173,12 +190,20 @@ class MetricsRegistry:
 
     def __init__(self):
         self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.Lock()
 
     # -- registration ---------------------------------------------------------
 
     def _register(self, name: str, help: str, kind: str,
                   labelnames: Sequence[str],
                   buckets: Sequence[float] = DEFAULT_BUCKETS) -> Metric:
+        with self._lock:
+            return self._register_locked(name, help, kind, labelnames,
+                                         buckets)
+
+    def _register_locked(self, name: str, help: str, kind: str,
+                         labelnames: Sequence[str],
+                         buckets: Sequence[float]) -> Metric:
         existing = self._metrics.get(name)
         if existing is not None:
             if existing.kind != kind:

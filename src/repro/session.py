@@ -28,6 +28,15 @@ compiled to Python closures and each DSQL step's SQL is parsed + bound
 once, then re-run on every compute node.  ``PdwSession(compiled=False)``
 (CLI: ``--no-compiled-exec``) forces the reference interpreter instead.
 
+The session also defaults to the **parallel appliance runtime**: DSQL
+steps are scheduled as a dependency DAG (independent join subtrees
+overlap) and each step's per-node fragments run on a thread pool with
+fast-path shuffle routing, merged deterministically so results and stats
+are identical to the serial walk.  ``PdwSession(parallel=False)`` (CLI:
+``--serial-runtime``) selects the §2.4 serial reference backend; the
+``REPRO_PARALLEL_RUNTIME`` environment variable overrides the default
+for whole test-suite sweeps.
+
 Telemetry is on by default (the session is the observability surface; the
 low-level classes default to the no-op tracer): every compile and run
 appends spans to :attr:`PdwSession.tracer`, and :meth:`trace_report` /
@@ -40,6 +49,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.appliance.runner import DsqlRunner, QueryResult
+from repro.appliance.scheduler import resolve_parallel
 from repro.appliance.storage import Appliance
 from repro.catalog.shell_db import ShellDatabase
 from repro.common.errors import ReproError
@@ -83,7 +93,8 @@ class PdwSession:
                  tracer: Optional[Tracer] = None,
                  trace: bool = True,
                  compiled: bool = True,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 parallel: Optional[bool] = None):
         if (appliance is None) != (shell is None):
             raise ReproError(
                 "pass both appliance and shell, or neither "
@@ -101,10 +112,15 @@ class PdwSession:
             metrics = MetricsRegistry() if trace else NULL_METRICS
         self.metrics = metrics
         self.compiled = compiled
+        # The session front door runs the parallel appliance runtime by
+        # default (the low-level DsqlRunner defaults to the serial
+        # reference walk, mirroring the NULL_TRACER convention).
+        self.parallel = resolve_parallel(parallel, default=True)
         self.engine = PdwEngine(shell, serial_config, pdw_config,
                                 tracer=tracer)
         self.runner = DsqlRunner(appliance, tracer=tracer,
-                                 compiled=compiled, metrics=metrics)
+                                 compiled=compiled, metrics=metrics,
+                                 parallel=self.parallel)
 
     # -- the three verbs -------------------------------------------------------
 

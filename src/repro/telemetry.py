@@ -23,6 +23,7 @@ imported from every layer without cycles.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional
 
@@ -112,6 +113,12 @@ class Tracer:
         self.roots: List[Span] = []
         self.counters: Dict[str, float] = {}
         self._stack: List[Span] = []
+        # Counters are incremented from DMS node/step worker threads
+        # under the parallel runtime; `dict[k] = dict.get(k) + v` is a
+        # read-modify-write, so it needs the lock.  Spans stay
+        # single-threaded by contract (only the coordinating thread
+        # opens them).
+        self._counter_lock = threading.Lock()
 
     # -- spans ---------------------------------------------------------------
 
@@ -138,8 +145,10 @@ class Tracer:
     # -- counters ------------------------------------------------------------
 
     def count(self, name: str, value: float = 1) -> None:
-        """Add ``value`` to the named counter (creating it at zero)."""
-        self.counters[name] = self.counters.get(name, 0.0) + value
+        """Add ``value`` to the named counter (creating it at zero).
+        Thread-safe."""
+        with self._counter_lock:
+            self.counters[name] = self.counters.get(name, 0.0) + value
 
     def counter(self, name: str) -> float:
         return self.counters.get(name, 0.0)
@@ -150,9 +159,10 @@ class Tracer:
     # -- reporting -----------------------------------------------------------
 
     def reset(self) -> None:
-        self.roots = []
-        self.counters = {}
-        self._stack = []
+        with self._counter_lock:
+            self.roots = []
+            self.counters = {}
+            self._stack = []
 
     def render_spans(self) -> str:
         if not self.roots:

@@ -1,0 +1,219 @@
+"""Concurrent hammers for the caches the parallel runtime shares across
+node/step worker threads: the DMS parse/bind cache, the appliance's
+single-system image, the expression-compiler identity memo, and the
+telemetry/metrics counters."""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.algebra import expressions as ex
+from repro.algebra.compiler import clear_cache, compile_expr
+from repro.appliance.dms_runtime import DmsRuntime
+from repro.appliance.storage import Appliance
+from repro.catalog.schema import Column, TableDef, hash_distributed
+from repro.common.types import INTEGER
+from repro.obs.metrics import MetricsRegistry
+from repro.telemetry import Tracer
+
+THREADS = 8
+ROUNDS = 25
+
+
+def _hammer(work, threads: int = THREADS) -> None:
+    """Run ``work(thread_index)`` on every thread, released together so
+    the racy window actually overlaps."""
+    barrier = threading.Barrier(threads)
+    errors: list = []
+
+    def runner(index: int) -> None:
+        barrier.wait()
+        try:
+            work(index)
+        except BaseException as error:  # noqa: BLE001 - re-raised below
+            errors.append(error)
+
+    with ThreadPoolExecutor(max_workers=threads) as executor:
+        list(executor.map(runner, range(threads)))
+    if errors:
+        raise errors[0]
+
+
+class TestBindCacheThreadSafety:
+    def test_concurrent_bind_hits_like_serial(self, mini_appliance):
+        tracer = Tracer()
+        runtime = DmsRuntime(mini_appliance, tracer=tracer, parallel=True)
+        sqls = [
+            "SELECT a FROM t WHERE a < 10",
+            "SELECT b FROM t WHERE b = 3",
+            "SELECT k, label FROM dim",
+            "SELECT a, s FROM t WHERE a > 50",
+        ]
+        expected = {
+            sql: runtime._bind_step(sql).output_names for sql in sqls
+        }
+        runtime._step_cache.clear()
+        runtime._parse_cache.clear()
+        tracer.reset()
+
+        def work(index: int) -> None:
+            for _ in range(ROUNDS):
+                for sql in sqls:
+                    query = runtime._bind_step(sql)
+                    assert query.output_names == expected[sql]
+
+        _hammer(work)
+        # The lock is held across bind, so exactly one miss per distinct
+        # SQL — identical hit/miss accounting to the serial backend.
+        total = THREADS * ROUNDS * len(sqls)
+        assert tracer.counter("exec.compile_cache_miss") == len(sqls)
+        assert tracer.counter("exec.compile_cache_hit") == total - len(sqls)
+
+    def test_concurrent_bind_with_eviction(self, mini_appliance):
+        runtime = DmsRuntime(mini_appliance, parallel=True)
+        sql = "SELECT a FROM t WHERE a < 42"
+
+        def work(index: int) -> None:
+            for round_no in range(ROUNDS):
+                query = runtime._bind_step(sql)
+                assert query.output_names == ["a"]
+                if index == 0 and round_no % 5 == 0:
+                    runtime._evict_cached("t")
+
+        _hammer(work)
+
+
+class TestApplianceImageThreadSafety:
+    @staticmethod
+    def _make_appliance() -> Appliance:
+        appliance = Appliance(4)
+        appliance.create_table(TableDef(
+            "t", [Column("a", INTEGER)], hash_distributed("a")))
+        appliance.load_rows("t", [(i,) for i in range(100)])
+        return appliance
+
+    def test_concurrent_image_reads_agree(self):
+        appliance = self._make_appliance()
+        images: list = []
+        lock = threading.Lock()
+
+        def work(index: int) -> None:
+            for _ in range(ROUNDS):
+                image = appliance.single_system_image()
+                with lock:
+                    images.append(image)
+
+        _hammer(work)
+        reference = images[0]
+        assert all(image == reference for image in images)
+        assert sorted(reference["t"]) == [(i,) for i in range(100)]
+
+    def test_image_rebuilds_after_concurrent_loads(self):
+        appliance = self._make_appliance()
+
+        def work(index: int) -> None:
+            for round_no in range(ROUNDS):
+                if index == 0:
+                    appliance.load_rows(
+                        "t", [(1000 + round_no,)])
+                else:
+                    image = appliance.single_system_image()
+                    assert len(image["t"]) >= 100
+        _hammer(work)
+        final = appliance.single_system_image()
+        assert len(final["t"]) == 100 + ROUNDS
+
+    def test_concurrent_temp_ddl(self):
+        appliance = self._make_appliance()
+
+        def work(index: int) -> None:
+            name = f"TEMP_ID_{index + 1}"
+            table = TableDef(name, [Column("a", INTEGER)],
+                             hash_distributed("a"), is_temp=True)
+            for _ in range(ROUNDS):
+                appliance.create_temp_table(table)
+                appliance.drop_table(name)
+
+        _hammer(work)
+        assert not [table for table in appliance.catalog.tables()
+                    if table.is_temp]
+
+
+class TestCompilerMemoThreadSafety:
+    def test_concurrent_identity_memo(self):
+        clear_cache()
+        column = ex.ColumnVar(1, "a", INTEGER)
+        shared = ex.Arithmetic("+", column, ex.Constant(1, INTEGER))
+        env = {1: 41}
+        compiled: list = []
+        lock = threading.Lock()
+
+        def work(index: int) -> None:
+            # mix of one shared tree (memo hits) and private trees
+            # (memo inserts) racing on the same dict
+            private = ex.Arithmetic(
+                "*", column, ex.Constant(index + 1, INTEGER))
+            for _ in range(ROUNDS):
+                fn = compile_expr(shared)
+                assert fn(env) == 42
+                assert compile_expr(private)(env) == 41 * (index + 1)
+                with lock:
+                    compiled.append(fn)
+
+        _hammer(work)
+        # identity memo: every caller got one compiled closure object
+        assert len(set(map(id, compiled))) == 1
+        clear_cache()
+
+
+class TestTelemetryThreadSafety:
+    def test_tracer_counter_increments_are_atomic(self):
+        tracer = Tracer()
+
+        def work(index: int) -> None:
+            for _ in range(500):
+                tracer.count("hammer.total")
+                tracer.count("hammer.bytes", 3)
+
+        _hammer(work)
+        assert tracer.counter("hammer.total") == THREADS * 500
+        assert tracer.counter("hammer.bytes") == THREADS * 500 * 3
+
+    def test_metrics_counters_and_histograms_are_atomic(self):
+        registry = MetricsRegistry()
+
+        def work(index: int) -> None:
+            counter = registry.counter(
+                "hammer_rows_total", "rows", labelnames=("node",))
+            histogram = registry.histogram("hammer_seconds", "time")
+            gauge = registry.gauge("hammer_level", "level")
+            for _ in range(200):
+                counter.labels(node=str(index % 2)).inc()
+                histogram.observe(0.25)
+                gauge.inc()
+
+        _hammer(work)
+        counter = registry.get("hammer_rows_total")
+        total = sum(child.value for _, child in counter.series())
+        assert total == THREADS * 200
+        histogram = registry.get("hammer_seconds").labels()
+        assert histogram.count == THREADS * 200
+        assert histogram.total == THREADS * 200 * 0.25
+        assert registry.get("hammer_level").labels().value == THREADS * 200
+
+    def test_concurrent_registration_returns_one_family(self):
+        registry = MetricsRegistry()
+        seen: list = []
+        lock = threading.Lock()
+
+        def work(index: int) -> None:
+            for _ in range(ROUNDS):
+                metric = registry.counter(
+                    "hammer_shared_total", "shared",
+                    labelnames=("node",))
+                with lock:
+                    seen.append(metric)
+
+        _hammer(work)
+        assert len(set(map(id, seen))) == 1
