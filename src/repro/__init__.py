@@ -71,6 +71,11 @@ from repro.catalog.schema import (
 )
 from repro.catalog.shell_db import ShellDatabase
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.opt_trace import (
+    NULL_OPT_TRACE,
+    OptimizerTrace,
+    OptimizerTraceSummary,
+)
 from repro.obs.profiler import (
     QErrorSummary,
     QueryProfile,
@@ -93,6 +98,7 @@ from repro.pdw.baseline import parallelize_serial_plan
 from repro.pdw.cost_model import CostConstants, DmsCostModel
 from repro.pdw.engine import CompiledQuery, PdwEngine
 from repro.pdw.enumerator import PdwConfig, PdwOptimizer, PdwPlan
+from repro.pdw.why import PlanChoice, explain_plan_choice, render_plan_choice
 from repro.session import PdwSession, StepAnalysis
 from repro.telemetry import NULL_TRACER, Span, Tracer
 from repro.workloads.tpch_datagen import build_tpch_appliance
@@ -117,7 +123,13 @@ __all__ = [
     "GroundTruthConstants",
     "MetricsRegistry",
     "NULL_METRICS",
+    "NULL_OPT_TRACE",
     "NULL_TRACER",
+    "OptimizerTrace",
+    "OptimizerTraceSummary",
+    "PlanChoice",
+    "explain_plan_choice",
+    "render_plan_choice",
     "ON_CONTROL",
     "QErrorSummary",
     "QueryProfile",

@@ -8,6 +8,8 @@ TPC-H appliance.
     python -m repro stats "SELECT COUNT(*) AS n FROM lineitem"
     python -m repro profile "SELECT COUNT(*) AS n FROM lineitem, orders \
 WHERE l_orderkey = o_orderkey"
+    python -m repro why "SELECT COUNT(*) AS n FROM lineitem, orders \
+WHERE l_orderkey = o_orderkey"
     python -m repro calibrate --nodes 8
 
 ``profile`` executes the query with per-node / per-operator profiling on
@@ -15,6 +17,14 @@ and renders skew + Q-error tables; ``--json`` prints the structured
 profile document instead, ``--jsonl PATH`` writes the validated event
 log, and ``--prometheus PATH`` dumps the session metrics registry in
 Prometheus text format.
+
+``why`` compiles with the optimizer search-space recorder on and answers
+"why did the optimizer pick this plan?": the winning distributed plan is
+diffed against the §2.5 parallelized-serial baseline (per-subtree DMS
+cost deltas), followed by per-group enumeration statistics, the top-k
+costliest considered-but-rejected movements, and prune effectiveness per
+interesting-property key.  ``--jsonl`` / ``--prometheus`` export the
+same numbers as validated events and ``pdw_optimizer_*`` series.
 
 Options ``--scale`` and ``--nodes`` size the appliance (defaults: scale
 0.002, 8 nodes).  ``--trace`` appends the nested telemetry span tree
@@ -66,6 +76,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "actual rows/bytes/time per DSQL step")
     explain.add_argument("--verbose", action="store_true",
                          help="include memo/pruning compilation counters")
+    explain.add_argument("--optimizer", action="store_true",
+                         help="append the \"why this plan\" §2.5 baseline "
+                              "diff and the optimizer search-space trace")
 
     run = sub.add_parser(
         "run", help="compile, execute on the appliance, print rows")
@@ -95,6 +108,22 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--prometheus", metavar="PATH",
                          help="write the metrics registry in Prometheus "
                               "text format")
+
+    why = sub.add_parser(
+        "why",
+        help='"why this plan": §2.5 baseline diff + search-space trace')
+    why.add_argument("sql")
+    why.add_argument("--hint", action="append", default=[],
+                     metavar="TABLE=STRATEGY",
+                     help="§3.1 query hint, e.g. orders=replicate "
+                          "(repeatable)")
+    why.add_argument("--top", type=int, default=10,
+                     help="rejected movements to show (default 10)")
+    why.add_argument("--jsonl", metavar="PATH",
+                     help="write the schema-validated optimizer event log")
+    why.add_argument("--prometheus", metavar="PATH",
+                     help="write the metrics registry in Prometheus "
+                          "text format")
 
     sub.add_parser(
         "calibrate", help="run the lambda calibration (paper 3.3.3)")
@@ -131,7 +160,47 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(compiled.serial.memo.dump(compiled.serial.root_group))
 
     elif args.command == "explain":
-        print(session.explain(analyze=args.analyze, verbose=args.verbose))
+        print(session.explain(analyze=args.analyze, verbose=args.verbose,
+                              optimizer=args.optimizer))
+
+    elif args.command == "why":
+        from repro.obs.export import (
+            events_to_jsonl,
+            optimizer_trace_to_events,
+            validate_events,
+        )
+
+        hints = {}
+        for pair in args.hint:
+            table, _sep, strategy = pair.partition("=")
+            if not table or not strategy:
+                print(f"bad --hint {pair!r}: expected TABLE=STRATEGY",
+                      file=sys.stderr)
+                return 1
+            hints[table] = strategy
+        _compiled, trace, choice = session.plan_choice(hints=hints or None)
+        from repro.obs.report import render_optimizer_trace_report
+        from repro.pdw.why import render_plan_choice
+
+        print(render_plan_choice(choice))
+        print()
+        print(render_optimizer_trace_report(trace, top_k=args.top))
+        if args.jsonl:
+            events = optimizer_trace_to_events(trace, plan_choice=choice)
+            errors = validate_events(events)
+            if errors:
+                for error in errors:
+                    print(f"schema error: {error}", file=sys.stderr)
+                return 1
+            with open(args.jsonl, "w", encoding="utf-8") as handle:
+                handle.write(events_to_jsonl(events))
+            print(f"-- wrote {len(events)} events to {args.jsonl}",
+                  file=sys.stderr)
+        if args.prometheus:
+            with open(args.prometheus, "w", encoding="utf-8") as handle:
+                handle.write(session.metrics.render_prometheus())
+            print(f"-- wrote metrics to {args.prometheus}",
+                  file=sys.stderr)
 
     elif args.command == "stats":
         session.compile()

@@ -10,9 +10,13 @@ needs to be *checked* rather than assumed:
 * :mod:`repro.obs.profiler` — per-node / per-operator runtime actuals
   joined with the winning plan's cardinality estimates: skew statistics
   (max/mean, coefficient of variation) and Q-error profiles;
+* :mod:`repro.obs.opt_trace` — the optimizer search-space recorder
+  (:class:`OptimizerTrace` / :data:`NULL_OPT_TRACE`): per-group
+  enumeration, prune and enforce accounting, hint overrides;
 * :mod:`repro.obs.export` — structured sinks: JSONL event log with
   schema validation, JSON profile documents, Prometheus text;
-* :mod:`repro.obs.report` — the rendered ``repro profile`` tables;
+* :mod:`repro.obs.report` — the rendered ``repro profile`` and
+  ``repro why`` tables;
 * :mod:`repro.obs.schema_check` — ``python -m repro.obs.schema_check``
   CLI used by CI to validate emitted JSONL.
 """
@@ -20,12 +24,26 @@ needs to be *checked* rather than assumed:
 from repro.obs.export import (
     EVENT_SCHEMAS,
     events_to_jsonl,
+    optimizer_trace_to_events,
+    optimizer_trace_to_metrics,
     profile_to_events,
     profile_to_metrics,
     validate_event,
     validate_events,
     validate_jsonl,
     write_jsonl,
+)
+from repro.obs.opt_trace import (
+    EnumerationRecord,
+    GroupTrace,
+    HintOverrideRecord,
+    MovementRecord,
+    NULL_OPT_TRACE,
+    NullOptimizerTrace,
+    OptimizerTrace,
+    OptimizerTraceSummary,
+    PruneRecord,
+    format_property_key,
 )
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -50,20 +68,36 @@ from repro.obs.profiler import (
     summarize_q_errors,
 )
 from repro.obs.report import (
+    render_group_table,
     render_operator_table,
+    render_optimizer_trace_report,
     render_profile_report,
+    render_prune_effectiveness_table,
+    render_rejected_movements_table,
     render_step_table,
 )
 
 __all__ = [
     "EVENT_SCHEMAS",
     "events_to_jsonl",
+    "optimizer_trace_to_events",
+    "optimizer_trace_to_metrics",
     "profile_to_events",
     "profile_to_metrics",
     "validate_event",
     "validate_events",
     "validate_jsonl",
     "write_jsonl",
+    "EnumerationRecord",
+    "GroupTrace",
+    "HintOverrideRecord",
+    "MovementRecord",
+    "NULL_OPT_TRACE",
+    "NullOptimizerTrace",
+    "OptimizerTrace",
+    "OptimizerTraceSummary",
+    "PruneRecord",
+    "format_property_key",
     "DEFAULT_BUCKETS",
     "MetricsError",
     "MetricsRegistry",
@@ -82,7 +116,11 @@ __all__ = [
     "q_error",
     "skew_stats",
     "summarize_q_errors",
+    "render_group_table",
     "render_operator_table",
+    "render_optimizer_trace_report",
     "render_profile_report",
+    "render_prune_effectiveness_table",
+    "render_rejected_movements_table",
     "render_step_table",
 ]

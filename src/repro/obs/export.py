@@ -1,14 +1,20 @@
-"""Structured export sinks for query profiles.
+"""Structured export sinks for query profiles and optimizer traces.
 
-Three formats, one source of truth (:class:`repro.obs.profiler.QueryProfile`):
+Three formats, two sources of truth
+(:class:`repro.obs.profiler.QueryProfile` for runtime profiles,
+:class:`repro.obs.opt_trace.OptimizerTrace` for the optimizer's search
+space):
 
 * **JSONL event log** — one self-describing event per line (``query``,
-  ``step``, ``operator``), append-friendly and greppable; every event is
-  checkable against :data:`EVENT_SCHEMAS` (hand-rolled validation — no
-  third-party schema library is assumed in the environment);
+  ``step``, ``operator`` for profiles; ``optimizer_summary``,
+  ``optimizer_group``, ``optimizer_prune``, ``optimizer_enforce``,
+  ``optimizer_hint``, ``plan_choice`` for traces), append-friendly and
+  greppable; every event is checkable against :data:`EVENT_SCHEMAS`
+  (hand-rolled validation — no third-party schema library is assumed in
+  the environment);
 * **JSON profile document** — the nested ``QueryProfile.to_dict()`` form;
-* **Prometheus text** — labeled series via
-  :func:`profile_to_metrics` into a
+* **Prometheus text** — labeled series via :func:`profile_to_metrics` /
+  :func:`optimizer_trace_to_metrics` into a
   :class:`repro.obs.metrics.MetricsRegistry` plus the registry's
   ``render_prometheus``.
 """
@@ -19,10 +25,12 @@ import json
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.opt_trace import OptimizerTrace
 from repro.obs.profiler import QueryProfile
 
 __all__ = [
     "profile_to_events",
+    "optimizer_trace_to_events",
     "events_to_jsonl",
     "write_jsonl",
     "EVENT_SCHEMAS",
@@ -30,6 +38,7 @@ __all__ = [
     "validate_events",
     "validate_jsonl",
     "profile_to_metrics",
+    "optimizer_trace_to_metrics",
 ]
 
 
@@ -57,6 +66,90 @@ def profile_to_events(profile: QueryProfile) -> List[dict]:
         events.append({"event": "step", **step.to_dict()})
     for op in profile.operators:
         events.append({"event": "operator", **op.to_dict()})
+    return events
+
+
+def optimizer_trace_to_events(trace: OptimizerTrace,
+                              plan_choice=None) -> List[dict]:
+    """Flatten an optimizer trace into schema-checked events: one
+    ``optimizer_summary``, one ``optimizer_group`` per MEMO group, one
+    ``optimizer_prune`` per prune victim, one ``optimizer_enforce`` per
+    costed movement, one ``optimizer_hint`` per hint override — plus a
+    ``plan_choice`` event when the §2.5 baseline comparison
+    (:class:`repro.pdw.why.PlanChoice`, duck-typed via ``to_dict``) is
+    supplied."""
+    summary = trace.summary()
+    events: List[dict] = [{
+        "event": "optimizer_summary",
+        "groups": summary.groups,
+        "expressions": summary.expressions,
+        "options_considered": summary.options_considered,
+        "options_retained": summary.options_retained,
+        "options_pruned": summary.options_pruned,
+        "enforcers_added": summary.enforcers_added,
+        "movements_considered": summary.movements_considered,
+        "movements_rejected": summary.movements_rejected,
+        "hint_overrides": summary.hint_overrides,
+        "optimize_seconds": summary.optimize_seconds,
+        "plan_cost": summary.plan_cost,
+        "plan_distribution": trace.plan_distribution,
+    }]
+    for group in trace.groups.values():
+        events.append({
+            "event": "optimizer_group",
+            "group": group.group,
+            "interesting": list(group.interesting),
+            "expressions": len(group.enumerated),
+            "options_considered": group.options_considered,
+            "options_retained": group.options_retained,
+            "retained": [
+                {"option": desc, "property_key": key, "cost": cost}
+                for desc, key, cost in group.retained
+            ],
+        })
+    for prune in trace.prunes:
+        events.append({
+            "event": "optimizer_prune",
+            "group": prune.group,
+            "victim": prune.victim,
+            "property_key": prune.property_key,
+            "victim_cost": prune.victim_cost,
+            "survivor": prune.survivor,
+            "survivor_cost": prune.survivor_cost,
+            "cost_delta": prune.cost_delta,
+        })
+    for move in trace.movements:
+        events.append({
+            "event": "optimizer_enforce",
+            "group": move.group,
+            "operation": move.operation,
+            "movement": move.movement,
+            "property_key": move.property_key,
+            "source": move.source,
+            "target": move.target,
+            "rows": move.rows,
+            "row_width": move.row_width,
+            "reader": move.reader,
+            "network": move.network,
+            "writer": move.writer,
+            "bulk_copy": move.bulk_copy,
+            "move_cost": move.move_cost,
+            "total_cost": move.total_cost,
+            "chosen": move.chosen,
+            "context": move.context,
+        })
+    for override in trace.hint_overrides:
+        events.append({
+            "event": "optimizer_hint",
+            "group": override.group,
+            "table": override.table,
+            "strategy": override.strategy,
+            "displaced": list(override.displaced),
+            "displaced_costs": list(override.displaced_costs),
+            "kept": override.kept,
+        })
+    if plan_choice is not None:
+        events.append({"event": "plan_choice", **plan_choice.to_dict()})
     return events
 
 
@@ -119,6 +212,75 @@ EVENT_SCHEMAS: Dict[str, Dict[str, Tuple[object, bool]]] = {
         "skew_cov": (_NUM, True),
         "skew_imbalance": (_NUM, True),
     },
+    # -- optimizer search-space trace events -----------------------------------
+    "optimizer_summary": {
+        "groups": (int, True),
+        "expressions": (int, True),
+        "options_considered": (int, True),
+        "options_retained": (int, True),
+        "options_pruned": (int, True),
+        "enforcers_added": (int, True),
+        "movements_considered": (int, True),
+        "movements_rejected": (int, True),
+        "hint_overrides": (int, True),
+        "optimize_seconds": (_NUM, True),
+        "plan_cost": (_NUM, True),
+        "plan_distribution": (str, True),
+    },
+    "optimizer_group": {
+        "group": (int, True),
+        "interesting": ("str_list", True),
+        "expressions": (int, True),
+        "options_considered": (int, True),
+        "options_retained": (int, True),
+        "retained": ("retained_list", True),
+    },
+    "optimizer_prune": {
+        "group": (int, True),
+        "victim": (str, True),
+        "property_key": (str, True),
+        "victim_cost": (_NUM, True),
+        "survivor": (str, True),
+        "survivor_cost": (_NUM, True),
+        "cost_delta": (_NUM, True),
+    },
+    "optimizer_enforce": {
+        "group": (int, True),
+        "operation": (str, True),
+        "movement": (str, True),
+        "property_key": (str, True),
+        "source": (str, True),
+        "target": (str, True),
+        "rows": (_NUM, True),
+        "row_width": (_NUM, True),
+        "reader": (_NUM, True),
+        "network": (_NUM, True),
+        "writer": (_NUM, True),
+        "bulk_copy": (_NUM, True),
+        "move_cost": (_NUM, True),
+        "total_cost": (_NUM, True),
+        "chosen": (bool, True),
+        "context": (str, True),
+    },
+    "optimizer_hint": {
+        "group": (int, True),
+        "table": (str, True),
+        "strategy": (str, True),
+        "displaced": ("str_list", True),
+        "displaced_costs": ("num_list", True),
+        "kept": (int, True),
+    },
+    "plan_choice": {
+        "sql": (str, True),
+        "plan_cost": (_NUM, True),
+        "baseline_cost": (_NUM, True),
+        "delta": (_NUM, True),
+        "delta_pct": (_NUM, True),
+        "baseline_matches": (bool, True),
+        "movements_plan": (int, True),
+        "movements_baseline": (int, True),
+        "movements_shared": (int, True),
+    },
 }
 
 
@@ -143,6 +305,28 @@ def _check_field(name: str, value: object, spec: object) -> Optional[str]:
                 return f"field {name!r} has non-node key {key!r}"
             if not isinstance(entry, int) or isinstance(entry, bool):
                 return f"field {name!r}[{key}] must be an int, got {entry!r}"
+        return None
+    if spec == "str_list":
+        if not isinstance(value, list) or not all(
+                isinstance(entry, str) for entry in value):
+            return f"field {name!r} must be a list of strings, got {value!r}"
+        return None
+    if spec == "num_list":
+        if not isinstance(value, list) or not all(
+                _is_number(entry) for entry in value):
+            return f"field {name!r} must be a list of numbers, got {value!r}"
+        return None
+    if spec == "retained_list":
+        if not isinstance(value, list):
+            return f"field {name!r} must be a list, got {value!r}"
+        for entry in value:
+            if not isinstance(entry, dict):
+                return f"field {name!r} entries must be objects"
+            if not isinstance(entry.get("option"), str) \
+                    or not isinstance(entry.get("property_key"), str) \
+                    or not _is_number(entry.get("cost")):
+                return (f"field {name!r} entry needs str 'option', "
+                        f"str 'property_key', number 'cost': {entry!r}")
         return None
     if spec == "transfer_list":
         if not isinstance(value, list):
@@ -272,3 +456,87 @@ def profile_to_metrics(profile: QueryProfile,
                                node=str(node)).inc(rows)
             if op.q_error is not None:
                 q_hist.observe(op.q_error)
+
+
+def optimizer_trace_to_metrics(trace: OptimizerTrace,
+                               registry: MetricsRegistry,
+                               plan_choice=None) -> None:
+    """Record an optimizer trace into a registry as ``pdw_optimizer_*``
+    series.
+
+    Families: search-space counters
+    (``pdw_optimizer_{groups,expressions}_total``,
+    ``pdw_optimizer_options_{considered,retained,pruned}``,
+    ``pdw_optimizer_pruned_by_property_total{key}``,
+    ``pdw_optimizer_enforcers_added_total{op}``,
+    ``pdw_optimizer_movements_{considered,rejected}_total``,
+    ``pdw_optimizer_hint_overrides_total``) and cost gauges
+    (``pdw_optimizer_optimize_seconds``,
+    ``pdw_optimizer_plan_cost_seconds``; with a §2.5 comparison also
+    ``pdw_optimizer_baseline_cost_seconds`` /
+    ``pdw_optimizer_baseline_delta_seconds``).
+    """
+    if not registry.enabled:
+        return
+    summary = trace.summary()
+    registry.counter(
+        "pdw_optimizer_groups_total",
+        "MEMO groups visited by the PDW enumeration").inc(summary.groups)
+    registry.counter(
+        "pdw_optimizer_expressions_total",
+        "Logical expressions enumerated across all groups",
+    ).inc(summary.expressions)
+    registry.counter(
+        "pdw_optimizer_options_considered",
+        "Distributed plan options generated during enumeration",
+    ).inc(summary.options_considered)
+    registry.counter(
+        "pdw_optimizer_options_retained",
+        "Options surviving the interesting-property prune",
+    ).inc(summary.options_retained)
+    registry.counter(
+        "pdw_optimizer_options_pruned",
+        "Options discarded by cost-based pruning",
+    ).inc(summary.options_pruned)
+    registry.counter(
+        "pdw_optimizer_movements_considered_total",
+        "DMS movements costed (enforcers and union branch moves)",
+    ).inc(summary.movements_considered)
+    registry.counter(
+        "pdw_optimizer_movements_rejected_total",
+        "Costed DMS movements the optimizer did not choose",
+    ).inc(summary.movements_rejected)
+    registry.counter(
+        "pdw_optimizer_hint_overrides_total",
+        "Option sets overridden by §3.1 query hints",
+    ).inc(summary.hint_overrides)
+    pruned_by_key = registry.counter(
+        "pdw_optimizer_pruned_by_property_total",
+        "Prune victims per interesting-property key",
+        labelnames=("key",))
+    for key, (count, _mean, _max) in trace.prune_effectiveness().items():
+        pruned_by_key.labels(key=key).inc(count)
+    enforcers = registry.counter(
+        "pdw_optimizer_enforcers_added_total",
+        "DMS enforcer steps inserted into retained options, per operation",
+        labelnames=("op",))
+    for move in trace.movements:
+        if move.chosen and move.context == "enforce":
+            enforcers.labels(op=move.operation).inc()
+    registry.gauge(
+        "pdw_optimizer_optimize_seconds",
+        "Wall-clock seconds spent in the traced PDW optimization",
+    ).set(summary.optimize_seconds)
+    registry.gauge(
+        "pdw_optimizer_plan_cost_seconds",
+        "DMS cost of the winning distributed plan (simulated seconds)",
+    ).set(summary.plan_cost)
+    if plan_choice is not None:
+        registry.gauge(
+            "pdw_optimizer_baseline_cost_seconds",
+            "DMS cost of the §2.5 parallelized-serial baseline",
+        ).set(plan_choice.baseline_cost)
+        registry.gauge(
+            "pdw_optimizer_baseline_delta_seconds",
+            "Extra DMS seconds the §2.5 baseline pays over the chosen plan",
+        ).set(plan_choice.delta)

@@ -1,15 +1,21 @@
-"""Human-readable rendering of query profiles.
+"""Human-readable rendering of query profiles and optimizer traces.
 
 ``render_profile_report`` produces the ``repro profile`` output: a
 per-step table (movement, skew coefficient, Q-error), a per-operator
 table (per-node row counts, skew, Q-error), and the workload-style
 Q-error summary line.
+
+``render_optimizer_trace_report`` produces the search-space half of the
+``repro why`` output: per-group enumeration statistics, the top-k
+costliest considered-but-rejected movements, and prune effectiveness per
+interesting-property key.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.obs.opt_trace import OptimizerTrace
 from repro.obs.profiler import QueryProfile
 
 __all__ = [
@@ -17,6 +23,10 @@ __all__ = [
     "render_step_table",
     "render_operator_table",
     "render_profile_report",
+    "render_group_table",
+    "render_rejected_movements_table",
+    "render_prune_effectiveness_table",
+    "render_optimizer_trace_report",
 ]
 
 # Per-node row vectors are shown verbatim up to this many participants;
@@ -122,4 +132,103 @@ def render_profile_report(profile: QueryProfile) -> str:
         f"({profile.dms_seconds * 1e3:.3f} ms data movement) on "
         f"{profile.node_count} nodes",
     ]
+    return "\n".join(lines)
+
+
+# -- optimizer trace tables ----------------------------------------------------
+
+
+def render_group_table(trace: OptimizerTrace) -> str:
+    """Per-MEMO-group enumeration statistics: interesting properties,
+    expressions enumerated, options considered vs. retained."""
+    headers = ["group", "interesting", "exprs", "considered", "retained",
+               "kept options"]
+    rows = []
+    for group in sorted(trace.groups):
+        g = trace.groups[group]
+        rows.append([
+            str(g.group),
+            ",".join(g.interesting) if g.interesting else "-",
+            str(len(g.enumerated)),
+            str(g.options_considered),
+            str(g.options_retained),
+            "; ".join(f"{key}={cost:.6f}s"
+                      for _desc, key, cost in g.retained) or "-",
+        ])
+    return render_table(headers, rows, left_columns=frozenset({1, 5}))
+
+
+def render_rejected_movements_table(trace: OptimizerTrace,
+                                    top_k: int = 10) -> str:
+    """The top-k costliest movements the optimizer costed and walked
+    away from — the §2.5 "alternatives considered" evidence."""
+    headers = ["group", "movement", "ctx", "source -> target", "rows",
+               "move cost", "total"]
+    rows = [[
+        str(m.group),
+        m.movement,
+        m.context,
+        f"{m.source} -> {m.target}",
+        f"{m.rows:.0f}",
+        f"{m.move_cost:.6f}s",
+        f"{m.total_cost:.6f}s",
+    ] for m in trace.rejected_movements(top_k)]
+    return render_table(headers, rows, left_columns=frozenset({1, 2, 3}))
+
+
+def render_prune_effectiveness_table(trace: OptimizerTrace) -> str:
+    """Per interesting-property key: how many options pruning discarded
+    and how much worse they were than their survivors."""
+    headers = ["property", "pruned", "mean delta", "max delta"]
+    rows = [[
+        key,
+        str(count),
+        f"{mean_delta:.6f}s",
+        f"{max_delta:.6f}s",
+    ] for key, (count, mean_delta, max_delta)
+        in trace.prune_effectiveness().items()]
+    return render_table(headers, rows, left_columns=frozenset({0}))
+
+
+def render_optimizer_trace_report(trace: OptimizerTrace,
+                                  top_k: int = 10) -> str:
+    """The search-space half of ``repro why``: summary line, per-group
+    table, rejected movements, prune effectiveness, hint overrides."""
+    s = trace.summary()
+    lines = [
+        "Search space: "
+        f"{s.groups} groups, {s.expressions} expressions, "
+        f"{s.options_considered} options considered, "
+        f"{s.options_retained} retained "
+        f"({s.options_pruned} pruned), "
+        f"{s.enforcers_added} DMS enforcers added, "
+        f"{s.movements_considered} movements costed "
+        f"({s.movements_rejected} rejected) "
+        f"in {s.optimize_seconds * 1e3:.3f} ms",
+        "",
+        "Per-group enumeration:",
+        render_group_table(trace),
+    ]
+    if s.movements_rejected:
+        lines += [
+            "",
+            f"Costliest considered-but-rejected movements (top {top_k}):",
+            render_rejected_movements_table(trace, top_k),
+        ]
+    if trace.prunes:
+        lines += [
+            "",
+            "Prune effectiveness per interesting property:",
+            render_prune_effectiveness_table(trace),
+        ]
+    for override in trace.hint_overrides:
+        displaced = ", ".join(
+            f"{desc} ({cost:.6f}s)" for desc, cost in
+            zip(override.displaced, override.displaced_costs))
+        lines += [
+            "",
+            f"Hint override: group {override.group} forced "
+            f"'{override.strategy}' for table {override.table!r}, "
+            f"displacing {displaced}; {override.kept} option(s) kept.",
+        ]
     return "\n".join(lines)

@@ -32,6 +32,7 @@ from repro.algebra.logical import (
 from repro.algebra.physical import PlanNode
 from repro.catalog.shell_db import ShellDatabase
 from repro.common.errors import PdwOptimizerError
+from repro.obs.opt_trace import NULL_OPT_TRACE, OptimizerTrace
 from repro.optimizer.cardinality import StatsContext
 from repro.optimizer.memo import Memo
 from repro.optimizer.search import OptimizationResult, SerialOptimizer
@@ -64,11 +65,15 @@ def physical_to_logical(node: PlanNode) -> LogicalOp:
 
 def parallelize_serial_plan(serial: OptimizationResult,
                             shell: ShellDatabase,
-                            config: Optional[PdwConfig] = None) -> PdwPlan:
+                            config: Optional[PdwConfig] = None,
+                            opt_trace: OptimizerTrace = NULL_OPT_TRACE
+                            ) -> PdwPlan:
     """Cost-optimally insert data movement into the best serial plan.
 
     The plan *shape* is fixed; only movement placement is optimized —
     which is exactly what "parallelizing the best serial plan" can do.
+    ``opt_trace`` records the (movement-only) enumeration the same way it
+    does for the full optimizer.
     """
     if serial.best_serial_plan is None:
         raise PdwOptimizerError("serial optimization did not extract a plan")
@@ -91,5 +96,6 @@ def parallelize_serial_plan(serial: OptimizationResult,
     optimizer = PdwOptimizer(memo, root_group,
                              node_count=shell.node_count,
                              equivalence=serial.equivalence,
-                             config=config)
+                             config=config,
+                             opt_trace=opt_trace)
     return optimizer.optimize()

@@ -31,6 +31,7 @@ from repro.catalog.shell_db import ShellDatabase
 from repro.common.errors import HintError
 from repro.optimizer.memo import Memo
 from repro.optimizer.memo_xml import memo_from_xml, memo_to_xml
+from repro.obs.opt_trace import NULL_OPT_TRACE, OptimizerTrace
 from repro.optimizer.search import (
     OptimizationResult,
     OptimizerConfig,
@@ -55,6 +56,11 @@ class CompiledQuery:
     pdw_plan: PdwPlan
     dsql_plan: DsqlPlan
     counters: Dict[str, float] = field(default_factory=dict)
+    # The effective PDW config of this compilation (hints merged in) and
+    # the search-space trace, when one was requested via
+    # ``compile(opt_trace=...)``.
+    pdw_config: Optional[PdwConfig] = None
+    opt_trace: Optional[OptimizerTrace] = None
 
     @property
     def plan_cost(self) -> float:
@@ -153,13 +159,21 @@ class PdwEngine:
 
     def compile(self, sql: str,
                 extract_serial: bool = True,
-                hints: Optional[dict] = None) -> CompiledQuery:
+                hints: Optional[dict] = None,
+                opt_trace: OptimizerTrace = NULL_OPT_TRACE
+                ) -> CompiledQuery:
         """Compile ``sql`` into a DSQL plan.
 
         ``hints`` maps base-table names to a forced movement strategy
         ('replicate' or 'shuffle') for this query only — the paper's
         §3.1 distributed-execution query hints.  Hints naming unknown
         tables or strategies raise :class:`repro.common.errors.HintError`.
+
+        ``opt_trace`` (default: the no-op recorder) captures the PDW
+        optimizer's search space — per-group enumeration, prune and
+        enforce decisions, hint overrides — without changing the winning
+        plan; the trace is attached to the returned
+        :class:`CompiledQuery`.
         """
         tracer = self.tracer
         counters_before = (tracer.counter_snapshot() if tracer.enabled
@@ -189,6 +203,7 @@ class PdwEngine:
                     node_count=self.shell.node_count,
                     config=config,
                     tracer=tracer,
+                    opt_trace=opt_trace,
                 )
                 pdw_plan = pdw_optimizer.optimize()
 
@@ -219,4 +234,6 @@ class PdwEngine:
             pdw_plan=pdw_plan,
             dsql_plan=dsql_plan,
             counters=counters,
+            pdw_config=config,
+            opt_trace=opt_trace if opt_trace.enabled else None,
         )

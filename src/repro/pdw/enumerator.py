@@ -25,6 +25,7 @@ logical relational operators (executed as SQL on the nodes) with
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -50,6 +51,12 @@ from repro.algebra.properties import (
 )
 from repro.catalog.schema import DistributionKind
 from repro.common.errors import HintError, PdwOptimizerError
+from repro.obs.opt_trace import (
+    MovementRecord,
+    NULL_OPT_TRACE,
+    OptimizerTrace,
+    format_property_key,
+)
 from repro.optimizer.memo import GroupExpression, Memo, topological_order
 from repro.pdw.cost_model import CostConstants, DEFAULT_COST_CONSTANTS, DmsCostModel
 from repro.pdw.dms import DataMovement, classify_movement
@@ -131,7 +138,8 @@ class PdwOptimizer:
     def __init__(self, memo: Memo, root_group: int, node_count: int,
                  equivalence: Optional[ColumnEquivalence] = None,
                  config: Optional[PdwConfig] = None,
-                 tracer: Tracer = NULL_TRACER):
+                 tracer: Tracer = NULL_TRACER,
+                 opt_trace: OptimizerTrace = NULL_OPT_TRACE):
         self.memo = memo
         self.root_group = memo.find(root_group)
         self.node_count = node_count
@@ -141,12 +149,15 @@ class PdwOptimizer:
         self.options: Dict[int, List[PdwOption]] = {}
         self.options_considered = 0
         self.tracer = tracer
+        self.opt_trace = opt_trace
 
     # -- public API -----------------------------------------------------------
 
     def optimize(self) -> PdwPlan:
         """Run steps 01-09 of Figure 4 and extract the optimal plan."""
         tracer = self.tracer
+        opt_trace = self.opt_trace
+        started = time.perf_counter() if opt_trace.enabled else 0.0
         with tracer.span("preprocess"):
             pdw_exprs = preprocess(self.memo, self.node_count)   # steps 02-03
         with tracer.span("interesting_properties") as span:
@@ -176,6 +187,11 @@ class PdwOptimizer:
             tracer.count("pdw.alternatives.retained", retained)
             tracer.count("pdw.alternatives.pruned",
                          self.options_considered - retained)
+        if opt_trace.enabled:
+            opt_trace.finish(
+                plan_cost=best.cost,
+                plan_distribution=str(best.distribution),
+                optimize_seconds=time.perf_counter() - started)
         return PdwPlan(
             root=plan,
             cost=best.cost,
@@ -192,18 +208,37 @@ class PdwOptimizer:
     def _optimize_group(self, group_id: int,
                         pdw_exprs: Dict[int, List[GroupExpression]]) -> None:
         group = self.memo.group(group_id)
+        opt_trace = self.opt_trace
+        if opt_trace.enabled:
+            opt_trace.begin_group(group_id, tuple(
+                format_property_key(key)
+                for key in self.interesting.get(group_id, ())))
         candidates: List[PdwOption] = []
         for expr in pdw_exprs.get(group_id, ()):
             children = [self.memo.find(c) for c in expr.children]
             if group_id in children:
                 continue
-            candidates.extend(self._enumerate_expression(group_id, expr,
-                                                         children))
+            produced = self._enumerate_expression(group_id, expr, children)
+            if opt_trace.enabled:
+                opt_trace.record_enumeration(group_id, expr.op.describe(),
+                                             len(produced))
+            candidates.extend(produced)
+        considered_before = self.options_considered
         self.options_considered += len(candidates)
         pruned = self._prune(group_id, candidates)               # step 06.ii
         pruned = self._enforce(group_id, pruned)                 # step 07
         pruned = self._apply_hints(group_id, pruned)             # §3.1 hints
         self.options[group_id] = pruned
+        if opt_trace.enabled:
+            opt_trace.end_group(
+                group_id,
+                considered=self.options_considered - considered_before,
+                retained=tuple(
+                    (self._describe_option(o),
+                     format_property_key(property_key_of(
+                         o.distribution, self.equivalence)),
+                     o.cost)
+                    for o in pruned))
 
     def _enumerate_expression(self, group_id: int, expr: GroupExpression,
                               children: List[int]) -> List[PdwOption]:
@@ -423,6 +458,7 @@ class PdwOptimizer:
             (ON_CONTROL_DIST, [ON_CONTROL_DIST] * len(children)))
 
         result: List[PdwOption] = []
+        opt_trace = self.opt_trace
         for output_dist, branch_targets in targets:
             picked: List[PdwOption] = []
             total = 0.0
@@ -431,7 +467,10 @@ class PdwOptimizer:
                     children, child_lists, branch_targets,
                     op.branch_columns):
                 best: Optional[PdwOption] = None
+                moves = [] if opt_trace.enabled else None
+                best_move_index = -1
                 for option in options:
+                    moved = None
                     if distribution_satisfies(option.distribution, target,
                                               self.equivalence):
                         candidate = option
@@ -445,15 +484,54 @@ class PdwOptimizer:
                         if movement is None:
                             continue
                         child_group = self.memo.group(child_id)
-                        move_cost = self.cost_model.cost(
-                            movement, child_group.cardinality,
-                            child_group.row_width)
+                        if moves is None:
+                            breakdown = None
+                            move_cost = self.cost_model.cost(
+                                movement, child_group.cardinality,
+                                child_group.row_width)
+                        else:
+                            breakdown = self.cost_model.cost_breakdown(
+                                movement, child_group.cardinality,
+                                child_group.row_width)
+                            move_cost = breakdown.total
                         self.tracer.count("pdw.cost_model.invocations")
                         candidate = PdwOption(
                             movement, (option,), child_id, target,
                             option.cost + move_cost)
-                    if best is None or candidate.cost < best.cost:
+                        moved = (movement, breakdown, move_cost,
+                                 candidate.cost)
+                    is_best = best is None or candidate.cost < best.cost
+                    if is_best:
                         best = candidate
+                    if moves is not None and is_best:
+                        best_move_index = (len(moves) if moved is not None
+                                           else -1)
+                    if moves is not None and moved is not None:
+                        moves.append(moved)
+                if moves:
+                    branch_group = self.memo.group(child_id)
+                    key_str = format_property_key(
+                        property_key_of(target, self.equivalence))
+                    for index, (movement, breakdown, move_cost,
+                                cand_total) in enumerate(moves):
+                        opt_trace.record_movement(MovementRecord(
+                            group=child_id,
+                            operation=movement.operation.value,
+                            movement=movement.describe(),
+                            property_key=key_str,
+                            source=str(movement.source),
+                            target=str(movement.target),
+                            rows=branch_group.cardinality,
+                            row_width=branch_group.row_width,
+                            reader=breakdown.reader,
+                            network=breakdown.network,
+                            writer=breakdown.writer,
+                            bulk_copy=breakdown.bulk_copy,
+                            move_cost=move_cost,
+                            total_cost=cand_total,
+                            chosen=index == best_move_index,
+                            context="union",
+                        ))
                 if best is None:
                     feasible = False
                     break
@@ -492,6 +570,23 @@ class PdwOptimizer:
                     key = property_key_of(option.distribution,
                                           self.equivalence)
                     self.tracer.count(f"pdw.pruned.{key[0]}")
+        if self.opt_trace.enabled:
+            for option in candidates:
+                if id(option) in kept:
+                    continue
+                key = property_key_of(option.distribution,
+                                      self.equivalence)
+                # The option that covers the victim's slot: the cheapest
+                # retained option delivering the same property, else the
+                # overall winner.
+                survivor = best_by_key.get(key, best_overall)
+                self.opt_trace.record_prune(
+                    group_id,
+                    victim=self._describe_option(option),
+                    property_key=format_property_key(key),
+                    victim_cost=option.cost,
+                    survivor=self._describe_option(survivor),
+                    survivor_cost=survivor.cost)
         return sorted(kept.values(), key=lambda o: o.cost)
 
     def _enforce(self, group_id: int,
@@ -500,6 +595,7 @@ class PdwOptimizer:
         if not options:
             return options
         group = self.memo.group(group_id)
+        opt_trace = self.opt_trace
         interesting = self.interesting.get(group_id, set())
         additions: List[PdwOption] = []
         for key in sorted(interesting, key=repr):
@@ -507,6 +603,8 @@ class PdwOptimizer:
             if target is None:
                 continue
             best: Optional[PdwOption] = None
+            best_index = -1
+            candidates = [] if opt_trace.enabled else None
             for option in options:
                 if property_key_of(option.distribution,
                                    self.equivalence) == key:
@@ -515,17 +613,52 @@ class PdwOptimizer:
                                              hash_columns)
                 if movement is None:
                     continue
-                move_cost = self.cost_model.cost(
-                    movement, group.cardinality, group.row_width)
+                if candidates is None:
+                    breakdown = None
+                    move_cost = self.cost_model.cost(
+                        movement, group.cardinality, group.row_width)
+                else:
+                    # Same arithmetic as cost(): total is the max of the
+                    # components, so traced and untraced runs agree
+                    # bit-for-bit.
+                    breakdown = self.cost_model.cost_breakdown(
+                        movement, group.cardinality, group.row_width)
+                    move_cost = breakdown.total
                 self.tracer.count("pdw.cost_model.invocations")
                 total = option.cost + move_cost
                 if best is None or total < best.cost:
                     best = PdwOption(movement, (option,), group_id, target,
                                      total)
+                    if candidates is not None:
+                        best_index = len(candidates)
+                if candidates is not None:
+                    candidates.append((movement, breakdown, move_cost,
+                                       total))
             if best is not None:
                 additions.append(best)
                 self.tracer.count("pdw.enforcers.added")
                 self.options_considered += 1
+            if candidates:
+                key_str = format_property_key(key)
+                for index, (movement, breakdown, move_cost,
+                            total) in enumerate(candidates):
+                    opt_trace.record_movement(MovementRecord(
+                        group=group_id,
+                        operation=movement.operation.value,
+                        movement=movement.describe(),
+                        property_key=key_str,
+                        source=str(movement.source),
+                        target=str(movement.target),
+                        rows=group.cardinality,
+                        row_width=group.row_width,
+                        reader=breakdown.reader,
+                        network=breakdown.network,
+                        writer=breakdown.writer,
+                        bulk_copy=breakdown.bulk_copy,
+                        move_cost=move_cost,
+                        total_cost=total,
+                        chosen=index == best_index,
+                    ))
         if not additions:
             return options
         return self._prune(group_id, options + additions)
@@ -554,6 +687,15 @@ class PdwOptimizer:
         else:  # "shuffle"
             kept = [o for o in options
                     if moved_to(o) is not DistKind.REPLICATED]
+        if self.opt_trace.enabled and kept and len(kept) < len(options):
+            kept_ids = {id(o) for o in kept}
+            displaced = [o for o in options if id(o) not in kept_ids]
+            self.opt_trace.record_hint_override(
+                group_id, table, hint,
+                displaced=tuple(self._describe_option(o)
+                                for o in displaced),
+                displaced_costs=tuple(o.cost for o in displaced),
+                kept=len(kept))
         return kept or options  # never hint a group into infeasibility
 
     def _source_table(self, group_id: int) -> Optional[str]:
@@ -596,6 +738,13 @@ class PdwOptimizer:
                 return None, ()
             return hashed_on(var.id), (var,)
         return None, ()
+
+    # -- trace plumbing ----------------------------------------------------------------
+
+    @staticmethod
+    def _describe_option(option: PdwOption) -> str:
+        """Stable short label for trace records: operator @ placement."""
+        return f"{option.op.describe()} @ {option.distribution}"
 
     # -- costs ---------------------------------------------------------------------------
 

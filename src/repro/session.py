@@ -15,7 +15,14 @@ three verbs that cover the pipeline end to end:
   per-operator profiling: skew statistics over the DMS transfer matrices
   and Q-errors joining optimizer estimates against runtime actuals
   (:meth:`profile_report` renders the tables; ``repro profile`` on the
-  CLI).
+  CLI);
+* :meth:`PdwSession.why` — compile with the optimizer search-space
+  recorder on and render "why this plan": the winning distributed plan
+  against the §2.5 parallelized-serial baseline (per-subtree DMS cost
+  deltas) plus the enumeration/prune/enforce trace tables
+  (``repro why`` on the CLI; ``explain(optimizer=True)`` appends the
+  same section).  :meth:`PdwSession.optimizer_trace` and
+  :meth:`PdwSession.plan_choice` return the structured forms.
 
 A session created with just SQL text binds that text as its default query,
 so the one-liner from the README works::
@@ -53,14 +60,19 @@ from repro.appliance.scheduler import resolve_parallel
 from repro.appliance.storage import Appliance
 from repro.catalog.shell_db import ShellDatabase
 from repro.common.errors import ReproError
-from repro.obs.export import profile_to_metrics
+from repro.obs.export import optimizer_trace_to_metrics, profile_to_metrics
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.opt_trace import OptimizerTrace
 from repro.obs.profiler import QueryProfile, build_query_profile
-from repro.obs.report import render_profile_report
+from repro.obs.report import (
+    render_optimizer_trace_report,
+    render_profile_report,
+)
 from repro.optimizer.search import OptimizerConfig
 from repro.pdw.dsql import StepKind
 from repro.pdw.engine import CompiledQuery, PdwEngine
 from repro.pdw.enumerator import PdwConfig
+from repro.pdw.why import PlanChoice, explain_plan_choice, render_plan_choice
 from repro.telemetry import NULL_TRACER, Tracer
 from repro.workloads.tpch_datagen import build_tpch_appliance
 
@@ -139,22 +151,37 @@ class PdwSession:
     def explain(self, sql: Optional[str] = None,
                 analyze: bool = False,
                 verbose: bool = False,
+                optimizer: bool = False,
                 hints: Optional[dict] = None) -> str:
         """Render the compiled plan; ``analyze=True`` also executes it and
-        appends the per-step estimated-vs-actual table."""
-        compiled = self.compile(sql, hints=hints)
+        appends the per-step estimated-vs-actual table;
+        ``optimizer=True`` recompiles with the search-space recorder on
+        and appends the "why this plan" §2.5 baseline diff plus the
+        enumeration/prune/enforce trace."""
+        if optimizer:
+            compiled, trace, choice = self.plan_choice(sql, hints=hints)
+        else:
+            compiled = self.compile(sql, hints=hints)
         text = compiled.explain(verbose=verbose)
-        if not analyze:
-            return text
-        analyses, result = self.analyze_plan(compiled)
-        return "\n".join([
-            text,
-            "",
-            render_analysis_table(analyses),
-            f"-- {len(result.rows)} result rows, "
-            f"{result.elapsed_seconds * 1e3:.3f} ms simulated "
-            f"({result.dms_seconds * 1e3:.3f} ms data movement)",
-        ])
+        if analyze:
+            analyses, result = self.analyze_plan(compiled)
+            text = "\n".join([
+                text,
+                "",
+                render_analysis_table(analyses),
+                f"-- {len(result.rows)} result rows, "
+                f"{result.elapsed_seconds * 1e3:.3f} ms simulated "
+                f"({result.dms_seconds * 1e3:.3f} ms data movement)",
+            ])
+        if optimizer:
+            text = "\n".join([
+                text,
+                "",
+                render_plan_choice(choice),
+                "",
+                render_optimizer_trace_report(trace),
+            ])
+        return text
 
     def profile(self, sql: Optional[str] = None,
                 hints: Optional[dict] = None) -> QueryProfile:
@@ -186,6 +213,50 @@ class PdwSession:
         """:meth:`profile` rendered as per-step and per-operator tables
         with skew and Q-error columns."""
         return render_profile_report(self.profile(sql, hints=hints))
+
+    # -- optimizer search-space tracing ----------------------------------------
+
+    def optimizer_trace(self, sql: Optional[str] = None,
+                        hints: Optional[dict] = None
+                        ) -> Tuple[CompiledQuery, OptimizerTrace]:
+        """Compile with a live :class:`repro.obs.OptimizerTrace`.
+
+        Tracing never changes the outcome: the winning plan, its cost,
+        and every downstream artifact are identical to an untraced
+        compilation of the same query.
+        """
+        trace = OptimizerTrace()
+        compiled = self.engine.compile(self._resolve(sql), hints=hints,
+                                       opt_trace=trace)
+        return compiled, trace
+
+    def plan_choice(self, sql: Optional[str] = None,
+                    hints: Optional[dict] = None
+                    ) -> Tuple[CompiledQuery, OptimizerTrace, PlanChoice]:
+        """Traced compilation plus the §2.5 baseline comparison.
+
+        When the session's metrics registry is live, the trace and the
+        comparison are folded into it as ``pdw_optimizer_*`` series, so
+        ``session.metrics.render_prometheus()`` includes the run.
+        """
+        compiled, trace = self.optimizer_trace(sql, hints=hints)
+        choice = explain_plan_choice(compiled, self.shell)
+        if self.metrics.enabled:
+            optimizer_trace_to_metrics(trace, self.metrics,
+                                       plan_choice=choice)
+        return compiled, trace, choice
+
+    def why(self, sql: Optional[str] = None,
+            hints: Optional[dict] = None,
+            top_k: int = 10) -> str:
+        """"Why did the optimizer pick this plan?" — the rendered §2.5
+        baseline diff followed by the search-space trace tables."""
+        _compiled, trace, choice = self.plan_choice(sql, hints=hints)
+        return "\n".join([
+            render_plan_choice(choice),
+            "",
+            render_optimizer_trace_report(trace, top_k=top_k),
+        ])
 
     # -- EXPLAIN ANALYZE internals --------------------------------------------
 

@@ -118,3 +118,75 @@ class TestProfileCli:
         assert check_main([str(jsonl)]) == 0
         jsonl.write_text('{"event": "bogus"}\n')
         assert check_main([str(jsonl)]) == 1
+
+
+class TestWhyCli:
+    SQL = ("SELECT c_name FROM customer, orders "
+           "WHERE c_custkey = o_custkey")
+
+    def test_why_renders_diff_and_trace(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "0.001", "--nodes", "4", "why", self.SQL)
+        assert code == 0
+        assert "Why this plan?" in out
+        assert "Search space:" in out
+        assert "Per-group enumeration:" in out
+
+    def test_why_jsonl_validates_with_required_events(self, capsys,
+                                                      tmp_path):
+        from repro.obs.schema_check import main as check_main
+
+        jsonl = tmp_path / "opt.jsonl"
+        prom = tmp_path / "opt.prom"
+        code, _out = run_cli(
+            capsys, "--scale", "0.001", "--nodes", "4", "why", self.SQL,
+            "--jsonl", str(jsonl), "--prometheus", str(prom))
+        assert code == 0
+        assert check_main([str(jsonl), "--require", "optimizer_summary",
+                           "--require", "plan_choice"]) == 0
+        text = prom.read_text()
+        assert "pdw_optimizer_options_considered" in text
+        # The smoke contract: a nonzero considered count was exported.
+        line = next(l for l in text.splitlines()
+                    if l.startswith("pdw_optimizer_options_considered "))
+        assert float(line.split()[-1]) > 0
+
+    def test_why_with_hint(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "0.001", "--nodes", "4", "why", self.SQL,
+            "--hint", "orders=replicate")
+        assert code == 0
+        assert "Hint override" in out
+
+    def test_why_bad_hint_errors(self, capsys):
+        code = main(["--scale", "0.001", "--nodes", "4", "why", self.SQL,
+                     "--hint", "orders"])
+        assert code == 1
+
+    def test_schema_check_require_missing_fails(self, capsys, tmp_path):
+        from repro.obs.schema_check import main as check_main
+
+        jsonl = tmp_path / "events.jsonl"
+        run_cli(capsys, "--scale", "0.001", "--nodes", "4",
+                "profile", "SELECT n_name FROM nation",
+                "--jsonl", str(jsonl))
+        # Profile logs contain no optimizer events.
+        assert check_main([str(jsonl),
+                           "--require", "optimizer_summary"]) == 1
+
+    def test_schema_check_require_unknown_type_rejected(self, tmp_path):
+        from repro.obs.schema_check import main as check_main
+
+        jsonl = tmp_path / "events.jsonl"
+        jsonl.write_text("")
+        with pytest.raises(SystemExit):
+            check_main([str(jsonl), "--require", "no_such_event"])
+
+    def test_explain_optimizer_flag(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "0.001", "--nodes", "4",
+            "explain", "--optimizer", self.SQL)
+        assert code == 0
+        assert "DSQL plan" in out
+        assert "Why this plan?" in out
+        assert "Search space:" in out

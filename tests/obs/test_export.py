@@ -152,3 +152,135 @@ class TestMetricsSink:
     def test_null_registry_is_a_no_op(self):
         profile_to_metrics(make_profile(), NULL_METRICS)
         assert NULL_METRICS.snapshot() == {}
+
+
+def make_trace():
+    from repro.obs.opt_trace import MovementRecord, OptimizerTrace
+
+    trace = OptimizerTrace()
+    trace.begin_group(0, ("hash:1", "replicated"))
+    trace.record_enumeration(0, "Join[INNER]", 4)
+    trace.record_prune(0, "Join @ hashed(#2)", "hash:1", 2.0,
+                       "Join @ hashed(#1)", 1.0)
+    trace.record_movement(MovementRecord(
+        group=0, operation="shuffle", movement="ShuffleMove(#1)",
+        property_key="hash:1", source="hashed(#2)", target="hashed(#1)",
+        rows=100.0, row_width=8.0, reader=0.1, network=0.2, writer=0.15,
+        bulk_copy=0.18, move_cost=0.2, total_cost=1.2, chosen=True))
+    trace.record_movement(MovementRecord(
+        group=0, operation="broadcast", movement="BroadcastMove",
+        property_key="replicated", source="hashed(#2)",
+        target="replicated", rows=100.0, row_width=8.0, reader=0.1,
+        network=0.8, writer=0.6, bulk_copy=0.7, move_cost=0.8,
+        total_cost=1.8, chosen=False))
+    trace.record_hint_override(0, "orders", "replicate",
+                               ("Join @ hashed(#1)",), (1.0,), 1)
+    trace.end_group(0, considered=4,
+                    retained=(("Join @ hashed(#1)", "hash:1", 1.0),))
+    trace.finish(plan_cost=1.2, plan_distribution="hashed(#1)",
+                 optimize_seconds=0.01)
+    return trace
+
+
+class FakePlanChoice:
+    """Duck-typed stand-in for repro.pdw.why.PlanChoice (export must not
+    import the pdw layer)."""
+
+    baseline_cost = 1.5
+    delta = 0.3
+
+    def to_dict(self):
+        return {
+            "sql": "SELECT 1", "plan_cost": 1.2, "baseline_cost": 1.5,
+            "delta": 0.3, "delta_pct": 25.0, "baseline_matches": False,
+            "movements_plan": 1, "movements_baseline": 2,
+            "movements_shared": 1,
+        }
+
+
+class TestOptimizerTraceEvents:
+    def test_events_validate_cleanly(self):
+        from repro.obs.export import optimizer_trace_to_events
+
+        events = optimizer_trace_to_events(make_trace(),
+                                           plan_choice=FakePlanChoice())
+        assert [e["event"] for e in events] == [
+            "optimizer_summary", "optimizer_group", "optimizer_prune",
+            "optimizer_enforce", "optimizer_enforce", "optimizer_hint",
+            "plan_choice"]
+        assert validate_events(events) == []
+
+    def test_summary_event_counts(self):
+        from repro.obs.export import optimizer_trace_to_events
+
+        summary = optimizer_trace_to_events(make_trace())[0]
+        assert summary["groups"] == 1
+        assert summary["options_considered"] == 4
+        assert summary["options_retained"] == 1
+        assert summary["options_pruned"] == 1
+        assert summary["enforcers_added"] == 1
+        assert summary["movements_rejected"] == 1
+        assert summary["hint_overrides"] == 1
+        assert summary["plan_distribution"] == "hashed(#1)"
+
+    def test_jsonl_round_trip(self):
+        from repro.obs.export import optimizer_trace_to_events
+
+        events = optimizer_trace_to_events(make_trace(),
+                                           plan_choice=FakePlanChoice())
+        assert validate_jsonl(events_to_jsonl(events)) == []
+
+    def test_validation_catches_bad_enforce(self):
+        from repro.obs.export import optimizer_trace_to_events
+
+        events = optimizer_trace_to_events(make_trace())
+        enforce = next(e for e in events
+                       if e["event"] == "optimizer_enforce")
+        enforce["chosen"] = "yes"
+        errors = validate_event(enforce)
+        assert errors and "chosen" in errors[0]
+
+    def test_validation_catches_bad_retained(self):
+        event = {
+            "event": "optimizer_group", "group": 0, "interesting": [],
+            "expressions": 1, "options_considered": 1,
+            "options_retained": 1,
+            "retained": [{"option": "x", "property_key": "hash:1"}],
+        }
+        errors = validate_event(event)
+        assert errors and "retained" in errors[0]
+
+
+class TestOptimizerTraceMetrics:
+    def test_families_populated(self):
+        from repro.obs.export import optimizer_trace_to_metrics
+
+        registry = MetricsRegistry()
+        optimizer_trace_to_metrics(make_trace(), registry,
+                                   plan_choice=FakePlanChoice())
+        snapshot = registry.snapshot()
+        assert snapshot["pdw_optimizer_options_considered"][()] == 4
+        assert snapshot["pdw_optimizer_options_pruned"][()] == 1
+        assert snapshot["pdw_optimizer_pruned_by_property_total"][
+            (("key", "hash:1"),)] == 1
+        assert snapshot["pdw_optimizer_enforcers_added_total"][
+            (("op", "shuffle"),)] == 1
+        assert snapshot["pdw_optimizer_movements_rejected_total"][()] == 1
+        assert snapshot["pdw_optimizer_plan_cost_seconds"][()] == 1.2
+        assert snapshot["pdw_optimizer_baseline_delta_seconds"][()] == 0.3
+
+    def test_without_plan_choice_no_baseline_gauges(self):
+        from repro.obs.export import optimizer_trace_to_metrics
+
+        registry = MetricsRegistry()
+        optimizer_trace_to_metrics(make_trace(), registry)
+        snapshot = registry.snapshot()
+        assert "pdw_optimizer_baseline_cost_seconds" not in snapshot
+        assert "pdw_optimizer_plan_cost_seconds" in snapshot
+
+    def test_null_registry_is_a_no_op(self):
+        from repro.obs.export import optimizer_trace_to_metrics
+
+        optimizer_trace_to_metrics(make_trace(), NULL_METRICS,
+                                   plan_choice=FakePlanChoice())
+        assert NULL_METRICS.snapshot() == {}

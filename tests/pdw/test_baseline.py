@@ -80,6 +80,34 @@ class TestBaselineQuality:
             if isinstance(n.op, LogicalJoin))
         assert baseline_joins == serial_joins
 
+    def test_replicated_only_query_needs_no_movement(self, mini_shell):
+        """A query over replicated tables only: the baseline inserts zero
+        movements and costs exactly 0 — the degenerate case where
+        "parallelize the serial plan" is trivially optimal."""
+        from repro.pdw.dms import DataMovement
+
+        result = serial(mini_shell, "SELECT n_name FROM nation")
+        plan = parallelize_serial_plan(result, mini_shell)
+        assert plan.cost == 0.0
+        assert not any(isinstance(n.op, DataMovement)
+                       for n in plan.root.walk())
+
+    def test_baseline_accepts_opt_trace(self, mini_shell):
+        """The baseline's movement-only enumeration records into the same
+        trace as the full optimizer."""
+        from repro.obs.opt_trace import OptimizerTrace
+
+        result = serial(
+            mini_shell,
+            "SELECT c_name FROM customer, orders "
+            "WHERE c_custkey = o_custkey")
+        trace = OptimizerTrace()
+        plan = parallelize_serial_plan(result, mini_shell,
+                                       opt_trace=trace)
+        summary = trace.summary()
+        assert summary.groups > 0
+        assert summary.plan_cost == plan.cost
+
 
 def _walk(op):
     yield op

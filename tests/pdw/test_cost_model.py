@@ -108,6 +108,98 @@ class TestMaxComposition:
             model.cost_breakdown(movement, Y, W).total
 
 
+class TestBreakdownComponents:
+    """cost_breakdown component math: each component is its byte stream
+    times its λ, with the reader picking λ_hash vs. λ_direct per op."""
+
+    CONSTANTS = CostConstants(
+        lambda_reader_direct=2.0e-9,
+        lambda_reader_hash=7.0e-9,
+        lambda_network=11.0e-9,
+        lambda_writer=13.0e-9,
+        lambda_bulk_copy=17.0e-9,
+    )
+
+    @pytest.fixture()
+    def skewed(self):
+        return DmsCostModel(N, self.CONSTANTS)
+
+    def test_each_component_is_bytes_times_lambda(self, skewed):
+        movement = move(DmsOperation.BROADCAST_MOVE, hashed_on(1),
+                        REPLICATED_DIST)
+        r_bytes, n_bytes, w_bytes, b_bytes = skewed.component_bytes(
+            movement, Y, W)
+        breakdown = skewed.cost_breakdown(movement, Y, W)
+        c = self.CONSTANTS
+        assert breakdown.reader == pytest.approx(
+            r_bytes * c.lambda_reader_direct)
+        assert breakdown.network == pytest.approx(n_bytes * c.lambda_network)
+        assert breakdown.writer == pytest.approx(w_bytes * c.lambda_writer)
+        assert breakdown.bulk_copy == pytest.approx(
+            b_bytes * c.lambda_bulk_copy)
+
+    def test_hashing_ops_pay_lambda_hash_through_breakdown(self, skewed):
+        """Shuffle and Trim hash rows (λ_hash); Broadcast and Partition
+        read directly (λ_direct) — visible in the reader component."""
+        per_node = Y * W / N
+        shuffle = skewed.cost_breakdown(
+            move(DmsOperation.SHUFFLE_MOVE, hashed_on(1), hashed_on(2)),
+            Y, W)
+        assert shuffle.reader == pytest.approx(
+            per_node * self.CONSTANTS.lambda_reader_hash)
+        trim = skewed.cost_breakdown(
+            move(DmsOperation.TRIM_MOVE, REPLICATED_DIST, hashed_on(1)),
+            Y, W)
+        assert trim.reader == pytest.approx(
+            Y * W * self.CONSTANTS.lambda_reader_hash)
+        broadcast = skewed.cost_breakdown(
+            move(DmsOperation.BROADCAST_MOVE, hashed_on(1),
+                 REPLICATED_DIST), Y, W)
+        assert broadcast.reader == pytest.approx(
+            per_node * self.CONSTANTS.lambda_reader_direct)
+        partition = skewed.cost_breakdown(
+            move(DmsOperation.PARTITION_MOVE, hashed_on(1),
+                 ON_CONTROL_DIST), Y, W)
+        assert partition.reader == pytest.approx(
+            per_node * self.CONSTANTS.lambda_reader_direct)
+
+    def test_source_target_split_under_skewed_constants(self):
+        """With λ_network dominating, the source side carries the max;
+        with λ_bulk_copy dominating, the target side does."""
+        movement = move(DmsOperation.SHUFFLE_MOVE, hashed_on(1),
+                        hashed_on(2))
+        network_heavy = DmsCostModel(N, CostConstants(
+            lambda_network=1.0e-6)).cost_breakdown(movement, Y, W)
+        assert network_heavy.source == network_heavy.network
+        assert network_heavy.total == network_heavy.source
+        bulk_heavy = DmsCostModel(N, CostConstants(
+            lambda_bulk_copy=1.0e-6)).cost_breakdown(movement, Y, W)
+        assert bulk_heavy.target == bulk_heavy.bulk_copy
+        assert bulk_heavy.total == bulk_heavy.target
+
+    def test_breakdown_totals_consistent_for_every_operation(self, skewed):
+        """cost() and cost_breakdown().total agree exactly for every DMS
+        operation — the invariant the optimizer trace relies on."""
+        movements = [
+            move(DmsOperation.SHUFFLE_MOVE, hashed_on(1), hashed_on(2)),
+            move(DmsOperation.PARTITION_MOVE, hashed_on(1),
+                 ON_CONTROL_DIST),
+            move(DmsOperation.CONTROL_NODE_MOVE, ON_CONTROL_DIST,
+                 REPLICATED_DIST),
+            move(DmsOperation.BROADCAST_MOVE, hashed_on(1),
+                 REPLICATED_DIST),
+            move(DmsOperation.TRIM_MOVE, REPLICATED_DIST, hashed_on(1)),
+            move(DmsOperation.REPLICATED_BROADCAST,
+                 Distribution(DistKind.SINGLE_NODE), REPLICATED_DIST),
+            move(DmsOperation.REMOTE_COPY, hashed_on(1), ON_CONTROL_DIST),
+        ]
+        for movement in movements:
+            breakdown = skewed.cost_breakdown(movement, Y, W)
+            assert skewed.cost(movement, Y, W) == breakdown.total
+            assert breakdown.total == max(breakdown.source,
+                                          breakdown.target)
+
+
 class TestLambdaStructure:
     def test_hashing_ops_use_lambda_hash(self):
         constants = CostConstants(lambda_reader_direct=1e-9,

@@ -89,6 +89,35 @@ class TestHintEffects:
         hinted = engine.compile(SQL, hints={"nation": "replicate"})
         assert hinted.pdw_plan.cost == pytest.approx(plain.pdw_plan.cost)
 
+    def test_hint_override_recorded_in_trace(self, engine):
+        """A hint that displaces otherwise-retained options must appear
+        in the optimizer trace as an override, with the displaced options
+        recorded (§3.1 made auditable)."""
+        from repro.obs.opt_trace import OptimizerTrace
+
+        trace = OptimizerTrace()
+        engine.compile(SQL, hints={"orders": "replicate"},
+                       opt_trace=trace)
+        assert trace.hint_overrides
+        override = next(o for o in trace.hint_overrides
+                        if o.table == "orders")
+        assert override.strategy == "replicate"
+        assert override.displaced
+        assert len(override.displaced) == len(override.displaced_costs)
+        assert override.kept >= 1
+        # Displaced options are gone: kept + displaced covers what the
+        # group had before the hint fired.
+        group = trace.groups[override.group]
+        assert override.kept <= group.options_considered
+
+    def test_unhinted_compile_records_no_overrides(self, engine):
+        from repro.obs.opt_trace import OptimizerTrace
+
+        trace = OptimizerTrace()
+        engine.compile(SQL, opt_trace=trace)
+        assert trace.hint_overrides == []
+        assert trace.summary().hint_overrides == 0
+
     def test_hinted_plan_still_executes(self, tpch, tpch_engine):
         from repro.appliance.runner import DsqlRunner, run_reference
         from tests.conftest import canonical
