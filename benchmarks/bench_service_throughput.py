@@ -1,0 +1,98 @@
+"""E17 — serving-layer throughput: concurrent clients over one appliance.
+
+Drives the :mod:`repro.service` stack — parameterized plan cache,
+admission control, per-execution temp namespacing — with N concurrent
+client threads issuing a seeded TPC-H mix (fresh literals per arrival),
+and reports queries/sec plus p50/p95/p99 latency per client count.  A
+final pair of rows runs the same load with the plan cache on vs. off,
+isolating what compile-once buys under concurrency.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_service_throughput.py``)
+or via pytest; either way the table is archived under
+``benchmarks/results/E17_service_throughput.txt``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from conftest import BENCH_NODES, BENCH_SCALE, fmt_row, report
+
+from repro.service import ExecutionOptions, PdwService, run_traffic
+
+CLIENT_SWEEP = (1, 2, 4, 8)
+QUERIES_PER_CLIENT = 8
+SEED = 2012
+
+WIDTHS = [10, 8, 10, 10, 10, 10, 16]
+
+
+def _drive(clients: int, *, use_cache: bool = True,
+           queries_per_client: int = QUERIES_PER_CLIENT):
+    service = PdwService(
+        scale=BENCH_SCALE, node_count=BENCH_NODES,
+        options=ExecutionOptions(use_plan_cache=use_cache),
+        max_in_flight=max(4, clients), max_queue=256)
+    try:
+        traffic = run_traffic(service, clients=clients,
+                              queries_per_client=queries_per_client,
+                              seed=SEED)
+    finally:
+        service.close()
+    return traffic
+
+
+def _row(label: str, traffic) -> str:
+    cache = traffic.cache_stats
+    return fmt_row(
+        label,
+        traffic.completed,
+        f"{traffic.queries_per_second:.1f}",
+        f"{traffic.p50 * 1e3:.1f}",
+        f"{traffic.p95 * 1e3:.1f}",
+        f"{traffic.p99 * 1e3:.1f}",
+        f"{cache['hits']}/{cache['misses']}",
+        widths=WIDTHS)
+
+
+def test_service_throughput():
+    lines = [
+        "Serving-layer throughput: seeded TPC-H mix, fresh literals "
+        "per arrival",
+        f"(scale {BENCH_SCALE}, {BENCH_NODES} nodes, "
+        f"{QUERIES_PER_CLIENT} queries/client, seed {SEED}; "
+        "latency in ms)",
+        "",
+        fmt_row("clients", "done", "qps", "p50", "p95", "p99",
+                "cache hit/miss", widths=WIDTHS),
+    ]
+    peak = None
+    for clients in CLIENT_SWEEP:
+        traffic = _drive(clients)
+        assert traffic.errors == 0
+        assert traffic.completed == clients * QUERIES_PER_CLIENT
+        assert traffic.p99 > 0
+        # Distinct shapes in the mix are few; a warm mix must mostly hit.
+        assert traffic.cache_stats["hits"] > 0
+        lines.append(_row(str(clients), traffic))
+        peak = traffic
+    lines += [
+        "",
+        "plan cache ablation (same load, 4 clients):",
+        fmt_row("cache", "done", "qps", "p50", "p95", "p99",
+                "cache hit/miss", widths=WIDTHS),
+    ]
+    cached = _drive(4)
+    uncached = _drive(4, use_cache=False)
+    lines.append(_row("on", cached))
+    lines.append(_row("off", uncached))
+    report("E17_service_throughput", lines)
+    assert peak is not None and peak.completed > 0
+    assert cached.cache_stats["hits"] > 0
+    assert uncached.cache_stats["hits"] == 0, \
+        "use_plan_cache=False must bypass the plan cache entirely"
+
+
+if __name__ == "__main__":
+    test_service_throughput()
+    sys.exit(0)

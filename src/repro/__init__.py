@@ -53,7 +53,12 @@ artifacts::
 
 from repro.appliance.calibration import CalibrationResult, Calibrator
 from repro.appliance.dms_runtime import DmsRuntime, GroundTruthConstants
-from repro.appliance.runner import DsqlRunner, QueryResult, run_reference
+from repro.appliance.runner import (
+    DsqlRunner,
+    ExecutionTiming,
+    QueryResult,
+    run_reference,
+)
 from repro.appliance.scheduler import (
     PARALLEL_ENV_VAR,
     StepDag,
@@ -99,6 +104,13 @@ from repro.pdw.cost_model import CostConstants, DmsCostModel
 from repro.pdw.engine import CompiledQuery, PdwEngine
 from repro.pdw.enumerator import PdwConfig, PdwOptimizer, PdwPlan
 from repro.pdw.why import PlanChoice, explain_plan_choice, render_plan_choice
+from repro.service import (
+    AdmissionController,
+    ExecutionOptions,
+    PdwService,
+    PlanCache,
+    parameterize,
+)
 from repro.session import PdwSession, StepAnalysis
 from repro.telemetry import NULL_TRACER, Span, Tracer
 from repro.workloads.tpch_datagen import build_tpch_appliance
@@ -107,6 +119,7 @@ from repro.workloads.tpch_queries import TPCH_QUERIES
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionController",
     "AdvisorResult",
     "PartitioningAdvisor",
     "WorkloadQuery",
@@ -120,6 +133,8 @@ __all__ = [
     "DmsCostModel",
     "DmsRuntime",
     "DsqlRunner",
+    "ExecutionOptions",
+    "ExecutionTiming",
     "GroundTruthConstants",
     "MetricsRegistry",
     "NULL_METRICS",
@@ -147,7 +162,10 @@ __all__ = [
     "PdwEngine",
     "PdwOptimizer",
     "PdwPlan",
+    "PdwService",
     "PdwSession",
+    "PlanCache",
+    "parameterize",
     "QueryResult",
     "REPLICATED",
     "SerialOptimizer",

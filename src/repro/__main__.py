@@ -11,6 +11,17 @@ WHERE l_orderkey = o_orderkey"
     python -m repro why "SELECT COUNT(*) AS n FROM lineitem, orders \
 WHERE l_orderkey = o_orderkey"
     python -m repro calibrate --nodes 8
+    python -m repro serve --clients 4 --queries 8
+    python -m repro bench --clients 8 --queries 12
+
+``serve`` runs the multi-user serving layer (:mod:`repro.service`) under
+a parameterized TPC-H traffic mix — concurrent clients, parameterized
+plan cache, admission control — and prints latency percentiles,
+throughput and cache statistics; ``serve --smoke`` is the CI guard
+(requires plan-cache hits and a reported p99; fails if any internal
+caller trips the deprecated-option shims).  ``bench`` is the same flow
+sized as a throughput benchmark, optionally appending its report to a
+results file.
 
 ``profile`` executes the query with per-node / per-operator profiling on
 and renders skew + Q-error tables; ``--json`` prints the structured
@@ -43,9 +54,15 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import warnings
 from typing import List, Optional
 
-from repro import Calibrator, GroundTruthConstants, PdwSession
+from repro import (
+    Calibrator,
+    ExecutionOptions,
+    GroundTruthConstants,
+    PdwSession,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -128,7 +145,125 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "calibrate", help="run the lambda calibration (paper 3.3.3)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-user serving layer under a TPC-H traffic "
+             "mix: plan cache + admission control + percentiles")
+    serve.add_argument("--clients", type=int, default=4,
+                       help="concurrent client threads (default 4)")
+    serve.add_argument("--queries", type=int, default=8,
+                       help="queries per client (default 8)")
+    serve.add_argument("--seed", type=int, default=2012,
+                       help="traffic RNG seed (default 2012)")
+    serve.add_argument("--max-in-flight", type=int, default=4,
+                       help="admission: concurrent executions (default 4)")
+    serve.add_argument("--max-queue", type=int, default=32,
+                       help="admission: wait-queue bound (default 32)")
+    serve.add_argument("--cache-size", type=int, default=64,
+                       help="plan cache capacity (default 64)")
+    serve.add_argument("--smoke", action="store_true",
+                       help="CI smoke mode: require plan-cache hits and "
+                            "a reported p99, fail on any internal "
+                            "DeprecationWarning")
+    serve.add_argument("--prometheus", metavar="PATH",
+                       help="write the service metrics registry in "
+                            "Prometheus text format")
+
+    bench = sub.add_parser(
+        "bench",
+        help="service throughput benchmark: p50/p95/p99 + queries/sec")
+    bench.add_argument("--clients", type=int, default=8,
+                       help="concurrent client threads (default 8)")
+    bench.add_argument("--queries", type=int, default=12,
+                       help="queries per client (default 12)")
+    bench.add_argument("--seed", type=int, default=2012,
+                       help="traffic RNG seed (default 2012)")
+    bench.add_argument("--max-in-flight", type=int, default=4,
+                       help="admission: concurrent executions (default 4)")
+    bench.add_argument("--max-queue", type=int, default=64,
+                       help="admission: wait-queue bound (default 64)")
+    bench.add_argument("--cache-size", type=int, default=64,
+                       help="plan cache capacity (default 64)")
+    bench.add_argument("--output", metavar="PATH",
+                       help="also append the report to PATH")
+
     return parser
+
+
+def _run_service_traffic(args):
+    """Build a service, drive the traffic mix, return (service, report).
+
+    The service is closed before returning; its metrics/stats stay
+    readable.
+    """
+    from repro.service import PdwService, run_traffic
+
+    service = PdwService(
+        scale=args.scale, node_count=args.nodes,
+        options=ExecutionOptions(
+            compiled=not args.no_compiled_exec,
+            parallel=False if args.serial_runtime else None),
+        max_in_flight=args.max_in_flight,
+        max_queue=args.max_queue,
+        plan_cache_size=args.cache_size)
+    try:
+        report = run_traffic(service, clients=args.clients,
+                             queries_per_client=args.queries,
+                             seed=args.seed)
+    finally:
+        service.close()
+    return service, report
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import render_report
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", DeprecationWarning)
+        service, report = _run_service_traffic(args)
+    print(render_report(report))
+    hits = service.plan_cache.stats()["hits"]
+    print(f"pdw_service_plan_cache_hits {hits}")
+    if args.prometheus:
+        with open(args.prometheus, "w", encoding="utf-8") as handle:
+            handle.write(service.metrics_text())
+        print(f"-- wrote metrics to {args.prometheus}", file=sys.stderr)
+    if not args.smoke:
+        return 0
+    failures = []
+    if hits <= 0:
+        failures.append("plan cache recorded no hits")
+    if report.completed <= 0:
+        failures.append("no queries completed")
+    if report.p99 <= 0:
+        failures.append("no p99 latency reported")
+    internal = [w for w in caught
+                if issubclass(w.category, DeprecationWarning)
+                and "via options= instead" in str(w.message)]
+    for warning in internal:
+        failures.append(
+            f"internal caller hit a deprecated option surface: "
+            f"{warning.message} ({warning.filename}:{warning.lineno})")
+    if failures:
+        for failure in failures:
+            print(f"SMOKE FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("smoke ok")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.service import render_report
+
+    service, report = _run_service_traffic(args)
+    del service
+    text = render_report(report)
+    print(text)
+    if args.output:
+        with open(args.output, "a", encoding="utf-8") as handle:
+            handle.write(text + "\n\n")
+        print(f"-- appended report to {args.output}", file=sys.stderr)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -151,9 +286,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {label:<14} {fitted:.3e}  (truth {target:.3e})")
         return 0
 
-    session = PdwSession(args.sql, scale=args.scale, node_count=args.nodes,
-                         compiled=not args.no_compiled_exec,
-                         parallel=False if args.serial_runtime else None)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+
+    session = PdwSession(
+        args.sql, scale=args.scale, node_count=args.nodes,
+        options=ExecutionOptions(
+            compiled=not args.no_compiled_exec,
+            parallel=False if args.serial_runtime else None))
 
     if args.command == "memo":
         compiled = session.compile()
@@ -178,7 +320,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                       file=sys.stderr)
                 return 1
             hints[table] = strategy
-        _compiled, trace, choice = session.plan_choice(hints=hints or None)
+        _compiled, trace, choice = session.plan_choice(
+            options=session.options.with_hints(hints or None))
         from repro.obs.report import render_optimizer_trace_report
         from repro.pdw.why import render_plan_choice
 

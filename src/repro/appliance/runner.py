@@ -21,7 +21,10 @@ distributed execution must produce exactly the same multiset of rows.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pdw.engine import CompiledQuery
 
 from repro.appliance.dms_runtime import (
     DmsRuntime,
@@ -53,13 +56,44 @@ MAX_STEP_WORKERS = 8
 
 
 @dataclass
+class ExecutionTiming:
+    """Wall-clock breakdown of one query's trip through the stack.
+
+    All figures are measured seconds (not simulated time): ``queue`` is
+    admission wait, ``compile`` is optimizer time (0.0 on a plan-cache
+    hit), ``execute`` is runner time, and ``total`` covers the whole
+    call including bookkeeping between phases.
+    """
+
+    queue_seconds: float = 0.0
+    compile_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+
+@dataclass
 class QueryResult:
-    """What the client receives, plus execution accounting."""
+    """What the client receives, plus execution accounting.
+
+    Iterating (or ``len()``-ing) a result iterates its rows, so callers
+    that treated ``run()``'s output as a row list keep working.  The
+    session and service additionally attach the compiled-plan handle,
+    the plan-cache verdict and a wall-clock timing breakdown.
+    """
 
     columns: List[str]
     rows: List[Tuple]
     elapsed_seconds: float
     step_stats: List[StepExecutionStats] = field(default_factory=list)
+    plan: Optional["CompiledQuery"] = None
+    cache_hit: bool = False
+    timing: Optional[ExecutionTiming] = None
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
 
     @property
     def dms_seconds(self) -> float:

@@ -140,6 +140,10 @@ class Appliance:
         self.control = NodeStorage(CONTROL_NODE)
         self.compute = [NodeStorage(i) for i in range(node_count)]
         self._image_cache: Optional[Dict[str, List[Tuple]]] = None
+        # Monotonic DDL/data generation, bumped whenever base-table
+        # storage changes (temp-table churn does not count).  The plan
+        # cache stamps entries with this and invalidates on mismatch.
+        self.schema_version = 0
         # Guards catalog/storage DDL and the image cache: under the
         # parallel runtime, independent DSQL steps create their temp
         # tables concurrently from worker threads.
@@ -230,6 +234,7 @@ class Appliance:
 
     def _invalidate_image(self) -> None:
         self._image_cache = None
+        self.schema_version += 1
 
     def single_system_image(self) -> Dict[str, List[Tuple]]:
         """Every non-temp table's full contents gathered into one map.

@@ -56,3 +56,31 @@ class ExecutionError(ReproError):
 
 class DmsError(ExecutionError):
     """A data-movement operation failed at runtime."""
+
+
+class ServiceError(ReproError):
+    """The serving layer (:class:`repro.service.PdwService`) failed."""
+
+
+class AdmissionError(ServiceError):
+    """Admission control refused or abandoned a query.  Subclasses say
+    why; all carry ``tenant`` and ``priority`` for accounting."""
+
+    def __init__(self, message: str, tenant: str = "default",
+                 priority: str = "normal"):
+        super().__init__(message)
+        self.tenant = tenant
+        self.priority = priority
+
+
+class QueueFullError(AdmissionError):
+    """The admission queue is at capacity; the query was rejected
+    immediately rather than queued."""
+
+
+class AdmissionTimeoutError(AdmissionError):
+    """The query waited longer than its timeout for an execution slot."""
+
+
+class ServiceClosedError(AdmissionError):
+    """The service is shutting down; no new queries are admitted."""

@@ -1,0 +1,151 @@
+"""``ExecutionOptions`` — the one options surface for session and service.
+
+Historically every knob travelled as its own keyword argument:
+``PdwSession(compiled=..., parallel=..., trace=...)`` at construction,
+``hints=`` on every verb, ``profile=`` on the runner.  The options object
+replaces that scatter: one frozen dataclass, resolved once per call, that
+both :class:`repro.session.PdwSession` and
+:class:`repro.service.PdwService` accept::
+
+    from repro import ExecutionOptions, PdwSession
+
+    opts = ExecutionOptions(compiled=False, hints={"orders": "replicate"})
+    session = PdwSession(options=opts)
+    result = session.run("SELECT COUNT(*) AS n FROM lineitem")
+
+The old keyword spellings keep working for one release behind a
+:class:`DeprecationWarning` shim (:func:`warn_deprecated_option`);
+internal callers have been migrated and CI fails if any repo-internal
+code path raises the warning.
+
+``parallel=None`` means "resolve from the ``REPRO_PARALLEL_RUNTIME``
+environment variable, else the caller's default" — :meth:`resolved`
+folds the environment in exactly once, so an options object that has
+been resolved never re-reads the environment.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Optional, Tuple, Union
+
+from repro.appliance.scheduler import resolve_parallel
+from repro.common.errors import ReproError
+
+#: Admission priority classes, best first.  Lower rank wins the queue.
+PRIORITY_CLASSES: Mapping[str, int] = {
+    "interactive": 0,
+    "normal": 1,
+    "batch": 2,
+}
+
+HintsInput = Union[Mapping[str, str], Tuple[Tuple[str, str], ...], None]
+
+
+def normalize_hints(hints: HintsInput) -> Optional[Tuple[Tuple[str, str], ...]]:
+    """Hints as a canonical, hashable tuple of (table, strategy) pairs.
+
+    Accepts a mapping or an already-normalized tuple; table names are
+    lowercased and pairs sorted so equal hint sets compare (and hash)
+    equal — the plan cache keys on this form.
+    """
+    if not hints:
+        return None
+    if isinstance(hints, Mapping):
+        items = hints.items()
+    else:
+        items = hints
+    return tuple(sorted((str(name).lower(), str(strategy))
+                        for name, strategy in items))
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Everything that shapes one compile-and-execute call.
+
+    * ``compiled`` — closure-compiled executor (default) vs. the
+      tree-walking reference interpreter;
+    * ``parallel`` — the parallel appliance runtime; ``None`` defers to
+      the ``REPRO_PARALLEL_RUNTIME`` environment variable and then the
+      front door's default (the session and service default to parallel,
+      the low-level runners to serial);
+    * ``trace`` — whether the session allocates a live tracer/metrics
+      registry (resolved once at construction; the no-op tracer costs
+      nothing);
+    * ``profile`` — collect per-node/per-operator actuals and transfer
+      matrices during execution;
+    * ``hints`` — §3.1 distributed-execution hints, normalized to a
+      sorted tuple of (table, strategy) pairs (mappings accepted);
+    * ``use_plan_cache`` — let :class:`repro.service.PdwService` serve
+      this query from the parameterized plan cache;
+    * ``priority`` / ``tenant`` / ``timeout_seconds`` — admission
+      class, accounting identity and queue-wait bound for service calls.
+    """
+
+    compiled: bool = True
+    parallel: Optional[bool] = None
+    trace: bool = True
+    profile: bool = False
+    hints: Optional[Tuple[Tuple[str, str], ...]] = None
+    use_plan_cache: bool = True
+    priority: str = "normal"
+    tenant: str = "default"
+    timeout_seconds: Optional[float] = None
+    #: Set by :meth:`resolved`; a resolved object never re-reads the
+    #: environment (``parallel`` is a concrete bool).
+    env_resolved: bool = field(default=False, compare=False)
+
+    def __post_init__(self):
+        if self.hints is not None and not isinstance(self.hints, tuple):
+            object.__setattr__(self, "hints", normalize_hints(self.hints))
+        if self.priority not in PRIORITY_CLASSES:
+            raise ReproError(
+                f"unknown priority class {self.priority!r} "
+                f"(use one of {tuple(PRIORITY_CLASSES)})")
+        if self.timeout_seconds is not None and self.timeout_seconds < 0:
+            raise ReproError("timeout_seconds must be non-negative")
+
+    # -- derived views ---------------------------------------------------------
+
+    @property
+    def hints_dict(self) -> Optional[dict]:
+        """Hints in the mapping form the engine consumes."""
+        return dict(self.hints) if self.hints else None
+
+    @property
+    def priority_rank(self) -> int:
+        return PRIORITY_CLASSES[self.priority]
+
+    # -- resolution ------------------------------------------------------------
+
+    def resolved(self, default_parallel: bool = True) -> "ExecutionOptions":
+        """Fold the ``REPRO_PARALLEL_RUNTIME`` environment variable into
+        ``parallel`` (explicit value > env var > ``default_parallel``).
+        Idempotent: an already-resolved object is returned unchanged."""
+        if self.env_resolved:
+            return self
+        return replace(
+            self,
+            parallel=resolve_parallel(self.parallel,
+                                      default=default_parallel),
+            env_resolved=True,
+        )
+
+    def with_hints(self, hints: HintsInput) -> "ExecutionOptions":
+        """A copy carrying ``hints`` (normalized); ``None`` clears them."""
+        return replace(self, hints=normalize_hints(hints))
+
+    def override(self, **changes) -> "ExecutionOptions":
+        """A copy with the given fields replaced (``hints`` normalized)."""
+        if "hints" in changes:
+            changes["hints"] = normalize_hints(changes["hints"])
+        return replace(self, **changes)
+
+
+def warn_deprecated_option(old: str, new: str, stacklevel: int = 3) -> None:
+    """Emit the one-release deprecation warning for a legacy kwarg."""
+    warnings.warn(
+        f"{old} is deprecated; pass "
+        f"ExecutionOptions({new}) via options= instead",
+        DeprecationWarning, stacklevel=stacklevel)

@@ -1,0 +1,325 @@
+"""``PdwService`` — the multi-user front end over one appliance.
+
+Where :class:`repro.session.PdwSession` is one user compiling and running
+one query at a time, the service is the control node of a busy appliance:
+many client threads call :meth:`PdwService.execute` concurrently and each
+call flows through
+
+1. **admission** — :class:`repro.service.AdmissionController` grants an
+   execution slot (bounded queue, priority classes, typed
+   reject/timeout errors);
+2. **the parameterized plan cache** — the query is normalized
+   (:func:`repro.service.parameterize`), served from cache on a hit,
+   compiled once per shape on a miss (single-flight: concurrent misses
+   on the same shape wait for one compilation);
+3. **instantiation** — the cached template is stamped out for this
+   execution: new literals substituted into the step SQL and temp
+   tables renamed into a private namespace, so concurrent executions
+   never collide on the appliance;
+4. **execution** on the shared :class:`repro.appliance.runner.DsqlRunner`
+   (steps DAG-scheduled, nodes thread-parallel when the parallel
+   runtime is on);
+5. **accounting** — per-tenant counters, phase latency histograms and
+   cache/admission gauges on the service's
+   :class:`~repro.obs.metrics.MetricsRegistry`, rendered by
+   :meth:`PdwService.metrics_text` in Prometheus text format.
+
+Every call returns the same enriched
+:class:`~repro.appliance.runner.QueryResult` the session produces —
+rows, columns, the compiled-plan handle, the cache-hit flag and a
+queue/compile/execute timing breakdown.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+from repro.appliance.runner import DsqlRunner, ExecutionTiming, QueryResult
+from repro.appliance.storage import Appliance
+from repro.catalog.shell_db import ShellDatabase
+from repro.common.errors import ReproError, ServiceClosedError
+from repro.obs.metrics import MetricsRegistry
+from repro.optimizer.search import OptimizerConfig
+from repro.pdw.engine import CompiledQuery, PdwEngine
+from repro.pdw.enumerator import PdwConfig
+from repro.service.admission import AdmissionController
+from repro.service.options import ExecutionOptions
+from repro.service.plan_cache import (
+    CacheEntry,
+    PlanCache,
+    QueryShape,
+    bind_params,
+    instantiate_plan,
+    parameterize,
+)
+from repro.telemetry import NULL_TRACER
+from repro.workloads.tpch_datagen import build_tpch_appliance
+
+
+class PdwService:
+    """Accepts many concurrent queries over one simulated appliance.
+
+    Thread-safe by construction: clients call :meth:`execute` from
+    their own threads (or :meth:`submit` for a future-based interface).
+    Compilation is serialized — the engine is not thread-safe and a
+    warm cache makes compiles rare — while executions overlap freely.
+    """
+
+    def __init__(self, *,
+                 scale: float = 0.002,
+                 node_count: int = 8,
+                 appliance: Optional[Appliance] = None,
+                 shell: Optional[ShellDatabase] = None,
+                 options: Optional[ExecutionOptions] = None,
+                 serial_config: Optional[OptimizerConfig] = None,
+                 pdw_config: Optional[PdwConfig] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 plan_cache_size: int = 64,
+                 max_in_flight: int = 4,
+                 max_queue: int = 32,
+                 default_timeout_seconds: Optional[float] = None,
+                 admission: Optional[AdmissionController] = None):
+        if (appliance is None) != (shell is None):
+            raise ReproError(
+                "pass both appliance and shell, or neither "
+                "(a shell database must describe its appliance)")
+        if appliance is None:
+            appliance, shell = build_tpch_appliance(scale=scale,
+                                                    node_count=node_count)
+        self.appliance = appliance
+        self.shell = shell
+        self.options = (options or ExecutionOptions()).resolved(
+            default_parallel=True)
+        # The service *is* an observability surface: metrics default on.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.engine = PdwEngine(shell, serial_config, pdw_config,
+                                tracer=NULL_TRACER)
+        self.runner = DsqlRunner(appliance, tracer=NULL_TRACER,
+                                 compiled=self.options.compiled,
+                                 metrics=self.metrics,
+                                 parallel=self.options.parallel)
+        self.plan_cache = PlanCache(plan_cache_size, metrics=self.metrics)
+        self.admission = admission or AdmissionController(
+            max_in_flight=max_in_flight, max_queue=max_queue,
+            default_timeout_seconds=default_timeout_seconds,
+            metrics=self.metrics)
+        self._compile_lock = threading.Lock()
+        self._key_locks: Dict[str, threading.Lock] = {}
+        self._key_locks_guard = threading.Lock()
+        self._execution_ids = itertools.count(1)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._closed = False
+
+    # -- public API ------------------------------------------------------------
+
+    def execute(self, sql: str, *,
+                options: Optional[ExecutionOptions] = None,
+                tenant: Optional[str] = None,
+                priority: Optional[str] = None,
+                timeout_seconds: Optional[float] = None) -> QueryResult:
+        """Admit, compile-or-hit, instantiate and run one query.
+
+        ``options`` overrides the service defaults for this call;
+        ``tenant``/``priority``/``timeout_seconds`` are conveniences
+        overriding the corresponding options fields.  Raises the typed
+        admission errors (:class:`~repro.common.errors.QueueFullError`,
+        :class:`~repro.common.errors.AdmissionTimeoutError`,
+        :class:`~repro.common.errors.ServiceClosedError`) and the usual
+        compilation/execution errors.
+        """
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        opts = (options or self.options).resolved(default_parallel=True)
+        overrides = {}
+        if tenant is not None:
+            overrides["tenant"] = tenant
+        if priority is not None:
+            overrides["priority"] = priority
+        if timeout_seconds is not None:
+            overrides["timeout_seconds"] = timeout_seconds
+        if overrides:
+            opts = opts.override(**overrides)
+        started = time.perf_counter()
+        ticket = self.admission.admit(
+            priority=opts.priority, tenant=opts.tenant,
+            timeout_seconds=opts.timeout_seconds)
+        try:
+            compiled, cache_hit, compile_seconds, mapping = \
+                self._compiled_for(sql, opts)
+            plan, temp_names = instantiate_plan(
+                compiled, mapping, next(self._execution_ids))
+            execute_started = time.perf_counter()
+            try:
+                result = self.runner.run(plan, keep_temps=True)
+            finally:
+                for name in temp_names:
+                    self.appliance.drop_table(name)
+            execute_seconds = time.perf_counter() - execute_started
+        except Exception:
+            self.admission.release(ticket)
+            self._account(opts, outcome="failed",
+                          seconds=time.perf_counter() - started)
+            raise
+        self.admission.release(ticket)
+        total = time.perf_counter() - started
+        result.plan = compiled
+        result.cache_hit = cache_hit
+        result.timing = ExecutionTiming(
+            queue_seconds=ticket.queued_seconds,
+            compile_seconds=compile_seconds,
+            execute_seconds=execute_seconds,
+            total_seconds=total,
+        )
+        self._account(opts, outcome="ok", seconds=total,
+                      timing=result.timing, cache_hit=cache_hit)
+        return result
+
+    def submit(self, sql: str, **kwargs) -> "Future[QueryResult]":
+        """:meth:`execute` on the service's client pool; returns a
+        future.  Handy for fire-and-gather callers; benchmarks drive
+        their own client threads instead."""
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=max(2, self.admission.max_in_flight),
+                    thread_name_prefix="repro-client")
+            pool = self._pool
+        return pool.submit(self.execute, sql, **kwargs)
+
+    def execute_many(self, statements: Sequence[str], **kwargs
+                     ) -> List[QueryResult]:
+        """Run a batch concurrently through :meth:`submit`; results in
+        input order; the first failure propagates after the batch
+        drains."""
+        futures = [self.submit(sql, **kwargs) for sql in statements]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Stop admitting, wake queued waiters, shut the client pool."""
+        self._closed = True
+        self.admission.close()
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def __enter__(self) -> "PdwService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- plan acquisition ------------------------------------------------------
+
+    def _compiled_for(self, sql: str, opts: ExecutionOptions):
+        """(compiled template, cache_hit, compile_seconds, mapping).
+
+        Cache path: normalize, look up, and on a miss compile exactly
+        once per shape (per-key single-flight around one global compile
+        lock — the engine shares mutable optimizer state).  A hit whose
+        parameter vector cannot be bound unambiguously falls back to a
+        private compilation, uncached.
+        """
+        if not opts.use_plan_cache:
+            compiled, seconds = self._compile(sql, opts)
+            return compiled, False, seconds, None
+        shape = parameterize(sql, hints=opts.hints)
+        version = self.appliance.schema_version
+        entry = self.plan_cache.lookup(shape, version)
+        if entry is None:
+            entry, seconds, racing_hit = self._compile_into_cache(
+                shape, sql, opts, version)
+            if not racing_hit:
+                entry.executions += 1
+                return entry.compiled, False, seconds, None
+        mapping = bind_params(entry.shape.params, shape.params,
+                              entry.shape.structural)
+        if mapping is None:
+            # Ambiguous substitution: recompile privately for
+            # correctness; keep the cached template for future calls.
+            entry.misses_ambiguous += 1
+            compiled, seconds = self._compile(sql, opts)
+            return compiled, False, seconds, None
+        entry.executions += 1
+        return entry.compiled, True, 0.0, mapping or None
+
+    def _compile_into_cache(self, shape: QueryShape, sql: str,
+                            opts: ExecutionOptions, version: int):
+        """Single-flight compile of ``shape``: the first thread in
+        compiles and inserts; racers wait on the per-key lock and then
+        find the entry.  Returns (entry, compile_seconds, racing_hit)
+        where ``racing_hit`` says this thread found a ready entry
+        instead of compiling."""
+        with self._key_locks_guard:
+            key_lock = self._key_locks.setdefault(shape.key,
+                                                  threading.Lock())
+        with key_lock:
+            existing = self.plan_cache.peek(shape.key)
+            if existing is not None \
+                    and existing.schema_version == version:
+                return existing, 0.0, True
+            compiled, seconds = self._compile(sql, opts)
+            entry = self.plan_cache.insert(CacheEntry(
+                shape=shape, compiled=compiled, schema_version=version))
+            return entry, seconds, False
+
+    def _compile(self, sql: str, opts: ExecutionOptions):
+        started = time.perf_counter()
+        with self._compile_lock:
+            compiled = self.engine.compile(sql, hints=opts.hints_dict)
+        seconds = time.perf_counter() - started
+        if self.metrics.enabled:
+            self.metrics.histogram(
+                "pdw_service_compile_seconds",
+                "Wall-clock seconds spent compiling on a cache miss",
+            ).observe(seconds)
+        return compiled, seconds
+
+    # -- accounting ------------------------------------------------------------
+
+    def _account(self, opts: ExecutionOptions, outcome: str,
+                 seconds: float,
+                 timing: Optional[ExecutionTiming] = None,
+                 cache_hit: bool = False) -> None:
+        if not self.metrics.enabled:
+            return
+        self.metrics.counter(
+            "pdw_service_queries_total",
+            "Queries per tenant, priority and outcome",
+            labelnames=("tenant", "priority", "outcome"),
+        ).labels(tenant=opts.tenant, priority=opts.priority,
+                 outcome=outcome).inc()
+        self.metrics.counter(
+            "pdw_service_tenant_seconds_total",
+            "Wall-clock seconds consumed per tenant",
+            labelnames=("tenant",),
+        ).labels(tenant=opts.tenant).inc(seconds)
+        latency = self.metrics.histogram(
+            "pdw_service_latency_seconds",
+            "End-to-end and per-phase service latency",
+            labelnames=("phase",))
+        latency.labels(phase="total").observe(seconds)
+        if timing is not None:
+            latency.labels(phase="queue").observe(timing.queue_seconds)
+            latency.labels(phase="compile").observe(
+                timing.compile_seconds)
+            latency.labels(phase="execute").observe(
+                timing.execute_seconds)
+
+    # -- introspection ---------------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """The service registry in Prometheus text exposition format."""
+        return self.metrics.render_prometheus()
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "plan_cache": self.plan_cache.stats(),
+            "admission": self.admission.stats(),
+            "schema_version": self.appliance.schema_version,
+        }

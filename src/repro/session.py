@@ -30,16 +30,25 @@ so the one-liner from the README works::
     print(PdwSession("SELECT COUNT(*) AS n FROM lineitem")
           .explain(analyze=True))
 
+Every knob travels in one frozen
+:class:`repro.service.ExecutionOptions` object accepted at construction
+(``PdwSession(options=...)``) and on every verb (``run(options=...)``);
+the old scattered kwargs (``compiled=``, ``parallel=``, ``trace=``,
+per-call ``hints=``) still work behind a :class:`DeprecationWarning`
+shim for one release.
+
 Execution uses the compiled backend by default — scalar expressions are
 compiled to Python closures and each DSQL step's SQL is parsed + bound
-once, then re-run on every compute node.  ``PdwSession(compiled=False)``
-(CLI: ``--no-compiled-exec``) forces the reference interpreter instead.
+once, then re-run on every compute node.
+``PdwSession(options=ExecutionOptions(compiled=False))`` (CLI:
+``--no-compiled-exec``) forces the reference interpreter instead.
 
 The session also defaults to the **parallel appliance runtime**: DSQL
 steps are scheduled as a dependency DAG (independent join subtrees
 overlap) and each step's per-node fragments run on a thread pool with
 fast-path shuffle routing, merged deterministically so results and stats
-are identical to the serial walk.  ``PdwSession(parallel=False)`` (CLI:
+are identical to the serial walk.
+``PdwSession(options=ExecutionOptions(parallel=False))`` (CLI:
 ``--serial-runtime``) selects the §2.4 serial reference backend; the
 ``REPRO_PARALLEL_RUNTIME`` environment variable overrides the default
 for whole test-suite sweeps.
@@ -52,11 +61,11 @@ appends spans to :attr:`PdwSession.tracer`, and :meth:`trace_report` /
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.appliance.runner import DsqlRunner, QueryResult
-from repro.appliance.scheduler import resolve_parallel
+from repro.appliance.runner import DsqlRunner, ExecutionTiming, QueryResult
 from repro.appliance.storage import Appliance
 from repro.catalog.shell_db import ShellDatabase
 from repro.common.errors import ReproError
@@ -73,8 +82,13 @@ from repro.pdw.dsql import StepKind
 from repro.pdw.engine import CompiledQuery, PdwEngine
 from repro.pdw.enumerator import PdwConfig
 from repro.pdw.why import PlanChoice, explain_plan_choice, render_plan_choice
+from repro.service.options import ExecutionOptions, warn_deprecated_option
 from repro.telemetry import NULL_TRACER, Tracer
 from repro.workloads.tpch_datagen import build_tpch_appliance
+
+#: Sentinel distinguishing "kwarg not passed" from an explicit value, so
+#: the deprecated spellings warn only when actually used.
+_UNSET = object()
 
 
 @dataclass
@@ -100,13 +114,14 @@ class PdwSession:
                  node_count: int = 8,
                  appliance: Optional[Appliance] = None,
                  shell: Optional[ShellDatabase] = None,
+                 options: Optional[ExecutionOptions] = None,
                  serial_config: Optional[OptimizerConfig] = None,
                  pdw_config: Optional[PdwConfig] = None,
                  tracer: Optional[Tracer] = None,
-                 trace: bool = True,
-                 compiled: bool = True,
                  metrics: Optional[MetricsRegistry] = None,
-                 parallel: Optional[bool] = None):
+                 trace=_UNSET,
+                 compiled=_UNSET,
+                 parallel=_UNSET):
         if (appliance is None) != (shell is None):
             raise ReproError(
                 "pass both appliance and shell, or neither "
@@ -117,51 +132,124 @@ class PdwSession:
         self.sql = sql
         self.appliance = appliance
         self.shell = shell
-        if tracer is None:
-            tracer = Tracer() if trace else NULL_TRACER
-        self.tracer = tracer
-        if metrics is None:
-            metrics = MetricsRegistry() if trace else NULL_METRICS
-        self.metrics = metrics
-        self.compiled = compiled
+        opts = options if options is not None else ExecutionOptions()
+        # Deprecated kwarg spellings fold into the options object.
+        if trace is not _UNSET:
+            warn_deprecated_option("PdwSession(trace=...)",
+                                   f"trace={trace!r}")
+            opts = opts.override(trace=trace)
+        if compiled is not _UNSET:
+            warn_deprecated_option("PdwSession(compiled=...)",
+                                   f"compiled={compiled!r}")
+            opts = opts.override(compiled=compiled)
+        if parallel is not _UNSET:
+            warn_deprecated_option("PdwSession(parallel=...)",
+                                   f"parallel={parallel!r}")
+            opts = opts.override(parallel=parallel)
         # The session front door runs the parallel appliance runtime by
         # default (the low-level DsqlRunner defaults to the serial
         # reference walk, mirroring the NULL_TRACER convention).
-        self.parallel = resolve_parallel(parallel, default=True)
+        opts = opts.resolved(default_parallel=True)
+        self.options = opts
+        self.compiled = opts.compiled
+        self.parallel = opts.parallel
+        if tracer is None:
+            tracer = Tracer() if opts.trace else NULL_TRACER
+        self.tracer = tracer
+        if metrics is None:
+            metrics = MetricsRegistry() if opts.trace else NULL_METRICS
+        self.metrics = metrics
         self.engine = PdwEngine(shell, serial_config, pdw_config,
                                 tracer=tracer)
         self.runner = DsqlRunner(appliance, tracer=tracer,
-                                 compiled=compiled, metrics=metrics,
-                                 parallel=self.parallel)
+                                 compiled=opts.compiled, metrics=metrics,
+                                 parallel=opts.parallel)
+        # Per-call options may flip compiled/parallel; variant runners
+        # are built lazily and reused.
+        self._runners: Dict[Tuple[bool, bool], DsqlRunner] = {
+            (opts.compiled, opts.parallel): self.runner,
+        }
+
+    # -- options plumbing ------------------------------------------------------
+
+    def _call_options(self, options: Optional[ExecutionOptions],
+                      hints=_UNSET) -> ExecutionOptions:
+        """The effective options for one verb call: per-call object,
+        else the session's; the deprecated ``hints=`` kwarg folds in
+        with a warning."""
+        opts = (options if options is not None
+                else self.options).resolved(default_parallel=True)
+        if hints is not _UNSET and hints is not None:
+            warn_deprecated_option("hints=", f"hints={hints!r}",
+                                   stacklevel=4)
+            opts = opts.override(hints=hints)
+        return opts
+
+    def _runner_for(self, opts: ExecutionOptions) -> DsqlRunner:
+        key = (opts.compiled, bool(opts.parallel))
+        runner = self._runners.get(key)
+        if runner is None:
+            runner = DsqlRunner(self.appliance, tracer=self.tracer,
+                                compiled=opts.compiled,
+                                metrics=self.metrics,
+                                parallel=opts.parallel)
+            self._runners[key] = runner
+        return runner
 
     # -- the three verbs -------------------------------------------------------
 
     def compile(self, sql: Optional[str] = None,
-                hints: Optional[dict] = None) -> CompiledQuery:
+                hints=_UNSET, *,
+                options: Optional[ExecutionOptions] = None
+                ) -> CompiledQuery:
         """Compile SQL (or the session's bound query) into a DSQL plan."""
-        return self.engine.compile(self._resolve(sql), hints=hints)
+        opts = self._call_options(options, hints)
+        return self.engine.compile(self._resolve(sql),
+                                   hints=opts.hints_dict)
 
     def run(self, sql: Optional[str] = None,
-            hints: Optional[dict] = None) -> QueryResult:
-        """Compile and execute on the appliance; returns client rows plus
-        per-step execution stats."""
-        compiled = self.compile(sql, hints=hints)
-        return self.runner.run(compiled.dsql_plan)
+            hints=_UNSET, *,
+            options: Optional[ExecutionOptions] = None) -> QueryResult:
+        """Compile and execute on the appliance.
+
+        The :class:`QueryResult` carries the client rows and per-step
+        stats, plus the compiled-plan handle (``result.plan``) and a
+        wall-clock compile/execute breakdown (``result.timing``);
+        iterating the result iterates its rows.
+        """
+        opts = self._call_options(options, hints)
+        started = time.perf_counter()
+        compiled = self.engine.compile(self._resolve(sql),
+                                       hints=opts.hints_dict)
+        compile_seconds = time.perf_counter() - started
+        execute_started = time.perf_counter()
+        result = self._runner_for(opts).run(compiled.dsql_plan,
+                                            profile=opts.profile)
+        execute_seconds = time.perf_counter() - execute_started
+        result.plan = compiled
+        result.timing = ExecutionTiming(
+            compile_seconds=compile_seconds,
+            execute_seconds=execute_seconds,
+            total_seconds=time.perf_counter() - started,
+        )
+        return result
 
     def explain(self, sql: Optional[str] = None,
                 analyze: bool = False,
                 verbose: bool = False,
                 optimizer: bool = False,
-                hints: Optional[dict] = None) -> str:
+                hints=_UNSET, *,
+                options: Optional[ExecutionOptions] = None) -> str:
         """Render the compiled plan; ``analyze=True`` also executes it and
         appends the per-step estimated-vs-actual table;
         ``optimizer=True`` recompiles with the search-space recorder on
         and appends the "why this plan" §2.5 baseline diff plus the
         enumeration/prune/enforce trace."""
+        opts = self._call_options(options, hints)
         if optimizer:
-            compiled, trace, choice = self.plan_choice(sql, hints=hints)
+            compiled, trace, choice = self.plan_choice(sql, options=opts)
         else:
-            compiled = self.compile(sql, hints=hints)
+            compiled = self.compile(sql, options=opts)
         text = compiled.explain(verbose=verbose)
         if analyze:
             analyses, result = self.analyze_plan(compiled)
@@ -184,7 +272,9 @@ class PdwSession:
         return text
 
     def profile(self, sql: Optional[str] = None,
-                hints: Optional[dict] = None) -> QueryProfile:
+                hints=_UNSET, *,
+                options: Optional[ExecutionOptions] = None
+                ) -> QueryProfile:
         """Compile and execute with per-node / per-operator profiling on.
 
         Returns a :class:`repro.obs.profiler.QueryProfile`: per-step skew
@@ -194,9 +284,11 @@ class PdwSession:
         metrics registry is live the profile is also folded into it, so
         ``session.metrics.render_prometheus()`` includes the run.
         """
+        opts = self._call_options(options, hints)
         resolved = self._resolve(sql)
-        compiled = self.compile(resolved, hints=hints)
-        result = self.runner.run(compiled.dsql_plan, profile=True)
+        compiled = self.compile(resolved, options=opts)
+        result = self._runner_for(opts).run(compiled.dsql_plan,
+                                            profile=True)
         profile = build_query_profile(
             compiled.dsql_plan.steps, result.step_stats,
             node_count=self.appliance.node_count,
@@ -209,15 +301,18 @@ class PdwSession:
         return profile
 
     def profile_report(self, sql: Optional[str] = None,
-                       hints: Optional[dict] = None) -> str:
+                       hints=_UNSET, *,
+                       options: Optional[ExecutionOptions] = None) -> str:
         """:meth:`profile` rendered as per-step and per-operator tables
         with skew and Q-error columns."""
-        return render_profile_report(self.profile(sql, hints=hints))
+        opts = self._call_options(options, hints)
+        return render_profile_report(self.profile(sql, options=opts))
 
     # -- optimizer search-space tracing ----------------------------------------
 
     def optimizer_trace(self, sql: Optional[str] = None,
-                        hints: Optional[dict] = None
+                        hints=_UNSET, *,
+                        options: Optional[ExecutionOptions] = None
                         ) -> Tuple[CompiledQuery, OptimizerTrace]:
         """Compile with a live :class:`repro.obs.OptimizerTrace`.
 
@@ -225,13 +320,16 @@ class PdwSession:
         and every downstream artifact are identical to an untraced
         compilation of the same query.
         """
+        opts = self._call_options(options, hints)
         trace = OptimizerTrace()
-        compiled = self.engine.compile(self._resolve(sql), hints=hints,
+        compiled = self.engine.compile(self._resolve(sql),
+                                       hints=opts.hints_dict,
                                        opt_trace=trace)
         return compiled, trace
 
     def plan_choice(self, sql: Optional[str] = None,
-                    hints: Optional[dict] = None
+                    hints=_UNSET, *,
+                    options: Optional[ExecutionOptions] = None
                     ) -> Tuple[CompiledQuery, OptimizerTrace, PlanChoice]:
         """Traced compilation plus the §2.5 baseline comparison.
 
@@ -239,7 +337,8 @@ class PdwSession:
         comparison are folded into it as ``pdw_optimizer_*`` series, so
         ``session.metrics.render_prometheus()`` includes the run.
         """
-        compiled, trace = self.optimizer_trace(sql, hints=hints)
+        opts = self._call_options(options, hints)
+        compiled, trace = self.optimizer_trace(sql, options=opts)
         choice = explain_plan_choice(compiled, self.shell)
         if self.metrics.enabled:
             optimizer_trace_to_metrics(trace, self.metrics,
@@ -247,11 +346,13 @@ class PdwSession:
         return compiled, trace, choice
 
     def why(self, sql: Optional[str] = None,
-            hints: Optional[dict] = None,
-            top_k: int = 10) -> str:
+            hints=_UNSET,
+            top_k: int = 10, *,
+            options: Optional[ExecutionOptions] = None) -> str:
         """"Why did the optimizer pick this plan?" — the rendered §2.5
         baseline diff followed by the search-space trace tables."""
-        _compiled, trace, choice = self.plan_choice(sql, hints=hints)
+        opts = self._call_options(options, hints)
+        _compiled, trace, choice = self.plan_choice(sql, options=opts)
         return "\n".join([
             render_plan_choice(choice),
             "",

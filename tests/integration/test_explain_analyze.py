@@ -8,7 +8,7 @@ table the ISSUE's acceptance criteria describe.
 
 import pytest
 
-from repro import PdwSession, TPCH_QUERIES
+from repro import ExecutionOptions, PdwSession, TPCH_QUERIES
 from repro.appliance.runner import DsqlRunner
 from repro.common.errors import ReproError
 from repro.pdw.dsql import StepKind
@@ -125,7 +125,8 @@ class TestSessionApi:
 
     def test_untraced_session_still_works(self, tpch):
         appliance, shell = tpch
-        session = PdwSession(appliance=appliance, shell=shell, trace=False)
+        session = PdwSession(appliance=appliance, shell=shell,
+                             options=ExecutionOptions(trace=False))
         result = session.run("SELECT COUNT(*) AS n FROM nation")
         assert result.rows == [(25,)]
         assert session.trace_report() == "(no spans recorded)"

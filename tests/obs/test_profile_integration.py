@@ -16,6 +16,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import OperatorObserver
 from repro.obs.report import render_profile_report
 from repro.pdw.dsql import StepKind
+from repro.service import ExecutionOptions
 from repro.session import PdwSession
 
 JOIN_SQL = (
@@ -147,7 +148,8 @@ class TestDisabledPathOverhead:
 class TestSessionWiring:
     def test_trace_false_uses_null_metrics(self, tpch):
         appliance, shell = tpch
-        quiet = PdwSession(appliance=appliance, shell=shell, trace=False)
+        quiet = PdwSession(appliance=appliance, shell=shell,
+                           options=ExecutionOptions(trace=False))
         assert quiet.metrics.enabled is False
         quiet.profile(JOIN_SQL)  # still works, just records no metrics
         assert quiet.metrics.render_prometheus() == ""
@@ -156,7 +158,8 @@ class TestSessionWiring:
         appliance, shell = tpch
         registry = MetricsRegistry()
         explicit = PdwSession(appliance=appliance, shell=shell,
-                              trace=False, metrics=registry)
+                              options=ExecutionOptions(trace=False),
+                              metrics=registry)
         explicit.profile(JOIN_SQL)
         assert registry.snapshot()
 

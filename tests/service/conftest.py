@@ -1,0 +1,23 @@
+"""Service-layer fixtures: one shared PdwService over the session TPC-H
+appliance.
+
+The service never mutates base tables (every execution runs in a private
+temp namespace and drops exactly its own temps), so sharing the
+session-scoped appliance is safe — and keeps the concurrency tests
+honest, since they all contend on one catalog.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import PdwService
+
+
+@pytest.fixture(scope="module")
+def service(tpch):
+    appliance, shell = tpch
+    svc = PdwService(appliance=appliance, shell=shell,
+                     max_in_flight=4, max_queue=64)
+    yield svc
+    svc.close()

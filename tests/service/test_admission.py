@@ -1,0 +1,201 @@
+"""Admission control: slots, bounded queue, priorities, timeouts."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.common.errors import (
+    AdmissionTimeoutError,
+    QueueFullError,
+    ServiceClosedError,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.service import AdmissionController
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.002)
+    return False
+
+
+class TestFastPath:
+    def test_grant_and_release(self):
+        controller = AdmissionController(max_in_flight=2)
+        a = controller.admit()
+        b = controller.admit(priority="interactive", tenant="acme")
+        assert controller.in_flight == 2
+        assert b.tenant == "acme" and b.priority == "interactive"
+        controller.release(a)
+        controller.release(b)
+        assert controller.in_flight == 0
+        assert controller.stats()["admitted_total"] == 2
+
+    def test_release_is_idempotent(self):
+        controller = AdmissionController(max_in_flight=1)
+        ticket = controller.admit()
+        controller.release(ticket)
+        controller.release(ticket)
+        assert controller.in_flight == 0
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_in_flight=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=-1)
+
+
+class TestQueueFull:
+    def test_zero_queue_rejects_immediately(self):
+        controller = AdmissionController(max_in_flight=1, max_queue=0)
+        holder = controller.admit()
+        with pytest.raises(QueueFullError) as info:
+            controller.admit(tenant="acme", priority="batch")
+        assert info.value.tenant == "acme"
+        assert info.value.priority == "batch"
+        assert controller.stats()["rejected_total"]["queue_full"] == 1
+        controller.release(holder)
+
+    def test_bounded_queue_overflow(self):
+        controller = AdmissionController(max_in_flight=1, max_queue=1)
+        holder = controller.admit()
+        queued_error = []
+
+        def waiter():
+            try:
+                ticket = controller.admit(timeout_seconds=5.0)
+                controller.release(ticket)
+            except Exception as error:  # pragma: no cover - fail path
+                queued_error.append(error)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        assert _wait_until(lambda: controller.queue_depth == 1)
+        with pytest.raises(QueueFullError):
+            controller.admit()  # queue already holds its one waiter
+        controller.release(holder)
+        thread.join(timeout=5.0)
+        assert not thread.is_alive() and not queued_error
+
+
+class TestTimeout:
+    def test_waiter_times_out(self):
+        controller = AdmissionController(max_in_flight=1)
+        holder = controller.admit()
+        started = time.monotonic()
+        with pytest.raises(AdmissionTimeoutError):
+            controller.admit(timeout_seconds=0.05)
+        assert time.monotonic() - started < 2.0
+        assert controller.stats()["rejected_total"]["timeout"] == 1
+        # The timed-out waiter must not leak queue accounting.
+        assert controller.queue_depth == 0
+        controller.release(holder)
+        # And the slot still works afterwards.
+        ticket = controller.admit(timeout_seconds=0.05)
+        controller.release(ticket)
+
+    def test_default_timeout_applies(self):
+        controller = AdmissionController(max_in_flight=1,
+                                         default_timeout_seconds=0.05)
+        holder = controller.admit()
+        with pytest.raises(AdmissionTimeoutError):
+            controller.admit()
+        controller.release(holder)
+
+
+class TestPriorityOrdering:
+    def test_interactive_beats_batch(self):
+        controller = AdmissionController(max_in_flight=1, max_queue=8)
+        holder = controller.admit()
+        grants = []
+
+        def waiter(priority):
+            ticket = controller.admit(priority=priority,
+                                      timeout_seconds=10.0)
+            grants.append(priority)
+            controller.release(ticket)
+
+        batch = threading.Thread(target=waiter, args=("batch",))
+        batch.start()
+        assert _wait_until(lambda: controller.queue_depth == 1)
+        normal = threading.Thread(target=waiter, args=("normal",))
+        normal.start()
+        assert _wait_until(lambda: controller.queue_depth == 2)
+        interactive = threading.Thread(target=waiter,
+                                       args=("interactive",))
+        interactive.start()
+        assert _wait_until(lambda: controller.queue_depth == 3)
+        controller.release(holder)
+        for thread in (batch, normal, interactive):
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+        assert grants == ["interactive", "normal", "batch"]
+
+    def test_fifo_within_class(self):
+        controller = AdmissionController(max_in_flight=1, max_queue=8)
+        holder = controller.admit()
+        grants = []
+        threads = []
+        for label in ("first", "second", "third"):
+            def waiter(tag=label):
+                ticket = controller.admit(timeout_seconds=10.0)
+                grants.append(tag)
+                controller.release(ticket)
+
+            thread = threading.Thread(target=waiter)
+            threads.append(thread)
+            depth = len(threads)
+            thread.start()
+            assert _wait_until(
+                lambda want=depth: controller.queue_depth == want)
+        controller.release(holder)
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert grants == ["first", "second", "third"]
+
+
+class TestClose:
+    def test_close_wakes_waiters(self):
+        controller = AdmissionController(max_in_flight=1)
+        holder = controller.admit()
+        errors = []
+
+        def waiter():
+            try:
+                controller.admit(timeout_seconds=10.0)
+            except ServiceClosedError as error:
+                errors.append(error)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        assert _wait_until(lambda: controller.queue_depth == 1)
+        controller.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert len(errors) == 1
+        with pytest.raises(ServiceClosedError):
+            controller.admit()
+        controller.release(holder)
+
+
+class TestMetrics:
+    def test_series_exported(self):
+        metrics = MetricsRegistry()
+        controller = AdmissionController(max_in_flight=1, max_queue=0,
+                                         metrics=metrics)
+        ticket = controller.admit(priority="interactive")
+        with pytest.raises(QueueFullError):
+            controller.admit()
+        controller.release(ticket)
+        text = metrics.render_prometheus()
+        assert 'pdw_service_admitted_total{priority="interactive"} 1' \
+            in text
+        assert 'pdw_service_rejected_total{priority="normal",' \
+               'reason="queue_full"} 1' in text
+        assert "pdw_service_in_flight 0" in text

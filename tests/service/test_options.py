@@ -1,0 +1,186 @@
+"""ExecutionOptions: the unified options surface and its shims."""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro import ExecutionOptions, PdwSession
+from repro.common.errors import ReproError
+from repro.service.options import PRIORITY_CLASSES, normalize_hints
+
+
+class TestDefaults:
+    def test_defaults(self):
+        opts = ExecutionOptions()
+        assert opts.compiled is True
+        assert opts.parallel is None
+        assert opts.trace is True
+        assert opts.profile is False
+        assert opts.hints is None
+        assert opts.use_plan_cache is True
+        assert opts.priority == "normal"
+        assert opts.tenant == "default"
+        assert opts.timeout_seconds is None
+        assert opts.env_resolved is False
+
+    def test_frozen(self):
+        opts = ExecutionOptions()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            opts.compiled = False
+
+    def test_equal_and_hashable(self):
+        a = ExecutionOptions(hints={"orders": "replicate"})
+        b = ExecutionOptions(hints=(("orders", "replicate"),))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unknown_priority_rejected(self):
+        with pytest.raises(ReproError, match="priority"):
+            ExecutionOptions(priority="urgent")
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ReproError, match="timeout"):
+            ExecutionOptions(timeout_seconds=-1.0)
+
+    def test_priority_rank_order(self):
+        ranks = [ExecutionOptions(priority=p).priority_rank
+                 for p in ("interactive", "normal", "batch")]
+        assert ranks == sorted(ranks)
+        assert len(set(ranks)) == len(PRIORITY_CLASSES)
+
+
+class TestHints:
+    def test_mapping_normalized_sorted_lowercase(self):
+        normalized = normalize_hints({"Orders": "replicate",
+                                      "customer": "shuffle"})
+        assert normalized == (("customer", "shuffle"),
+                              ("orders", "replicate"))
+
+    def test_empty_is_none(self):
+        assert normalize_hints({}) is None
+        assert normalize_hints(None) is None
+
+    def test_hints_dict_round_trip(self):
+        opts = ExecutionOptions(hints={"orders": "replicate"})
+        assert opts.hints_dict == {"orders": "replicate"}
+        assert ExecutionOptions().hints_dict is None
+
+    def test_with_hints_and_override(self):
+        base = ExecutionOptions()
+        hinted = base.with_hints({"orders": "replicate"})
+        assert hinted.hints == (("orders", "replicate"),)
+        assert base.hints is None  # frozen: original untouched
+        overridden = hinted.override(tenant="acme", priority="batch")
+        assert overridden.tenant == "acme"
+        assert overridden.hints == hinted.hints
+
+
+class TestEnvResolution:
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_RUNTIME", "0")
+        assert ExecutionOptions(parallel=True).resolved().parallel is True
+
+    def test_env_wins_over_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_RUNTIME", "0")
+        resolved = ExecutionOptions().resolved(default_parallel=True)
+        assert resolved.parallel is False
+
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL_RUNTIME", raising=False)
+        assert ExecutionOptions().resolved(
+            default_parallel=True).parallel is True
+        assert ExecutionOptions().resolved(
+            default_parallel=False).parallel is False
+
+    def test_resolution_is_idempotent(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL_RUNTIME", raising=False)
+        resolved = ExecutionOptions().resolved(default_parallel=True)
+        assert resolved.env_resolved is True
+        # A resolved object never re-reads the environment.
+        monkeypatch.setenv("REPRO_PARALLEL_RUNTIME", "0")
+        assert resolved.resolved(default_parallel=False) is resolved
+
+
+class TestDeprecationShims:
+    """The old kwarg spellings still work, but warn."""
+
+    def test_session_ctor_kwargs_warn_and_apply(self, tpch):
+        appliance, shell = tpch
+        with pytest.warns(DeprecationWarning, match="compiled"):
+            session = PdwSession(appliance=appliance, shell=shell,
+                                 compiled=False)
+        assert session.options.compiled is False
+        with pytest.warns(DeprecationWarning, match="trace"):
+            session = PdwSession(appliance=appliance, shell=shell,
+                                 trace=False)
+        assert session.options.trace is False
+        assert not session.metrics.enabled
+        with pytest.warns(DeprecationWarning, match="parallel"):
+            session = PdwSession(appliance=appliance, shell=shell,
+                                 parallel=False)
+        assert session.options.parallel is False
+
+    def test_per_call_hints_kwarg_warns(self, tpch):
+        appliance, shell = tpch
+        session = PdwSession(appliance=appliance, shell=shell)
+        with pytest.warns(DeprecationWarning, match="hints"):
+            compiled = session.compile(
+                "SELECT COUNT(*) AS n FROM orders, customer "
+                "WHERE o_custkey = c_custkey",
+                hints={"customer": "replicate"})
+        assert compiled is not None
+
+    def test_options_spelling_is_clean(self, tpch):
+        appliance, shell = tpch
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            session = PdwSession(
+                appliance=appliance, shell=shell,
+                options=ExecutionOptions(
+                    hints={"customer": "replicate"}))
+            result = session.run(
+                "SELECT COUNT(*) AS n FROM orders, customer "
+                "WHERE o_custkey = c_custkey")
+        assert result.rows
+
+
+class TestSessionOptionsIntegration:
+    def test_run_attaches_plan_and_timing(self, tpch):
+        appliance, shell = tpch
+        session = PdwSession(appliance=appliance, shell=shell,
+                             options=ExecutionOptions(trace=False))
+        result = session.run("SELECT COUNT(*) AS n FROM lineitem")
+        assert result.plan is not None
+        assert result.plan.dsql_plan.steps
+        assert result.cache_hit is False
+        assert result.timing is not None
+        assert result.timing.compile_seconds > 0
+        assert result.timing.execute_seconds > 0
+        assert (result.timing.total_seconds
+                >= result.timing.compile_seconds)
+
+    def test_result_iter_and_len(self, tpch):
+        appliance, shell = tpch
+        session = PdwSession(appliance=appliance, shell=shell,
+                             options=ExecutionOptions(trace=False))
+        result = session.run(
+            "SELECT n_name FROM nation ORDER BY n_name LIMIT 5")
+        assert len(result) == 5
+        assert list(result) == result.rows
+
+    def test_per_call_options_flip_runtime(self, tpch):
+        appliance, shell = tpch
+        session = PdwSession(appliance=appliance, shell=shell,
+                             options=ExecutionOptions(trace=False))
+        serial = session.run(
+            "SELECT COUNT(*) AS n FROM lineitem",
+            options=ExecutionOptions(parallel=False))
+        parallel = session.run(
+            "SELECT COUNT(*) AS n FROM lineitem",
+            options=ExecutionOptions(parallel=True))
+        assert serial.rows == parallel.rows
+        # Variant runners are cached, not rebuilt per call.
+        assert len(session._runners) <= 3

@@ -1,0 +1,232 @@
+"""PdwService end to end: caching, concurrency, accounting, correctness.
+
+The hammer tests are the PR's acceptance gate: many threads, same and
+distinct shapes, exactly one compilation per normalized key, and results
+identical to an uncached serial session across the TPC-H suite.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from tests.conftest import canonical
+from repro import ExecutionOptions, PdwSession
+from repro.service import PdwService, run_traffic
+from repro.workloads.tpch_queries import TPCH_QUERIES
+
+#: The suite subset whose plans materialize temp tables and stress every
+#: movement kind; the full-suite equivalence test below covers the rest.
+HAMMER_TEMPLATES = [
+    "SELECT COUNT(*) AS n FROM lineitem WHERE l_quantity < {}",
+    "SELECT n_name FROM nation WHERE n_nationkey < {} ORDER BY n_name",
+    "SELECT c_custkey, o_orderdate FROM orders, customer "
+    "WHERE o_custkey = c_custkey AND o_totalprice > {}",
+]
+
+
+@pytest.fixture(scope="module")
+def baseline_session(tpch):
+    appliance, shell = tpch
+    return PdwSession(appliance=appliance, shell=shell,
+                      options=ExecutionOptions(trace=False))
+
+
+class TestQueryResultSurface:
+    def test_fields_on_miss_and_hit(self, service):
+        sql = "SELECT COUNT(*) AS n FROM orders WHERE o_orderkey < 100"
+        miss = service.execute(sql)
+        assert miss.cache_hit is False
+        assert miss.plan is not None and miss.plan.dsql_plan.steps
+        assert miss.timing is not None
+        assert miss.timing.compile_seconds > 0
+        hit = service.execute(sql)
+        assert hit.cache_hit is True
+        assert hit.timing.compile_seconds == 0.0
+        assert hit.rows == miss.rows
+        assert list(hit) == hit.rows and len(hit) == len(hit.rows)
+
+    def test_columns_preserved(self, service, baseline_session):
+        sql = "SELECT n_name, n_nationkey FROM nation ORDER BY n_name"
+        result = service.execute(sql)
+        expected = baseline_session.run(sql)
+        assert result.columns == expected.columns
+        assert result.rows == expected.rows
+
+    def test_plan_cache_opt_out(self, service):
+        sql = ("SELECT COUNT(*) AS n FROM supplier "
+               "WHERE s_suppkey < 5")
+        first = service.execute(
+            sql, options=ExecutionOptions(use_plan_cache=False))
+        second = service.execute(
+            sql, options=ExecutionOptions(use_plan_cache=False))
+        assert first.cache_hit is False and second.cache_hit is False
+        assert first.rows == second.rows
+
+
+class TestMetricsAccounting:
+    def test_cache_and_tenant_series(self, tpch):
+        appliance, shell = tpch
+        service = PdwService(appliance=appliance, shell=shell)
+        try:
+            sql = "SELECT COUNT(*) AS n FROM region WHERE r_regionkey < {}"
+            service.execute(sql.format(3), tenant="acme")
+            service.execute(sql.format(4), tenant="acme")
+            text = service.metrics_text()
+            assert "pdw_service_plan_cache_hits 1" in text
+            assert "pdw_service_plan_cache_misses 1" in text
+            assert ('pdw_service_queries_total{outcome="ok",'
+                    'priority="normal",tenant="acme"} 2') in text
+            assert 'pdw_service_tenant_seconds_total{tenant="acme"}' \
+                in text
+            assert "pdw_service_latency_seconds_bucket" in text
+        finally:
+            service.close()
+
+    def test_failed_queries_accounted(self, tpch):
+        appliance, shell = tpch
+        service = PdwService(appliance=appliance, shell=shell)
+        try:
+            with pytest.raises(Exception):
+                service.execute("SELECT nope FROM nowhere")
+            assert 'outcome="failed"' in service.metrics_text()
+            assert service.admission.in_flight == 0, \
+                "a failed query must release its slot"
+        finally:
+            service.close()
+
+
+class TestConcurrencyHammer:
+    def test_single_compilation_per_shape(self, tpch):
+        appliance, shell = tpch
+        service = PdwService(appliance=appliance, shell=shell,
+                             max_in_flight=4, max_queue=256)
+        compile_calls = []
+        inner_compile = service.engine.compile
+
+        def counting_compile(sql, **kwargs):
+            compile_calls.append(sql)
+            return inner_compile(sql, **kwargs)
+
+        service.engine.compile = counting_compile
+        try:
+            # Distinct integer literals per arrival — every execution
+            # after the first per template is a bind-and-substitute hit.
+            expected = {}
+            arrivals = []
+            rng = random.Random(7)
+            for i in range(24):
+                template = HAMMER_TEMPLATES[i % len(HAMMER_TEMPLATES)]
+                sql = template.format(10 + i + rng.randint(0, 3) * 100)
+                arrivals.append(sql)
+            baseline = PdwSession(appliance=appliance, shell=shell,
+                                  options=ExecutionOptions(trace=False))
+            for sql in set(arrivals):
+                expected[sql] = canonical(baseline.run(sql).rows)
+
+            failures = []
+
+            def client(worker_id):
+                for index, sql in enumerate(arrivals):
+                    if index % 4 != worker_id % 4:
+                        continue
+                    result = service.execute(sql)
+                    if canonical(result.rows) != expected[sql]:
+                        failures.append((sql, result.rows))
+
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120.0)
+                assert not thread.is_alive()
+            assert not failures, failures[:2]
+            # One compile per distinct shape, no duplicate single-flight
+            # losers, no ambiguity recompiles for these literal choices.
+            assert len(compile_calls) == len(HAMMER_TEMPLATES)
+            for entry in service.plan_cache.entries():
+                assert entry.compile_count == 1
+            # A racer that misses lookup but loses the single-flight
+            # race still counts a miss, so misses may exceed the
+            # template count — but every arrival is accounted.
+            stats = service.plan_cache.stats()
+            assert stats["hits"] + stats["misses"] == 24
+            assert stats["misses"] >= len(HAMMER_TEMPLATES)
+            assert stats["hits"] >= 24 - 2 * len(HAMMER_TEMPLATES)
+        finally:
+            service.close()
+
+    def test_no_temp_tables_leak(self, tpch):
+        appliance, shell = tpch
+        service = PdwService(appliance=appliance, shell=shell,
+                             max_in_flight=4)
+        try:
+            sql = TPCH_QUERIES["Q3"]  # multi-step plan with temps
+
+            def client():
+                service.execute(sql)
+
+            threads = [threading.Thread(target=client) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120.0)
+                assert not thread.is_alive()
+            leftovers = [t.name for t in appliance.catalog.tables()
+                         if t.is_temp]
+            assert leftovers == [], \
+                f"executions must drop exactly their own temps: {leftovers}"
+        finally:
+            service.close()
+
+    def test_submit_and_execute_many(self, service):
+        statements = [
+            "SELECT COUNT(*) AS n FROM nation WHERE n_nationkey < 5",
+            "SELECT COUNT(*) AS n FROM nation WHERE n_nationkey < 9",
+            "SELECT COUNT(*) AS n FROM nation WHERE n_nationkey < 21",
+        ]
+        results = service.execute_many(statements)
+        assert [r.rows[0][0] for r in results] == [5, 9, 21]
+
+    def test_traffic_run_is_clean(self, tpch):
+        appliance, shell = tpch
+        service = PdwService(appliance=appliance, shell=shell,
+                             max_in_flight=4, max_queue=128)
+        try:
+            report = run_traffic(service, clients=3,
+                                 queries_per_client=4, seed=99)
+        finally:
+            service.close()
+        assert report.errors == 0
+        assert report.completed + report.rejected == 12
+        assert report.completed > 0
+        assert report.p99 >= report.p95 >= report.p50 > 0
+        assert report.queries_per_second > 0
+
+
+class TestTpchSuiteEquivalence:
+    """Cached execution is row-identical to an uncached serial session
+    across the whole TPC-H suite (miss path AND pure-hit path)."""
+
+    def test_suite_cached_equals_uncached(self, tpch):
+        appliance, shell = tpch
+        service = PdwService(appliance=appliance, shell=shell)
+        baseline = PdwSession(appliance=appliance, shell=shell,
+                              options=ExecutionOptions(trace=False,
+                                                       parallel=False))
+        try:
+            for name, sql in TPCH_QUERIES.items():
+                expected = canonical(baseline.run(sql).rows)
+                miss = service.execute(sql)
+                hit = service.execute(sql)
+                assert hit.cache_hit is True, name
+                assert canonical(miss.rows) == expected, name
+                assert canonical(hit.rows) == expected, name
+        finally:
+            service.close()
+        stats = service.plan_cache.stats()
+        assert stats["misses"] == len(TPCH_QUERIES)
+        assert stats["hits"] == len(TPCH_QUERIES)
