@@ -1,21 +1,24 @@
-"""Executor throughput: compiled closure backend vs. reference interpreter.
+"""Executor throughput: reference interpreter vs compiled closures vs
+vectorized column kernels.
 
-Compiles the TPC-H workload once, then executes every DSQL plan with both
-executor backends and reports wall-clock throughput in processed rows per
-second.  "Processed rows" counts every row each plan touches — rows moved
-by DMS steps plus rows gathered by the Return step — so both backends are
-charged for identical work and the rows/sec ratio equals the wall-clock
-speedup.
+Compiles the TPC-H workload once, then executes every DSQL plan with all
+three executor backends and reports wall-clock throughput in processed
+rows per second.  "Processed rows" counts every row each plan touches —
+rows moved by DMS steps plus rows gathered by the Return step — so the
+backends are charged for identical work and the rows/sec ratio equals
+the wall-clock speedup.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_executor_throughput.py
     PYTHONPATH=src python benchmarks/bench_executor_throughput.py --quick
 
-``--quick`` shrinks the appliance and query set for the CI perf smoke and
-exits non-zero if the compiled backend is not faster than the interpreter
-(a compiled-executor performance regression).  The full run archives its
-table under ``benchmarks/results/executor_throughput.txt``.
+``--quick`` shrinks the appliance and query set for the CI perf smoke
+and exits non-zero if either (a) the compiled backend is not faster than
+the interpreter overall, or (b) the vectorized backend is slower than
+the compiled backend on Q1's scan-aggregate — the workload the columnar
+layout exists for.  The full run archives its table under
+``benchmarks/results/E18_vectorized_throughput.txt``.
 """
 
 from __future__ import annotations
@@ -24,7 +27,7 @@ import argparse
 import pathlib
 import sys
 import time
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.appliance.runner import DsqlRunner
 from repro.pdw.engine import PdwEngine
@@ -34,6 +37,7 @@ from repro.workloads.tpch_queries import TPCH_QUERIES, query_names
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 QUICK_QUERIES = ("Q1", "Q6", "Q12", "Q14")
+BACKENDS = ("reference", "compiled", "vectorized")
 
 
 def compile_workload(engine: PdwEngine, names) -> Dict[str, object]:
@@ -46,10 +50,10 @@ def processed_rows(result) -> int:
     return sum(stats.rows_moved for stats in result.step_stats)
 
 
-def time_backend(appliance, plans: Dict[str, object], compiled: bool,
+def time_backend(appliance, plans: Dict[str, object], executor: str,
                  repeat: int) -> Dict[str, Tuple[float, int]]:
     """Per query: (best wall-clock seconds, processed rows per run)."""
-    runner = DsqlRunner(appliance, compiled=compiled)
+    runner = DsqlRunner(appliance, executor=executor)
     timings: Dict[str, Tuple[float, int]] = {}
     for name, plan in plans.items():
         best = float("inf")
@@ -66,10 +70,11 @@ def time_backend(appliance, plans: Dict[str, object], compiled: bool,
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="executor throughput: compiled vs interpreter")
+        description="executor throughput: reference vs compiled vs "
+                    "vectorized")
     parser.add_argument("--quick", action="store_true",
-                        help="small appliance + query subset; exit 1 if "
-                             "the compiled backend is slower (CI smoke)")
+                        help="small appliance + query subset; exit 1 on "
+                             "a backend performance regression (CI smoke)")
     parser.add_argument("--scale", type=float, default=None,
                         help="TPC-H scale (default 0.003, quick 0.002)")
     parser.add_argument("--nodes", type=int, default=None,
@@ -92,39 +97,44 @@ def main(argv=None) -> int:
     engine = PdwEngine(shell)
     plans = compile_workload(engine, names)
 
-    # Warm both backends once (populates caches, excludes first-run
-    # artifacts from the timings below).
-    time_backend(appliance, plans, compiled=True, repeat=1)
-    time_backend(appliance, plans, compiled=False, repeat=1)
+    # Warm every backend once (populates bind/kernel caches, excludes
+    # first-run artifacts from the timings below).
+    for executor in BACKENDS:
+        time_backend(appliance, plans, executor, repeat=1)
 
-    interpreted = time_backend(appliance, plans, compiled=False,
-                               repeat=repeat)
-    compiled = time_backend(appliance, plans, compiled=True,
-                            repeat=repeat)
+    timings = {executor: time_backend(appliance, plans, executor, repeat)
+               for executor in BACKENDS}
 
     header = (f"{'query':<6} {'rows':>8} {'interp s':>10} "
-              f"{'compiled s':>10} {'interp r/s':>12} "
-              f"{'compiled r/s':>13} {'speedup':>8}")
-    lines: List[str] = [header, "-" * len(header)]
+              f"{'compiled s':>10} {'vector s':>10} "
+              f"{'compiled r/s':>13} {'vector r/s':>12} "
+              f"{'comp/int':>8} {'vec/comp':>8}")
+    lines = [header, "-" * len(header)]
+    totals = {executor: 0.0 for executor in BACKENDS}
     total_rows = 0
-    total_interp = 0.0
-    total_compiled = 0.0
     for name in names:
-        interp_s, rows = interpreted[name]
-        compiled_s, _ = compiled[name]
+        interp_s, rows = timings["reference"][name]
+        compiled_s, _ = timings["compiled"][name]
+        vector_s, _ = timings["vectorized"][name]
         total_rows += rows
-        total_interp += interp_s
-        total_compiled += compiled_s
+        totals["reference"] += interp_s
+        totals["compiled"] += compiled_s
+        totals["vectorized"] += vector_s
         lines.append(
             f"{name:<6} {rows:>8} {interp_s:>10.4f} {compiled_s:>10.4f} "
-            f"{rows / interp_s:>12.0f} {rows / compiled_s:>13.0f} "
-            f"{interp_s / compiled_s:>7.2f}x")
-    speedup = total_interp / total_compiled
+            f"{vector_s:>10.4f} {rows / compiled_s:>13.0f} "
+            f"{rows / vector_s:>12.0f} "
+            f"{interp_s / compiled_s:>7.2f}x "
+            f"{compiled_s / vector_s:>7.2f}x")
+    compiled_speedup = totals["reference"] / totals["compiled"]
+    vector_speedup = totals["compiled"] / totals["vectorized"]
     lines.append("-" * len(header))
     lines.append(
-        f"{'total':<6} {total_rows:>8} {total_interp:>10.4f} "
-        f"{total_compiled:>10.4f} {total_rows / total_interp:>12.0f} "
-        f"{total_rows / total_compiled:>13.0f} {speedup:>7.2f}x")
+        f"{'total':<6} {total_rows:>8} {totals['reference']:>10.4f} "
+        f"{totals['compiled']:>10.4f} {totals['vectorized']:>10.4f} "
+        f"{total_rows / totals['compiled']:>13.0f} "
+        f"{total_rows / totals['vectorized']:>12.0f} "
+        f"{compiled_speedup:>7.2f}x {vector_speedup:>7.2f}x")
 
     table = "\n".join(lines)
     print()
@@ -132,14 +142,27 @@ def main(argv=None) -> int:
 
     if not args.quick:
         RESULTS_DIR.mkdir(exist_ok=True)
-        path = RESULTS_DIR / "executor_throughput.txt"
+        path = RESULTS_DIR / "E18_vectorized_throughput.txt"
         path.write_text(table + "\n")
         print(f"\narchived to {path}")
 
-    if args.quick and speedup <= 1.0:
-        print(f"\nFAIL: compiled backend is not faster than the "
-              f"interpreter (speedup {speedup:.2f}x)")
-        return 1
+    if args.quick:
+        failures = []
+        if compiled_speedup <= 1.0:
+            failures.append(
+                f"compiled backend is not faster than the interpreter "
+                f"(speedup {compiled_speedup:.2f}x)")
+        q1_compiled, _ = timings["compiled"]["Q1"]
+        q1_vector, _ = timings["vectorized"]["Q1"]
+        if q1_vector > q1_compiled:
+            failures.append(
+                f"vectorized backend is slower than compiled on Q1 "
+                f"({q1_vector:.4f}s vs {q1_compiled:.4f}s, "
+                f"{q1_compiled / q1_vector:.2f}x)")
+        if failures:
+            for failure in failures:
+                print(f"\nFAIL: {failure}")
+            return 1
     return 0
 
 

@@ -13,11 +13,19 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_parallel_runtime.py
     PYTHONPATH=src python benchmarks/bench_parallel_runtime.py --quick
+    PYTHONPATH=src python benchmarks/bench_parallel_runtime.py \
+        --executor vectorized
 
-``--quick`` shrinks the appliance matrix for the CI perf smoke and exits
-non-zero if the backends disagree on rows or the parallel runtime is
-catastrophically slower (>2x) — a scheduling regression.  The full run
-archives its table under ``benchmarks/results/parallel_runtime.txt``.
+``--executor`` selects the execution backend both runners use (default
+``compiled``); with ``vectorized`` the comparison measures the DAG
+runtime over columnar batch execution, where each node's step does
+fewer, larger Python operations and spends proportionally less time
+contending for the GIL.  ``--quick`` shrinks the appliance matrix for
+the CI perf smoke and exits non-zero if the backends disagree on rows
+or the parallel runtime is catastrophically slower (>2x) — a
+scheduling regression.  The full run archives its table under
+``benchmarks/results/parallel_runtime.txt`` (per-executor suffix for
+non-default backends).
 
 Interpreting the numbers: the simulated node work is pure Python, so on
 a stock (GIL) CPython build node threads interleave instead of truly
@@ -70,6 +78,10 @@ def main(argv=None) -> int:
     parser.add_argument("--repeat", type=int, default=None,
                         help="timed runs per query, best kept "
                              "(default 3, quick 2)")
+    parser.add_argument("--executor", default="compiled",
+                        choices=("reference", "compiled", "vectorized"),
+                        help="execution backend for both runners "
+                             "(default compiled)")
     args = parser.parse_args(argv)
 
     scale = args.scale if args.scale is not None else (
@@ -94,8 +106,10 @@ def main(argv=None) -> int:
         engine = PdwEngine(shell)
         plans = {name: engine.compile(TPCH_QUERIES[name]).dsql_plan
                  for name in QUERIES}
-        serial_runner = DsqlRunner(appliance, parallel=False)
-        parallel_runner = DsqlRunner(appliance, parallel=True)
+        serial_runner = DsqlRunner(appliance, parallel=False,
+                                   executor=args.executor)
+        parallel_runner = DsqlRunner(appliance, parallel=True,
+                                     executor=args.executor)
         # warm caches (parse/bind, compiled closures, thread pools)
         for plan in plans.values():
             serial_runner.run(plan)
@@ -127,7 +141,9 @@ def main(argv=None) -> int:
 
     if not args.quick:
         RESULTS_DIR.mkdir(exist_ok=True)
-        path = RESULTS_DIR / "parallel_runtime.txt"
+        suffix = ("" if args.executor == "compiled"
+                  else f"_{args.executor}")
+        path = RESULTS_DIR / f"parallel_runtime{suffix}.txt"
         path.write_text(table + "\n")
         print(f"\narchived to {path}")
 

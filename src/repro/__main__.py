@@ -40,8 +40,10 @@ same numbers as validated events and ``pdw_optimizer_*`` series.
 Options ``--scale`` and ``--nodes`` size the appliance (defaults: scale
 0.002, 8 nodes).  ``--trace`` appends the nested telemetry span tree
 (parse → serial → XML → PDW → DSQL → execute) to any command's output.
-``--no-compiled-exec`` runs queries with the reference tree-walking
-interpreter instead of the compiled closure backend.
+``--executor {reference,compiled,vectorized}`` picks the execution
+backend by name — ``vectorized`` runs DSQL steps batch-at-a-time over
+columnar fragments (:mod:`repro.vector`); ``--no-compiled-exec`` is the
+legacy spelling of ``--executor reference``.
 ``--serial-runtime`` executes DSQL plans with the §2.4 serial reference
 walk (one step at a time, one node at a time) instead of the parallel
 runtime (step DAG + node thread pool + fast-path routing); both produce
@@ -75,10 +77,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="compute node count (default 8)")
     parser.add_argument("--trace", action="store_true",
                         help="print the telemetry span tree afterwards")
+    parser.add_argument("--executor",
+                        choices=("reference", "compiled", "vectorized"),
+                        default=None,
+                        help="execution backend: reference (tree-walking "
+                             "interpreter), compiled (closure backend, "
+                             "default) or vectorized (columnar batch "
+                             "kernels)")
     parser.add_argument("--no-compiled-exec", action="store_true",
                         help="execute with the reference tree-walking "
                              "interpreter instead of the compiled "
-                             "closure backend")
+                             "closure backend (same as "
+                             "--executor reference)")
     parser.add_argument("--serial-runtime", action="store_true",
                         help="execute DSQL plans serially (one step at "
                              "a time, one node at a time) instead of "
@@ -190,6 +200,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cli_options(args) -> ExecutionOptions:
+    """ExecutionOptions from the global CLI flags.  An explicit
+    ``--executor`` wins; ``--no-compiled-exec`` is the legacy spelling
+    of ``--executor reference``."""
+    executor = args.executor
+    if executor is None and args.no_compiled_exec:
+        executor = "reference"
+    return ExecutionOptions(
+        executor=executor,
+        parallel=False if args.serial_runtime else None)
+
+
 def _run_service_traffic(args):
     """Build a service, drive the traffic mix, return (service, report).
 
@@ -200,9 +222,7 @@ def _run_service_traffic(args):
 
     service = PdwService(
         scale=args.scale, node_count=args.nodes,
-        options=ExecutionOptions(
-            compiled=not args.no_compiled_exec,
-            parallel=False if args.serial_runtime else None),
+        options=_cli_options(args),
         max_in_flight=args.max_in_flight,
         max_queue=args.max_queue,
         plan_cache_size=args.cache_size)
@@ -293,9 +313,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     session = PdwSession(
         args.sql, scale=args.scale, node_count=args.nodes,
-        options=ExecutionOptions(
-            compiled=not args.no_compiled_exec,
-            parallel=False if args.serial_runtime else None))
+        options=_cli_options(args))
 
     if args.command == "memo":
         compiled = session.compile()

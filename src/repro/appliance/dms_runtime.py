@@ -27,6 +27,7 @@ materializing N copies of every row.
 
 from __future__ import annotations
 
+import operator
 import threading
 import time
 from collections import OrderedDict
@@ -46,6 +47,7 @@ from repro.appliance.storage import (
     row_bytes,
 )
 from repro.common.errors import DmsError
+from repro.common.executors import resolve_executor
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.obs.profiler import OperatorObserver
 from repro.optimizer.binder import Binder
@@ -53,6 +55,7 @@ from repro.pdw.dms import DmsOperation
 from repro.pdw.dsql import DsqlStep
 from repro.sql.parser import parse_query
 from repro.telemetry import NULL_TRACER, Tracer
+from repro.vector.executor import VectorInterpreter
 
 
 @dataclass(frozen=True)
@@ -218,6 +221,61 @@ def route_batch_fast(operation: DmsOperation, rows: List[Tuple],
     raise DmsError(f"unknown DMS operation {operation}")
 
 
+def route_batch_columnar(operation: DmsOperation, rows: List[Tuple],
+                         sizes: List[int], hash_index: Optional[int],
+                         node_count: int, source_id: int
+                         ) -> Tuple[List[Delivery], int]:
+    """Column-at-a-time routing for the vectorized backend.
+
+    The distribution key is lifted out of the row batch as one column,
+    ``pdw_hash`` runs over the whole key column in a single pass, and
+    the resulting owner vector drives a bucket-wise scatter of rows and
+    sizes — the hash/modulo work never interleaves with per-row tuple
+    handling.  Broadcast-style moves are already batch-level and share
+    :func:`route_batch_fast`'s single-shared-list path.  Byte/row
+    accounting is bit-identical to both row routers; the equivalence
+    tests pin all three against each other.
+    """
+    if not rows:
+        return [], 0
+
+    if operation is DmsOperation.SHUFFLE_MOVE:
+        if hash_index is None:
+            raise DmsError("shuffle move without a hash column")
+        pick = operator.itemgetter(hash_index)
+        owners = [pdw_hash(key) % node_count for key in map(pick, rows)]
+        buckets: List[List[Tuple]] = [[] for _ in range(node_count)]
+        bucket_bytes = [0] * node_count
+        for owner, row, size in zip(owners, rows, sizes):
+            buckets[owner].append(row)
+            bucket_bytes[owner] += size
+        deliveries = [
+            (owner, buckets[owner], bucket_bytes[owner])
+            for owner in range(node_count) if buckets[owner]
+        ]
+        sent = sum(
+            bucket_bytes[owner] for owner in range(node_count)
+            if buckets[owner] and owner != source_id
+        )
+        return deliveries, sent
+
+    if operation is DmsOperation.TRIM_MOVE:
+        if hash_index is None:
+            raise DmsError("trim move without a hash column")
+        pick = operator.itemgetter(hash_index)
+        owners = [pdw_hash(key) % node_count for key in map(pick, rows)]
+        kept = [row for owner, row in zip(owners, rows)
+                if owner == source_id]
+        if not kept:
+            return [], 0  # trimmed rows never leave their node
+        kept_bytes = sum(size for owner, size in zip(owners, sizes)
+                         if owner == source_id)
+        return [(source_id, kept, kept_bytes)], 0
+
+    return route_batch_fast(operation, rows, sizes, hash_index,
+                            node_count, source_id)
+
+
 @dataclass
 class _SourceRun:
     """One node's extract+route output, merged in node order."""
@@ -250,6 +308,13 @@ class DmsRuntime:
     on a thread pool sized to the appliance's node count and routing
     takes the fast path (:func:`route_batch_fast`).  The parse/bind
     caches are lock-guarded, so worker threads share them safely.
+
+    ``executor`` names the node-local backend outright ("reference",
+    "compiled", "vectorized"); when given it supersedes the legacy
+    ``compiled`` boolean.  ``"vectorized"`` runs step SQL through
+    :class:`repro.vector.VectorInterpreter` and routes DMS batches
+    column-wise (:func:`route_batch_columnar`) in both runtime modes;
+    it shares the compiled backend's step bind cache.
     """
 
     def __init__(self, appliance: Appliance,
@@ -257,11 +322,16 @@ class DmsRuntime:
                  tracer: Tracer = NULL_TRACER,
                  compiled: bool = True,
                  metrics: MetricsRegistry = NULL_METRICS,
-                 parallel: Optional[bool] = None):
+                 parallel: Optional[bool] = None,
+                 executor: Optional[str] = None):
         self.appliance = appliance
         self.truth = truth or GroundTruthConstants()
         self.tracer = tracer
-        self.compiled = compiled
+        # ``executor`` is canonical; the legacy boolean is re-derived
+        # from it so the step bind cache keeps its contract (only the
+        # reference backend re-parses per node).
+        self.executor = resolve_executor(executor, compiled)
+        self.compiled = self.executor != "reference"
         self.metrics = metrics
         self.parallel = resolve_parallel(parallel, default=False)
         # Profiled runs (DsqlRunner.run(profile=True)) flip this on to
@@ -334,9 +404,13 @@ class DmsRuntime:
                         ) -> Tuple[List[Tuple], List[str]]:
         """Bind (cached) and execute a step's SQL on one node."""
         query = self._bind_step(sql)
-        interpreter = PlanInterpreter(node.tables, stats,
-                                      compiled=self.compiled,
-                                      observer=observer)
+        if self.executor == "vectorized":
+            interpreter = VectorInterpreter(node.tables, stats,
+                                            observer=observer)
+        else:
+            interpreter = PlanInterpreter(node.tables, stats,
+                                          compiled=self.compiled,
+                                          observer=observer)
         rows = interpreter.run_query(query)
         return rows, query.output_names
 
@@ -408,6 +482,15 @@ class DmsRuntime:
         operation = step.movement.operation if step.movement else None
         profiling = self.profiling
         parallel = self.parallel
+        # The vectorized backend routes column-wise in both runtime
+        # modes; otherwise the parallel runtime takes the fused fast
+        # path and the serial walk keeps the reference router.
+        if self.executor == "vectorized":
+            route = route_batch_columnar
+        elif parallel:
+            route = route_batch_fast
+        else:
+            route = self._route_batch_reference
 
         def run_one(source: NodeStorage) -> _SourceRun:
             started = time.perf_counter()
@@ -427,14 +510,9 @@ class DmsRuntime:
                 # and writer accounting alike.
                 sizes = [row_bytes(r) for r in rows]
                 sizes_total = sum(sizes)
-                if parallel:
-                    deliveries, sent = route_batch_fast(
-                        operation, rows, sizes, hash_index,
-                        node_count, source_id)
-                else:
-                    deliveries, sent = self._route_batch_reference(
-                        operation, rows, sizes, hash_index,
-                        node_count, source_id)
+                deliveries, sent = route(
+                    operation, rows, sizes, hash_index,
+                    node_count, source_id)
             return _SourceRun(
                 node_id=source_id,
                 rows=rows,

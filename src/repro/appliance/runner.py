@@ -42,11 +42,13 @@ from repro.appliance.storage import Appliance
 from repro.catalog.statistics import sort_key
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.common.errors import ExecutionError
+from repro.common.executors import resolve_executor
 from repro.optimizer.binder import Binder
 from repro.optimizer.normalize import normalize
 from repro.pdw.dsql import DsqlPlan, DsqlStep, StepKind
 from repro.sql.parser import parse_query
 from repro.telemetry import NULL_TRACER, Tracer
+from repro.vector.executor import VectorInterpreter
 
 #: Upper bound on concurrently executing DSQL steps.  Plans are small
 #: (a handful of steps), and each step fans out its own node workers,
@@ -125,9 +127,9 @@ class DsqlRunner:
     steps (§2.1's "single step typically involves parallel operations
     across multiple compute nodes", taken literally).
 
-    ``compiled`` selects the executor backend: closure-compiled
-    expressions with a per-step parse/bind cache (default), or the
-    tree-walking reference interpreter (``compiled=False``).
+    ``executor`` selects the execution backend by name ("reference",
+    "compiled", "vectorized"); the legacy ``compiled`` boolean still
+    picks between the first two when ``executor`` is not given.
     ``parallel=None`` (default) resolves to the serial walk unless the
     ``REPRO_PARALLEL_RUNTIME`` environment variable overrides it; the
     :class:`repro.session.PdwSession` front door defaults to parallel.
@@ -138,15 +140,18 @@ class DsqlRunner:
                  tracer: Tracer = NULL_TRACER,
                  compiled: bool = True,
                  metrics: MetricsRegistry = NULL_METRICS,
-                 parallel: Optional[bool] = None):
+                 parallel: Optional[bool] = None,
+                 executor: Optional[str] = None):
         self.appliance = appliance
         self.tracer = tracer
-        self.compiled = compiled
+        self.executor = resolve_executor(executor, compiled)
+        self.compiled = self.executor != "reference"
         self.metrics = metrics
         self.parallel = resolve_parallel(parallel, default=False)
         self.runtime = DmsRuntime(appliance, truth, tracer,
-                                  compiled=compiled, metrics=metrics,
-                                  parallel=self.parallel)
+                                  compiled=self.compiled, metrics=metrics,
+                                  parallel=self.parallel,
+                                  executor=self.executor)
         self._step_pool = WorkerPool(
             min(MAX_STEP_WORKERS, max(2, appliance.node_count)),
             "repro-step")
@@ -252,19 +257,25 @@ class DsqlRunner:
 
 
 def run_reference(appliance: Appliance, sql: str,
-                  compiled: bool = True) -> QueryResult:
+                  compiled: bool = True,
+                  executor: Optional[str] = None) -> QueryResult:
     """Execute ``sql`` against the single-system image (ground truth).
 
     The bound tree is normalized first so comma-joins become hash joins —
     the naive interpreter would otherwise materialize raw cross products.
     The image itself is cached on the appliance (invalidated on loads and
     drops), so repeated reference runs skip re-gathering every fragment.
-    ``compiled=False`` forces the tree-walking evaluator.
+    ``compiled=False`` forces the tree-walking evaluator; ``executor``
+    names any of the three backends outright.
     """
     statement = parse_query(sql)
     query = normalize(Binder(appliance.catalog).bind(statement))
-    interpreter = PlanInterpreter(appliance.single_system_image(),
-                                  compiled=compiled)
+    backend = resolve_executor(executor, compiled)
+    if backend == "vectorized":
+        interpreter = VectorInterpreter(appliance.single_system_image())
+    else:
+        interpreter = PlanInterpreter(appliance.single_system_image(),
+                                      compiled=backend != "reference")
     rows = interpreter.run_query(query)
     return QueryResult(
         columns=list(query.output_names),

@@ -1,0 +1,36 @@
+"""Executor backend names, shared by options, runners and the CLI.
+
+Three scalar/operator backends execute DSQL step SQL on the compute
+nodes:
+
+* ``"reference"`` — tree-walking evaluator, row at a time (ground
+  truth; also bypasses the step bind cache so every node re-parses);
+* ``"compiled"`` — closure-compiled expressions, row at a time
+  (the default);
+* ``"vectorized"`` — columnar batch-at-a-time kernels
+  (:mod:`repro.vector`).
+
+The legacy ``compiled=`` boolean maps onto the first two; helpers here
+keep that mapping in one place so every layer derives it identically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import ReproError
+
+#: Valid ``executor=`` values, reference first.
+EXECUTORS = ("reference", "compiled", "vectorized")
+
+
+def resolve_executor(executor: Optional[str],
+                     compiled: bool = True) -> str:
+    """Canonical executor name from the ``executor=`` knob plus the
+    legacy ``compiled=`` flag (used only when ``executor`` is None)."""
+    if executor is None:
+        return "compiled" if compiled else "reference"
+    if executor not in EXECUTORS:
+        raise ReproError(
+            f"unknown executor {executor!r} (use one of {EXECUTORS})")
+    return executor

@@ -32,6 +32,7 @@ from typing import Mapping, Optional, Tuple, Union
 
 from repro.appliance.scheduler import resolve_parallel
 from repro.common.errors import ReproError
+from repro.common.executors import resolve_executor
 
 #: Admission priority classes, best first.  Lower rank wins the queue.
 PRIORITY_CLASSES: Mapping[str, int] = {
@@ -64,8 +65,14 @@ def normalize_hints(hints: HintsInput) -> Optional[Tuple[Tuple[str, str], ...]]:
 class ExecutionOptions:
     """Everything that shapes one compile-and-execute call.
 
-    * ``compiled`` — closure-compiled executor (default) vs. the
-      tree-walking reference interpreter;
+    * ``executor`` — which execution backend runs step SQL on the
+      nodes: ``"reference"`` (tree-walking interpreter), ``"compiled"``
+      (closure backend, the default) or ``"vectorized"`` (columnar
+      batch kernels, :mod:`repro.vector`).  ``None`` derives from the
+      legacy ``compiled`` flag;
+    * ``compiled`` — legacy boolean spelling of the first two backends;
+      kept in sync with ``executor`` (an explicit ``executor`` wins,
+      and ``compiled`` is re-derived as ``executor != "reference"``);
     * ``parallel`` — the parallel appliance runtime; ``None`` defers to
       the ``REPRO_PARALLEL_RUNTIME`` environment variable and then the
       front door's default (the session and service default to parallel,
@@ -84,6 +91,7 @@ class ExecutionOptions:
     """
 
     compiled: bool = True
+    executor: Optional[str] = None
     parallel: Optional[bool] = None
     trace: bool = True
     profile: bool = False
@@ -97,6 +105,12 @@ class ExecutionOptions:
     env_resolved: bool = field(default=False, compare=False)
 
     def __post_init__(self):
+        # Normalize the backend pair: an explicit executor is canonical
+        # and re-derives the legacy boolean; executor=None derives from
+        # compiled so old callers see unchanged behaviour.
+        canonical = resolve_executor(self.executor, self.compiled)
+        object.__setattr__(self, "executor", canonical)
+        object.__setattr__(self, "compiled", canonical != "reference")
         if self.hints is not None and not isinstance(self.hints, tuple):
             object.__setattr__(self, "hints", normalize_hints(self.hints))
         if self.priority not in PRIORITY_CLASSES:
@@ -137,9 +151,16 @@ class ExecutionOptions:
         return replace(self, hints=normalize_hints(hints))
 
     def override(self, **changes) -> "ExecutionOptions":
-        """A copy with the given fields replaced (``hints`` normalized)."""
+        """A copy with the given fields replaced (``hints`` normalized).
+
+        ``compiled=`` without an accompanying ``executor=`` is treated
+        as a backend change (the stored executor would otherwise win
+        during re-normalization and silently ignore it)."""
         if "hints" in changes:
             changes["hints"] = normalize_hints(changes["hints"])
+        if "compiled" in changes and "executor" not in changes:
+            changes["executor"] = (
+                "compiled" if changes["compiled"] else "reference")
         return replace(self, **changes)
 
 

@@ -99,7 +99,7 @@ class PdwService:
         self.engine = PdwEngine(shell, serial_config, pdw_config,
                                 tracer=NULL_TRACER)
         self.runner = DsqlRunner(appliance, tracer=NULL_TRACER,
-                                 compiled=self.options.compiled,
+                                 executor=self.options.executor,
                                  metrics=self.metrics,
                                  parallel=self.options.parallel)
         self.plan_cache = PlanCache(plan_cache_size, metrics=self.metrics)

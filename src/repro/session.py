@@ -39,9 +39,14 @@ shim for one release.
 
 Execution uses the compiled backend by default — scalar expressions are
 compiled to Python closures and each DSQL step's SQL is parsed + bound
-once, then re-run on every compute node.
-``PdwSession(options=ExecutionOptions(compiled=False))`` (CLI:
-``--no-compiled-exec``) forces the reference interpreter instead.
+once, then re-run on every compute node.  The ``executor`` option picks
+the backend by name: ``ExecutionOptions(executor="vectorized")`` (CLI:
+``--executor vectorized``) runs steps batch-at-a-time over columnar
+fragments (:mod:`repro.vector`), and
+``ExecutionOptions(executor="reference")`` (CLI: ``--no-compiled-exec``
+or ``--executor reference``) forces the tree-walking reference
+interpreter.  The legacy ``compiled=`` boolean maps onto the
+reference/compiled pair.
 
 The session also defaults to the **parallel appliance runtime**: DSQL
 steps are scheduled as a dependency DAG (independent join subtrees
@@ -139,9 +144,10 @@ class PdwSession:
                                    f"trace={trace!r}")
             opts = opts.override(trace=trace)
         if compiled is not _UNSET:
+            executor = "compiled" if compiled else "reference"
             warn_deprecated_option("PdwSession(compiled=...)",
-                                   f"compiled={compiled!r}")
-            opts = opts.override(compiled=compiled)
+                                   f"executor={executor!r}")
+            opts = opts.override(executor=executor)
         if parallel is not _UNSET:
             warn_deprecated_option("PdwSession(parallel=...)",
                                    f"parallel={parallel!r}")
@@ -152,6 +158,7 @@ class PdwSession:
         opts = opts.resolved(default_parallel=True)
         self.options = opts
         self.compiled = opts.compiled
+        self.executor = opts.executor
         self.parallel = opts.parallel
         if tracer is None:
             tracer = Tracer() if opts.trace else NULL_TRACER
@@ -162,12 +169,12 @@ class PdwSession:
         self.engine = PdwEngine(shell, serial_config, pdw_config,
                                 tracer=tracer)
         self.runner = DsqlRunner(appliance, tracer=tracer,
-                                 compiled=opts.compiled, metrics=metrics,
+                                 executor=opts.executor, metrics=metrics,
                                  parallel=opts.parallel)
-        # Per-call options may flip compiled/parallel; variant runners
+        # Per-call options may flip executor/parallel; variant runners
         # are built lazily and reused.
-        self._runners: Dict[Tuple[bool, bool], DsqlRunner] = {
-            (opts.compiled, opts.parallel): self.runner,
+        self._runners: Dict[Tuple[str, bool], DsqlRunner] = {
+            (opts.executor, opts.parallel): self.runner,
         }
 
     # -- options plumbing ------------------------------------------------------
@@ -186,11 +193,11 @@ class PdwSession:
         return opts
 
     def _runner_for(self, opts: ExecutionOptions) -> DsqlRunner:
-        key = (opts.compiled, bool(opts.parallel))
+        key = (opts.executor, bool(opts.parallel))
         runner = self._runners.get(key)
         if runner is None:
             runner = DsqlRunner(self.appliance, tracer=self.tracer,
-                                compiled=opts.compiled,
+                                executor=opts.executor,
                                 metrics=self.metrics,
                                 parallel=opts.parallel)
             self._runners[key] = runner
@@ -209,15 +216,23 @@ class PdwSession:
 
     def run(self, sql: Optional[str] = None,
             hints=_UNSET, *,
-            options: Optional[ExecutionOptions] = None) -> QueryResult:
+            options: Optional[ExecutionOptions] = None,
+            compiled=_UNSET) -> QueryResult:
         """Compile and execute on the appliance.
 
         The :class:`QueryResult` carries the client rows and per-step
         stats, plus the compiled-plan handle (``result.plan``) and a
         wall-clock compile/execute breakdown (``result.timing``);
-        iterating the result iterates its rows.
+        iterating the result iterates its rows.  The deprecated
+        ``compiled=`` kwarg maps onto the ``executor`` option
+        (``True`` → ``"compiled"``, ``False`` → ``"reference"``).
         """
         opts = self._call_options(options, hints)
+        if compiled is not _UNSET:
+            executor = "compiled" if compiled else "reference"
+            warn_deprecated_option("run(compiled=...)",
+                                   f"executor={executor!r}")
+            opts = opts.override(executor=executor)
         started = time.perf_counter()
         compiled = self.engine.compile(self._resolve(sql),
                                        hints=opts.hints_dict)

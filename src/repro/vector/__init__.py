@@ -1,0 +1,32 @@
+"""Vectorized columnar execution backend (the third executor).
+
+DSQL step SQL runs batch-at-a-time over columnar fragments: a
+:class:`~repro.vector.column_batch.ColumnBatch` holds one Python list
+per column, scalar expressions compile into column kernels
+(:mod:`repro.vector.kernels`) that evaluate a whole column per call with
+selection-vector narrowing for short-circuit semantics, and
+:class:`~repro.vector.executor.VectorInterpreter` mirrors the row
+interpreters' operator semantics (including stats counters and the
+profiler observer protocol) while touching rows only at the
+storage boundary.
+
+Selected with ``ExecutionOptions(executor="vectorized")`` alongside the
+``"reference"`` tree-walking interpreter and the ``"compiled"``
+closure backend.
+"""
+
+from repro.vector.column_batch import ColumnBatch
+from repro.vector.executor import VectorInterpreter
+from repro.vector.kernels import (
+    clear_kernel_cache,
+    compile_kernel,
+    compile_selection,
+)
+
+__all__ = [
+    "ColumnBatch",
+    "VectorInterpreter",
+    "clear_kernel_cache",
+    "compile_kernel",
+    "compile_selection",
+]

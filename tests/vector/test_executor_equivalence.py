@@ -1,0 +1,157 @@
+"""Vectorized backend ⇄ row backends equivalence on the full TPC-H
+workload.
+
+The vectorized executor changes *how* step SQL is evaluated (columnar
+batches instead of rows), never *what* is computed: rows, row order
+under ORDER BY, per-step byte/row accounting and the interpreter
+counters must all be identical to the compiled backend's.  The runner
+tests leave ``parallel`` unset, so the suite exercises the serial walk
+normally and the DAG runtime under ``REPRO_PARALLEL_RUNTIME=1`` (CI runs
+tier-1 both ways); an explicit ``parallel=True`` case keeps the serial
+CI leg honest too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.appliance.interpreter import InterpreterStats, PlanInterpreter
+from repro.appliance.runner import DsqlRunner, run_reference
+from repro.optimizer.binder import Binder
+from repro.optimizer.normalize import normalize
+from repro.sql.parser import parse_query
+from repro.vector.executor import VectorInterpreter
+from repro.workloads.tpch_queries import TPCH_QUERIES, query_names
+
+from tests.conftest import canonical
+from tests.integration.test_parallel_equivalence import stats_view
+
+
+@pytest.mark.parametrize("name", query_names())
+def test_vectorized_matches_compiled_on_tpch_suite(name, tpch,
+                                                   tpch_engine):
+    appliance, _ = tpch
+    plan = tpch_engine.compile(TPCH_QUERIES[name]).dsql_plan
+    compiled = DsqlRunner(appliance, executor="compiled").run(plan)
+    vectorized = DsqlRunner(appliance, executor="vectorized").run(plan)
+    assert vectorized.columns == compiled.columns
+    assert vectorized.sorted_rows() == compiled.sorted_rows()
+    if plan.order_by:
+        assert vectorized.rows == compiled.rows
+    # Byte/row accounting, per-node operator actuals and simulated
+    # times are merged identically — exact floats, not approximations.
+    assert (stats_view(vectorized.step_stats)
+            == stats_view(compiled.step_stats))
+    assert vectorized.elapsed_seconds == compiled.elapsed_seconds
+    assert vectorized.dms_seconds == compiled.dms_seconds
+
+
+@pytest.mark.parametrize("name", ["Q1", "Q3", "Q5", "Q12"])
+def test_all_three_backends_agree(name, tpch, tpch_engine):
+    appliance, _ = tpch
+    plan = tpch_engine.compile(TPCH_QUERIES[name]).dsql_plan
+    results = {
+        executor: DsqlRunner(appliance, executor=executor).run(plan)
+        for executor in ("reference", "compiled", "vectorized")
+    }
+    reference = results["reference"]
+    for executor, result in results.items():
+        assert result.columns == reference.columns, executor
+        assert result.sorted_rows() == reference.sorted_rows(), executor
+
+
+@pytest.mark.parametrize("name", ["Q1", "Q5"])
+def test_vectorized_parallel_matches_serial(name, tpch, tpch_engine):
+    appliance, _ = tpch
+    plan = tpch_engine.compile(TPCH_QUERIES[name]).dsql_plan
+    serial = DsqlRunner(appliance, executor="vectorized",
+                        parallel=False).run(plan)
+    parallel = DsqlRunner(appliance, executor="vectorized",
+                          parallel=True).run(plan)
+    assert parallel.sorted_rows() == serial.sorted_rows()
+    if plan.order_by:
+        assert parallel.rows == serial.rows
+    assert (stats_view(parallel.step_stats)
+            == stats_view(serial.step_stats))
+
+
+def test_run_reference_vectorized_backend(tpch):
+    appliance, _ = tpch
+    sql = ("SELECT COUNT(DISTINCT o_custkey) AS n, "
+           "COUNT(DISTINCT o_orderpriority) AS p FROM orders")
+    assert (run_reference(appliance, sql, executor="vectorized").rows
+            == run_reference(appliance, sql, executor="reference").rows)
+
+
+def test_empty_scalar_aggregate_neutral_row(tpch):
+    appliance, _ = tpch
+    sql = ("SELECT COUNT(*) AS n, SUM(l_quantity) AS q FROM lineitem "
+           "WHERE l_quantity < -1")
+    for executor in ("reference", "compiled", "vectorized"):
+        assert run_reference(appliance, sql,
+                             executor=executor).rows == [(0, None)]
+
+
+def test_empty_group_by_result(tpch):
+    appliance, _ = tpch
+    sql = ("SELECT l_returnflag, COUNT(*) AS n FROM lineitem "
+           "WHERE l_quantity < -1 GROUP BY l_returnflag")
+    for executor in ("compiled", "vectorized"):
+        assert run_reference(appliance, sql, executor=executor).rows == []
+
+
+class TestInterpreterStatsParity:
+    """The vectorized interpreter must feed the same counters into the
+    simulated relational-time model as the row interpreters — Union
+    adds nothing, Get counts scans, everything else rows_processed."""
+
+    def run_both(self, tpch, sql):
+        appliance, _ = tpch
+        image = appliance.single_system_image()
+        query = normalize(Binder(appliance.catalog).bind(
+            parse_query(sql)))
+        row_stats = InterpreterStats()
+        vec_stats = InterpreterStats()
+        rows = PlanInterpreter(image, stats=row_stats,
+                               compiled=True).run_query(query)
+        vec_rows = VectorInterpreter(image,
+                                     stats=vec_stats).run_query(query)
+        assert canonical(vec_rows) == canonical(rows)
+        return row_stats, vec_stats
+
+    @pytest.mark.parametrize("sql", [
+        "SELECT COUNT(*) AS n FROM lineitem WHERE l_discount > 0.01",
+        ("SELECT c_name FROM customer, orders "
+         "WHERE c_custkey = o_custkey AND o_totalprice > 1000"),
+        ("SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS q "
+         "FROM lineitem GROUP BY l_returnflag, l_linestatus"),
+        "SELECT n_name FROM nation ORDER BY n_name LIMIT 5",
+    ])
+    def test_counters_match(self, tpch, sql):
+        row_stats, vec_stats = self.run_both(tpch, sql)
+        assert vec_stats.rows_scanned == row_stats.rows_scanned
+        assert vec_stats.rows_processed == row_stats.rows_processed
+
+
+class TestObserverParity:
+    def test_postorder_operator_counts_match(self, tpch):
+        appliance, _ = tpch
+        image = appliance.single_system_image()
+        sql = ("SELECT c_name FROM customer, orders "
+               "WHERE c_custkey = o_custkey AND o_totalprice > 1000")
+        query = normalize(Binder(appliance.catalog).bind(
+            parse_query(sql)))
+
+        class Recorder:
+            def __init__(self):
+                self.events = []
+
+            def record(self, op, rows_out):
+                self.events.append((type(op).__name__, rows_out))
+
+        row_rec, vec_rec = Recorder(), Recorder()
+        PlanInterpreter(image, compiled=True,
+                        observer=row_rec).run_query(query)
+        VectorInterpreter(image, observer=vec_rec).run_query(query)
+        assert vec_rec.events == row_rec.events
+        assert vec_rec.events  # something was actually observed

@@ -1,0 +1,319 @@
+"""Vector kernel ⇄ evaluator differential tests.
+
+A kernel applied to a column batch must produce, row for row, exactly
+what the tree-walking evaluator produces on each row's environment —
+values, NULL propagation and error behaviour alike.  The one documented
+divergence (kernels evaluate column-major, so when *different operands*
+would error on *different rows* the surfaced error may be another row's)
+is pinned by asserting the raised error class is one some row would
+raise.
+
+The randomized sweep reuses the compiler suite's expression generator;
+environments become batches by fixing the bound-column set once per
+batch (a batch either has a column for every row or for none — exactly
+the shape the executor feeds kernels).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import expressions as ex
+from repro.algebra.evaluator import UnboundColumn, evaluate
+from repro.common.errors import ExecutionError
+from repro.common.types import BOOLEAN
+from repro.vector import (
+    ColumnBatch,
+    clear_kernel_cache,
+    compile_kernel,
+    compile_selection,
+)
+
+from tests.algebra.test_compiler import (
+    DBL_C,
+    INT_A,
+    INT_B,
+    STR_S,
+    STR_T,
+    ExprGen,
+    outcome,
+)
+
+NULL = ex.Constant(None)
+ONE = ex.Constant(1)
+TWO = ex.Constant(2)
+
+COLUMN_VALUES = [
+    (INT_A, [None, -3, 0, 1, 2, 7]),
+    (INT_B, [None, 0, 1, 5, 100]),
+    (DBL_C, [None, -1.5, 0.0, 2.25, 9.5]),
+    (STR_S, [None, "", "a", "abc", "bcb", "zebra"]),
+    (STR_T, [None, "a", "abz", "xyz"]),
+]
+
+
+def batch_of(rows_envs):
+    """A ColumnBatch from per-row environments sharing one key set."""
+    if not rows_envs:
+        return ColumnBatch({}, 0)
+    ids = rows_envs[0].keys()
+    assert all(env.keys() == ids for env in rows_envs)
+    return ColumnBatch(
+        {cid: [env[cid] for env in rows_envs] for cid in ids},
+        len(rows_envs))
+
+
+def assert_batch_agrees(expr, rows_envs):
+    """The kernel's column must match the evaluator row by row; if any
+    row errors, the kernel must raise an error some row raises."""
+    expected = [outcome(evaluate, expr, env) for env in rows_envs]
+    batch = batch_of(rows_envs)
+    got = outcome(compile_kernel(expr), batch)
+    error_tags = {tag for tag, *_ in expected if tag != "ok"}
+    if error_tags:
+        assert got[0] in error_tags, (
+            f"kernel outcome {got} not among per-row errors "
+            f"{error_tags} for {expr}")
+        return
+    assert got[0] == "ok", f"kernel errored ({got}) on error-free {expr}"
+    values = got[1]
+    assert len(values) == len(rows_envs)
+    for value, (_, want) in zip(values, expected):
+        assert value == want and (value is None) == (want is None), (
+            f"kernel disagrees on {expr}: got {value!r} want {want!r}")
+
+
+# -- targeted three-valued logic --------------------------------------------------
+
+
+class TestThreeValuedLogic:
+    @pytest.mark.parametrize("op", ["=", "<>", "<", "<=", ">", ">="])
+    def test_comparison_null_propagation(self, op):
+        expr = ex.Comparison(op, INT_A, INT_B)
+        envs = [{1: a, 2: b}
+                for a in (None, 0, 1, 2)
+                for b in (None, 0, 1, 5)]
+        assert_batch_agrees(expr, envs)
+
+    @pytest.mark.parametrize("op", ["+", "-", "*", "||"])
+    def test_arithmetic_null_propagation(self, op):
+        expr = ex.Arithmetic(op, INT_A, INT_B)
+        envs = [{1: a, 2: b}
+                for a in (None, 1, 3) for b in (None, 2, 5)]
+        assert_batch_agrees(expr, envs)
+
+    @pytest.mark.parametrize("args,expected", [
+        ((True, True), True), ((True, None), None), ((True, False), False),
+        ((None, None), None), ((False, None), False),
+    ])
+    def test_kleene_and(self, args, expected):
+        expr = ex.BoolOp("AND", tuple(ex.Constant(a, BOOLEAN) for a in args))
+        column = compile_kernel(expr)(ColumnBatch({}, 3))
+        assert column == [expected] * 3
+        assert all(value is expected for value in column)
+
+    @pytest.mark.parametrize("args,expected", [
+        ((False, False), False), ((False, None), None),
+        ((True, None), True), ((None, None), None),
+    ])
+    def test_kleene_or(self, args, expected):
+        expr = ex.BoolOp("OR", tuple(ex.Constant(a, BOOLEAN) for a in args))
+        column = compile_kernel(expr)(ColumnBatch({}, 2))
+        assert column == [expected] * 2
+        assert all(value is expected for value in column)
+
+    def test_boolop_over_columns(self):
+        expr = ex.BoolOp("AND", (
+            ex.Comparison(">", INT_A, ex.Constant(0)),
+            ex.Comparison("<", INT_B, ex.Constant(10)),
+            ex.IsNullExpr(STR_S, negated=True),
+        ))
+        envs = [{1: a, 2: b, 4: s}
+                for a in (None, -1, 1)
+                for b in (None, 5, 50)
+                for s in (None, "x")]
+        assert_batch_agrees(expr, envs)
+
+    def test_non_bool_operands_normalize(self):
+        # evaluate() folds truthy/falsy non-bools through its `is True`
+        # checks; kernels must land on the identical True/False/None.
+        for op in ("AND", "OR"):
+            for value in (0, 1, "", "x"):
+                expr = ex.BoolOp(op, (ex.Constant(value),
+                                      ex.Constant(False, BOOLEAN)))
+                assert_batch_agrees(expr, [{}])
+
+    def test_case_without_match_is_null(self):
+        expr = ex.CaseWhen(
+            whens=((ex.Comparison("=", INT_A, TWO), ex.Constant("two")),))
+        assert_batch_agrees(expr, [{1: v} for v in (1, 2, None)])
+
+    def test_not_like_in_isnull_parity(self):
+        exprs = [
+            ex.NotExpr(ex.Comparison("=", INT_A, ONE)),
+            ex.LikeExpr(STR_S, "a%"),
+            ex.LikeExpr(STR_S, "%b_", negated=True),
+            ex.InListExpr(INT_A, (1, 2, 3)),
+            ex.InListExpr(INT_A, (1, 2), negated=True),
+            ex.IsNullExpr(INT_A),
+            ex.IsNullExpr(INT_A, negated=True),
+        ]
+        for expr in exprs:
+            envs = [{1: a, 4: s}
+                    for a in (None, 1, 7) for s in (None, "abc", "zb")]
+            assert_batch_agrees(expr, envs)
+
+
+# -- short-circuit parity via selection narrowing ---------------------------------
+
+
+class TestNarrowing:
+    def test_and_guard_shields_division(self):
+        # Rows excluded by the guard must never reach the division —
+        # x = 0 rows would otherwise raise.
+        guard = ex.BoolOp("AND", (
+            ex.Comparison("<>", INT_A, ex.Constant(0)),
+            ex.Comparison(">", ex.Arithmetic("/", ex.Constant(10), INT_A),
+                          ONE),
+        ))
+        envs = [{1: v} for v in (0, 2, None, 5, 0, 20)]
+        assert_batch_agrees(guard, envs)
+
+    def test_or_guard_shields_division(self):
+        guard = ex.BoolOp("OR", (
+            ex.Comparison("=", INT_A, ex.Constant(0)),
+            ex.Comparison(">", ex.Arithmetic("/", ex.Constant(10), INT_A),
+                          ONE),
+        ))
+        envs = [{1: v} for v in (0, 2, None, 5, 0)]
+        assert_batch_agrees(guard, envs)
+
+    def test_case_arms_shield_division(self):
+        expr = ex.CaseWhen(
+            whens=((ex.Comparison("<>", INT_A, ex.Constant(0)),
+                    ex.Arithmetic("/", ex.Constant(10), INT_A)),),
+            otherwise=ex.Constant(-1))
+        envs = [{1: v} for v in (0, 2, 0, 5, None)]
+        assert_batch_agrees(expr, envs)
+
+    def test_all_rows_decided_skips_later_args(self):
+        # Second argument would raise unconditionally, but every row is
+        # decided by the first — the row backends never evaluate it.
+        never = ex.Arithmetic("/", ONE, ex.Constant(0))
+        expr = ex.BoolOp("AND", (ex.Constant(False, BOOLEAN), never))
+        assert compile_kernel(expr)(ColumnBatch({}, 4)) == [False] * 4
+        expr = ex.BoolOp("OR", (ex.Constant(True, BOOLEAN), never))
+        assert compile_kernel(expr)(ColumnBatch({}, 4)) == [True] * 4
+
+
+# -- error parity -----------------------------------------------------------------
+
+
+class TestErrorParity:
+    def test_division_by_zero_raises_at_batch_time(self):
+        for op in ("/", "%"):
+            expr = ex.Arithmetic(op, ONE, ex.Constant(0))
+            kernel = compile_kernel(expr)  # compiling must not raise
+            with pytest.raises(ExecutionError):
+                kernel(ColumnBatch({}, 2))
+
+    def test_division_error_beats_null_left_operand(self):
+        assert_batch_agrees(ex.Arithmetic("/", NULL, ex.Constant(0)), [{}])
+
+    def test_unbound_column_raises(self):
+        expr = ex.Arithmetic("+", INT_A, ONE)
+        with pytest.raises(UnboundColumn):
+            compile_kernel(expr)(ColumnBatch({}, 1))
+
+    def test_null_constant_comparison_still_binds_other_side(self):
+        # `a = NULL` is uniformly NULL, but the column side must still
+        # be evaluated so a missing column raises exactly as in a row
+        # backend.
+        expr = ex.Comparison("=", INT_A, NULL)
+        with pytest.raises(UnboundColumn):
+            compile_kernel(expr)(ColumnBatch({}, 1))
+        assert_batch_agrees(expr, [{1: v} for v in (None, 1, 2)])
+
+    def test_aggregate_raises_at_batch_time_not_compile_time(self):
+        kernel = compile_kernel(ex.AggExpr("SUM", INT_A))
+        with pytest.raises(ExecutionError):
+            kernel(ColumnBatch({1: [3]}, 1))
+
+    def test_unknown_function_raises_at_batch_time(self):
+        kernel = compile_kernel(ex.FuncExpr("NO_SUCH_FN", (ONE,)))
+        with pytest.raises(ExecutionError):
+            kernel(ColumnBatch({}, 1))
+
+
+# -- selection vectors ------------------------------------------------------------
+
+
+class TestSelection:
+    def test_none_predicate_selects_all(self):
+        assert compile_selection(None)(ColumnBatch({}, 4)) == [0, 1, 2, 3]
+
+    def test_null_counts_as_false(self):
+        select = compile_selection(ex.Comparison("=", INT_A, ONE))
+        batch = ColumnBatch({1: [1, 2, None, 1]}, 4)
+        assert select(batch) == [0, 3]
+
+    def test_matches_evaluator_is_true_filter(self):
+        gen = ExprGen(777)
+        for _ in range(60):
+            predicate = gen.boolean(3)
+            envs = make_envs(gen, 7)
+            expected = [outcome(lambda e: evaluate(predicate, e) is True,
+                                env) for env in envs]
+            got = outcome(compile_selection(predicate), batch_of(envs))
+            tags = {tag for tag, *_ in expected if tag != "ok"}
+            if tags:
+                assert got[0] in tags
+            else:
+                assert got == ("ok", [i for i, (_, keep)
+                                      in enumerate(expected) if keep])
+
+
+# -- memoization ------------------------------------------------------------------
+
+
+class TestKernelCache:
+    def test_memoized_per_expression_object(self):
+        clear_kernel_cache()
+        expr = ex.Comparison("<", INT_A, TWO)
+        assert compile_kernel(expr) is compile_kernel(expr)
+
+    def test_memo_distinguishes_equal_but_typed_constants(self):
+        # Constant(0) == Constant(False) under dataclass equality, but
+        # the `is True` Kleene checks must tell them apart.
+        clear_kernel_cache()
+        zero = ex.BoolOp("AND", (ex.Constant(0),))
+        false = ex.BoolOp("AND", (ex.Constant(False),))
+        env_zero = compile_kernel(zero)(ColumnBatch({}, 1))[0]
+        env_false = compile_kernel(false)(ColumnBatch({}, 1))[0]
+        assert env_zero is evaluate(zero, {})
+        assert env_false is evaluate(false, {})
+
+    def test_empty_batch_yields_empty_column(self):
+        expr = ex.Arithmetic("+", INT_A, ONE)
+        assert compile_kernel(expr)(ColumnBatch({1: []}, 0)) == []
+
+
+# -- randomized differential sweep ------------------------------------------------
+
+
+def make_envs(gen: ExprGen, count: int):
+    """``count`` single-row environments sharing one bound-column set."""
+    bound = [pair for pair in COLUMN_VALUES if gen.rng.random() < 0.9]
+    return [
+        {var.id: gen.rng.choice(values) for var, values in bound}
+        for _ in range(count)
+    ]
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_random_expressions_batch_differential(seed):
+    gen = ExprGen(seed)
+    for _ in range(20):
+        expr = gen.rng.choice(
+            [gen.boolean, gen.num, gen.string])(gen.rng.randint(1, 4))
+        assert_batch_agrees(expr, make_envs(gen, 10))
