@@ -18,6 +18,7 @@ import sys
 
 from conftest import BENCH_NODES, BENCH_SCALE, fmt_row, report
 
+from repro.obs.requests import NULL_REQUESTS
 from repro.service import ExecutionOptions, PdwService, run_traffic
 
 CLIENT_SWEEP = (1, 2, 4, 8)
@@ -28,11 +29,13 @@ WIDTHS = [10, 8, 10, 10, 10, 10, 16]
 
 
 def _drive(clients: int, *, use_cache: bool = True,
-           queries_per_client: int = QUERIES_PER_CLIENT):
+           queries_per_client: int = QUERIES_PER_CLIENT,
+           requests=None):
     service = PdwService(
         scale=BENCH_SCALE, node_count=BENCH_NODES,
         options=ExecutionOptions(use_plan_cache=use_cache),
-        max_in_flight=max(4, clients), max_queue=256)
+        max_in_flight=max(4, clients), max_queue=256,
+        requests=requests)
     try:
         traffic = run_traffic(service, clients=clients,
                               queries_per_client=queries_per_client,
@@ -86,11 +89,33 @@ def test_service_throughput():
     uncached = _drive(4, use_cache=False)
     lines.append(_row("on", cached))
     lines.append(_row("off", uncached))
+
+    # Request-lifecycle tracking ablation: the same load with the live
+    # RequestRegistry (every query walked through queued -> running ->
+    # complete with per-step, per-node progress) vs. NULL_REQUESTS (the
+    # zero-overhead disabled path).  Guards the "observability is free
+    # when off, cheap when on" contract.
+    lines += [
+        "",
+        "request tracking ablation (same load, 4 clients):",
+        fmt_row("tracking", "done", "qps", "p50", "p95", "p99",
+                "cache hit/miss", widths=WIDTHS),
+    ]
+    tracked = _drive(4)
+    untracked = _drive(4, requests=NULL_REQUESTS)
+    lines.append(_row("on", tracked))
+    lines.append(_row("off", untracked))
+
     report("E17_service_throughput", lines)
     assert peak is not None and peak.completed > 0
     assert cached.cache_stats["hits"] > 0
     assert uncached.cache_stats["hits"] == 0, \
         "use_plan_cache=False must bypass the plan cache entirely"
+    assert tracked.completed == untracked.completed == \
+        4 * QUERIES_PER_CLIENT
+    # Generous, non-flaky bound: per-request bookkeeping is dict writes
+    # under one lock — it must never cost an order of magnitude.
+    assert tracked.queries_per_second > 0.1 * untracked.queries_per_second
 
 
 if __name__ == "__main__":

@@ -89,6 +89,16 @@ from repro.obs.profiler import (
     q_error,
     skew_stats,
 )
+from repro.obs.requests import (
+    NULL_REQUESTS,
+    RequestRecord,
+    RequestRegistry,
+)
+from repro.obs.system_views import (
+    SYSTEM_VIEW_NAMES,
+    refresh_system_views,
+    register_system_views,
+)
 from repro.optimizer.search import (
     OptimizationResult,
     OptimizerConfig,
@@ -139,7 +149,13 @@ __all__ = [
     "MetricsRegistry",
     "NULL_METRICS",
     "NULL_OPT_TRACE",
+    "NULL_REQUESTS",
     "NULL_TRACER",
+    "RequestRecord",
+    "RequestRegistry",
+    "SYSTEM_VIEW_NAMES",
+    "refresh_system_views",
+    "register_system_views",
     "OptimizerTrace",
     "OptimizerTraceSummary",
     "PlanChoice",

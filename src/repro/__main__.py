@@ -13,6 +13,7 @@ WHERE l_orderkey = o_orderkey"
     python -m repro calibrate --nodes 8
     python -m repro serve --clients 4 --queries 8
     python -m repro bench --clients 8 --queries 12
+    python -m repro requests --clients 4 --queries 8
 
 ``serve`` runs the multi-user serving layer (:mod:`repro.service`) under
 a parameterized TPC-H traffic mix — concurrent clients, parameterized
@@ -22,6 +23,16 @@ throughput and cache statistics; ``serve --smoke`` is the CI guard
 caller trips the deprecated-option shims).  ``bench`` is the same flow
 sized as a throughput benchmark, optionally appending its report to a
 results file.
+
+``requests`` drives the same traffic mix and then *dogfoods* the
+``sys.dm_pdw_*`` system views: the per-status request counts and the
+plan-cache contents are answered by SQL queries through the normal
+parse → optimize → execute path, followed by the flight recorder's
+request and step tables.  ``--slow`` restricts to requests over the
+slow-query threshold; ``--json`` prints the flight-recorder events as a
+JSON array; ``--jsonl PATH`` writes the schema-validated event log;
+``--prometheus PATH`` writes the ``pdw_request_*`` series alongside the
+service metrics.
 
 ``profile`` executes the query with per-node / per-operator profiling on
 and renders skew + Q-error tables; ``--json`` prints the structured
@@ -197,6 +208,40 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--output", metavar="PATH",
                        help="also append the report to PATH")
 
+    requests = sub.add_parser(
+        "requests",
+        help="drive the service, then query the sys.dm_pdw_* system "
+             "views over SQL and print the request flight recorder")
+    requests.add_argument("--clients", type=int, default=4,
+                          help="concurrent client threads (default 4)")
+    requests.add_argument("--queries", type=int, default=8,
+                          help="queries per client (default 8)")
+    requests.add_argument("--seed", type=int, default=2012,
+                          help="traffic RNG seed (default 2012)")
+    requests.add_argument("--max-in-flight", type=int, default=4,
+                          help="admission: concurrent executions "
+                               "(default 4)")
+    requests.add_argument("--max-queue", type=int, default=32,
+                          help="admission: wait-queue bound (default 32)")
+    requests.add_argument("--cache-size", type=int, default=64,
+                          help="plan cache capacity (default 64)")
+    requests.add_argument("--slow", action="store_true",
+                          help="show only requests over the slow-query "
+                               "threshold")
+    requests.add_argument("--slow-ms", type=float, default=None,
+                          help="slow-query threshold in milliseconds "
+                               "(default 1000)")
+    requests.add_argument("--json", action="store_true",
+                          help="print the flight-recorder events as a "
+                               "JSON array instead of tables")
+    requests.add_argument("--jsonl", metavar="PATH",
+                          help="write the schema-validated "
+                               "request_complete event log")
+    requests.add_argument("--prometheus", metavar="PATH",
+                          help="write pdw_request_* series (plus the "
+                               "service metrics) in Prometheus text "
+                               "format")
+
     return parser
 
 
@@ -286,6 +331,73 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_requests(args) -> int:
+    from repro.obs.export import (
+        events_to_jsonl,
+        requests_to_events,
+        requests_to_metrics,
+        validate_events,
+    )
+    from repro.obs.report import render_requests_report
+    from repro.obs.requests import RequestRegistry
+    from repro.service import PdwService, run_traffic
+
+    registry = RequestRegistry(
+        slow_threshold_seconds=(args.slow_ms / 1e3
+                                if args.slow_ms is not None else 1.0))
+    service = PdwService(
+        scale=args.scale, node_count=args.nodes,
+        options=_cli_options(args),
+        max_in_flight=args.max_in_flight,
+        max_queue=args.max_queue,
+        plan_cache_size=args.cache_size,
+        requests=registry)
+    try:
+        run_traffic(service, clients=args.clients,
+                    queries_per_client=args.queries, seed=args.seed)
+        # Dogfood: the system views answered through the normal SQL path.
+        by_status = service.execute(
+            "SELECT status, COUNT(*) AS n FROM sys.dm_pdw_exec_requests "
+            "GROUP BY status ORDER BY status")
+        cached = service.execute(
+            "SELECT shape_key, hit_count, execution_count "
+            "FROM sys.dm_pdw_plan_cache ORDER BY execution_count DESC, "
+            "shape_key LIMIT 10")
+    finally:
+        service.close()
+    events = requests_to_events(registry)
+    if args.json:
+        print(json.dumps(events, indent=2, sort_keys=True))
+    else:
+        print("SELECT status, COUNT(*) AS n "
+              "FROM sys.dm_pdw_exec_requests GROUP BY status:")
+        for status, n in by_status.rows:
+            print(f"  {status:<10} {n}")
+        print()
+        print("sys.dm_pdw_plan_cache (top 10 by executions):")
+        for shape_key, hit_count, executions in cached.rows:
+            print(f"  hits={hit_count:<4} execs={executions:<4} "
+                  f"{shape_key}")
+        print()
+        print(render_requests_report(registry, slow_only=args.slow))
+    if args.jsonl:
+        errors = validate_events(events)
+        if errors:
+            for error in errors:
+                print(f"schema error: {error}", file=sys.stderr)
+            return 1
+        with open(args.jsonl, "w", encoding="utf-8") as handle:
+            handle.write(events_to_jsonl(events))
+        print(f"-- wrote {len(events)} events to {args.jsonl}",
+              file=sys.stderr)
+    if args.prometheus:
+        requests_to_metrics(registry, service.metrics)
+        with open(args.prometheus, "w", encoding="utf-8") as handle:
+            handle.write(service.metrics_text())
+        print(f"-- wrote metrics to {args.prometheus}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -310,6 +422,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "requests":
+        return _cmd_requests(args)
 
     session = PdwSession(
         args.sql, scale=args.scale, node_count=args.nodes,
@@ -401,8 +515,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                   file=sys.stderr)
 
     else:  # run
-        compiled = session.compile()
-        result = session.runner.run(compiled.dsql_plan)
+        # session.run() rather than a raw runner call, so the query is
+        # tracked by the request registry (and may itself target the
+        # sys.dm_pdw_* system views).
+        result = session.run()
         print(" | ".join(result.columns))
         for row in result.rows[:args.max_rows]:
             print(" | ".join(str(value) for value in row))
@@ -411,7 +527,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"-- {len(result.rows)} rows, "
               f"{result.elapsed_seconds * 1e3:.3f} ms simulated "
               f"({result.dms_seconds * 1e3:.3f} ms data movement), "
-              f"{len(compiled.dsql_plan.steps)} DSQL steps")
+              f"{len(result.plan.dsql_plan.steps)} DSQL steps, "
+              f"request {result.request_id}")
 
     if args.trace:
         print()

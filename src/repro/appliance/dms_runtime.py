@@ -50,6 +50,7 @@ from repro.common.errors import DmsError
 from repro.common.executors import resolve_executor
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.obs.profiler import OperatorObserver
+from repro.obs.requests import NULL_REQUEST
 from repro.optimizer.binder import Binder
 from repro.pdw.dms import DmsOperation
 from repro.pdw.dsql import DsqlStep
@@ -404,11 +405,17 @@ class DmsRuntime:
                         ) -> Tuple[List[Tuple], List[str]]:
         """Bind (cached) and execute a step's SQL on one node."""
         query = self._bind_step(sql)
+        # Snapshot the node's table map before handing it over: a system-
+        # view refresh on another thread swaps dm_pdw_* fragments in and
+        # out of the live dict, and the interpreter constructors iterate
+        # their input.  dict.copy() is a single atomic op; the values are
+        # shared list references, so this costs one small dict per step.
+        tables = node.tables.copy()
         if self.executor == "vectorized":
-            interpreter = VectorInterpreter(node.tables, stats,
+            interpreter = VectorInterpreter(tables, stats,
                                             observer=observer)
         else:
-            interpreter = PlanInterpreter(node.tables, stats,
+            interpreter = PlanInterpreter(tables, stats,
                                           compiled=self.compiled,
                                           observer=observer)
         rows = interpreter.run_query(query)
@@ -472,12 +479,16 @@ class DmsRuntime:
     # -- movement execution -----------------------------------------------------------
 
     def _run_sources(self, step: DsqlStep,
-                     hash_index: Optional[int]) -> List[_SourceRun]:
+                     hash_index: Optional[int],
+                     request=NULL_REQUEST) -> List[_SourceRun]:
         """Run extract+route for every source node of a step.
 
         Under the parallel runtime the per-node tasks run concurrently
         on the node pool; results always come back in source-node order,
-        so the caller's merge is deterministic either way."""
+        so the caller's merge is deterministic either way.  ``request``
+        receives one ``node_done`` progress report per source node as
+        its task finishes — the live feed behind
+        ``sys.dm_pdw_dms_workers``."""
         node_count = self.appliance.node_count
         operation = step.movement.operation if step.movement else None
         profiling = self.profiling
@@ -513,7 +524,7 @@ class DmsRuntime:
                 deliveries, sent = route(
                     operation, rows, sizes, hash_index,
                     node_count, source_id)
-            return _SourceRun(
+            run = _SourceRun(
                 node_id=source_id,
                 rows=rows,
                 names=names,
@@ -525,13 +536,18 @@ class DmsRuntime:
                 observer=observer,
                 wall_seconds=time.perf_counter() - started,
             )
+            if request.enabled:
+                request.node_done(step.index, source_id, len(rows),
+                                  sizes_total, run.wall_seconds)
+            return run
 
         sources = self._source_nodes(step)
         if parallel and len(sources) > 1:
             return self._node_pool.map_ordered(run_one, sources)
         return [run_one(source) for source in sources]
 
-    def execute_movement(self, step: DsqlStep) -> StepExecutionStats:
+    def execute_movement(self, step: DsqlStep,
+                         request=NULL_REQUEST) -> StepExecutionStats:
         if step.movement is None or step.destination_table is None:
             raise DmsError(f"step {step.index} is not a DMS step")
         started = time.perf_counter()
@@ -552,7 +568,7 @@ class DmsRuntime:
 
         # Merge in source-node order — identical accounting and row
         # order whether the sources ran serially or on the pool.
-        for run in self._run_sources(step, hash_index):
+        for run in self._run_sources(step, hash_index, request):
             source_id = run.node_id
             stats.relational_rows += run.relational_rows
             stats.reader_bytes[source_id] = (
@@ -672,7 +688,8 @@ class DmsRuntime:
 
     # -- return step --------------------------------------------------------------------
 
-    def execute_return(self, step: DsqlStep) -> Tuple[List[Tuple], List[str],
+    def execute_return(self, step: DsqlStep,
+                       request=NULL_REQUEST) -> Tuple[List[Tuple], List[str],
                                                       StepExecutionStats]:
         """Run the final Return SQL and gather rows at the control node."""
         started = time.perf_counter()
@@ -680,7 +697,7 @@ class DmsRuntime:
         rows: List[Tuple] = []
         names: List[str] = []
         profiling = self.profiling
-        for run in self._run_sources(step, None):
+        for run in self._run_sources(step, None, request):
             source_id = run.node_id
             stats.relational_rows += run.relational_rows
             if source_id != CONTROL_NODE:

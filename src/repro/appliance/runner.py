@@ -41,6 +41,7 @@ from repro.appliance.scheduler import (
 from repro.appliance.storage import Appliance
 from repro.catalog.statistics import sort_key
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.requests import NULL_REQUEST
 from repro.common.errors import ExecutionError
 from repro.common.executors import resolve_executor
 from repro.optimizer.binder import Binder
@@ -90,6 +91,9 @@ class QueryResult:
     plan: Optional["CompiledQuery"] = None
     cache_hit: bool = False
     timing: Optional[ExecutionTiming] = None
+    # Correlation key across DMV rows, metrics and JSONL events (set
+    # by the session/service when request tracking is live).
+    request_id: Optional[str] = None
 
     def __iter__(self) -> Iterator[Tuple]:
         return iter(self.rows)
@@ -157,29 +161,39 @@ class DsqlRunner:
             "repro-step")
 
     def run(self, plan: DsqlPlan, keep_temps: bool = False,
-            profile: bool = False) -> QueryResult:
+            profile: bool = False, request=NULL_REQUEST) -> QueryResult:
         """Execute a DSQL plan.  ``profile=True`` additionally collects
         per-node per-operator actuals and per-movement transfer matrices
         onto each step's :class:`StepExecutionStats` (see
-        :func:`repro.obs.profiler.build_query_profile`)."""
+        :func:`repro.obs.profiler.build_query_profile`).  ``request`` is
+        the live request-lifecycle handle (default: the shared no-op) —
+        step begin/end and per-node progress are reported through it so
+        concurrent DMV readers see the execution at step granularity."""
         stats: List[StepExecutionStats] = []
         rows: List[Tuple] = []
         names: List[str] = list(plan.output_names)
         tracer = self.tracer
         self.runtime.profiling = profile
+        if request.enabled:
+            request.begin_plan(plan)
         try:
             with tracer.span("execute"):
                 if self.parallel and len(plan.steps) > 1:
-                    rows, names, stats = self._run_dag(plan, rows, names)
+                    rows, names, stats = self._run_dag(plan, rows, names,
+                                                       request)
                 else:
                     for step in plan.steps:
                         with tracer.span(self._step_label(step)) as span:
+                            request.begin_step(step.index)
                             if step.kind is StepKind.DMS:
                                 step_stats = \
-                                    self.runtime.execute_movement(step)
+                                    self.runtime.execute_movement(
+                                        step, request=request)
                             else:
                                 rows, names, step_stats = \
-                                    self.runtime.execute_return(step)
+                                    self.runtime.execute_return(
+                                        step, request=request)
+                            request.end_step(step.index, step_stats)
                             stats.append(step_stats)
                             if tracer.enabled:
                                 span.set("rows", step_stats.rows_moved)
@@ -204,8 +218,9 @@ class DsqlRunner:
                    if step.movement else "return"))
 
     def _run_dag(self, plan: DsqlPlan, rows: List[Tuple],
-                 names: List[str]) -> Tuple[List[Tuple], List[str],
-                                            List[StepExecutionStats]]:
+                 names: List[str], request=NULL_REQUEST
+                 ) -> Tuple[List[Tuple], List[str],
+                            List[StepExecutionStats]]:
         """DAG-scheduled execution: submit each step once its input
         temp tables are materialized.  Worker threads must not touch
         the tracer's span stack, so per-step spans are emitted post-hoc
@@ -215,14 +230,20 @@ class DsqlRunner:
 
         def execute(index: int) -> StepExecutionStats:
             step = plan.steps[index]
+            request.begin_step(index)
             if step.kind is StepKind.DMS:
-                return self.runtime.execute_movement(step)
-            step_rows, step_names, step_stats = \
-                self.runtime.execute_return(step)
-            returned[index] = (step_rows, step_names)
+                step_stats = self.runtime.execute_movement(
+                    step, request=request)
+            else:
+                step_rows, step_names, step_stats = \
+                    self.runtime.execute_return(step, request=request)
+                returned[index] = (step_rows, step_names)
+            request.end_step(index, step_stats)
             return step_stats
 
-        results = run_dag(dag, execute, self._step_pool)
+        on_submit = request.step_scheduled if request.enabled else None
+        results = run_dag(dag, execute, self._step_pool,
+                          on_submit=on_submit)
         stats = [results[index] for index in range(len(plan.steps))]
         tracer = self.tracer
         if tracer.enabled:

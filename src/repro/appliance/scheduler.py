@@ -181,12 +181,18 @@ class StepDag:
 
 
 def run_dag(dag: StepDag, execute: Callable[[int], object],
-            pool: WorkerPool) -> Dict[int, object]:
+            pool: WorkerPool,
+            on_submit: Optional[Callable[[int], None]] = None
+            ) -> Dict[int, object]:
     """Run ``execute(index)`` for every step, submitting each step as
     soon as all its dependencies have completed.  Returns results keyed
-    by step index.  On failure every in-flight step is drained before
-    the earliest (by step index) exception is re-raised, so the caller's
-    cleanup (temp-table drops) never races live workers."""
+    by step index.  ``on_submit`` (when given) is called with each step
+    index just before it is handed to the pool — the request-lifecycle
+    hook that lets a concurrent DMV reader distinguish a scheduled step
+    from one still waiting on its inputs.  On failure every in-flight
+    step is drained before the earliest (by step index) exception is
+    re-raised, so the caller's cleanup (temp-table drops) never races
+    live workers."""
     if dag.step_count == 0:
         return {}
     pending = {i: len(dag.dependencies[i]) for i in range(dag.step_count)}
@@ -194,6 +200,8 @@ def run_dag(dag: StepDag, execute: Callable[[int], object],
     failures: List[Tuple[int, BaseException]] = []
     futures = {}
     for index in sorted(i for i, n in pending.items() if n == 0):
+        if on_submit is not None:
+            on_submit(index)
         futures[pool.submit(execute, index)] = index
     if not futures:
         raise ExecutionError("step DAG has no ready step (dependency cycle)")
@@ -219,6 +227,8 @@ def run_dag(dag: StepDag, execute: Callable[[int], object],
                     failures.append((index, error))
             raise min(failures)[1]
         for index in sorted(ready):
+            if on_submit is not None:
+                on_submit(index)
             futures[pool.submit(execute, index)] = index
     if len(results) != dag.step_count:
         unreached = sorted(set(range(dag.step_count)) - set(results))

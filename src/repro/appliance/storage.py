@@ -164,19 +164,27 @@ class Appliance:
                 self.catalog.add_table(table)
             for node in self._nodes_holding(table):
                 node.create(table.name)
-            if not table.is_temp:
+            if table.is_system:
+                # System views are not a schema change: refresh the
+                # reference image but keep every cached plan valid.
+                self._image_cache = None
+            elif not table.is_temp:
                 self._invalidate_image()
 
     def drop_table(self, name: str) -> None:
         with self._lock:
-            is_temp = (self.catalog.has_table(name)
-                       and self.catalog.table(name).is_temp)
             if self.catalog.has_table(name):
+                table = self.catalog.table(name)
+                is_temp, is_system = table.is_temp, table.is_system
                 self.catalog.drop_table(name)
+            else:
+                is_temp = is_system = False
             self.control.drop(name)
             for node in self.compute:
                 node.drop(name)
-            if not is_temp:
+            if is_system:
+                self._image_cache = None
+            elif not is_temp:
                 self._invalidate_image()
 
     def load_rows(self, name: str, rows: Iterable[Tuple]) -> int:
@@ -208,9 +216,36 @@ class Appliance:
             for node, bucket in zip(self.compute, buckets):
                 node.insert(table.name, bucket)
         table.row_count += len(rows)
-        if not table.is_temp:
+        if table.is_system:
+            self._image_cache = None
+        elif not table.is_temp:
             self._invalidate_image()
         return len(rows)
+
+    def replace_system_rows(self, name: str, rows: List[Tuple]) -> int:
+        """Swap a system (DMV) pseudo-table's contents atomically.
+
+        The fresh row list is built first and *aliased* onto every
+        holding node (replicated system views share one list, exactly
+        like a broadcast delivery), so an in-progress scan keeps the
+        list it already grabbed — no torn reads — and the next scan
+        sees the new snapshot.  The reference image is refreshed but
+        ``schema_version`` is **not** bumped: a DMV refresh must never
+        invalidate the plan cache.
+        """
+        shared = list(rows)
+        with self._lock:
+            table = self.catalog.table(name)
+            if not table.is_system:
+                raise ExecutionError(
+                    f"table {name!r} is not a system view")
+            for node in self._nodes_holding(table):
+                node.drop(name)
+                node.create(name)
+                node.adopt(name, shared)
+            table.row_count = len(shared)
+            self._image_cache = None
+        return len(shared)
 
     def node_storage(self, node_id: int) -> NodeStorage:
         if node_id == CONTROL_NODE:
@@ -279,7 +314,9 @@ class Appliance:
         global statistics — the §2.2 pipeline."""
         shell = ShellDatabase(self.catalog, self.node_count)
         for table in self.catalog.tables():
-            if table.is_temp:
+            # System views churn on every refresh; the shell's
+            # synthesized defaults (from the live row_count) suffice.
+            if table.is_temp or table.is_system:
                 continue
             kind = table.distribution.kind
             if kind is DistributionKind.HASH:

@@ -79,6 +79,12 @@ class TableDef:
     distribution: TableDistribution
     row_count: int = 0
     is_temp: bool = False
+    # System (DMV) pseudo-tables: snapshot-materialized observability
+    # views whose contents churn on every refresh.  They live in the
+    # catalog like any table but never count as a schema change — the
+    # plan cache must survive a DMV refresh — and they are excluded
+    # from the statistics pipeline and temp-table cleanup alike.
+    is_system: bool = False
     primary_key: Tuple[str, ...] = ()
     _by_name: Dict[str, Column] = field(default_factory=dict, repr=False)
 

@@ -13,10 +13,18 @@ needs to be *checked* rather than assumed:
 * :mod:`repro.obs.opt_trace` — the optimizer search-space recorder
   (:class:`OptimizerTrace` / :data:`NULL_OPT_TRACE`): per-group
   enumeration, prune and enforce accounting, hint overrides;
+* :mod:`repro.obs.requests` — the live request-lifecycle layer
+  (:class:`RequestRegistry` / :data:`NULL_REQUESTS`): every query gets a
+  ``request_id`` tracked queued → compiling → running → complete, with
+  per-step and per-node progress updated in-flight, plus the bounded
+  flight recorder of completed requests;
+* :mod:`repro.obs.system_views` — the five ``sys.dm_pdw_*`` virtual
+  system views, snapshot-materialized as replicated pseudo-tables so
+  they are queryable through the normal parse → optimize → execute path;
 * :mod:`repro.obs.export` — structured sinks: JSONL event log with
   schema validation, JSON profile documents, Prometheus text;
-* :mod:`repro.obs.report` — the rendered ``repro profile`` and
-  ``repro why`` tables;
+* :mod:`repro.obs.report` — the rendered ``repro profile``,
+  ``repro why`` and ``repro requests`` tables;
 * :mod:`repro.obs.schema_check` — ``python -m repro.obs.schema_check``
   CLI used by CI to validate emitted JSONL.
 """
@@ -28,6 +36,9 @@ from repro.obs.export import (
     optimizer_trace_to_metrics,
     profile_to_events,
     profile_to_metrics,
+    request_to_event,
+    requests_to_events,
+    requests_to_metrics,
     validate_event,
     validate_events,
     validate_jsonl,
@@ -74,7 +85,30 @@ from repro.obs.report import (
     render_profile_report,
     render_prune_effectiveness_table,
     render_rejected_movements_table,
+    render_request_steps_table,
+    render_requests_report,
+    render_requests_table,
     render_step_table,
+)
+from repro.obs.requests import (
+    NULL_REQUEST,
+    NULL_REQUESTS,
+    NullRequestHandle,
+    NullRequestRegistry,
+    REQUEST_STATES,
+    RequestHandle,
+    RequestRecord,
+    RequestRegistry,
+    StepProgress,
+    TERMINAL_STATES,
+    plan_digest,
+)
+from repro.obs.system_views import (
+    SYSTEM_VIEW_NAMES,
+    mentions_system_views,
+    refresh_system_views,
+    register_system_views,
+    system_view_defs,
 )
 
 __all__ = [
@@ -122,5 +156,27 @@ __all__ = [
     "render_profile_report",
     "render_prune_effectiveness_table",
     "render_rejected_movements_table",
+    "render_request_steps_table",
+    "render_requests_report",
+    "render_requests_table",
     "render_step_table",
+    "request_to_event",
+    "requests_to_events",
+    "requests_to_metrics",
+    "NULL_REQUEST",
+    "NULL_REQUESTS",
+    "NullRequestHandle",
+    "NullRequestRegistry",
+    "REQUEST_STATES",
+    "RequestHandle",
+    "RequestRecord",
+    "RequestRegistry",
+    "StepProgress",
+    "TERMINAL_STATES",
+    "plan_digest",
+    "SYSTEM_VIEW_NAMES",
+    "mentions_system_views",
+    "refresh_system_views",
+    "register_system_views",
+    "system_view_defs",
 ]

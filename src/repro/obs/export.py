@@ -27,10 +27,13 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.opt_trace import OptimizerTrace
 from repro.obs.profiler import QueryProfile
+from repro.obs.requests import RequestRecord, RequestRegistry
 
 __all__ = [
     "profile_to_events",
     "optimizer_trace_to_events",
+    "request_to_event",
+    "requests_to_events",
     "events_to_jsonl",
     "write_jsonl",
     "EVENT_SCHEMAS",
@@ -39,6 +42,7 @@ __all__ = [
     "validate_jsonl",
     "profile_to_metrics",
     "optimizer_trace_to_metrics",
+    "requests_to_metrics",
 ]
 
 
@@ -151,6 +155,48 @@ def optimizer_trace_to_events(trace: OptimizerTrace,
     if plan_choice is not None:
         events.append({"event": "plan_choice", **plan_choice.to_dict()})
     return events
+
+
+def request_to_event(record: RequestRecord,
+                     slow_threshold_seconds: float) -> dict:
+    """One flight-recorder record as a ``request_complete`` event."""
+    return {
+        "event": "request_complete",
+        "request_id": record.request_id,
+        "status": record.status,
+        "sql": record.sql,
+        "tenant": record.tenant,
+        "priority": record.priority,
+        "cache_hit": record.cache_hit,
+        "plan_digest": record.plan_digest,
+        "steps": record.step_count,
+        "rows": record.rows_returned,
+        "queue_seconds": record.queue_seconds,
+        "compile_seconds": record.compile_seconds,
+        "execute_seconds": record.execute_seconds,
+        "total_seconds": record.total_seconds,
+        "slow": record.is_slow(slow_threshold_seconds),
+        "error": record.error,
+        "step_actuals": [
+            {
+                "step": step.index,
+                "kind": step.kind,
+                "operation": step.operation,
+                "rows": step.rows_moved,
+                "bytes": step.bytes_moved,
+                "seconds": step.elapsed_seconds,
+            }
+            for step in record.steps
+        ],
+    }
+
+
+def requests_to_events(registry: RequestRegistry) -> List[dict]:
+    """Flatten the flight recorder into schema-checked
+    ``request_complete`` events (one per retained record)."""
+    threshold = registry.slow_threshold_seconds
+    return [request_to_event(record, threshold)
+            for record in registry.completed()]
 
 
 def events_to_jsonl(events: Iterable[dict]) -> str:
@@ -281,6 +327,25 @@ EVENT_SCHEMAS: Dict[str, Dict[str, Tuple[object, bool]]] = {
         "movements_baseline": (int, True),
         "movements_shared": (int, True),
     },
+    # -- request flight-recorder events ----------------------------------------
+    "request_complete": {
+        "request_id": (str, True),
+        "status": (str, True),
+        "sql": (str, True),
+        "tenant": (str, True),
+        "priority": (str, True),
+        "cache_hit": (bool, True),
+        "plan_digest": (str, True),
+        "steps": (int, True),
+        "rows": (int, True),
+        "queue_seconds": (_NUM, True),
+        "compile_seconds": (_NUM, True),
+        "execute_seconds": (_NUM, True),
+        "total_seconds": (_NUM, True),
+        "slow": (bool, True),
+        "error": (str, True),
+        "step_actuals": ("step_list", True),
+    },
 }
 
 
@@ -327,6 +392,25 @@ def _check_field(name: str, value: object, spec: object) -> Optional[str]:
                     or not _is_number(entry.get("cost")):
                 return (f"field {name!r} entry needs str 'option', "
                         f"str 'property_key', number 'cost': {entry!r}")
+        return None
+    if spec == "step_list":
+        if not isinstance(value, list):
+            return f"field {name!r} must be a list, got {value!r}"
+        for entry in value:
+            if not isinstance(entry, dict):
+                return f"field {name!r} entries must be objects"
+            for part in ("step", "rows", "bytes"):
+                if not isinstance(entry.get(part), int) or isinstance(
+                        entry.get(part), bool):
+                    return (f"field {name!r} entry missing int "
+                            f"{part!r}: {entry!r}")
+            for part in ("kind", "operation"):
+                if not isinstance(entry.get(part), str):
+                    return (f"field {name!r} entry missing str "
+                            f"{part!r}: {entry!r}")
+            if not _is_number(entry.get("seconds")):
+                return (f"field {name!r} entry missing number "
+                        f"'seconds': {entry!r}")
         return None
     if spec == "transfer_list":
         if not isinstance(value, list):
@@ -540,3 +624,52 @@ def optimizer_trace_to_metrics(trace: OptimizerTrace,
             "pdw_optimizer_baseline_delta_seconds",
             "Extra DMS seconds the §2.5 baseline pays over the chosen plan",
         ).set(plan_choice.delta)
+
+
+def requests_to_metrics(requests: RequestRegistry,
+                        registry: MetricsRegistry) -> None:
+    """Record the flight recorder into a registry as ``pdw_request_*``
+    series.
+
+    Families: ``pdw_request_total{status,tenant}`` counter,
+    ``pdw_request_seconds{phase}`` histogram (queue / compile /
+    execute / total phases of every completed request),
+    ``pdw_request_rows_total``, ``pdw_request_cache_hits_total`` and
+    ``pdw_request_slow_total`` counters, plus a
+    ``pdw_request_in_flight`` gauge over currently active requests.
+    """
+    if not registry.enabled or not requests.enabled:
+        return
+    total = registry.counter(
+        "pdw_request_total",
+        "Completed requests by terminal status and tenant",
+        labelnames=("status", "tenant"))
+    seconds = registry.histogram(
+        "pdw_request_seconds",
+        "Request wall-clock seconds per lifecycle phase",
+        labelnames=("phase",))
+    rows_total = registry.counter(
+        "pdw_request_rows_total",
+        "Rows returned to clients across completed requests")
+    cache_hits = registry.counter(
+        "pdw_request_cache_hits_total",
+        "Completed requests served from the plan cache")
+    slow_total = registry.counter(
+        "pdw_request_slow_total",
+        "Completed requests exceeding the slow-query threshold")
+    in_flight = registry.gauge(
+        "pdw_request_in_flight",
+        "Requests currently active (queued, compiling or running)")
+    threshold = requests.slow_threshold_seconds
+    for record in requests.completed():
+        total.labels(status=record.status, tenant=record.tenant).inc()
+        seconds.labels(phase="queue").observe(record.queue_seconds)
+        seconds.labels(phase="compile").observe(record.compile_seconds)
+        seconds.labels(phase="execute").observe(record.execute_seconds)
+        seconds.labels(phase="total").observe(record.total_seconds)
+        rows_total.inc(record.rows_returned)
+        if record.cache_hit:
+            cache_hits.inc()
+        if record.is_slow(threshold):
+            slow_total.inc()
+    in_flight.set(len(requests.active()))

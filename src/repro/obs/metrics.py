@@ -176,10 +176,14 @@ class Metric:
         self.labels().observe(value)
 
     def series(self) -> List[Tuple[Dict[str, str], object]]:
-        """(labels dict, value object) for every child, sorted by labels."""
+        """(labels dict, value object) for every child, sorted by labels.
+        Snapshots under the lock so concurrent first-touch inserts never
+        break a render mid-iteration."""
+        with self._lock:
+            items = sorted(self._children.items())
         return [
             (dict(zip(self.labelnames, key)), child)
-            for key, child in sorted(self._children.items())
+            for key, child in items
         ]
 
 
@@ -239,7 +243,8 @@ class MetricsRegistry:
         return self._metrics.get(name)
 
     def metrics(self) -> List[Metric]:
-        return [self._metrics[name] for name in sorted(self._metrics)]
+        with self._lock:  # registrations race with renders
+            return [self._metrics[name] for name in sorted(self._metrics)]
 
     def snapshot(self) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]:
         """Scalar view: name → {label items → value}.  Histograms report
@@ -266,7 +271,8 @@ class MetricsRegistry:
         lines: List[str] = []
         for metric in self.metrics():
             if metric.help:
-                lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(
+                    f"# HELP {metric.name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {metric.name} {metric.kind}")
             for labels, child in metric.series():
                 if isinstance(child, HistogramValue):
@@ -293,6 +299,12 @@ def _fmt_float(value: float) -> str:
     if float(value).is_integer():
         return str(int(value))
     return repr(float(value))
+
+
+def _escape_help(value: str) -> str:
+    """HELP text escaping per the exposition format: backslash and
+    newline only (quotes are *not* escaped outside label values)."""
+    return value.replace("\\", r"\\").replace("\n", r"\n")
 
 
 def _escape_label(value: str) -> str:

@@ -9,6 +9,10 @@ Q-error summary line.
 ``repro why`` output: per-group enumeration statistics, the top-k
 costliest considered-but-rejected movements, and prune effectiveness per
 interesting-property key.
+
+``render_requests_report`` produces the ``repro requests`` output: the
+flight recorder's per-request summary table (status, cache verdict,
+phase timings) plus a per-step actuals table for slow requests.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ from typing import Dict, List, Optional
 
 from repro.obs.opt_trace import OptimizerTrace
 from repro.obs.profiler import QueryProfile
+from repro.obs.requests import RequestRecord, RequestRegistry
 
 __all__ = [
     "render_table",
@@ -27,6 +32,9 @@ __all__ = [
     "render_rejected_movements_table",
     "render_prune_effectiveness_table",
     "render_optimizer_trace_report",
+    "render_requests_table",
+    "render_request_steps_table",
+    "render_requests_report",
 ]
 
 # Per-node row vectors are shown verbatim up to this many participants;
@@ -231,4 +239,88 @@ def render_optimizer_trace_report(trace: OptimizerTrace,
             f"'{override.strategy}' for table {override.table!r}, "
             f"displacing {displaced}; {override.kept} option(s) kept.",
         ]
+    return "\n".join(lines)
+
+
+# -- request flight-recorder tables --------------------------------------------
+
+
+def _clip_sql(sql: str, width: int = 48) -> str:
+    flat = " ".join(sql.split())
+    return flat if len(flat) <= width else flat[: width - 3] + "..."
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.2f}"
+
+
+def render_requests_table(records: List[RequestRecord]) -> str:
+    """One row per request: the ``sys.dm_pdw_exec_requests`` view in
+    terminal form."""
+    headers = ["request", "status", "cache", "steps", "rows",
+               "queue ms", "compile ms", "exec ms", "total ms", "command"]
+    rows = [[
+        r.request_id,
+        r.status,
+        "hit" if r.cache_hit else "miss",
+        str(r.step_count),
+        str(r.rows_returned),
+        _fmt_ms(r.queue_seconds),
+        _fmt_ms(r.compile_seconds),
+        _fmt_ms(r.execute_seconds),
+        _fmt_ms(r.total_seconds),
+        _clip_sql(r.sql),
+    ] for r in records]
+    return render_table(headers, rows, left_columns=frozenset({0, 1, 9}))
+
+
+def render_request_steps_table(record: RequestRecord) -> str:
+    """Per-step actuals for one request: the
+    ``sys.dm_pdw_request_steps`` view in terminal form."""
+    headers = ["step", "kind", "operation", "status", "rows", "bytes",
+               "sim ms", "wall ms"]
+    rows = [[
+        str(s.index),
+        s.kind,
+        s.operation or "-",
+        s.status,
+        str(s.rows_moved),
+        str(s.bytes_moved),
+        _fmt_ms(s.elapsed_seconds),
+        _fmt_ms(s.wall_seconds),
+    ] for s in record.steps]
+    return render_table(headers, rows, left_columns=frozenset({1, 2, 3}))
+
+
+def render_requests_report(registry: RequestRegistry,
+                           slow_only: bool = False) -> str:
+    """The ``repro requests`` output: recorder stats, the per-request
+    table, and step-level detail for every slow request."""
+    stats = registry.stats()
+    records = registry.slow() if slow_only else registry.completed()
+    finished = ", ".join(f"{status}={count}" for status, count
+                         in sorted(stats["finished"].items())) or "none"
+    lines = [
+        f"Flight recorder: {stats['retained']}/{stats['capacity']} "
+        f"retained, {stats['active']} active, {stats['slow']} slow "
+        f"(threshold {stats['slow_threshold_seconds'] * 1e3:.0f} ms); "
+        f"finished: {finished}",
+    ]
+    if not records:
+        lines += ["", "No completed requests recorded."]
+        return "\n".join(lines)
+    lines += [
+        "",
+        "Slow requests:" if slow_only else "Completed requests:",
+        render_requests_table(records),
+    ]
+    threshold = stats["slow_threshold_seconds"]
+    for record in records:
+        if record.steps and record.is_slow(threshold):
+            lines += [
+                "",
+                f"Step detail for {record.request_id} "
+                f"({record.total_seconds * 1e3:.2f} ms):",
+                render_request_steps_table(record),
+            ]
     return "\n".join(lines)

@@ -1,0 +1,437 @@
+"""Live request lifecycle tracking: the registry behind the DMVs.
+
+The shipped product exposes the appliance's runtime state as queryable
+system views (``sys.dm_pdw_exec_requests`` and friends); this module is
+the in-memory source of truth those views materialize from.  Every query
+admitted through :class:`repro.session.PdwSession` or
+:class:`repro.service.PdwService` gets a ``request_id`` and a
+:class:`RequestRecord` tracked through its lifecycle::
+
+    queued -> compiling -> running (step k/n) -> moving data
+           -> complete | failed | rejected
+
+with per-step (:class:`StepProgress`) and per-node progress counters
+updated *in flight* by hooks in :class:`repro.appliance.runner.DsqlRunner`,
+the DAG scheduler and :class:`repro.appliance.dms_runtime.DmsRuntime`.
+
+Completed records move into a bounded ring buffer — the **flight
+recorder** — with a slow-query threshold, so a busy service retains the
+recent past at fixed memory cost.  :mod:`repro.obs.export` turns the
+recorder into schema-validated ``request_complete`` JSONL events and
+``pdw_request_*`` Prometheus series;
+:mod:`repro.obs.system_views` snapshots registry state into replicated
+pseudo-tables the engine itself can query.
+
+Zero-overhead default: :data:`NULL_REQUESTS` / :data:`NULL_REQUEST`
+follow the ``NULL_TRACER`` / ``NULL_OPT_TRACE`` contract — shared no-op
+singletons with ``enabled = False`` and no per-call allocation, so the
+untracked path stays allocation-free (the booby-trap tests monkeypatch
+the record constructors to prove it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+__all__ = [
+    "StepProgress",
+    "RequestRecord",
+    "RequestHandle",
+    "RequestRegistry",
+    "NullRequestHandle",
+    "NullRequestRegistry",
+    "NULL_REQUEST",
+    "NULL_REQUESTS",
+    "REQUEST_STATES",
+    "TERMINAL_STATES",
+    "plan_digest",
+]
+
+#: Every status a request can report, in lifecycle order.
+REQUEST_STATES = ("queued", "compiling", "running", "moving data",
+                  "complete", "failed", "rejected")
+
+#: Statuses that move a record from the active set into the recorder.
+TERMINAL_STATES = frozenset({"complete", "failed", "rejected"})
+
+#: Default flight-recorder capacity (completed records retained).
+DEFAULT_CAPACITY = 256
+
+#: Default slow-query threshold in *measured* seconds end to end.
+DEFAULT_SLOW_SECONDS = 1.0
+
+
+def plan_digest(plan) -> str:
+    """A short stable fingerprint of a DSQL plan's step SQL.
+
+    Two executions of the same cached template share a digest even when
+    their literals differ only through parameter binding of the same
+    text, so the recorder groups repeats of one plan shape.
+    """
+    digest = hashlib.sha1()
+    for step in plan.steps:
+        digest.update(step.sql.encode("utf-8", "replace"))
+        digest.update(b"\x00")
+    return digest.hexdigest()[:12]
+
+
+@dataclass
+class StepProgress:
+    """Live per-step accounting for one request's DSQL step.
+
+    ``status`` walks ``pending -> scheduled -> running -> complete``;
+    the per-node dicts fill in as each node's extract+route task
+    finishes, so a concurrent DMV read sees partial progress.
+    """
+
+    index: int
+    kind: str = ""                # "DMS" or "Return"
+    operation: str = ""
+    status: str = "pending"
+    rows_moved: int = 0
+    bytes_moved: int = 0
+    elapsed_seconds: float = 0.0  # simulated step time
+    wall_seconds: float = 0.0     # measured step time
+    node_rows: Dict[int, int] = field(default_factory=dict)
+    node_bytes: Dict[int, int] = field(default_factory=dict)
+    node_wall_seconds: Dict[int, float] = field(default_factory=dict)
+
+
+@dataclass
+class RequestRecord:
+    """One query's trip through the appliance, live or completed."""
+
+    request_id: str
+    sql: str
+    tenant: str = "default"
+    priority: str = "normal"
+    status: str = "queued"
+    submitted_at: float = 0.0     # epoch seconds
+    ended_at: Optional[float] = None
+    cache_hit: bool = False
+    plan_digest: str = ""
+    step_count: int = 0
+    current_step: int = -1
+    rows_returned: int = 0
+    error: str = ""
+    queue_seconds: float = 0.0
+    compile_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    total_seconds: float = 0.0
+    steps: List[StepProgress] = field(default_factory=list)
+
+    @property
+    def is_active(self) -> bool:
+        return self.status not in TERMINAL_STATES
+
+    def is_slow(self, threshold_seconds: float) -> bool:
+        return self.total_seconds >= threshold_seconds
+
+
+class RequestHandle:
+    """The mutation surface one in-flight request's instrumentation uses.
+
+    Handed out by :meth:`RequestRegistry.begin` and threaded through the
+    session/service, the runner (``run(plan, request=...)``), the DAG
+    scheduler and the DMS runtime.  Every method takes the registry lock,
+    so concurrent DMV snapshots never see torn rows.
+    """
+
+    enabled = True
+    __slots__ = ("_registry", "_record")
+
+    def __init__(self, registry: "RequestRegistry",
+                 record: RequestRecord):
+        self._registry = registry
+        self._record = record
+
+    @property
+    def request_id(self) -> str:
+        return self._record.request_id
+
+    @property
+    def record(self) -> RequestRecord:
+        return self._record
+
+    # -- lifecycle transitions -------------------------------------------------
+
+    def compiling(self) -> None:
+        with self._registry._lock:
+            self._record.status = "compiling"
+
+    def begin_plan(self, plan) -> None:
+        """The runner is about to execute ``plan``: materialize one
+        :class:`StepProgress` per DSQL step and go ``running``."""
+        record = self._record
+        digest = plan_digest(plan)
+        steps = []
+        for step in plan.steps:
+            movement = getattr(step, "movement", None)
+            if movement is not None:
+                kind = "DMS"
+                operation = movement.describe()
+            else:
+                kind = "Return"
+                operation = "Return"
+            steps.append(StepProgress(index=step.index, kind=kind,
+                                      operation=operation))
+        with self._registry._lock:
+            record.plan_digest = digest
+            record.step_count = len(steps)
+            record.steps = steps
+            record.status = "running"
+
+    def step_scheduled(self, index: int) -> None:
+        """The DAG scheduler submitted step ``index`` to the pool."""
+        with self._registry._lock:
+            steps = self._record.steps
+            if 0 <= index < len(steps) \
+                    and steps[index].status == "pending":
+                steps[index].status = "scheduled"
+
+    def begin_step(self, index: int) -> None:
+        with self._registry._lock:
+            record = self._record
+            if not (0 <= index < len(record.steps)):
+                return
+            step = record.steps[index]
+            step.status = "running"
+            record.current_step = index
+            # DMS steps *are* the data movement; the paper's lifecycle
+            # surfaces them as a distinct observable state.
+            record.status = ("moving data" if step.kind == "DMS"
+                             else "running")
+
+    def node_done(self, index: int, node_id: int, rows: int,
+                  nbytes: int, wall_seconds: float) -> None:
+        """One node's extract+route task for step ``index`` finished."""
+        with self._registry._lock:
+            steps = self._record.steps
+            if not (0 <= index < len(steps)):
+                return
+            step = steps[index]
+            step.node_rows[node_id] = step.node_rows.get(node_id, 0) + rows
+            step.node_bytes[node_id] = (step.node_bytes.get(node_id, 0)
+                                        + nbytes)
+            step.node_wall_seconds[node_id] = (
+                step.node_wall_seconds.get(node_id, 0.0) + wall_seconds)
+
+    def end_step(self, index: int, stats) -> None:
+        """Step ``index`` finished with its
+        :class:`~repro.appliance.dms_runtime.StepExecutionStats`."""
+        with self._registry._lock:
+            record = self._record
+            if not (0 <= index < len(record.steps)):
+                return
+            step = record.steps[index]
+            step.status = "complete"
+            step.rows_moved = stats.rows_moved
+            step.bytes_moved = (stats.total_bytes()
+                                if stats.operation is not None
+                                else sum(stats.network_bytes.values()))
+            step.elapsed_seconds = stats.elapsed_seconds
+            step.wall_seconds = stats.wall_seconds
+            record.status = "running"
+
+    # -- terminal transitions ---------------------------------------------------
+
+    def complete(self, rows: int = 0, cache_hit: bool = False,
+                 queue_seconds: float = 0.0,
+                 compile_seconds: float = 0.0,
+                 execute_seconds: float = 0.0,
+                 total_seconds: float = 0.0) -> None:
+        record = self._record
+        record.rows_returned = rows
+        record.cache_hit = cache_hit
+        record.queue_seconds = queue_seconds
+        record.compile_seconds = compile_seconds
+        record.execute_seconds = execute_seconds
+        record.total_seconds = total_seconds
+        self._registry._finish(record, "complete")
+
+    def failed(self, error: str, total_seconds: float = 0.0) -> None:
+        record = self._record
+        record.error = str(error)
+        record.total_seconds = total_seconds
+        self._registry._finish(record, "failed")
+
+    def rejected(self, error: str) -> None:
+        record = self._record
+        record.error = str(error)
+        self._registry._finish(record, "rejected")
+
+
+class RequestRegistry:
+    """Assigns request ids, tracks in-flight queries, retains the past.
+
+    Thread-safe: the session and every service client thread mutate
+    through :class:`RequestHandle` under one lock, and snapshot readers
+    (DMV materialization, exports, ``stats()``) take the same lock, so a
+    reader never observes a half-applied transition.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 slow_threshold_seconds: float = DEFAULT_SLOW_SECONDS):
+        self.capacity = max(1, int(capacity))
+        self.slow_threshold_seconds = float(slow_threshold_seconds)
+        self._lock = threading.RLock()
+        self._ids = itertools.count(1)
+        self._active: "OrderedDict[str, RequestRecord]" = OrderedDict()
+        self._recorder: Deque[RequestRecord] = deque(maxlen=self.capacity)
+        self._counts: Dict[str, int] = {}
+
+    # -- intake ----------------------------------------------------------------
+
+    def begin(self, sql: str, tenant: str = "default",
+              priority: str = "normal") -> RequestHandle:
+        record = RequestRecord(
+            request_id=f"QID{next(self._ids)}",
+            sql=sql, tenant=tenant, priority=priority,
+            submitted_at=time.time())
+        with self._lock:
+            self._active[record.request_id] = record
+        return RequestHandle(self, record)
+
+    def _finish(self, record: RequestRecord, status: str) -> None:
+        with self._lock:
+            record.status = status
+            record.ended_at = time.time()
+            record.current_step = -1
+            self._active.pop(record.request_id, None)
+            self._recorder.append(record)
+            self._counts[status] = self._counts.get(status, 0) + 1
+
+    # -- snapshots -------------------------------------------------------------
+
+    def active(self) -> List[RequestRecord]:
+        """In-flight records, oldest first."""
+        with self._lock:
+            return list(self._active.values())
+
+    def completed(self) -> List[RequestRecord]:
+        """The flight recorder's retained records, oldest first."""
+        with self._lock:
+            return list(self._recorder)
+
+    def slow(self) -> List[RequestRecord]:
+        """Retained records at or above the slow-query threshold."""
+        threshold = self.slow_threshold_seconds
+        with self._lock:
+            return [record for record in self._recorder
+                    if record.is_slow(threshold)]
+
+    def snapshot(self) -> List[RequestRecord]:
+        """Active then retained records — the DMV materialization set."""
+        with self._lock:
+            return list(self._active.values()) + list(self._recorder)
+
+    def find(self, request_id: str) -> Optional[RequestRecord]:
+        with self._lock:
+            record = self._active.get(request_id)
+            if record is not None:
+                return record
+            for record in self._recorder:
+                if record.request_id == request_id:
+                    return record
+        return None
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "active": len(self._active),
+                "retained": len(self._recorder),
+                "capacity": self.capacity,
+                "slow_threshold_seconds": self.slow_threshold_seconds,
+                "slow": sum(
+                    1 for record in self._recorder
+                    if record.is_slow(self.slow_threshold_seconds)),
+                "finished": dict(self._counts),
+            }
+
+
+class NullRequestHandle:
+    """The shared do-nothing handle: every hook is a no-op."""
+
+    enabled = False
+    __slots__ = ()
+    request_id = None
+
+    def compiling(self):
+        pass
+
+    def begin_plan(self, plan):
+        del plan
+
+    def step_scheduled(self, index):
+        del index
+
+    def begin_step(self, index):
+        del index
+
+    def node_done(self, index, node_id, rows, nbytes, wall_seconds):
+        del index, node_id, rows, nbytes, wall_seconds
+
+    def end_step(self, index, stats):
+        del index, stats
+
+    def complete(self, rows=0, cache_hit=False, queue_seconds=0.0,
+                 compile_seconds=0.0, execute_seconds=0.0,
+                 total_seconds=0.0):
+        del rows, cache_hit, queue_seconds, compile_seconds
+        del execute_seconds, total_seconds
+
+    def failed(self, error, total_seconds=0.0):
+        del error, total_seconds
+
+    def rejected(self, error):
+        del error
+
+
+NULL_REQUEST = NullRequestHandle()
+
+
+class NullRequestRegistry(RequestRegistry):
+    """The default registry: tracks nothing, allocates nothing."""
+
+    enabled = False
+    __slots__ = ()
+    capacity = 0
+    slow_threshold_seconds = 0.0
+
+    def __init__(self):  # no per-instance state at all
+        pass
+
+    def begin(self, sql, tenant="default", priority="normal"):
+        del sql, tenant, priority
+        return NULL_REQUEST
+
+    def active(self):
+        return []
+
+    def completed(self):
+        return []
+
+    def slow(self):
+        return []
+
+    def snapshot(self):
+        return []
+
+    def find(self, request_id):
+        del request_id
+        return None
+
+    def stats(self):
+        return {"active": 0, "retained": 0, "capacity": 0,
+                "slow_threshold_seconds": 0.0, "slow": 0, "finished": {}}
+
+
+NULL_REQUESTS = NullRequestRegistry()

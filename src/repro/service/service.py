@@ -43,6 +43,12 @@ from repro.appliance.storage import Appliance
 from repro.catalog.shell_db import ShellDatabase
 from repro.common.errors import ReproError, ServiceClosedError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.requests import RequestRegistry
+from repro.obs.system_views import (
+    mentions_system_views,
+    refresh_system_views,
+    register_system_views,
+)
 from repro.optimizer.search import OptimizerConfig
 from repro.pdw.engine import CompiledQuery, PdwEngine
 from repro.pdw.enumerator import PdwConfig
@@ -82,7 +88,8 @@ class PdwService:
                  max_in_flight: int = 4,
                  max_queue: int = 32,
                  default_timeout_seconds: Optional[float] = None,
-                 admission: Optional[AdmissionController] = None):
+                 admission: Optional[AdmissionController] = None,
+                 requests: Optional[RequestRegistry] = None):
         if (appliance is None) != (shell is None):
             raise ReproError(
                 "pass both appliance and shell, or neither "
@@ -107,6 +114,13 @@ class PdwService:
             max_in_flight=max_in_flight, max_queue=max_queue,
             default_timeout_seconds=default_timeout_seconds,
             metrics=self.metrics)
+        # Request lifecycle: live by default (the service is the busy
+        # appliance's control node); pass a shared registry to correlate
+        # with sessions, or NULL_REQUESTS to opt out entirely.
+        self.requests = (requests if requests is not None
+                         else RequestRegistry())
+        if self.requests.enabled:
+            register_system_views(appliance)
         self._compile_lock = threading.Lock()
         self._key_locks: Dict[str, threading.Lock] = {}
         self._key_locks_guard = threading.Lock()
@@ -145,23 +159,36 @@ class PdwService:
         if overrides:
             opts = opts.override(**overrides)
         started = time.perf_counter()
-        ticket = self.admission.admit(
-            priority=opts.priority, tenant=opts.tenant,
-            timeout_seconds=opts.timeout_seconds)
+        request = self.requests.begin(sql, tenant=opts.tenant,
+                                      priority=opts.priority)
+        # Refresh after begin so a DMV query observes itself (queued).
+        if self.requests.enabled and mentions_system_views(sql):
+            self.refresh_system_views()
         try:
+            ticket = self.admission.admit(
+                priority=opts.priority, tenant=opts.tenant,
+                timeout_seconds=opts.timeout_seconds)
+        except Exception as exc:
+            request.rejected(str(exc))
+            raise
+        try:
+            request.compiling()
             compiled, cache_hit, compile_seconds, mapping = \
                 self._compiled_for(sql, opts)
             plan, temp_names = instantiate_plan(
                 compiled, mapping, next(self._execution_ids))
             execute_started = time.perf_counter()
             try:
-                result = self.runner.run(plan, keep_temps=True)
+                result = self.runner.run(plan, keep_temps=True,
+                                         request=request)
             finally:
                 for name in temp_names:
                     self.appliance.drop_table(name)
             execute_seconds = time.perf_counter() - execute_started
-        except Exception:
+        except Exception as exc:
             self.admission.release(ticket)
+            request.failed(str(exc),
+                           total_seconds=time.perf_counter() - started)
             self._account(opts, outcome="failed",
                           seconds=time.perf_counter() - started)
             raise
@@ -175,6 +202,12 @@ class PdwService:
             execute_seconds=execute_seconds,
             total_seconds=total,
         )
+        result.request_id = request.request_id
+        request.complete(rows=len(result.rows), cache_hit=cache_hit,
+                         queue_seconds=ticket.queued_seconds,
+                         compile_seconds=compile_seconds,
+                         execute_seconds=execute_seconds,
+                         total_seconds=total)
         self._account(opts, outcome="ok", seconds=total,
                       timing=result.timing, cache_hit=cache_hit)
         return result
@@ -313,6 +346,15 @@ class PdwService:
 
     # -- introspection ---------------------------------------------------------
 
+    def refresh_system_views(self) -> None:
+        """Materialize the ``sys.dm_pdw_*`` snapshot tables from the
+        live registry, plan cache and admission controller.  Called
+        automatically whenever an executed query mentions a system
+        view; callable directly to pre-warm them."""
+        refresh_system_views(self.appliance, self.requests,
+                             plan_cache=self.plan_cache,
+                             admission=self.admission)
+
     def metrics_text(self) -> str:
         """The service registry in Prometheus text exposition format."""
         return self.metrics.render_prometheus()
@@ -321,5 +363,6 @@ class PdwService:
         return {
             "plan_cache": self.plan_cache.stats(),
             "admission": self.admission.stats(),
+            "requests": self.requests.stats(),
             "schema_version": self.appliance.schema_version,
         }

@@ -81,6 +81,13 @@ from repro.obs.profiler import QueryProfile, build_query_profile
 from repro.obs.report import (
     render_optimizer_trace_report,
     render_profile_report,
+    render_requests_report,
+)
+from repro.obs.requests import NULL_REQUESTS, RequestRegistry
+from repro.obs.system_views import (
+    mentions_system_views,
+    refresh_system_views,
+    register_system_views,
 )
 from repro.optimizer.search import OptimizerConfig
 from repro.pdw.dsql import StepKind
@@ -124,6 +131,7 @@ class PdwSession:
                  pdw_config: Optional[PdwConfig] = None,
                  tracer: Optional[Tracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
+                 requests: Optional[RequestRegistry] = None,
                  trace=_UNSET,
                  compiled=_UNSET,
                  parallel=_UNSET):
@@ -166,6 +174,14 @@ class PdwSession:
         if metrics is None:
             metrics = MetricsRegistry() if opts.trace else NULL_METRICS
         self.metrics = metrics
+        # Request-lifecycle registry: live whenever tracing is (it is the
+        # observability surface), shareable across sessions/services by
+        # passing the same registry object in.
+        if requests is None:
+            requests = RequestRegistry() if opts.trace else NULL_REQUESTS
+        self.requests = requests
+        if requests.enabled:
+            register_system_views(appliance)
         self.engine = PdwEngine(shell, serial_config, pdw_config,
                                 tracer=tracer)
         self.runner = DsqlRunner(appliance, tracer=tracer,
@@ -211,8 +227,12 @@ class PdwSession:
                 ) -> CompiledQuery:
         """Compile SQL (or the session's bound query) into a DSQL plan."""
         opts = self._call_options(options, hints)
-        return self.engine.compile(self._resolve(sql),
-                                   hints=opts.hints_dict)
+        resolved = self._resolve(sql)
+        # EXPLAIN over sys.dm_pdw_* must see the views registered and
+        # populated before binding.
+        if self.requests.enabled and mentions_system_views(resolved):
+            self.refresh_system_views()
+        return self.engine.compile(resolved, hints=opts.hints_dict)
 
     def run(self, sql: Optional[str] = None,
             hints=_UNSET, *,
@@ -233,20 +253,40 @@ class PdwSession:
             warn_deprecated_option("run(compiled=...)",
                                    f"executor={executor!r}")
             opts = opts.override(executor=executor)
+        resolved = self._resolve(sql)
+        request = self.requests.begin(resolved, tenant=opts.tenant,
+                                      priority=opts.priority)
+        # Refresh after begin so a DMV query observes itself (queued).
+        if self.requests.enabled and mentions_system_views(resolved):
+            self.refresh_system_views()
         started = time.perf_counter()
-        compiled = self.engine.compile(self._resolve(sql),
-                                       hints=opts.hints_dict)
-        compile_seconds = time.perf_counter() - started
-        execute_started = time.perf_counter()
-        result = self._runner_for(opts).run(compiled.dsql_plan,
-                                            profile=opts.profile)
-        execute_seconds = time.perf_counter() - execute_started
+        try:
+            request.compiling()
+            compiled = self.engine.compile(resolved,
+                                           hints=opts.hints_dict)
+            compile_seconds = time.perf_counter() - started
+            execute_started = time.perf_counter()
+            result = self._runner_for(opts).run(compiled.dsql_plan,
+                                                profile=opts.profile,
+                                                request=request)
+            execute_seconds = time.perf_counter() - execute_started
+        except Exception as exc:
+            request.failed(str(exc),
+                           total_seconds=time.perf_counter() - started)
+            raise
+        total_seconds = time.perf_counter() - started
         result.plan = compiled
         result.timing = ExecutionTiming(
             compile_seconds=compile_seconds,
             execute_seconds=execute_seconds,
-            total_seconds=time.perf_counter() - started,
+            total_seconds=total_seconds,
         )
+        result.request_id = request.request_id
+        request.complete(rows=len(result.rows), cache_hit=False,
+                         queue_seconds=0.0,
+                         compile_seconds=compile_seconds,
+                         execute_seconds=execute_seconds,
+                         total_seconds=total_seconds)
         return result
 
     def explain(self, sql: Optional[str] = None,
@@ -404,6 +444,19 @@ class PdwSession:
                 actual_seconds=stats.elapsed_seconds,
             ))
         return analyses, result
+
+    # -- request lifecycle / system views --------------------------------------
+
+    def refresh_system_views(self) -> None:
+        """Materialize the ``sys.dm_pdw_*`` snapshot tables from the
+        live request registry.  Called automatically whenever a query
+        mentions a system view; callable directly to pre-warm them."""
+        refresh_system_views(self.appliance, self.requests)
+
+    def requests_report(self, slow_only: bool = False) -> str:
+        """The flight recorder rendered as terminal tables (the
+        ``repro requests`` output)."""
+        return render_requests_report(self.requests, slow_only=slow_only)
 
     # -- telemetry reports -----------------------------------------------------
 

@@ -104,6 +104,17 @@ class TestPrometheusRendering:
         text = registry.render_prometheus()
         assert r'op="say \"hi\"\nback\\slash"' in text
 
+    def test_help_text_escaped(self):
+        # Exposition format: HELP text escapes backslash and newline
+        # (and only those — quotes stay literal outside label values).
+        registry = MetricsRegistry()
+        registry.counter("c", 'multi\nline "quoted" back\\slash').inc()
+        text = registry.render_prometheus()
+        assert r'# HELP c multi\nline "quoted" back\\slash' in text
+        help_lines = [line for line in text.splitlines()
+                      if line.startswith("# HELP")]
+        assert len(help_lines) == 1  # the newline must not split the line
+
     def test_empty_registry_renders_empty(self):
         assert MetricsRegistry().render_prometheus() == ""
 

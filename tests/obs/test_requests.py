@@ -1,0 +1,325 @@
+"""Unit tests for repro.obs.requests: lifecycle, flight recorder,
+exports and the NULL_REQUESTS zero-overhead contract."""
+
+import threading
+
+import repro.obs.requests as requests_module
+from repro import PdwSession
+from repro.obs.export import (
+    request_to_event,
+    requests_to_events,
+    requests_to_metrics,
+    validate_events,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.requests import (
+    NULL_REQUEST,
+    NULL_REQUESTS,
+    REQUEST_STATES,
+    RequestRegistry,
+    TERMINAL_STATES,
+    plan_digest,
+)
+from repro.service.options import ExecutionOptions
+
+
+# -- plan / stats stand-ins (the handle only duck-types its inputs) -----------
+
+
+class FakeMovement:
+    def __init__(self, description):
+        self.description = description
+
+    def describe(self):
+        return self.description
+
+
+class FakeStep:
+    def __init__(self, index, sql, movement=None):
+        self.index = index
+        self.sql = sql
+        self.movement = movement
+
+
+class FakePlan:
+    def __init__(self, steps):
+        self.steps = steps
+
+
+class FakeStats:
+    def __init__(self, rows=10, nbytes=400, operation="Shuffle",
+                 elapsed=0.25, wall=0.01):
+        self.rows_moved = rows
+        self.operation = operation
+        self.elapsed_seconds = elapsed
+        self.wall_seconds = wall
+        self._bytes = nbytes
+        self.network_bytes = {0: nbytes}
+
+    def total_bytes(self):
+        return self._bytes
+
+
+def make_plan():
+    return FakePlan([
+        FakeStep(0, "SELECT * FROM t", FakeMovement("Shuffle on k")),
+        FakeStep(1, "SELECT * FROM TEMP_ID_1"),
+    ])
+
+
+class TestLifecycle:
+    def test_ids_are_sequential(self):
+        registry = RequestRegistry()
+        assert registry.begin("a").request_id == "QID1"
+        assert registry.begin("b").request_id == "QID2"
+
+    def test_full_walk(self):
+        registry = RequestRegistry()
+        handle = registry.begin("SELECT 1", tenant="t1", priority="high")
+        record = handle.record
+        assert record.status == "queued"
+        assert record.is_active
+        assert registry.active() == [record]
+
+        handle.compiling()
+        assert record.status == "compiling"
+
+        handle.begin_plan(make_plan())
+        assert record.status == "running"
+        assert record.step_count == 2
+        assert record.plan_digest == plan_digest(make_plan())
+        assert [s.kind for s in record.steps] == ["DMS", "Return"]
+        assert record.steps[0].operation == "Shuffle on k"
+
+        handle.step_scheduled(0)
+        assert record.steps[0].status == "scheduled"
+
+        handle.begin_step(0)
+        assert record.status == "moving data"  # DMS step
+        assert record.current_step == 0
+
+        handle.node_done(0, node_id=2, rows=7, nbytes=70,
+                        wall_seconds=0.001)
+        handle.node_done(0, node_id=2, rows=3, nbytes=30,
+                        wall_seconds=0.001)
+        assert record.steps[0].node_rows == {2: 10}
+        assert record.steps[0].node_bytes == {2: 100}
+
+        handle.end_step(0, FakeStats())
+        assert record.status == "running"
+        assert record.steps[0].status == "complete"
+        assert record.steps[0].rows_moved == 10
+        assert record.steps[0].bytes_moved == 400
+
+        handle.begin_step(1)
+        assert record.status == "running"  # Return step, not DMS
+        handle.end_step(1, FakeStats(operation=None, nbytes=55))
+        assert record.steps[1].bytes_moved == 55  # network bytes sum
+
+        handle.complete(rows=4, cache_hit=True, queue_seconds=0.1,
+                        compile_seconds=0.2, execute_seconds=0.3,
+                        total_seconds=0.6)
+        assert record.status == "complete"
+        assert not record.is_active
+        assert record.current_step == -1
+        assert record.ended_at is not None
+        assert registry.active() == []
+        assert registry.completed() == [record]
+
+    def test_every_status_is_a_known_state(self):
+        registry = RequestRegistry()
+        complete = registry.begin("a")
+        complete.begin_plan(make_plan())
+        complete.complete()
+        registry.begin("b").failed("boom", total_seconds=0.1)
+        registry.begin("c").rejected("queue full")
+        live = registry.begin("d")
+        for record in registry.snapshot():
+            assert record.status in REQUEST_STATES
+        assert registry.stats()["finished"] == {
+            "complete": 1, "failed": 1, "rejected": 1}
+        assert registry.find("QID4") is live.record
+        assert registry.find("QID2").error == "boom"
+        assert registry.find("QID999") is None
+
+    def test_out_of_range_step_hooks_are_ignored(self):
+        registry = RequestRegistry()
+        handle = registry.begin("a")
+        handle.step_scheduled(5)
+        handle.begin_step(5)
+        handle.node_done(5, 0, 1, 1, 0.0)
+        handle.end_step(5, FakeStats())
+        assert handle.record.steps == []
+
+
+class TestFlightRecorder:
+    def test_ring_buffer_bounds_retention(self):
+        registry = RequestRegistry(capacity=3)
+        for i in range(5):
+            registry.begin(f"q{i}").complete()
+        retained = registry.completed()
+        assert [r.sql for r in retained] == ["q2", "q3", "q4"]
+        stats = registry.stats()
+        assert stats["retained"] == 3
+        assert stats["capacity"] == 3
+        # the lifetime counts survive eviction
+        assert stats["finished"]["complete"] == 5
+
+    def test_slow_threshold(self):
+        registry = RequestRegistry(slow_threshold_seconds=0.5)
+        fast = registry.begin("fast")
+        fast.complete(total_seconds=0.1)
+        slow = registry.begin("slow")
+        slow.complete(total_seconds=0.9)
+        assert registry.slow() == [slow.record]
+        assert registry.stats()["slow"] == 1
+
+    def test_snapshot_orders_active_then_retained(self):
+        registry = RequestRegistry()
+        done = registry.begin("done")
+        done.complete()
+        live = registry.begin("live")
+        assert registry.snapshot() == [live.record, done.record]
+
+
+class TestExports:
+    def _completed_registry(self):
+        registry = RequestRegistry(slow_threshold_seconds=0.5)
+        handle = registry.begin("SELECT 1", tenant="t9")
+        handle.begin_plan(make_plan())
+        handle.begin_step(0)
+        handle.end_step(0, FakeStats())
+        handle.complete(rows=3, cache_hit=True, compile_seconds=0.1,
+                        execute_seconds=0.6, total_seconds=0.7)
+        registry.begin("bad").failed("oops")
+        return registry
+
+    def test_events_validate_against_schema(self):
+        registry = self._completed_registry()
+        events = requests_to_events(registry)
+        assert len(events) == 2
+        assert validate_events(events) == []
+        first = events[0]
+        assert first["event"] == "request_complete"
+        assert first["request_id"] == "QID1"
+        assert first["cache_hit"] is True
+        assert first["slow"] is True   # 0.7s >= 0.5s threshold
+        assert first["step_actuals"][0]["rows"] == 10
+        assert events[1]["status"] == "failed"
+        assert events[1]["error"] == "oops"
+
+    def test_event_rejects_extra_fields(self):
+        event = request_to_event(
+            self._completed_registry().completed()[0], 1.0)
+        event["surprise"] = 1
+        assert validate_events([event]) != []
+
+    def test_metrics_series(self):
+        registry = self._completed_registry()
+        registry.begin("live")  # in flight
+        metrics = MetricsRegistry()
+        requests_to_metrics(registry, metrics)
+        snapshot = metrics.snapshot()
+        totals = snapshot["pdw_request_total"]
+        assert totals[(("status", "complete"), ("tenant", "t9"))] == 1
+        assert totals[(("status", "failed"), ("tenant", "default"))] == 1
+        assert snapshot["pdw_request_rows_total"][()] == 3
+        assert snapshot["pdw_request_cache_hits_total"][()] == 1
+        assert snapshot["pdw_request_slow_total"][()] == 1
+        assert snapshot["pdw_request_in_flight"][()] == 1
+        text = metrics.render_prometheus()
+        assert 'pdw_request_seconds_bucket{le="+Inf",phase="total"} 2' \
+            in text
+
+
+class TestNullRegistry:
+    """The disabled path must track nothing and allocate nothing."""
+
+    def test_is_disabled(self):
+        assert NULL_REQUESTS.enabled is False
+        assert NULL_REQUEST.enabled is False
+        assert RequestRegistry.enabled is True
+
+    def test_begin_returns_shared_null_handle(self):
+        handle = NULL_REQUESTS.begin("SELECT 1")
+        assert handle is NULL_REQUEST
+        assert handle.request_id is None
+
+    def test_all_hooks_are_noops(self):
+        NULL_REQUEST.compiling()
+        NULL_REQUEST.begin_plan(make_plan())
+        NULL_REQUEST.step_scheduled(0)
+        NULL_REQUEST.begin_step(0)
+        NULL_REQUEST.node_done(0, 1, 2, 3, 0.4)
+        NULL_REQUEST.end_step(0, FakeStats())
+        NULL_REQUEST.complete(rows=5)
+        NULL_REQUEST.failed("x")
+        NULL_REQUEST.rejected("y")
+        assert NULL_REQUESTS.active() == []
+        assert NULL_REQUESTS.completed() == []
+        assert NULL_REQUESTS.slow() == []
+        assert NULL_REQUESTS.snapshot() == []
+        assert NULL_REQUESTS.find("QID1") is None
+        assert NULL_REQUESTS.stats()["finished"] == {}
+
+    def test_disabled_path_allocates_no_records(self, tpch, monkeypatch):
+        """With tracking off, a full compile+run must never construct a
+        request record: every record constructor is booby-trapped."""
+        def boom(*args, **kwargs):
+            raise AssertionError(
+                "request record allocated on the disabled path")
+
+        for name in ("RequestRecord", "StepProgress", "RequestHandle"):
+            monkeypatch.setattr(requests_module, name, boom)
+        monkeypatch.setattr(requests_module, "plan_digest", boom)
+
+        appliance, shell = tpch
+        session = PdwSession(appliance=appliance, shell=shell,
+                             options=ExecutionOptions(trace=False))
+        assert session.requests is NULL_REQUESTS
+        result = session.run("SELECT COUNT(*) AS n FROM nation")
+        assert result.rows == [(25,)]
+        assert result.request_id is None
+
+
+class TestConcurrentRegistry:
+    def test_parallel_begin_complete_is_consistent(self):
+        registry = RequestRegistry(capacity=1000)
+        errors = []
+
+        def worker(n):
+            try:
+                for i in range(50):
+                    handle = registry.begin(f"w{n}-{i}")
+                    handle.begin_plan(make_plan())
+                    handle.begin_step(0)
+                    handle.node_done(0, n, 1, 10, 0.0)
+                    handle.end_step(0, FakeStats())
+                    handle.complete(rows=1)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(n,))
+                   for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert registry.active() == []
+        stats = registry.stats()
+        assert stats["finished"]["complete"] == 200
+        ids = [r.request_id for r in registry.completed()]
+        assert len(set(ids)) == 200
+
+
+class TestPlanDigest:
+    def test_digest_is_stable_and_text_sensitive(self):
+        plan_a = FakePlan([FakeStep(0, "SELECT a FROM t")])
+        plan_b = FakePlan([FakeStep(0, "SELECT b FROM t")])
+        assert plan_digest(plan_a) == plan_digest(plan_a)
+        assert plan_digest(plan_a) != plan_digest(plan_b)
+        assert len(plan_digest(plan_a)) == 12
+
+    def test_terminal_states_subset_of_states(self):
+        assert TERMINAL_STATES <= set(REQUEST_STATES)

@@ -85,6 +85,11 @@ class TestApplianceBuild:
     def test_stats_present_for_all_columns(self, tpch):
         _, shell = tpch
         for table in shell.tables():
+            if table.is_system:
+                # dm_pdw_* views are runtime state registered lazily by
+                # tracked sessions, not part of the TPC-H build; they
+                # carry no merged stats (the shell synthesizes defaults).
+                continue
             for column in table.columns:
                 assert shell.has_column_stats(table.name, column.name)
 
