@@ -1,8 +1,8 @@
 """Executor throughput: reference interpreter vs compiled closures vs
-vectorized column kernels.
+vectorized column kernels vs numpy array kernels.
 
 Compiles the TPC-H workload once, then executes every DSQL plan with all
-three executor backends and reports wall-clock throughput in processed
+four executor backends and reports wall-clock throughput in processed
 rows per second.  "Processed rows" counts every row each plan touches —
 rows moved by DMS steps plus rows gathered by the Return step — so the
 backends are charged for identical work and the rows/sec ratio equals
@@ -14,11 +14,13 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_executor_throughput.py --quick
 
 ``--quick`` shrinks the appliance and query set for the CI perf smoke
-and exits non-zero if either (a) the compiled backend is not faster than
-the interpreter overall, or (b) the vectorized backend is slower than
-the compiled backend on Q1's scan-aggregate — the workload the columnar
-layout exists for.  The full run archives its table under
-``benchmarks/results/E18_vectorized_throughput.txt``.
+and exits non-zero if (a) the compiled backend is not faster than the
+interpreter overall, (b) the vectorized backend is slower than the
+compiled backend on Q1's scan-aggregate — the workload the columnar
+layout exists for — or (c) the numpy backend is slower than the
+vectorized backend on Q1, the workload the typed-ndarray kernels exist
+for.  The full run archives its table under
+``benchmarks/results/E19_numpy_throughput.txt``.
 """
 
 from __future__ import annotations
@@ -37,7 +39,7 @@ from repro.workloads.tpch_queries import TPCH_QUERIES, query_names
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 QUICK_QUERIES = ("Q1", "Q6", "Q12", "Q14")
-BACKENDS = ("reference", "compiled", "vectorized")
+BACKENDS = ("reference", "compiled", "vectorized", "numpy")
 
 
 def compile_workload(engine: PdwEngine, names) -> Dict[str, object]:
@@ -71,7 +73,7 @@ def time_backend(appliance, plans: Dict[str, object], executor: str,
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="executor throughput: reference vs compiled vs "
-                    "vectorized")
+                    "vectorized vs numpy")
     parser.add_argument("--quick", action="store_true",
                         help="small appliance + query subset; exit 1 on "
                              "a backend performance regression (CI smoke)")
@@ -97,8 +99,9 @@ def main(argv=None) -> int:
     engine = PdwEngine(shell)
     plans = compile_workload(engine, names)
 
-    # Warm every backend once (populates bind/kernel caches, excludes
-    # first-run artifacts from the timings below).
+    # Warm every backend once (populates bind/kernel caches and the
+    # numpy scan cache, excludes first-run artifacts from the timings
+    # below).
     for executor in BACKENDS:
         time_backend(appliance, plans, executor, repeat=1)
 
@@ -106,9 +109,9 @@ def main(argv=None) -> int:
                for executor in BACKENDS}
 
     header = (f"{'query':<6} {'rows':>8} {'interp s':>10} "
-              f"{'compiled s':>10} {'vector s':>10} "
-              f"{'compiled r/s':>13} {'vector r/s':>12} "
-              f"{'comp/int':>8} {'vec/comp':>8}")
+              f"{'compiled s':>10} {'vector s':>10} {'numpy s':>10} "
+              f"{'numpy r/s':>12} {'comp/int':>8} {'vec/comp':>8} "
+              f"{'np/vec':>8} {'np/comp':>8}")
     lines = [header, "-" * len(header)]
     totals = {executor: 0.0 for executor in BACKENDS}
     total_rows = 0
@@ -116,25 +119,32 @@ def main(argv=None) -> int:
         interp_s, rows = timings["reference"][name]
         compiled_s, _ = timings["compiled"][name]
         vector_s, _ = timings["vectorized"][name]
+        numpy_s, _ = timings["numpy"][name]
         total_rows += rows
         totals["reference"] += interp_s
         totals["compiled"] += compiled_s
         totals["vectorized"] += vector_s
+        totals["numpy"] += numpy_s
         lines.append(
             f"{name:<6} {rows:>8} {interp_s:>10.4f} {compiled_s:>10.4f} "
-            f"{vector_s:>10.4f} {rows / compiled_s:>13.0f} "
-            f"{rows / vector_s:>12.0f} "
+            f"{vector_s:>10.4f} {numpy_s:>10.4f} "
+            f"{rows / numpy_s:>12.0f} "
             f"{interp_s / compiled_s:>7.2f}x "
-            f"{compiled_s / vector_s:>7.2f}x")
+            f"{compiled_s / vector_s:>7.2f}x "
+            f"{vector_s / numpy_s:>7.2f}x "
+            f"{compiled_s / numpy_s:>7.2f}x")
     compiled_speedup = totals["reference"] / totals["compiled"]
     vector_speedup = totals["compiled"] / totals["vectorized"]
+    numpy_speedup = totals["vectorized"] / totals["numpy"]
     lines.append("-" * len(header))
     lines.append(
         f"{'total':<6} {total_rows:>8} {totals['reference']:>10.4f} "
         f"{totals['compiled']:>10.4f} {totals['vectorized']:>10.4f} "
-        f"{total_rows / totals['compiled']:>13.0f} "
-        f"{total_rows / totals['vectorized']:>12.0f} "
-        f"{compiled_speedup:>7.2f}x {vector_speedup:>7.2f}x")
+        f"{totals['numpy']:>10.4f} "
+        f"{total_rows / totals['numpy']:>12.0f} "
+        f"{compiled_speedup:>7.2f}x {vector_speedup:>7.2f}x "
+        f"{numpy_speedup:>7.2f}x "
+        f"{totals['compiled'] / totals['numpy']:>7.2f}x")
 
     table = "\n".join(lines)
     print()
@@ -142,7 +152,7 @@ def main(argv=None) -> int:
 
     if not args.quick:
         RESULTS_DIR.mkdir(exist_ok=True)
-        path = RESULTS_DIR / "E18_vectorized_throughput.txt"
+        path = RESULTS_DIR / "E19_numpy_throughput.txt"
         path.write_text(table + "\n")
         print(f"\narchived to {path}")
 
@@ -154,11 +164,17 @@ def main(argv=None) -> int:
                 f"(speedup {compiled_speedup:.2f}x)")
         q1_compiled, _ = timings["compiled"]["Q1"]
         q1_vector, _ = timings["vectorized"]["Q1"]
+        q1_numpy, _ = timings["numpy"]["Q1"]
         if q1_vector > q1_compiled:
             failures.append(
                 f"vectorized backend is slower than compiled on Q1 "
                 f"({q1_vector:.4f}s vs {q1_compiled:.4f}s, "
                 f"{q1_compiled / q1_vector:.2f}x)")
+        if q1_numpy > q1_vector:
+            failures.append(
+                f"numpy backend is slower than vectorized on Q1 "
+                f"({q1_numpy:.4f}s vs {q1_vector:.4f}s, "
+                f"{q1_vector / q1_numpy:.2f}x)")
         if failures:
             for failure in failures:
                 print(f"\nFAIL: {failure}")

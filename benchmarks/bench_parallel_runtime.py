@@ -20,18 +20,22 @@ Usage::
 ``compiled``); with ``vectorized`` the comparison measures the DAG
 runtime over columnar batch execution, where each node's step does
 fewer, larger Python operations and spends proportionally less time
-contending for the GIL.  ``--quick`` shrinks the appliance matrix for
-the CI perf smoke and exits non-zero if the backends disagree on rows
-or the parallel runtime is catastrophically slower (>2x) — a
-scheduling regression.  The full run archives its table under
-``benchmarks/results/parallel_runtime.txt`` (per-executor suffix for
-non-default backends).
+contending for the GIL, and with ``numpy`` each node's step runs
+typed-ndarray kernels whose C loops *release* the GIL — the
+configuration where node threads genuinely overlap.  ``--quick``
+shrinks the appliance matrix for the CI perf smoke and exits non-zero
+if the backends disagree on rows or the parallel runtime is
+catastrophically slower (>2x) — a scheduling regression.  The full run
+archives its table under ``benchmarks/results/parallel_runtime.txt``
+(per-executor suffix for non-default backends).
 
-Interpreting the numbers: the simulated node work is pure Python, so on
-a stock (GIL) CPython build node threads interleave instead of truly
-overlapping; measured wins come from the routing fast path and broadcast
-copy elimination, and scale with data volume.  On GIL-free builds the
-thread layer adds real node-parallel overlap on top.
+Interpreting the numbers: the simulated node work under the pure-Python
+backends never truly overlaps on a stock (GIL) CPython build — node
+threads interleave, and measured wins come from the routing fast path
+and broadcast copy elimination.  The numpy backend changes that: while
+one node's thread is inside a ufunc/aggregation C loop the GIL is
+released, so other nodes' threads run concurrently, and parallel can
+beat serial on CPU-bound scan-aggregate work even with the GIL.
 """
 
 from __future__ import annotations
@@ -79,7 +83,8 @@ def main(argv=None) -> int:
                         help="timed runs per query, best kept "
                              "(default 3, quick 2)")
     parser.add_argument("--executor", default="compiled",
-                        choices=("reference", "compiled", "vectorized"),
+                        choices=("reference", "compiled", "vectorized",
+                                 "numpy"),
                         help="execution backend for both runners "
                              "(default compiled)")
     args = parser.parse_args(argv)

@@ -51,9 +51,11 @@ same numbers as validated events and ``pdw_optimizer_*`` series.
 Options ``--scale`` and ``--nodes`` size the appliance (defaults: scale
 0.002, 8 nodes).  ``--trace`` appends the nested telemetry span tree
 (parse → serial → XML → PDW → DSQL → execute) to any command's output.
-``--executor {reference,compiled,vectorized}`` picks the execution
-backend by name — ``vectorized`` runs DSQL steps batch-at-a-time over
-columnar fragments (:mod:`repro.vector`); ``--no-compiled-exec`` is the
+``--executor {reference,compiled,vectorized,numpy}`` picks the
+execution backend by name — ``vectorized`` runs DSQL steps
+batch-at-a-time over columnar fragments (:mod:`repro.vector`) and
+``numpy`` runs the same plans over typed ndarrays (falling back to
+``vectorized`` when numpy is absent); ``--no-compiled-exec`` is the
 legacy spelling of ``--executor reference``.
 ``--serial-runtime`` executes DSQL plans with the §2.4 serial reference
 walk (one step at a time, one node at a time) instead of the parallel
@@ -89,12 +91,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace", action="store_true",
                         help="print the telemetry span tree afterwards")
     parser.add_argument("--executor",
-                        choices=("reference", "compiled", "vectorized"),
+                        choices=("reference", "compiled", "vectorized",
+                                 "numpy"),
                         default=None,
                         help="execution backend: reference (tree-walking "
                              "interpreter), compiled (closure backend, "
-                             "default) or vectorized (columnar batch "
-                             "kernels)")
+                             "default), vectorized (columnar batch "
+                             "kernels) or numpy (typed ndarray kernels; "
+                             "falls back to vectorized without numpy)")
     parser.add_argument("--no-compiled-exec", action="store_true",
                         help="execute with the reference tree-walking "
                              "interpreter instead of the compiled "

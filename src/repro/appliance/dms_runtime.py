@@ -47,7 +47,7 @@ from repro.appliance.storage import (
     row_bytes,
 )
 from repro.common.errors import DmsError
-from repro.common.executors import resolve_executor
+from repro.common.executors import effective_executor, resolve_executor
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.obs.profiler import OperatorObserver
 from repro.obs.requests import NULL_REQUEST
@@ -277,6 +277,67 @@ def route_batch_columnar(operation: DmsOperation, rows: List[Tuple],
                             node_count, source_id)
 
 
+def route_batch_numpy(operation: DmsOperation, rows: List[Tuple],
+                      sizes: List[int], hash_index: Optional[int],
+                      node_count: int, source_id: int
+                      ) -> Tuple[List[Delivery], int]:
+    """Vectorized-hash routing for the numpy backend.
+
+    When the distribution key column is all plain ``int`` (the common
+    case — TPC-H distribution keys are integer surrogates), the whole
+    column is hashed in one vectorized CRC32 pass
+    (:func:`repro.vector.np_batch.int_key_owners`) that releases the
+    GIL for the table lookups, and bucket byte totals come from one
+    ``np.add.at`` scatter over the exact int64 sizes.  Keys of any
+    other type (or ints outside int64 range) fall back to
+    :func:`route_batch_columnar`, whose per-key ``pdw_hash`` loop the
+    vectorized pass matches bit-for-bit.  Accounting is identical to
+    all three other routers; the equivalence tests pin all four
+    against each other.
+    """
+    if not rows:
+        return [], 0
+
+    if operation in (DmsOperation.SHUFFLE_MOVE, DmsOperation.TRIM_MOVE):
+        if hash_index is None:
+            raise DmsError(f"{operation.value} without a hash column")
+        from repro.vector.np_batch import int_key_owners
+        pick = operator.itemgetter(hash_index)
+        owners = int_key_owners(list(map(pick, rows)), node_count)
+        if owners is None:
+            return route_batch_columnar(operation, rows, sizes,
+                                        hash_index, node_count, source_id)
+        import numpy as np
+
+        if operation is DmsOperation.TRIM_MOVE:
+            keep = owners == source_id
+            if not keep.any():
+                return [], 0  # trimmed rows never leave their node
+            kept = [row for flag, row in zip(keep.tolist(), rows) if flag]
+            kept_bytes = int(
+                (np.asarray(sizes, dtype=np.int64)[keep]).sum())
+            return [(source_id, kept, kept_bytes)], 0
+
+        bucket_bytes = np.zeros(node_count, dtype=np.int64)
+        np.add.at(bucket_bytes, owners, np.asarray(sizes, dtype=np.int64))
+        buckets: List[List[Tuple]] = [[] for _ in range(node_count)]
+        for owner, row in zip(owners.tolist(), rows):
+            buckets[owner].append(row)
+        totals = bucket_bytes.tolist()
+        deliveries = [
+            (owner, buckets[owner], totals[owner])
+            for owner in range(node_count) if buckets[owner]
+        ]
+        sent = sum(
+            totals[owner] for owner in range(node_count)
+            if buckets[owner] and owner != source_id
+        )
+        return deliveries, sent
+
+    return route_batch_fast(operation, rows, sizes, hash_index,
+                            node_count, source_id)
+
+
 @dataclass
 class _SourceRun:
     """One node's extract+route output, merged in node order."""
@@ -311,11 +372,16 @@ class DmsRuntime:
     caches are lock-guarded, so worker threads share them safely.
 
     ``executor`` names the node-local backend outright ("reference",
-    "compiled", "vectorized"); when given it supersedes the legacy
-    ``compiled`` boolean.  ``"vectorized"`` runs step SQL through
-    :class:`repro.vector.VectorInterpreter` and routes DMS batches
-    column-wise (:func:`route_batch_columnar`) in both runtime modes;
-    it shares the compiled backend's step bind cache.
+    "compiled", "vectorized", "numpy"); when given it supersedes the
+    legacy ``compiled`` boolean.  ``"vectorized"`` runs step SQL
+    through :class:`repro.vector.VectorInterpreter` and routes DMS
+    batches column-wise (:func:`route_batch_columnar`) in both runtime
+    modes; ``"numpy"`` runs the typed-ndarray interpreter
+    (:class:`repro.vector.np_executor.NumpyInterpreter`) and hashes
+    integer distribution keys with a vectorized CRC32 pass
+    (:func:`route_batch_numpy`).  Both share the compiled backend's
+    step bind cache, and ``"numpy"`` degrades to ``"vectorized"``
+    (with a single warning) when numpy is not importable.
     """
 
     def __init__(self, appliance: Appliance,
@@ -330,8 +396,12 @@ class DmsRuntime:
         self.tracer = tracer
         # ``executor`` is canonical; the legacy boolean is re-derived
         # from it so the step bind cache keeps its contract (only the
-        # reference backend re-parses per node).
-        self.executor = resolve_executor(executor, compiled)
+        # reference backend re-parses per node).  ``"numpy"`` degrades
+        # to ``"vectorized"`` here when numpy is absent (front doors
+        # that resolve options have already downgraded, so the warning
+        # fires once either way).
+        self.executor = effective_executor(
+            resolve_executor(executor, compiled))
         self.compiled = self.executor != "reference"
         self.metrics = metrics
         self.parallel = resolve_parallel(parallel, default=False)
@@ -411,7 +481,14 @@ class DmsRuntime:
         # their input.  dict.copy() is a single atomic op; the values are
         # shared list references, so this costs one small dict per step.
         tables = node.tables.copy()
-        if self.executor == "vectorized":
+        if self.executor == "numpy":
+            # Imported lazily: the constructor has already verified
+            # numpy is importable (effective_executor), and numpy-less
+            # environments must never pay — or fail on — this import.
+            from repro.vector.np_executor import NumpyInterpreter
+            interpreter = NumpyInterpreter(tables, stats,
+                                           observer=observer)
+        elif self.executor == "vectorized":
             interpreter = VectorInterpreter(tables, stats,
                                             observer=observer)
         else:
@@ -493,10 +570,14 @@ class DmsRuntime:
         operation = step.movement.operation if step.movement else None
         profiling = self.profiling
         parallel = self.parallel
-        # The vectorized backend routes column-wise in both runtime
-        # modes; otherwise the parallel runtime takes the fused fast
-        # path and the serial walk keeps the reference router.
-        if self.executor == "vectorized":
+        # The columnar backends route column-wise in both runtime
+        # modes (the numpy backend additionally hashes the whole key
+        # column in one vectorized pass); otherwise the parallel
+        # runtime takes the fused fast path and the serial walk keeps
+        # the reference router.
+        if self.executor == "numpy":
+            route = route_batch_numpy
+        elif self.executor == "vectorized":
             route = route_batch_columnar
         elif parallel:
             route = route_batch_fast

@@ -43,7 +43,7 @@ from repro.catalog.statistics import sort_key
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 from repro.obs.requests import NULL_REQUEST
 from repro.common.errors import ExecutionError
-from repro.common.executors import resolve_executor
+from repro.common.executors import effective_executor, resolve_executor
 from repro.optimizer.binder import Binder
 from repro.optimizer.normalize import normalize
 from repro.pdw.dsql import DsqlPlan, DsqlStep, StepKind
@@ -132,8 +132,10 @@ class DsqlRunner:
     across multiple compute nodes", taken literally).
 
     ``executor`` selects the execution backend by name ("reference",
-    "compiled", "vectorized"); the legacy ``compiled`` boolean still
-    picks between the first two when ``executor`` is not given.
+    "compiled", "vectorized", "numpy"); the legacy ``compiled`` boolean
+    still picks between the first two when ``executor`` is not given.
+    ``"numpy"`` degrades to ``"vectorized"`` (with one warning) when
+    numpy is not importable.
     ``parallel=None`` (default) resolves to the serial walk unless the
     ``REPRO_PARALLEL_RUNTIME`` environment variable overrides it; the
     :class:`repro.session.PdwSession` front door defaults to parallel.
@@ -148,7 +150,8 @@ class DsqlRunner:
                  executor: Optional[str] = None):
         self.appliance = appliance
         self.tracer = tracer
-        self.executor = resolve_executor(executor, compiled)
+        self.executor = effective_executor(
+            resolve_executor(executor, compiled))
         self.compiled = self.executor != "reference"
         self.metrics = metrics
         self.parallel = resolve_parallel(parallel, default=False)
@@ -287,12 +290,15 @@ def run_reference(appliance: Appliance, sql: str,
     The image itself is cached on the appliance (invalidated on loads and
     drops), so repeated reference runs skip re-gathering every fragment.
     ``compiled=False`` forces the tree-walking evaluator; ``executor``
-    names any of the three backends outright.
+    names any of the four backends outright.
     """
     statement = parse_query(sql)
     query = normalize(Binder(appliance.catalog).bind(statement))
-    backend = resolve_executor(executor, compiled)
-    if backend == "vectorized":
+    backend = effective_executor(resolve_executor(executor, compiled))
+    if backend == "numpy":
+        from repro.vector.np_executor import NumpyInterpreter
+        interpreter = NumpyInterpreter(appliance.single_system_image())
+    elif backend == "vectorized":
         interpreter = VectorInterpreter(appliance.single_system_image())
     else:
         interpreter = PlanInterpreter(appliance.single_system_image(),

@@ -32,7 +32,7 @@ from typing import Mapping, Optional, Tuple, Union
 
 from repro.appliance.scheduler import resolve_parallel
 from repro.common.errors import ReproError
-from repro.common.executors import resolve_executor
+from repro.common.executors import effective_executor, resolve_executor
 
 #: Admission priority classes, best first.  Lower rank wins the queue.
 PRIORITY_CLASSES: Mapping[str, int] = {
@@ -67,9 +67,11 @@ class ExecutionOptions:
 
     * ``executor`` — which execution backend runs step SQL on the
       nodes: ``"reference"`` (tree-walking interpreter), ``"compiled"``
-      (closure backend, the default) or ``"vectorized"`` (columnar
-      batch kernels, :mod:`repro.vector`).  ``None`` derives from the
-      legacy ``compiled`` flag;
+      (closure backend, the default), ``"vectorized"`` (columnar
+      batch kernels, :mod:`repro.vector`) or ``"numpy"`` (typed
+      ndarray kernels that release the GIL; degrades to
+      ``"vectorized"`` with a warning when numpy is absent).  ``None``
+      derives from the legacy ``compiled`` flag;
     * ``compiled`` — legacy boolean spelling of the first two backends;
       kept in sync with ``executor`` (an explicit ``executor`` wins,
       and ``compiled`` is re-derived as ``executor != "reference"``);
@@ -134,13 +136,17 @@ class ExecutionOptions:
     # -- resolution ------------------------------------------------------------
 
     def resolved(self, default_parallel: bool = True) -> "ExecutionOptions":
-        """Fold the ``REPRO_PARALLEL_RUNTIME`` environment variable into
-        ``parallel`` (explicit value > env var > ``default_parallel``).
+        """Fold the environment into a concrete options object:
+        ``parallel`` from ``REPRO_PARALLEL_RUNTIME`` (explicit value >
+        env var > ``default_parallel``), and ``executor`` downgraded to
+        the backend that will actually run (``"numpy"`` becomes
+        ``"vectorized"``, with one warning, when numpy is absent).
         Idempotent: an already-resolved object is returned unchanged."""
         if self.env_resolved:
             return self
         return replace(
             self,
+            executor=effective_executor(self.executor),
             parallel=resolve_parallel(self.parallel,
                                       default=default_parallel),
             env_resolved=True,

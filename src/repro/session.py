@@ -42,7 +42,10 @@ compiled to Python closures and each DSQL step's SQL is parsed + bound
 once, then re-run on every compute node.  The ``executor`` option picks
 the backend by name: ``ExecutionOptions(executor="vectorized")`` (CLI:
 ``--executor vectorized``) runs steps batch-at-a-time over columnar
-fragments (:mod:`repro.vector`), and
+fragments (:mod:`repro.vector`),
+``ExecutionOptions(executor="numpy")`` runs the same plans over typed
+ndarrays whose kernels release the GIL (degrading to ``"vectorized"``
+with one warning when numpy is absent), and
 ``ExecutionOptions(executor="reference")`` (CLI: ``--no-compiled-exec``
 or ``--executor reference``) forces the tree-walking reference
 interpreter.  The legacy ``compiled=`` boolean maps onto the

@@ -1,4 +1,5 @@
-"""Vectorized columnar execution backend (the third executor).
+"""Vectorized columnar execution backends (the third and fourth
+executors).
 
 DSQL step SQL runs batch-at-a-time over columnar fragments: a
 :class:`~repro.vector.column_batch.ColumnBatch` holds one Python list
@@ -10,11 +11,21 @@ interpreters' operator semantics (including stats counters and the
 profiler observer protocol) while touching rows only at the
 storage boundary.
 
-Selected with ``ExecutionOptions(executor="vectorized")`` alongside the
-``"reference"`` tree-walking interpreter and the ``"compiled"``
-closure backend.
+The numpy backend (:mod:`repro.vector.np_batch`,
+:mod:`repro.vector.np_kernels`, :mod:`repro.vector.np_executor`) keeps
+the same operator semantics but stores columns as typed ndarrays with
+explicit NULL masks, so kernels and aggregates run inside numpy's C
+loops — which release the GIL, letting the parallel node runtime
+overlap real work.  Its names are exported here only when numpy is
+importable; everything else in this package stays pure-Python, so
+``executor="numpy"`` can degrade gracefully to ``"vectorized"``.
+
+Selected with ``ExecutionOptions(executor="vectorized")`` or
+``executor="numpy"`` alongside the ``"reference"`` tree-walking
+interpreter and the ``"compiled"`` closure backend.
 """
 
+from repro.common.executors import numpy_available
 from repro.vector.column_batch import ColumnBatch
 from repro.vector.executor import VectorInterpreter
 from repro.vector.kernels import (
@@ -30,3 +41,21 @@ __all__ = [
     "compile_kernel",
     "compile_selection",
 ]
+
+if numpy_available():
+    from repro.vector.np_batch import ArrayBatch, NumpyColumn
+    from repro.vector.np_executor import NumpyInterpreter
+    from repro.vector.np_kernels import (
+        clear_np_kernel_cache,
+        compile_np_kernel,
+        compile_np_selection,
+    )
+
+    __all__ += [
+        "ArrayBatch",
+        "NumpyColumn",
+        "NumpyInterpreter",
+        "clear_np_kernel_cache",
+        "compile_np_kernel",
+        "compile_np_selection",
+    ]

@@ -83,7 +83,14 @@ class VectorInterpreter:
             self.stats.wall_seconds += time.perf_counter() - started
 
     def _run_query(self, query: Query) -> List[Tuple]:
-        batch = self.run(query.root)
+        return self._materialize(query, self.run(query.root))
+
+    def _materialize(self, query: Query,
+                     batch: ColumnBatch) -> List[Tuple]:
+        """Turn the root batch into output rows: ORDER BY (stable,
+        per-key, NULLs-first via ``sort_key``), TOP, column-to-row zip.
+        Split out so subclasses with a different batch representation
+        (the numpy backend) can reuse it on a native-list view."""
         length = batch.length
         output_cols = []
         for var in query.output_columns():

@@ -1,0 +1,321 @@
+"""Dtype-aware numpy column fragments for the numpy executor.
+
+An :class:`ArrayBatch` is the numpy counterpart of
+:class:`~repro.vector.column_batch.ColumnBatch`: a mapping from bound
+column-variable id to one :class:`NumpyColumn` per column, plus the row
+count.  A :class:`NumpyColumn` pairs a typed ndarray with an explicit
+NULL mask:
+
+======  ===============  =========================================
+kind    values dtype     notes
+======  ===============  =========================================
+``i``   int64            Python ints (int64-range; wider ints stay
+                         object columns)
+``f``   float64          Python floats
+``b``   bool             Python bools
+``d``   int64            ``datetime.date`` as proleptic ordinals
+                         (``date.toordinal()`` — a bijection, so
+                         comparisons vectorize and values round-trip
+                         exactly)
+``o``   object           everything else; NULLs inline as ``None``
+======  ===============  =========================================
+
+``mask`` is a boolean array with ``True`` marking NULL rows (``None``
+when the column has no NULLs); object columns keep ``None`` inline and
+never carry a mask.  The typed kinds are what make the backend go:
+ufuncs over int64/float64/bool arrays run C loops that drop the GIL,
+which is exactly what the parallel node runtime needs.
+
+The **native-value boundary** is load-bearing for bit-identical
+equivalence: every value that leaves a batch — materialized result
+rows, routed DMS rows, group keys, fallback-kernel inputs — goes
+through :meth:`NumpyColumn.pylist`, which produces native Python
+``int``/``float``/``bool`` objects (via ``ndarray.tolist``) and
+restores ``None`` and ``datetime.date``.  numpy scalars must never
+escape: ``np.int64`` is not an ``int`` subclass (``row_bytes`` would
+size it differently) and ``repr(np.float64(x))`` is not ``repr(x)``
+under numpy 2 (``pdw_hash`` hashes the repr), so a leaked scalar
+silently changes byte accounting and row routing.
+
+Columns and batches are immutable by convention, exactly like
+``ColumnBatch`` — operators that keep rows build new arrays.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.vector.column_batch import ColumnBatch
+
+#: Kinds whose ``values`` array is numeric (int64/float64/bool) and
+#: whose NULLs live in ``mask``.
+MASKED_KINDS = frozenset("ifbd")
+
+_KIND_DTYPE = {
+    "i": np.int64,
+    "f": np.float64,
+    "b": np.bool_,
+}
+
+_KIND_FILL = {"i": 0, "f": 0.0, "b": False, "d": datetime.date.min}
+
+
+class NumpyColumn:
+    """One typed column: ``values[i]`` is row ``i``, ``mask[i]`` its
+    NULL flag (``mask is None`` ⇒ no NULLs; object kind keeps ``None``
+    inline instead)."""
+
+    __slots__ = ("kind", "values", "mask", "_pylist")
+
+    def __init__(self, kind: str, values: np.ndarray,
+                 mask: Optional[np.ndarray] = None):
+        self.kind = kind
+        self.values = values
+        self.mask = mask
+        self._pylist: Optional[List] = None
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def pylist(self) -> List:
+        """The column as native Python values (the only exit point for
+        values leaving the numpy world).  Cached per column."""
+        out = self._pylist
+        if out is None:
+            if self.kind == "d":
+                fromordinal = datetime.date.fromordinal
+                out = [fromordinal(o) for o in self.values.tolist()]
+            else:
+                out = self.values.tolist()
+            if self.mask is not None:
+                for i in np.flatnonzero(self.mask).tolist():
+                    out[i] = None
+            self._pylist = out
+        return out
+
+    def null_mask(self) -> np.ndarray:
+        """Boolean array marking NULL rows (always a fresh view-safe
+        answer: callers may combine it with ``|``/``&`` freely)."""
+        if self.kind == "o":
+            return np.fromiter((v is None for v in self.values),
+                               np.bool_, len(self.values))
+        if self.mask is None:
+            return np.zeros(len(self.values), dtype=np.bool_)
+        return self.mask
+
+    def is_true_mask(self) -> np.ndarray:
+        """Rows whose value ``is True`` — the row backends' filter and
+        join-residual test (NULL and non-bool values count as False)."""
+        if self.kind == "b":
+            if self.mask is None:
+                return self.values
+            return self.values & ~self.mask
+        if self.kind == "o":
+            return np.fromiter((v is True for v in self.values),
+                               np.bool_, len(self.values))
+        return np.zeros(len(self.values), dtype=np.bool_)
+
+    def take(self, indices: np.ndarray) -> "NumpyColumn":
+        return NumpyColumn(
+            self.kind, self.values[indices],
+            None if self.mask is None else self.mask[indices])
+
+    def compress(self, keep: np.ndarray) -> "NumpyColumn":
+        return NumpyColumn(
+            self.kind, self.values[keep],
+            None if self.mask is None else self.mask[keep])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        nulls = int(self.null_mask().sum())
+        return (f"NumpyColumn(kind={self.kind!r}, rows={len(self)}, "
+                f"nulls={nulls})")
+
+
+def column_from_list(values: Sequence) -> NumpyColumn:
+    """Sniff a Python column into the narrowest :class:`NumpyColumn`.
+
+    Type-exact on purpose: ``bool`` is an ``int`` subclass and
+    ``datetime.datetime`` quacks like ``date`` but does not round-trip
+    through ordinals, so mixed or subclassed columns land in the object
+    kind, where semantics are the row backends' by construction.
+    """
+    n = len(values)
+    if not isinstance(values, list):
+        values = list(values)
+    kinds = set(map(type, values))
+    nullable = type(None) in kinds
+    kinds.discard(type(None))
+    if len(kinds) == 1:
+        vtype = next(iter(kinds))
+        kind = None
+        if vtype is int:
+            kind = "i"
+        elif vtype is float:
+            kind = "f"
+        elif vtype is bool:
+            kind = "b"
+        elif vtype is datetime.date:
+            kind = "d"
+        if kind is not None:
+            try:
+                return _typed_column(kind, values, nullable, n)
+            except OverflowError:
+                pass  # ints beyond int64: keep the object column
+    arr = np.empty(n, dtype=object)
+    arr[:] = values
+    return NumpyColumn("o", arr)
+
+
+def _typed_column(kind: str, values: List, nullable: bool,
+                  n: int) -> NumpyColumn:
+    if nullable:
+        fill = _KIND_FILL[kind]
+        mask = np.fromiter((v is None for v in values), np.bool_, n)
+        values = [fill if v is None else v for v in values]
+    else:
+        mask = None
+    if kind == "d":
+        arr = np.fromiter((v.toordinal() for v in values), np.int64, n)
+    else:
+        arr = np.array(values, dtype=_KIND_DTYPE[kind])
+    return NumpyColumn(kind, arr, mask)
+
+
+def const_column(value, length: int) -> NumpyColumn:
+    """A constant broadcast to ``length`` rows, typed like
+    :func:`column_from_list` would type it."""
+    vtype = type(value)
+    if vtype is int:
+        try:
+            return NumpyColumn("i", np.full(length, value, np.int64))
+        except OverflowError:
+            pass
+    elif vtype is float:
+        return NumpyColumn("f", np.full(length, value, np.float64))
+    elif vtype is bool:
+        return NumpyColumn("b", np.full(length, value, np.bool_))
+    elif vtype is datetime.date:
+        return NumpyColumn("d", np.full(length, value.toordinal(),
+                                        np.int64))
+    arr = np.empty(length, dtype=object)
+    arr[:] = value
+    return NumpyColumn("o", arr)
+
+
+class ArrayBatch:
+    """One columnar fragment over :class:`NumpyColumn` columns.
+
+    ``length`` is authoritative (zero-column batches with positive row
+    counts exist, as for :class:`ColumnBatch`).  ``list_batch()`` lazily
+    materializes the native-list twin once per batch — the per-
+    expression fallback path hands it to the pure-Python kernels, so a
+    batch pays the conversion only if some expression actually needs
+    it, and at most once however many expressions do.
+    """
+
+    __slots__ = ("columns", "length", "_list_batch")
+
+    def __init__(self, columns: Dict[int, NumpyColumn], length: int):
+        self.columns = columns
+        self.length = length
+        self._list_batch: Optional[ColumnBatch] = None
+
+    def list_batch(self) -> ColumnBatch:
+        batch = self._list_batch
+        if batch is None:
+            batch = ColumnBatch(
+                {cid: col.pylist() for cid, col in self.columns.items()},
+                self.length)
+            self._list_batch = batch
+        return batch
+
+    def take(self, indices: np.ndarray,
+             ids: Optional[Iterable[int]] = None) -> "ArrayBatch":
+        columns = self.columns
+        if ids is None:
+            items = columns.items()
+        else:
+            items = [(cid, columns[cid]) for cid in ids if cid in columns]
+        return ArrayBatch(
+            {cid: col.take(indices) for cid, col in items},
+            len(indices))
+
+    def compress(self, keep: np.ndarray,
+                 ids: Optional[Iterable[int]] = None) -> "ArrayBatch":
+        """Keep the rows where boolean ``keep`` is True."""
+        columns = self.columns
+        if ids is None:
+            items = columns.items()
+        else:
+            items = [(cid, columns[cid]) for cid in ids if cid in columns]
+        length = int(keep.sum())
+        return ArrayBatch(
+            {cid: col.compress(keep) for cid, col in items}, length)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ArrayBatch(rows={self.length}, "
+                f"columns={sorted(self.columns)})")
+
+
+def from_column_batch(batch: ColumnBatch) -> ArrayBatch:
+    """Sniff every column of a list batch into typed arrays."""
+    return ArrayBatch(
+        {cid: column_from_list(col)
+         for cid, col in batch.columns.items()},
+        batch.length)
+
+
+# -- vectorized pdw_hash ---------------------------------------------------------
+
+def _crc32_table() -> np.ndarray:
+    table = np.zeros(256, dtype=np.uint32)
+    for i in range(256):
+        c = i
+        for _ in range(8):
+            c = (0xEDB88320 ^ (c >> 1)) if (c & 1) else (c >> 1)
+        table[i] = c
+    return table
+
+
+_CRC32_TABLE = _crc32_table()
+
+
+def crc32_int64(values: np.ndarray) -> np.ndarray:
+    """``zlib.crc32(v.to_bytes(16, "little", signed=True))`` for a whole
+    int64 column at once — bit-identical to
+    :func:`repro.appliance.storage.pdw_hash` on ints (int64 values
+    occupy the low 8 bytes; the high 8 are the sign extension).
+
+    Table-driven CRC-32: sixteen byte positions processed in sequence,
+    each position vectorized across every row.
+    """
+    v = np.ascontiguousarray(values, dtype=np.int64)
+    data = v.astype("<i8").view(np.uint8).reshape(-1, 8)
+    sign = np.where(v < 0, np.uint8(0xFF), np.uint8(0))
+    crc = np.full(len(v), 0xFFFFFFFF, dtype=np.uint32)
+    eight = np.uint32(8)
+    low_byte = np.uint32(0xFF)
+    for position in range(8):
+        crc = (_CRC32_TABLE[(crc ^ data[:, position]) & low_byte]
+               ^ (crc >> eight))
+    for _ in range(8):  # sign-extension bytes are uniform per row
+        crc = _CRC32_TABLE[(crc ^ sign) & low_byte] ^ (crc >> eight)
+    return crc ^ np.uint32(0xFFFFFFFF)
+
+
+def int_key_owners(keys: Sequence,
+                   node_count: int) -> Optional[np.ndarray]:
+    """Owner node per key for a pure-``int`` key column, hashing the
+    whole column in one vectorized pass; ``None`` when the column is
+    not all native ``int`` (or exceeds int64), in which case the caller
+    falls back to per-value ``pdw_hash``."""
+    if set(map(type, keys)) != {int}:
+        return None
+    try:
+        values = np.array(keys, dtype=np.int64)
+    except OverflowError:
+        return None
+    return (crc32_int64(values) % np.uint32(node_count)).astype(np.int64)

@@ -1,0 +1,656 @@
+"""Numpy compilation of bound scalar expressions into array kernels.
+
+The numpy twin of :mod:`repro.vector.kernels`: the same ``ScalarExpr``
+tree compiles into a kernel ``ArrayBatch -> NumpyColumn`` whose inner
+loops are ufunc calls over typed arrays — C loops that release the GIL,
+which is what lets the parallel node runtime scale.
+
+Semantics are the row backends' semantics, enforced two ways:
+
+* **runtime dtype dispatch** — every operator looks at the column
+  kinds it actually received and takes the ufunc fast path only when
+  it is provably bit-identical to the Python semantics (e.g. an
+  int64/float64 mixed comparison vectorizes only while the int side
+  fits in 2^53, because Python compares int-to-float exactly and
+  float64 promotion does not); otherwise it evaluates elementwise over
+  the columns' native-value views, which *is* the list kernel's loop;
+* **masked narrowing** — AND/OR arguments and CASE arms evaluate only
+  on the rows still undecided, by compressing the batch with the
+  active boolean mask before each step.  This is the array form of the
+  list kernels' selection-vector narrowing, and it preserves
+  short-circuit parity: a guarded ``x <> 0 AND 10 / x > 1`` never
+  divides on excluded rows.
+
+Three-valued logic travels in the explicit NULL mask
+(:class:`~repro.vector.np_batch.NumpyColumn`), so NULL propagation is
+one mask OR per binary operator.  Division by zero checks
+``(divisor == 0) & ~null`` over the whole column and raises the same
+:class:`ExecutionError` before computing anything.  Expressions with
+no profitable array form (LIKE, ``||``, scalar functions, string
+casts) delegate to the pure-Python list kernel over the batch's cached
+native-list view — parity by construction, at worst the old speed.
+
+Kernels are memoized per expression identity with the same bounded
+cache shape as the other compilers.
+"""
+
+from __future__ import annotations
+
+import datetime
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.algebra import expressions as ex
+from repro.algebra.evaluator import UnboundColumn, _cast
+from repro.common.errors import ExecutionError
+from repro.common.types import TypeKind
+from repro.vector.kernels import (
+    _COMPARISONS,
+    _PLAIN_ARITHMETIC,
+    _suffix_columns,
+    compile_kernel,
+)
+from repro.vector.np_batch import (
+    ArrayBatch,
+    NumpyColumn,
+    column_from_list,
+    const_column,
+)
+
+#: A numpy kernel: one typed output column per input batch.
+NKernel = Callable[[ArrayBatch], NumpyColumn]
+
+_COMPARE_UFUNCS = {
+    "=": np.equal,
+    "<>": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+_ARITH_UFUNCS = {"+": np.add, "-": np.subtract, "*": np.multiply}
+
+#: Largest int magnitude exactly representable as float64 — the bound
+#: under which int↔float promotion loses nothing.
+_EXACT_FLOAT_INT = 2 ** 53
+
+# Identity-keyed memo; same rationale and shape as kernels._CACHE.
+_CACHE: Dict[int, Tuple[ex.ScalarExpr, NKernel]] = {}
+_CACHE_LIMIT = 8192
+_CACHE_LOCK = threading.RLock()
+
+
+def compile_np_kernel(expr: ex.ScalarExpr) -> NKernel:
+    """Compile ``expr`` into a kernel ``ArrayBatch -> NumpyColumn``.
+    Thread-safe."""
+    key = id(expr)
+    with _CACHE_LOCK:
+        entry = _CACHE.get(key)
+        if entry is not None and entry[0] is expr:
+            return entry[1]
+        fn = _compile(expr)
+        if len(_CACHE) >= _CACHE_LIMIT:
+            _CACHE.clear()
+        _CACHE[key] = (expr, fn)
+        return fn
+
+
+def compile_np_selection(expr: Optional[ex.ScalarExpr]
+                         ) -> Callable[[ArrayBatch], np.ndarray]:
+    """Compile a predicate into ``batch -> keep mask``: a boolean array
+    that is True exactly where the predicate value ``is True`` (NULL
+    counts as False, as in the row backends' filter)."""
+    if expr is None:
+        return lambda batch: np.ones(batch.length, dtype=np.bool_)
+    kernel = compile_np_kernel(expr)
+    return lambda batch: kernel(batch).is_true_mask()
+
+
+def clear_np_kernel_cache() -> None:
+    """Drop all memoized numpy kernels (tests / memory pressure)."""
+    with _CACHE_LOCK:
+        _CACHE.clear()
+
+
+# -- helpers ---------------------------------------------------------------------
+
+
+def _merge_masks(left: Optional[np.ndarray],
+                 right: Optional[np.ndarray]) -> Optional[np.ndarray]:
+    if left is None:
+        return right
+    if right is None:
+        return left
+    return left | right
+
+
+def _list_fallback(expr: ex.ScalarExpr) -> NKernel:
+    """Run the pure-Python list kernel over the batch's native view —
+    exact parity by construction (including narrowing and errors)."""
+    kernel = compile_kernel(expr)
+
+    def run(batch: ArrayBatch) -> NumpyColumn:
+        return column_from_list(kernel(batch.list_batch()))
+
+    return run
+
+
+def _raising(message: str) -> NKernel:
+    def fail(batch):
+        raise ExecutionError(message)
+
+    return fail
+
+
+def _int_exceeds_exact_float(column: NumpyColumn) -> bool:
+    values = column.values
+    if not len(values):
+        return False
+    return max(abs(int(values.min())),
+               abs(int(values.max()))) > _EXACT_FLOAT_INT
+
+
+def _int_bounds(column: NumpyColumn) -> Tuple[int, int]:
+    values = column.values
+    if not len(values):
+        return 0, 0
+    return int(values.min()), int(values.max())
+
+
+# -- node compilers --------------------------------------------------------------
+
+
+def _compile(expr: ex.ScalarExpr) -> NKernel:
+    if isinstance(expr, ex.Constant):
+        value = expr.value
+        return lambda batch: const_column(value, batch.length)
+
+    if isinstance(expr, ex.ColumnVar):
+        var_id = expr.id
+
+        def load_column(batch):
+            try:
+                return batch.columns[var_id]
+            except KeyError:
+                raise UnboundColumn(var_id) from None
+
+        return load_column
+
+    if isinstance(expr, ex.Comparison):
+        return _compile_comparison(expr)
+
+    if isinstance(expr, ex.Arithmetic):
+        return _compile_arithmetic(expr)
+
+    if isinstance(expr, ex.BoolOp):
+        return _compile_bool_op(expr)
+
+    if isinstance(expr, ex.NotExpr):
+        return _compile_not(expr)
+
+    if isinstance(expr, ex.InListExpr):
+        return _compile_in_list(expr)
+
+    if isinstance(expr, ex.IsNullExpr):
+        operand = compile_np_kernel(expr.operand)
+        negated = expr.negated
+
+        def is_null(batch):
+            nulls = operand(batch).null_mask()
+            return NumpyColumn("b", ~nulls if negated else nulls)
+
+        return is_null
+
+    if isinstance(expr, ex.CastExpr):
+        return _compile_cast(expr)
+
+    if isinstance(expr, ex.CaseWhen):
+        return _compile_case(expr)
+
+    if isinstance(expr, ex.AggExpr):
+        return _raising("aggregate evaluated outside GroupBy")
+
+    if isinstance(expr, (ex.LikeExpr, ex.FuncExpr)):
+        # Regex matching and scalar-function dispatch are per-value
+        # Python work either way — reuse the list kernel verbatim.
+        return _list_fallback(expr)
+
+    return _list_fallback(expr)
+
+
+# -- comparison ------------------------------------------------------------------
+
+
+def _compile_comparison(expr: ex.Comparison) -> NKernel:
+    compare = _COMPARISONS.get(expr.op)
+    if compare is None:
+        return _raising(f"unknown comparison {expr.op}")
+    ufunc = _COMPARE_UFUNCS[expr.op]
+
+    for side, other in ((expr.left, expr.right),
+                        (expr.right, expr.left)):
+        if (isinstance(side, ex.Constant) and side.value is None
+                and not isinstance(other, ex.Constant)):
+            # NULL-constant comparison: the other side still evaluates
+            # (UnboundColumn / error parity); the result is all-NULL.
+            operand = compile_np_kernel(other)
+
+            def evaluate_then_null(batch, operand=operand):
+                operand(batch)
+                length = batch.length
+                return NumpyColumn(
+                    "b", np.zeros(length, dtype=np.bool_),
+                    np.ones(length, dtype=np.bool_))
+
+            return evaluate_then_null
+
+    left = compile_np_kernel(expr.left)
+    right = compile_np_kernel(expr.right)
+
+    def comparison(batch):
+        lc = left(batch)
+        rc = right(batch)
+        lk, rk = lc.kind, rc.kind
+        fast = False
+        if lk == rk and lk in "ifbd":
+            fast = True
+        elif lk in "ifb" and rk in "ifb":
+            # Mixed numeric: float64 promotion is exact only while the
+            # int side fits 2^53 (Python compares int↔float exactly).
+            fast = not (
+                (lk == "i" and rk == "f"
+                 and _int_exceeds_exact_float(lc))
+                or (rk == "i" and lk == "f"
+                    and _int_exceeds_exact_float(rc)))
+        if fast:
+            values = ufunc(lc.values, rc.values)
+            return NumpyColumn("b", values,
+                               _merge_masks(lc.mask, rc.mask))
+        return column_from_list([
+            None if lv is None or rv is None else compare(lv, rv)
+            for lv, rv in zip(lc.pylist(), rc.pylist())
+        ])
+
+    return comparison
+
+
+# -- arithmetic ------------------------------------------------------------------
+
+
+def _int64_addition_safe(lc: NumpyColumn, rc: NumpyColumn) -> bool:
+    llo, lhi = _int_bounds(lc)
+    rlo, rhi = _int_bounds(rc)
+    bound = 2 ** 62
+    return (max(abs(llo), abs(lhi)) + max(abs(rlo), abs(rhi))) < bound
+
+
+def _int64_product_safe(lc: NumpyColumn, rc: NumpyColumn) -> bool:
+    llo, lhi = _int_bounds(lc)
+    rlo, rhi = _int_bounds(rc)
+    return (max(abs(llo), abs(lhi))
+            * max(abs(rlo), abs(rhi))) < 2 ** 62
+
+
+def _as_float_operand(column: NumpyColumn) -> Optional[np.ndarray]:
+    """The column as a float64 operand with Python's mixed-arithmetic
+    semantics (ints/bools convert to float64, exactly as Python
+    promotes them), or ``None`` when no exact conversion exists."""
+    if column.kind == "f":
+        return column.values
+    if column.kind in "ib":
+        return column.values.astype(np.float64)
+    return None
+
+
+def _compile_arithmetic(expr: ex.Arithmetic) -> NKernel:
+    op = expr.op
+    left = compile_np_kernel(expr.left)
+    right = compile_np_kernel(expr.right)
+
+    if op in _PLAIN_ARITHMETIC:
+        apply = _PLAIN_ARITHMETIC[op]
+        ufunc = _ARITH_UFUNCS[op]
+        product = op == "*"
+
+        def arithmetic(batch):
+            lc = left(batch)
+            rc = right(batch)
+            lk, rk = lc.kind, rc.kind
+            if lk in "ib" and rk in "ib":
+                safe = (_int64_product_safe(lc, rc) if product
+                        else _int64_addition_safe(lc, rc))
+                if safe:
+                    # bool operands promote to int (True + True == 2).
+                    lv = (lc.values if lk == "i"
+                          else lc.values.astype(np.int64))
+                    rv = (rc.values if rk == "i"
+                          else rc.values.astype(np.int64))
+                    return NumpyColumn("i", ufunc(lv, rv),
+                                       _merge_masks(lc.mask, rc.mask))
+            elif "f" in (lk, rk):
+                lv = _as_float_operand(lc)
+                rv = _as_float_operand(rc)
+                if lv is not None and rv is not None:
+                    return NumpyColumn("f", ufunc(lv, rv),
+                                       _merge_masks(lc.mask, rc.mask))
+            return column_from_list([
+                None if lv is None or rv is None else apply(lv, rv)
+                for lv, rv in zip(lc.pylist(), rc.pylist())
+            ])
+
+        return arithmetic
+
+    if op in ("/", "%"):
+        modulo = op == "%"
+
+        def divide(batch):
+            lc = left(batch)
+            rc = right(batch)
+            nulls = _merge_masks(lc.mask, rc.mask)
+            lv = _as_float_operand(lc)
+            rv = _as_float_operand(rc)
+            int_int = lc.kind in "ib" and rc.kind in "ib"
+            fast = lv is not None and rv is not None
+            if fast and not int_int and (lc.kind == "i" or rc.kind == "i"):
+                # int↔float promotion: exact only within 2^53.
+                fast = not any(
+                    c.kind == "i" and _int_exceeds_exact_float(c)
+                    for c in (lc, rc))
+            if fast and int_int and not modulo:
+                # int / int still true-divides through float64; both
+                # operands must be exactly representable.
+                fast = not any(_int_exceeds_exact_float(c)
+                               for c in (lc, rc))
+            if fast and modulo and "f" in (lc.kind, rc.kind):
+                # Non-finite float modulo has fiddly sign rules; let
+                # Python decide those rare rows.
+                fast = bool(np.isfinite(lv).all()
+                            and np.isfinite(rv).all())
+            if fast:
+                zero = rv == 0
+                if nulls is not None:
+                    zero = zero & ~nulls
+                if zero.any():
+                    raise ExecutionError("division by zero")
+                if modulo and int_int:
+                    divisor = rc.values.astype(np.int64)
+                    # NULL rows carry the 0 fill; dodge the spurious
+                    # divide warning (the result is masked anyway).
+                    divisor = np.where(divisor == 0, 1, divisor)
+                    values = np.remainder(lc.values.astype(np.int64),
+                                          divisor)
+                    return NumpyColumn("i", values, nulls)
+                safe_rv = np.where(rv == 0, 1.0, rv)
+                values = (np.remainder(lv, safe_rv) if modulo
+                          else np.true_divide(lv, safe_rv))
+                return NumpyColumn("f", values, nulls)
+            out = []
+            append = out.append
+            for lval, rval in zip(lc.pylist(), rc.pylist()):
+                if lval is None or rval is None:
+                    append(None)
+                elif rval == 0:
+                    raise ExecutionError("division by zero")
+                elif modulo:
+                    append(lval % rval)
+                else:
+                    append(lval / rval)
+            return column_from_list(out)
+
+        return divide
+
+    if op == "||":
+        return _list_fallback(expr)
+
+    return _raising(f"unknown arithmetic operator {op}")
+
+
+# -- boolean logic ---------------------------------------------------------------
+
+
+def _kleene_state(column: NumpyColumn, decisive: bool
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+    """``(decided, null)`` masks for one AND/OR argument column, under
+    the row backends' identity test: only the exact Python bool
+    ``decisive`` decides, NULL stays NULL, any other value leaves the
+    running state unchanged."""
+    if column.kind == "b":
+        nulls = column.null_mask()
+        decided = ((column.values if decisive else ~column.values)
+                   & ~nulls)
+        return decided, nulls
+    if column.kind == "o":
+        n = len(column.values)
+        decided = np.fromiter((v is decisive for v in column.values),
+                              np.bool_, n)
+        nulls = np.fromiter((v is None for v in column.values),
+                            np.bool_, n)
+        return decided, nulls
+    return np.zeros(len(column.values), dtype=np.bool_), \
+        column.null_mask()
+
+
+def _compile_bool_op(expr: ex.BoolOp) -> NKernel:
+    kernels = [compile_np_kernel(arg) for arg in expr.args]
+    suffixes = _suffix_columns(expr.args)
+    decisive = expr.op != "AND"
+
+    def bool_op(batch):
+        first = kernels[0](batch)
+        decided, nulls = _kleene_state(first, decisive)
+        values = np.where(decided, decisive, not decisive)
+        null_out = nulls.copy()
+        active = ~decided
+        for position in range(1, len(kernels)):
+            if not active.any():
+                break
+            if active.all():
+                sub = batch
+            else:
+                sub = batch.compress(active, suffixes[position])
+            col = kernels[position](sub)
+            decided_sub, nulls_sub = _kleene_state(col, decisive)
+            indices = np.flatnonzero(active)
+            hit = indices[decided_sub]
+            values[hit] = decisive
+            null_out[hit] = False
+            active[hit] = False
+            # NULL at an undecided position turns the state NULL but
+            # keeps the row active; non-decisive non-NULL leaves the
+            # state untouched — exactly the list kernel's loop.
+            null_hit = indices[nulls_sub & ~decided_sub]
+            null_out[null_hit] = True
+        return NumpyColumn("b", values,
+                           null_out if null_out.any() else None)
+
+    return bool_op
+
+
+def _compile_not(expr: ex.NotExpr) -> NKernel:
+    operand = compile_np_kernel(expr.operand)
+
+    def negate(batch):
+        col = operand(batch)
+        kind = col.kind
+        if kind == "b":
+            return NumpyColumn("b", ~col.values, col.mask)
+        if kind in "if":
+            # Python truthiness: ``not x`` is ``x == 0`` for numbers
+            # (NaN compares unequal to 0, and ``not nan`` is False —
+            # they agree).
+            return NumpyColumn("b", col.values == 0, col.mask)
+        if kind == "d":
+            return NumpyColumn(
+                "b", np.zeros(len(col.values), dtype=np.bool_),
+                col.mask)
+        return column_from_list([
+            None if value is None else (not value)
+            for value in col.pylist()
+        ])
+
+    return negate
+
+
+# -- IN lists --------------------------------------------------------------------
+
+
+def _compile_in_list(expr: ex.InListExpr) -> NKernel:
+    operand = compile_np_kernel(expr.operand)
+    negated = expr.negated
+    values = expr.values
+    numeric_table = [v for v in values
+                     if type(v) in (int, float, bool)]
+    # ``np.isin`` equates through float64; table ints beyond 2^53 (or
+    # any probe column that large, checked at runtime) need Python's
+    # exact int↔float equality instead.
+    numeric_exact = all(
+        type(v) is not int or abs(v) <= _EXACT_FLOAT_INT
+        for v in numeric_table)
+    date_table = [v.toordinal() for v in values
+                  if type(v) is datetime.date]
+    fallback = _list_fallback(expr)
+
+    def in_list(batch):
+        col = operand(batch)
+        kind = col.kind
+        if kind in "if" and numeric_exact:
+            if kind == "i" and _int_exceeds_exact_float(col) and any(
+                    type(v) is float for v in numeric_table):
+                return fallback(batch)
+            found = (np.isin(col.values, numeric_table)
+                     if numeric_table
+                     else np.zeros(len(col.values), dtype=np.bool_))
+            return NumpyColumn("b", ~found if negated else found,
+                               col.mask)
+        if kind == "d":
+            found = (np.isin(col.values, date_table) if date_table
+                     else np.zeros(len(col.values), dtype=np.bool_))
+            return NumpyColumn("b", ~found if negated else found,
+                               col.mask)
+        return fallback(batch)
+
+    return in_list
+
+
+# -- casts -----------------------------------------------------------------------
+
+
+def _compile_cast(expr: ex.CastExpr) -> NKernel:
+    operand = compile_np_kernel(expr.operand)
+    kind = expr.target.kind
+
+    def cast(batch):
+        col = operand(batch)
+        ck = col.kind
+        if kind in (TypeKind.INTEGER, TypeKind.BIGINT):
+            if ck in "ib":
+                return NumpyColumn(
+                    "i", col.values.astype(np.int64), col.mask)
+            if ck == "f":
+                values = col.values
+                finite = np.isfinite(values)
+                if finite.all() and bool(
+                        (np.abs(values) < 2.0 ** 62).all()):
+                    # Python int(float) truncates toward zero.
+                    return NumpyColumn(
+                        "i", np.trunc(values).astype(np.int64),
+                        col.mask)
+        elif kind in (TypeKind.DECIMAL, TypeKind.DOUBLE):
+            if ck == "f":
+                return col
+            if ck in "ib":
+                return NumpyColumn(
+                    "f", col.values.astype(np.float64), col.mask)
+        elif kind is TypeKind.BOOLEAN:
+            if ck == "b":
+                return col
+            if ck in "if":
+                # bool(x) for numbers is x != 0 (bool(nan) is True and
+                # NaN != 0 agrees).
+                return NumpyColumn("b", col.values != 0, col.mask)
+            if ck == "d":
+                return NumpyColumn(
+                    "b", np.ones(len(col.values), dtype=np.bool_),
+                    col.mask)
+        return column_from_list(
+            [_cast(value, kind) for value in col.pylist()])
+
+    return cast
+
+
+# -- CASE ------------------------------------------------------------------------
+
+
+def _compile_case(expr: ex.CaseWhen) -> NKernel:
+    whens = [
+        (compile_np_kernel(condition), condition.columns_used(),
+         compile_np_kernel(result), result.columns_used())
+        for condition, result in expr.whens
+    ]
+    if expr.otherwise is not None:
+        otherwise = compile_np_kernel(expr.otherwise)
+        otherwise_cols = expr.otherwise.columns_used()
+    else:
+        otherwise = None
+        otherwise_cols = frozenset()
+
+    def case(batch):
+        length = batch.length
+        active = np.ones(length, dtype=np.bool_)
+        arms: List[Tuple[np.ndarray, NumpyColumn]] = []
+        for cond_kernel, cond_cols, res_kernel, res_cols in whens:
+            if not active.any():
+                break
+            sub = (batch if active.all()
+                   else batch.compress(active, cond_cols))
+            taken_sub = cond_kernel(sub).is_true_mask()
+            taken = np.flatnonzero(active)[taken_sub]
+            if len(taken):
+                res_sub = (batch if len(taken) == length
+                           else batch.take(taken, res_cols))
+                arms.append((taken, res_kernel(res_sub)))
+                active[taken] = False
+        if otherwise is not None and active.any():
+            rest = np.flatnonzero(active)
+            sub = (batch if active.all()
+                   else batch.take(rest, otherwise_cols))
+            arms.append((rest, otherwise(sub)))
+            active[rest] = False
+        return _scatter_arms(length, arms, active)
+
+    return case
+
+
+def _scatter_arms(length: int,
+                  arms: List[Tuple[np.ndarray, NumpyColumn]],
+                  unset: np.ndarray) -> NumpyColumn:
+    """Assemble per-arm result columns back into row order.  Same-kind
+    typed arms scatter into one typed array; mixed kinds rebuild
+    through native values (exactly the list kernel's result list)."""
+    if len(arms) == 1 and not unset.any():
+        indices, col = arms[0]
+        if len(indices) == length:
+            return col
+    kinds = {col.kind for _, col in arms}
+    if len(kinds) == 1 and (kind := kinds.pop()) in "ifbd":
+        values = np.zeros(length, dtype=(
+            np.bool_ if kind == "b" else
+            np.float64 if kind == "f" else np.int64))
+        if kind == "d":
+            values[:] = 1  # date ordinals are >= 1
+        mask = unset.copy()  # un-taken rows are NULL
+        for indices, col in arms:
+            values[indices] = col.values
+            if col.mask is not None:
+                mask[indices] = col.mask
+        return NumpyColumn(kind, values,
+                           mask if mask.any() else None)
+    out: List = [None] * length
+    for indices, col in arms:
+        arm_values = col.pylist()
+        for position, i in enumerate(indices.tolist()):
+            out[i] = arm_values[position]
+    return column_from_list(out)

@@ -1,5 +1,5 @@
-"""Columnar DMS routing ⇄ row routers: bit-identical deliveries and
-byte accounting across all three code paths."""
+"""Columnar and numpy DMS routing ⇄ row routers: bit-identical
+deliveries and byte accounting across all four code paths."""
 
 from __future__ import annotations
 
@@ -10,6 +10,7 @@ from repro.appliance.dms_runtime import (
     DmsRuntime,
     route_batch_columnar,
     route_batch_fast,
+    route_batch_numpy,
 )
 from repro.appliance.storage import (
     Appliance,
@@ -21,6 +22,15 @@ from repro.common.errors import DmsError
 
 ROWS = [(i, f"value-{i}", i * 1.5) for i in range(200)]
 SIZES = [row_bytes(r) for r in ROWS]
+
+#: Same shape, but the distribution key is a string — the numpy router
+#: cannot vectorize the hash and must fall back to the columnar path.
+STRING_KEY_ROWS = [(f"key-{i}", i, i * 1.5) for i in range(200)]
+STRING_KEY_SIZES = [row_bytes(r) for r in STRING_KEY_ROWS]
+
+#: Keys beyond int64 — ``int_key_owners`` must decline these too.
+BIG_KEY_ROWS = [(2 ** 80 + i, i) for i in range(50)]
+BIG_KEY_SIZES = [row_bytes(r) for r in BIG_KEY_ROWS]
 
 
 def as_map(deliveries):
@@ -42,25 +52,30 @@ class TestColumnarRouting:
         DmsOperation.PARTITION_MOVE,
         DmsOperation.REMOTE_COPY,
     ])
-    def test_matches_both_row_routers(self, routing_runtime, operation,
-                                      source_id):
+    def test_matches_all_row_routers(self, routing_runtime, operation,
+                                     source_id):
         columnar, columnar_sent = route_batch_columnar(
+            operation, ROWS, SIZES, 0, 4, source_id)
+        vectorized, vectorized_sent = route_batch_numpy(
             operation, ROWS, SIZES, 0, 4, source_id)
         fast, fast_sent = route_batch_fast(
             operation, ROWS, SIZES, 0, 4, source_id)
         ref, ref_sent = routing_runtime._route_batch_reference(
             operation, ROWS, SIZES, 0, 4, source_id)
-        assert as_map(columnar) == as_map(fast) == as_map(ref)
-        assert columnar_sent == fast_sent == ref_sent
+        assert (as_map(columnar) == as_map(vectorized)
+                == as_map(fast) == as_map(ref))
+        assert columnar_sent == vectorized_sent == fast_sent == ref_sent
 
     @pytest.mark.parametrize("source_id", [0, 2])
     def test_trim_matches_row_routers(self, routing_runtime, source_id):
         columnar, sent = route_batch_columnar(
             DmsOperation.TRIM_MOVE, ROWS, SIZES, 0, 4, source_id)
+        vectorized, np_sent = route_batch_numpy(
+            DmsOperation.TRIM_MOVE, ROWS, SIZES, 0, 4, source_id)
         fast, fast_sent = route_batch_fast(
             DmsOperation.TRIM_MOVE, ROWS, SIZES, 0, 4, source_id)
-        assert as_map(columnar) == as_map(fast)
-        assert sent == fast_sent == 0
+        assert as_map(columnar) == as_map(vectorized) == as_map(fast)
+        assert sent == np_sent == fast_sent == 0
         for _, batch, _ in columnar:
             for row in batch:
                 assert pdw_hash(row[0]) % 4 == source_id
@@ -77,24 +92,77 @@ class TestColumnarRouting:
     def test_empty_batch_routes_nothing(self):
         assert route_batch_columnar(
             DmsOperation.SHUFFLE_MOVE, [], [], 0, 4, 0) == ([], 0)
+        assert route_batch_numpy(
+            DmsOperation.SHUFFLE_MOVE, [], [], 0, 4, 0) == ([], 0)
 
     def test_shuffle_without_hash_column_raises(self):
         with pytest.raises(DmsError):
             route_batch_columnar(DmsOperation.SHUFFLE_MOVE, ROWS, SIZES,
                                  None, 4, 0)
+        with pytest.raises(DmsError):
+            route_batch_numpy(DmsOperation.SHUFFLE_MOVE, ROWS, SIZES,
+                              None, 4, 0)
 
     def test_trim_without_hash_column_raises(self):
         with pytest.raises(DmsError):
             route_batch_columnar(DmsOperation.TRIM_MOVE, ROWS, SIZES,
                                  None, 4, 0)
+        with pytest.raises(DmsError):
+            route_batch_numpy(DmsOperation.TRIM_MOVE, ROWS, SIZES,
+                              None, 4, 0)
+
+
+class TestNumpyRouterFallbacks:
+    """Non-int (or oversized-int) distribution keys can't take the
+    vectorized CRC32 pass; the numpy router must fall back to the
+    columnar path and still match the row routers exactly."""
+
+    @pytest.mark.parametrize("rows,sizes", [
+        (STRING_KEY_ROWS, STRING_KEY_SIZES),
+        (BIG_KEY_ROWS, BIG_KEY_SIZES),
+    ])
+    @pytest.mark.parametrize("operation", [
+        DmsOperation.SHUFFLE_MOVE,
+        DmsOperation.TRIM_MOVE,
+    ])
+    def test_non_int64_keys_fall_back(self, operation, rows, sizes):
+        vectorized, np_sent = route_batch_numpy(
+            operation, rows, sizes, 0, 4, 1)
+        fast, fast_sent = route_batch_fast(
+            operation, rows, sizes, 0, 4, 1)
+        assert as_map(vectorized) == as_map(fast)
+        assert np_sent == fast_sent
+
+    def test_bool_keys_fall_back(self):
+        # bool is an int subclass but hashes differently (pdw_hash
+        # special-cases it), so the type-exact guard must decline.
+        rows = [(i % 2 == 0, i) for i in range(40)]
+        sizes = [row_bytes(r) for r in rows]
+        vectorized, np_sent = route_batch_numpy(
+            DmsOperation.SHUFFLE_MOVE, rows, sizes, 0, 4, 0)
+        fast, fast_sent = route_batch_fast(
+            DmsOperation.SHUFFLE_MOVE, rows, sizes, 0, 4, 0)
+        assert as_map(vectorized) == as_map(fast)
+        assert np_sent == fast_sent
+
+    def test_int64_boundary_keys_vectorize_exactly(self):
+        rows = [(k, i) for i, k in enumerate(
+            [0, 1, -1, 2 ** 63 - 1, -2 ** 63, 42, -42])]
+        sizes = [row_bytes(r) for r in rows]
+        vectorized, np_sent = route_batch_numpy(
+            DmsOperation.SHUFFLE_MOVE, rows, sizes, 0, 4, 0)
+        fast, fast_sent = route_batch_fast(
+            DmsOperation.SHUFFLE_MOVE, rows, sizes, 0, 4, 0)
+        assert as_map(vectorized) == as_map(fast)
+        assert np_sent == fast_sent
 
 
 class TestRuntimeRouterSelection:
-    def test_vectorized_runtime_routes_columnar_in_serial_mode(self, tpch,
-                                                               tpch_engine):
-        """The columnar route path applies whenever the backend is
-        vectorized — serial and parallel runtimes alike — and produces
-        the same step accounting as the row paths."""
+    def test_columnar_runtimes_route_columnar_in_serial_mode(self, tpch,
+                                                             tpch_engine):
+        """The columnar route paths apply whenever the backend is
+        vectorized or numpy — serial and parallel runtimes alike — and
+        produce the same step accounting as the row paths."""
         appliance, _ = tpch
         plan = tpch_engine.compile(
             "SELECT c.c_custkey, o.o_custkey FROM customer c, orders o "
@@ -105,7 +173,9 @@ class TestRuntimeRouterSelection:
         results = {}
         for executor, parallel in (("compiled", False),
                                    ("vectorized", False),
-                                   ("vectorized", True)):
+                                   ("vectorized", True),
+                                   ("numpy", False),
+                                   ("numpy", True)):
             result = DsqlRunner(appliance, executor=executor,
                                 parallel=parallel).run(plan)
             results[(executor, parallel)] = result

@@ -1,14 +1,14 @@
-"""Vectorized backend ⇄ row backends equivalence on the full TPC-H
+"""Columnar backends ⇄ row backends equivalence on the full TPC-H
 workload.
 
-The vectorized executor changes *how* step SQL is evaluated (columnar
-batches instead of rows), never *what* is computed: rows, row order
-under ORDER BY, per-step byte/row accounting and the interpreter
-counters must all be identical to the compiled backend's.  The runner
-tests leave ``parallel`` unset, so the suite exercises the serial walk
-normally and the DAG runtime under ``REPRO_PARALLEL_RUNTIME=1`` (CI runs
-tier-1 both ways); an explicit ``parallel=True`` case keeps the serial
-CI leg honest too.
+The vectorized and numpy executors change *how* step SQL is evaluated
+(columnar batches / typed ndarrays instead of rows), never *what* is
+computed: rows, row order under ORDER BY, per-step byte/row accounting
+and the interpreter counters must all be identical to the compiled
+backend's.  The runner tests leave ``parallel`` unset, so the suite
+exercises the serial walk normally and the DAG runtime under
+``REPRO_PARALLEL_RUNTIME=1`` (CI runs tier-1 both ways); explicit
+``parallel=True`` cases keep the serial CI leg honest too.
 """
 
 from __future__ import annotations
@@ -17,42 +17,49 @@ import pytest
 
 from repro.appliance.interpreter import InterpreterStats, PlanInterpreter
 from repro.appliance.runner import DsqlRunner, run_reference
+from repro.common.executors import EXECUTORS
 from repro.optimizer.binder import Binder
 from repro.optimizer.normalize import normalize
 from repro.sql.parser import parse_query
 from repro.vector.executor import VectorInterpreter
+from repro.vector.np_executor import NumpyInterpreter
 from repro.workloads.tpch_queries import TPCH_QUERIES, query_names
 
 from tests.conftest import canonical
 from tests.integration.test_parallel_equivalence import stats_view
 
+#: The two columnar backends; each must be indistinguishable from the
+#: compiled row backend in everything but speed.
+COLUMNAR = ("vectorized", "numpy")
 
+
+@pytest.mark.parametrize("executor", COLUMNAR)
 @pytest.mark.parametrize("name", query_names())
-def test_vectorized_matches_compiled_on_tpch_suite(name, tpch,
-                                                   tpch_engine):
+def test_columnar_matches_compiled_on_tpch_suite(name, executor, tpch,
+                                                 tpch_engine):
     appliance, _ = tpch
     plan = tpch_engine.compile(TPCH_QUERIES[name]).dsql_plan
     compiled = DsqlRunner(appliance, executor="compiled").run(plan)
-    vectorized = DsqlRunner(appliance, executor="vectorized").run(plan)
-    assert vectorized.columns == compiled.columns
-    assert vectorized.sorted_rows() == compiled.sorted_rows()
+    columnar = DsqlRunner(appliance, executor=executor).run(plan)
+    assert columnar.columns == compiled.columns
+    assert columnar.sorted_rows() == compiled.sorted_rows()
     if plan.order_by:
-        assert vectorized.rows == compiled.rows
+        assert columnar.rows == compiled.rows
     # Byte/row accounting, per-node operator actuals and simulated
     # times are merged identically — exact floats, not approximations.
-    assert (stats_view(vectorized.step_stats)
+    assert (stats_view(columnar.step_stats)
             == stats_view(compiled.step_stats))
-    assert vectorized.elapsed_seconds == compiled.elapsed_seconds
-    assert vectorized.dms_seconds == compiled.dms_seconds
+    assert columnar.elapsed_seconds == compiled.elapsed_seconds
+    assert columnar.dms_seconds == compiled.dms_seconds
 
 
 @pytest.mark.parametrize("name", ["Q1", "Q3", "Q5", "Q12"])
-def test_all_three_backends_agree(name, tpch, tpch_engine):
+def test_all_four_backends_agree(name, tpch, tpch_engine):
     appliance, _ = tpch
     plan = tpch_engine.compile(TPCH_QUERIES[name]).dsql_plan
     results = {
         executor: DsqlRunner(appliance, executor=executor).run(plan)
-        for executor in ("reference", "compiled", "vectorized")
+        for executor in EXECUTORS
     }
     reference = results["reference"]
     for executor, result in results.items():
@@ -60,13 +67,15 @@ def test_all_three_backends_agree(name, tpch, tpch_engine):
         assert result.sorted_rows() == reference.sorted_rows(), executor
 
 
+@pytest.mark.parametrize("executor", COLUMNAR)
 @pytest.mark.parametrize("name", ["Q1", "Q5"])
-def test_vectorized_parallel_matches_serial(name, tpch, tpch_engine):
+def test_columnar_parallel_matches_serial(name, executor, tpch,
+                                          tpch_engine):
     appliance, _ = tpch
     plan = tpch_engine.compile(TPCH_QUERIES[name]).dsql_plan
-    serial = DsqlRunner(appliance, executor="vectorized",
+    serial = DsqlRunner(appliance, executor=executor,
                         parallel=False).run(plan)
-    parallel = DsqlRunner(appliance, executor="vectorized",
+    parallel = DsqlRunner(appliance, executor=executor,
                           parallel=True).run(plan)
     assert parallel.sorted_rows() == serial.sorted_rows()
     if plan.order_by:
@@ -75,11 +84,12 @@ def test_vectorized_parallel_matches_serial(name, tpch, tpch_engine):
             == stats_view(serial.step_stats))
 
 
-def test_run_reference_vectorized_backend(tpch):
+@pytest.mark.parametrize("executor", COLUMNAR)
+def test_run_reference_columnar_backends(executor, tpch):
     appliance, _ = tpch
     sql = ("SELECT COUNT(DISTINCT o_custkey) AS n, "
            "COUNT(DISTINCT o_orderpriority) AS p FROM orders")
-    assert (run_reference(appliance, sql, executor="vectorized").rows
+    assert (run_reference(appliance, sql, executor=executor).rows
             == run_reference(appliance, sql, executor="reference").rows)
 
 
@@ -87,7 +97,7 @@ def test_empty_scalar_aggregate_neutral_row(tpch):
     appliance, _ = tpch
     sql = ("SELECT COUNT(*) AS n, SUM(l_quantity) AS q FROM lineitem "
            "WHERE l_quantity < -1")
-    for executor in ("reference", "compiled", "vectorized"):
+    for executor in EXECUTORS:
         assert run_reference(appliance, sql,
                              executor=executor).rows == [(0, None)]
 
@@ -96,16 +106,20 @@ def test_empty_group_by_result(tpch):
     appliance, _ = tpch
     sql = ("SELECT l_returnflag, COUNT(*) AS n FROM lineitem "
            "WHERE l_quantity < -1 GROUP BY l_returnflag")
-    for executor in ("compiled", "vectorized"):
+    for executor in ("compiled", "vectorized", "numpy"):
         assert run_reference(appliance, sql, executor=executor).rows == []
 
 
+def columnar_interpreter(executor):
+    return NumpyInterpreter if executor == "numpy" else VectorInterpreter
+
+
 class TestInterpreterStatsParity:
-    """The vectorized interpreter must feed the same counters into the
+    """The columnar interpreters must feed the same counters into the
     simulated relational-time model as the row interpreters — Union
     adds nothing, Get counts scans, everything else rows_processed."""
 
-    def run_both(self, tpch, sql):
+    def run_both(self, tpch, sql, executor):
         appliance, _ = tpch
         image = appliance.single_system_image()
         query = normalize(Binder(appliance.catalog).bind(
@@ -114,11 +128,12 @@ class TestInterpreterStatsParity:
         vec_stats = InterpreterStats()
         rows = PlanInterpreter(image, stats=row_stats,
                                compiled=True).run_query(query)
-        vec_rows = VectorInterpreter(image,
-                                     stats=vec_stats).run_query(query)
+        interpreter = columnar_interpreter(executor)
+        vec_rows = interpreter(image, stats=vec_stats).run_query(query)
         assert canonical(vec_rows) == canonical(rows)
         return row_stats, vec_stats
 
+    @pytest.mark.parametrize("executor", COLUMNAR)
     @pytest.mark.parametrize("sql", [
         "SELECT COUNT(*) AS n FROM lineitem WHERE l_discount > 0.01",
         ("SELECT c_name FROM customer, orders "
@@ -127,14 +142,15 @@ class TestInterpreterStatsParity:
          "FROM lineitem GROUP BY l_returnflag, l_linestatus"),
         "SELECT n_name FROM nation ORDER BY n_name LIMIT 5",
     ])
-    def test_counters_match(self, tpch, sql):
-        row_stats, vec_stats = self.run_both(tpch, sql)
+    def test_counters_match(self, tpch, sql, executor):
+        row_stats, vec_stats = self.run_both(tpch, sql, executor)
         assert vec_stats.rows_scanned == row_stats.rows_scanned
         assert vec_stats.rows_processed == row_stats.rows_processed
 
 
 class TestObserverParity:
-    def test_postorder_operator_counts_match(self, tpch):
+    @pytest.mark.parametrize("executor", COLUMNAR)
+    def test_postorder_operator_counts_match(self, tpch, executor):
         appliance, _ = tpch
         image = appliance.single_system_image()
         sql = ("SELECT c_name FROM customer, orders "
@@ -152,6 +168,7 @@ class TestObserverParity:
         row_rec, vec_rec = Recorder(), Recorder()
         PlanInterpreter(image, compiled=True,
                         observer=row_rec).run_query(query)
-        VectorInterpreter(image, observer=vec_rec).run_query(query)
+        interpreter = columnar_interpreter(executor)
+        interpreter(image, observer=vec_rec).run_query(query)
         assert vec_rec.events == row_rec.events
         assert vec_rec.events  # something was actually observed

@@ -12,6 +12,13 @@ The randomized sweep reuses the compiler suite's expression generator;
 environments become batches by fixing the bound-column set once per
 batch (a batch either has a column for every row or for none — exactly
 the shape the executor feeds kernels).
+
+Every differential case runs against BOTH column compilers: the
+pure-Python list kernels and (when numpy is importable) the typed
+ndarray kernels of :mod:`repro.vector.np_kernels` — same expression,
+same batch, outputs compared value-for-value (``pylist()`` restores
+native Python values, so identity checks like ``value is None`` apply
+unchanged).
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ import pytest
 from repro.algebra import expressions as ex
 from repro.algebra.evaluator import UnboundColumn, evaluate
 from repro.common.errors import ExecutionError
+from repro.common.executors import numpy_available
 from repro.common.types import BOOLEAN
 from repro.vector import (
     ColumnBatch,
@@ -38,6 +46,59 @@ from tests.algebra.test_compiler import (
     ExprGen,
     outcome,
 )
+
+HAVE_NUMPY = numpy_available()
+if HAVE_NUMPY:
+    import numpy as np
+
+    from repro.vector.np_batch import from_column_batch
+    from repro.vector.np_kernels import (
+        clear_np_kernel_cache,
+        compile_np_kernel,
+        compile_np_selection,
+    )
+
+
+def list_compiler(expr):
+    """Compile with the list kernels: ``ColumnBatch -> list``."""
+    return compile_kernel(expr)
+
+
+def np_compiler(expr):
+    """Compile with the numpy kernels, adapted to the same signature —
+    the batch is sniffed into typed arrays and the result column comes
+    back as native Python values."""
+    kernel = compile_np_kernel(expr)
+    return lambda batch: kernel(from_column_batch(batch)).pylist()
+
+
+def run_list_kernel(expr, batch):
+    return list_compiler(expr)(batch)
+
+
+def run_np_kernel(expr, batch):
+    return np_compiler(expr)(batch)
+
+
+def run_list_selection(predicate, batch):
+    return compile_selection(predicate)(batch)
+
+
+def run_np_selection(predicate, batch):
+    mask = compile_np_selection(predicate)(from_column_batch(batch))
+    return np.flatnonzero(mask).tolist()
+
+
+#: Each runner maps (expr, ColumnBatch) to a plain list of native
+#: Python values; each compiler maps expr to a ``ColumnBatch -> list``
+#: callable (for tests that pin compile-time vs batch-time behaviour).
+KERNEL_RUNNERS = [pytest.param(run_list_kernel, id="list")]
+KERNEL_COMPILERS = [pytest.param(list_compiler, id="list")]
+SELECTION_RUNNERS = [pytest.param(run_list_selection, id="list")]
+if HAVE_NUMPY:
+    KERNEL_RUNNERS.append(pytest.param(run_np_kernel, id="numpy"))
+    KERNEL_COMPILERS.append(pytest.param(np_compiler, id="numpy"))
+    SELECTION_RUNNERS.append(pytest.param(run_np_selection, id="numpy"))
 
 NULL = ex.Constant(None)
 ONE = ex.Constant(1)
@@ -64,23 +125,28 @@ def batch_of(rows_envs):
 
 
 def assert_batch_agrees(expr, rows_envs):
-    """The kernel's column must match the evaluator row by row; if any
-    row errors, the kernel must raise an error some row raises."""
+    """Every kernel compiler's column must match the evaluator row by
+    row; if any row errors, the kernel must raise an error some row
+    raises."""
     expected = [outcome(evaluate, expr, env) for env in rows_envs]
     batch = batch_of(rows_envs)
-    got = outcome(compile_kernel(expr), batch)
     error_tags = {tag for tag, *_ in expected if tag != "ok"}
-    if error_tags:
-        assert got[0] in error_tags, (
-            f"kernel outcome {got} not among per-row errors "
-            f"{error_tags} for {expr}")
-        return
-    assert got[0] == "ok", f"kernel errored ({got}) on error-free {expr}"
-    values = got[1]
-    assert len(values) == len(rows_envs)
-    for value, (_, want) in zip(values, expected):
-        assert value == want and (value is None) == (want is None), (
-            f"kernel disagrees on {expr}: got {value!r} want {want!r}")
+    for param in KERNEL_RUNNERS:
+        run, which = param.values[0], param.id
+        got = outcome(run, expr, batch)
+        if error_tags:
+            assert got[0] in error_tags, (
+                f"{which} kernel outcome {got} not among per-row errors "
+                f"{error_tags} for {expr}")
+            continue
+        assert got[0] == "ok", (
+            f"{which} kernel errored ({got}) on error-free {expr}")
+        values = got[1]
+        assert len(values) == len(rows_envs)
+        for value, (_, want) in zip(values, expected):
+            assert value == want and (value is None) == (want is None), (
+                f"{which} kernel disagrees on {expr}: "
+                f"got {value!r} want {want!r}")
 
 
 # -- targeted three-valued logic --------------------------------------------------
@@ -102,23 +168,25 @@ class TestThreeValuedLogic:
                 for a in (None, 1, 3) for b in (None, 2, 5)]
         assert_batch_agrees(expr, envs)
 
+    @pytest.mark.parametrize("run", KERNEL_RUNNERS)
     @pytest.mark.parametrize("args,expected", [
         ((True, True), True), ((True, None), None), ((True, False), False),
         ((None, None), None), ((False, None), False),
     ])
-    def test_kleene_and(self, args, expected):
+    def test_kleene_and(self, args, expected, run):
         expr = ex.BoolOp("AND", tuple(ex.Constant(a, BOOLEAN) for a in args))
-        column = compile_kernel(expr)(ColumnBatch({}, 3))
+        column = run(expr, ColumnBatch({}, 3))
         assert column == [expected] * 3
         assert all(value is expected for value in column)
 
+    @pytest.mark.parametrize("run", KERNEL_RUNNERS)
     @pytest.mark.parametrize("args,expected", [
         ((False, False), False), ((False, None), None),
         ((True, None), True), ((None, None), None),
     ])
-    def test_kleene_or(self, args, expected):
+    def test_kleene_or(self, args, expected, run):
         expr = ex.BoolOp("OR", tuple(ex.Constant(a, BOOLEAN) for a in args))
-        column = compile_kernel(expr)(ColumnBatch({}, 2))
+        column = run(expr, ColumnBatch({}, 2))
         assert column == [expected] * 2
         assert all(value is expected for value in column)
 
@@ -196,51 +264,58 @@ class TestNarrowing:
         envs = [{1: v} for v in (0, 2, 0, 5, None)]
         assert_batch_agrees(expr, envs)
 
-    def test_all_rows_decided_skips_later_args(self):
+    @pytest.mark.parametrize("run", KERNEL_RUNNERS)
+    def test_all_rows_decided_skips_later_args(self, run):
         # Second argument would raise unconditionally, but every row is
         # decided by the first — the row backends never evaluate it.
         never = ex.Arithmetic("/", ONE, ex.Constant(0))
         expr = ex.BoolOp("AND", (ex.Constant(False, BOOLEAN), never))
-        assert compile_kernel(expr)(ColumnBatch({}, 4)) == [False] * 4
+        assert run(expr, ColumnBatch({}, 4)) == [False] * 4
         expr = ex.BoolOp("OR", (ex.Constant(True, BOOLEAN), never))
-        assert compile_kernel(expr)(ColumnBatch({}, 4)) == [True] * 4
+        assert run(expr, ColumnBatch({}, 4)) == [True] * 4
 
 
 # -- error parity -----------------------------------------------------------------
 
 
 class TestErrorParity:
-    def test_division_by_zero_raises_at_batch_time(self):
+    @pytest.mark.parametrize("compiler", KERNEL_COMPILERS)
+    def test_division_by_zero_raises_at_batch_time(self, compiler):
         for op in ("/", "%"):
             expr = ex.Arithmetic(op, ONE, ex.Constant(0))
-            kernel = compile_kernel(expr)  # compiling must not raise
+            kernel = compiler(expr)  # compiling must not raise
             with pytest.raises(ExecutionError):
                 kernel(ColumnBatch({}, 2))
 
     def test_division_error_beats_null_left_operand(self):
         assert_batch_agrees(ex.Arithmetic("/", NULL, ex.Constant(0)), [{}])
 
-    def test_unbound_column_raises(self):
+    @pytest.mark.parametrize("run", KERNEL_RUNNERS)
+    def test_unbound_column_raises(self, run):
         expr = ex.Arithmetic("+", INT_A, ONE)
         with pytest.raises(UnboundColumn):
-            compile_kernel(expr)(ColumnBatch({}, 1))
+            run(expr, ColumnBatch({}, 1))
 
-    def test_null_constant_comparison_still_binds_other_side(self):
+    @pytest.mark.parametrize("run", KERNEL_RUNNERS)
+    def test_null_constant_comparison_still_binds_other_side(self, run):
         # `a = NULL` is uniformly NULL, but the column side must still
         # be evaluated so a missing column raises exactly as in a row
         # backend.
         expr = ex.Comparison("=", INT_A, NULL)
         with pytest.raises(UnboundColumn):
-            compile_kernel(expr)(ColumnBatch({}, 1))
+            run(expr, ColumnBatch({}, 1))
         assert_batch_agrees(expr, [{1: v} for v in (None, 1, 2)])
 
-    def test_aggregate_raises_at_batch_time_not_compile_time(self):
-        kernel = compile_kernel(ex.AggExpr("SUM", INT_A))
+    @pytest.mark.parametrize("compiler", KERNEL_COMPILERS)
+    def test_aggregate_raises_at_batch_time_not_compile_time(self,
+                                                             compiler):
+        kernel = compiler(ex.AggExpr("SUM", INT_A))
         with pytest.raises(ExecutionError):
             kernel(ColumnBatch({1: [3]}, 1))
 
-    def test_unknown_function_raises_at_batch_time(self):
-        kernel = compile_kernel(ex.FuncExpr("NO_SUCH_FN", (ONE,)))
+    @pytest.mark.parametrize("compiler", KERNEL_COMPILERS)
+    def test_unknown_function_raises_at_batch_time(self, compiler):
+        kernel = compiler(ex.FuncExpr("NO_SUCH_FN", (ONE,)))
         with pytest.raises(ExecutionError):
             kernel(ColumnBatch({}, 1))
 
@@ -249,22 +324,25 @@ class TestErrorParity:
 
 
 class TestSelection:
-    def test_none_predicate_selects_all(self):
-        assert compile_selection(None)(ColumnBatch({}, 4)) == [0, 1, 2, 3]
+    @pytest.mark.parametrize("select", SELECTION_RUNNERS)
+    def test_none_predicate_selects_all(self, select):
+        assert select(None, ColumnBatch({}, 4)) == [0, 1, 2, 3]
 
-    def test_null_counts_as_false(self):
-        select = compile_selection(ex.Comparison("=", INT_A, ONE))
+    @pytest.mark.parametrize("select", SELECTION_RUNNERS)
+    def test_null_counts_as_false(self, select):
+        predicate = ex.Comparison("=", INT_A, ONE)
         batch = ColumnBatch({1: [1, 2, None, 1]}, 4)
-        assert select(batch) == [0, 3]
+        assert select(predicate, batch) == [0, 3]
 
-    def test_matches_evaluator_is_true_filter(self):
+    @pytest.mark.parametrize("select", SELECTION_RUNNERS)
+    def test_matches_evaluator_is_true_filter(self, select):
         gen = ExprGen(777)
         for _ in range(60):
             predicate = gen.boolean(3)
             envs = make_envs(gen, 7)
             expected = [outcome(lambda e: evaluate(predicate, e) is True,
                                 env) for env in envs]
-            got = outcome(compile_selection(predicate), batch_of(envs))
+            got = outcome(select, predicate, batch_of(envs))
             tags = {tag for tag, *_ in expected if tag != "ok"}
             if tags:
                 assert got[0] in tags
@@ -296,6 +374,17 @@ class TestKernelCache:
     def test_empty_batch_yields_empty_column(self):
         expr = ex.Arithmetic("+", INT_A, ONE)
         assert compile_kernel(expr)(ColumnBatch({1: []}, 0)) == []
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="requires numpy")
+    def test_np_kernels_memoized_per_expression_object(self):
+        clear_np_kernel_cache()
+        expr = ex.Comparison("<", INT_A, TWO)
+        assert compile_np_kernel(expr) is compile_np_kernel(expr)
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="requires numpy")
+    def test_np_empty_batch_yields_empty_column(self):
+        expr = ex.Arithmetic("+", INT_A, ONE)
+        assert run_np_kernel(expr, ColumnBatch({1: []}, 0)) == []
 
 
 # -- randomized differential sweep ------------------------------------------------

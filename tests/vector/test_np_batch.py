@@ -1,0 +1,122 @@
+"""Typed-array column representation: sniffing, NULL masks, round-trips
+and the vectorized CRC32 hash's parity with ``pdw_hash``."""
+
+from __future__ import annotations
+
+import datetime
+import random
+
+import pytest
+
+from repro.appliance.storage import pdw_hash
+
+np = pytest.importorskip("numpy")
+
+from repro.vector.column_batch import ColumnBatch  # noqa: E402
+from repro.vector.np_batch import (  # noqa: E402
+    ArrayBatch,
+    column_from_list,
+    crc32_int64,
+    from_column_batch,
+    int_key_owners,
+)
+
+ROUND_TRIPS = [
+    [1, 2, 3],
+    [None, 1, None, -7],
+    [1.5, -0.0, 2.75],
+    [None, 1.25, float("nan")],
+    [True, False, None],
+    ["a", None, "bc"],
+    [datetime.date(1994, 1, 1), None, datetime.date(1998, 12, 31)],
+    [1, "mixed", None, 2.5],
+    [None, None],
+    [],
+    [2 ** 80, 1],   # beyond int64 → object column
+    [1, 2.5],       # mixed numeric → object column (exact semantics)
+]
+
+
+class TestColumnRoundTrip:
+    @pytest.mark.parametrize("values", ROUND_TRIPS,
+                             ids=[str(i) for i in range(len(ROUND_TRIPS))])
+    def test_pylist_restores_native_values(self, values):
+        got = column_from_list(values).pylist()
+        assert len(got) == len(values)
+        for out, want in zip(got, values):
+            if isinstance(want, float) and want != want:  # NaN
+                assert out != out
+                continue
+            assert out == want and type(out) is type(want)
+
+    def test_typed_kinds(self):
+        assert column_from_list([1, 2]).kind == "i"
+        assert column_from_list([1.0, None]).kind == "f"
+        assert column_from_list([True]).kind == "b"
+        assert column_from_list([datetime.date(2000, 1, 1)]).kind == "d"
+        assert column_from_list(["x"]).kind == "o"
+        # datetime.datetime is NOT a date column (ordinal would drop
+        # the time part) — it stays object.
+        assert column_from_list(
+            [datetime.datetime(2000, 1, 1, 12)]).kind == "o"
+
+    def test_bool_not_conflated_with_int(self):
+        assert column_from_list([True, 1]).kind == "o"
+        got = column_from_list([True, 1]).pylist()
+        assert got[0] is True and type(got[1]) is int
+
+    def test_null_mask_positions(self):
+        column = column_from_list([None, 5, None, 7])
+        assert column.null_mask().tolist() == [True, False, True, False]
+
+    def test_take_and_compress(self):
+        column = column_from_list([10, None, 30, 40])
+        assert column.take(np.array([2, 0])).pylist() == [30, 10]
+        keep = np.array([True, True, False, True])
+        assert column.compress(keep).pylist() == [10, None, 40]
+
+
+class TestBatchConversion:
+    def test_from_column_batch_preserves_shape(self):
+        batch = ColumnBatch({1: [1, 2], 2: ["a", None]}, 2)
+        converted = from_column_batch(batch)
+        assert isinstance(converted, ArrayBatch)
+        assert converted.length == 2
+        assert converted.list_batch().columns == batch.columns
+
+    def test_list_batch_is_cached(self):
+        converted = from_column_batch(ColumnBatch({1: [1, 2, 3]}, 3))
+        assert converted.list_batch() is converted.list_batch()
+
+
+class TestVectorizedHash:
+    def test_crc_matches_pdw_hash_on_boundaries(self):
+        keys = [0, 1, -1, 42, -42, 2 ** 31, -2 ** 31,
+                2 ** 63 - 1, -2 ** 63]
+        crcs = crc32_int64(np.array(keys, dtype=np.int64))
+        assert crcs.tolist() == [pdw_hash(k) for k in keys]
+
+    def test_crc_matches_pdw_hash_randomized(self):
+        rng = random.Random(20120520)
+        keys = [rng.randint(-2 ** 63, 2 ** 63 - 1) for _ in range(2000)]
+        crcs = crc32_int64(np.array(keys, dtype=np.int64))
+        assert crcs.tolist() == [pdw_hash(k) for k in keys]
+
+    @pytest.mark.parametrize("node_count", [1, 2, 4, 8, 13])
+    def test_owner_vector_matches_modulo(self, node_count):
+        keys = list(range(-50, 50)) + [2 ** 62, -2 ** 62]
+        owners = int_key_owners(keys, node_count)
+        assert owners is not None
+        assert owners.tolist() == [pdw_hash(k) % node_count
+                                   for k in keys]
+
+    @pytest.mark.parametrize("keys", [
+        [1, 2, None],
+        [1.0, 2.0],
+        ["a", "b"],
+        [True, False],
+        [1, 2 ** 80],
+        [],
+    ])
+    def test_non_pure_int_columns_decline(self, keys):
+        assert int_key_owners(keys, 4) is None

@@ -1,0 +1,140 @@
+"""Graceful degradation when numpy is absent.
+
+``executor="numpy"`` must never be a hard requirement: on a machine
+without numpy the request silently (well — with exactly one
+``RuntimeWarning``) becomes ``executor="vectorized"``, and
+``ExecutionOptions.resolved()`` reports the backend that will actually
+run.  Since the test image ships numpy, absence is simulated with an
+import hook that blocks ``import numpy`` and temporarily hides the
+already-imported module — which is why :func:`numpy_available`
+deliberately re-probes on every call instead of caching.
+"""
+
+from __future__ import annotations
+
+import builtins
+import sys
+import warnings
+
+import pytest
+
+from repro import ExecutionOptions
+from repro.appliance.runner import DsqlRunner
+from repro.common.executors import (
+    effective_executor,
+    numpy_available,
+    resolve_executor,
+)
+
+
+@pytest.fixture
+def no_numpy(monkeypatch):
+    """Make ``import numpy`` fail for the duration of a test."""
+    hidden = [name for name in sys.modules
+              if name == "numpy" or name.startswith("numpy.")]
+    for name in hidden:
+        monkeypatch.delitem(sys.modules, name)
+    real_import = builtins.__import__
+
+    def blocked(name, *args, **kwargs):
+        if name == "numpy" or name.startswith("numpy."):
+            raise ImportError(f"{name} blocked by no_numpy fixture")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "__import__", blocked)
+
+
+class TestAvailabilityProbe:
+    def test_available_in_this_image(self):
+        assert numpy_available()
+
+    def test_probe_respects_import_hook(self, no_numpy):
+        assert not numpy_available()
+
+    def test_probe_recovers_after_hook(self):
+        # The fixture restored the import machinery: no caching bug.
+        assert numpy_available()
+
+
+class TestEffectiveExecutor:
+    def test_numpy_passes_through_when_available(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert effective_executor("numpy") == "numpy"
+
+    def test_numpy_degrades_with_one_warning(self, no_numpy):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert effective_executor("numpy") == "vectorized"
+        assert len(caught) == 1
+        assert issubclass(caught[0].category, RuntimeWarning)
+        assert "numpy" in str(caught[0].message)
+
+    @pytest.mark.parametrize("executor",
+                             ["reference", "compiled", "vectorized"])
+    def test_other_backends_untouched(self, executor, no_numpy):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert effective_executor(executor) == executor
+
+    def test_resolve_does_not_degrade(self, no_numpy):
+        # Degradation happens at resolution time (resolved() / runner
+        # construction), not during plain name normalization.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_executor("numpy", True) == "numpy"
+
+
+class TestOptionsReportActualBackend:
+    def test_resolved_keeps_numpy_when_available(self):
+        options = ExecutionOptions(executor="numpy").resolved()
+        assert options.executor == "numpy"
+
+    def test_resolved_reports_fallback(self, no_numpy):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            options = ExecutionOptions(executor="numpy").resolved()
+        assert options.executor == "vectorized"
+        assert options.compiled is True
+        assert [w for w in caught
+                if issubclass(w.category, RuntimeWarning)]
+
+    def test_resolved_is_idempotent(self, no_numpy):
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            options = ExecutionOptions(executor="numpy").resolved()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert options.resolved() is options
+
+
+class TestRunnerFallback:
+    def test_runner_downgrades_once_and_matches_vectorized(
+            self, no_numpy, tpch, tpch_engine):
+        appliance, _ = tpch
+        plan = tpch_engine.compile(
+            "SELECT o_orderpriority, COUNT(*) AS n FROM orders "
+            "GROUP BY o_orderpriority ORDER BY o_orderpriority").dsql_plan
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            runner = DsqlRunner(appliance, executor="numpy")
+        # One warning for the whole runner stack: DsqlRunner downgrades
+        # and hands the already-resolved name to DmsRuntime.
+        runtime_warnings = [w for w in caught
+                            if issubclass(w.category, RuntimeWarning)]
+        assert len(runtime_warnings) == 1
+        assert runner.executor == "vectorized"
+        assert runner.runtime.executor == "vectorized"
+        degraded = runner.run(plan)
+        vectorized = DsqlRunner(appliance,
+                                executor="vectorized").run(plan)
+        assert degraded.rows == vectorized.rows
+        assert degraded.columns == vectorized.columns
+
+    def test_runner_keeps_numpy_when_available(self, tpch):
+        appliance, _ = tpch
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            runner = DsqlRunner(appliance, executor="numpy")
+        assert runner.executor == "numpy"
+        assert runner.runtime.executor == "numpy"

@@ -1,10 +1,11 @@
-"""Observability under the vectorized backend.
+"""Observability under the columnar backends.
 
 ``profile=True`` must keep collecting per-node / per-operator actuals
-when steps execute on columnar batches: the full structured profile —
-skew coverage, Q-errors, transfer matrices, operator postorder — is
-bit-identical to the compiled backend's, and the ``profile`` CLI works
-end to end with ``--executor vectorized``.
+when steps execute on columnar batches or typed ndarrays: the full
+structured profile — skew coverage, Q-errors, transfer matrices,
+operator postorder — is bit-identical to the compiled backend's, and
+the ``profile`` CLI works end to end with ``--executor vectorized`` and
+``--executor numpy``.
 """
 
 from __future__ import annotations
@@ -28,16 +29,18 @@ def profile_for(appliance, plan, sql, executor):
     )
 
 
+@pytest.mark.parametrize("executor", ["vectorized", "numpy"])
 @pytest.mark.parametrize("name", ["Q1", "Q5", "Q12"])
-def test_vectorized_profile_matches_compiled(name, tpch, tpch_engine):
+def test_columnar_profile_matches_compiled(name, executor, tpch,
+                                           tpch_engine):
     appliance, _ = tpch
     sql = TPCH_QUERIES[name]
     plan = tpch_engine.compile(sql).dsql_plan
     compiled = profile_for(appliance, plan, sql, "compiled")
-    vectorized = profile_for(appliance, plan, sql, "vectorized")
+    columnar = profile_for(appliance, plan, sql, executor)
     # Identical operator postorder (same joins, same shapes), identical
     # Q-error and skew tables — the whole structured export matches.
-    assert vectorized.to_dict() == compiled.to_dict()
+    assert columnar.to_dict() == compiled.to_dict()
 
 
 def test_vectorized_profile_has_join_operator_actuals(tpch, tpch_engine):
@@ -53,11 +56,12 @@ def test_vectorized_profile_has_join_operator_actuals(tpch, tpch_engine):
         assert operator.actual_rows >= 0
 
 
-def test_profile_cli_runs_vectorized(capsys):
+@pytest.mark.parametrize("executor", ["vectorized", "numpy"])
+def test_profile_cli_runs_columnar(capsys, executor):
     from repro.__main__ import main
 
     code = main([
-        "--scale", "0.001", "--nodes", "4", "--executor", "vectorized",
+        "--scale", "0.001", "--nodes", "4", "--executor", executor,
         "profile",
         "SELECT COUNT(*) AS n FROM lineitem, orders "
         "WHERE l_orderkey = o_orderkey",
@@ -74,9 +78,10 @@ def test_run_cli_vectorized_matches_compiled(capsys):
 
     sql = "SELECT n_name FROM nation ORDER BY n_name LIMIT 3"
     outputs = {}
-    for executor in ("compiled", "vectorized"):
+    for executor in ("compiled", "vectorized", "numpy"):
         code = main(["--scale", "0.001", "--nodes", "4",
                      "--executor", executor, "run", sql])
         assert code == 0
         outputs[executor] = capsys.readouterr().out.splitlines()[:4]
     assert outputs["vectorized"] == outputs["compiled"]
+    assert outputs["numpy"] == outputs["compiled"]
