@@ -3,20 +3,26 @@
 Drives the :mod:`repro.service` stack — parameterized plan cache,
 admission control, per-execution temp namespacing — with N concurrent
 client threads issuing a seeded TPC-H mix (fresh literals per arrival),
-and reports queries/sec plus p50/p95/p99 latency per client count.  A
-final pair of rows runs the same load with the plan cache on vs. off,
-isolating what compile-once buys under concurrency.
+and reports queries/sec plus p50/p95/p99 latency per client count,
+broken into queue/compile/execute phases (the ``ExecutionTiming`` on
+every ``QueryResult``).  A final pair of rows runs the same load with
+the plan cache on vs. off, isolating what compile-once buys under
+concurrency.
 
 Run directly (``PYTHONPATH=src python benchmarks/bench_service_throughput.py``)
 or via pytest; either way the table is archived under
-``benchmarks/results/E17_service_throughput.txt``.
+``benchmarks/results/E17_service_throughput.txt`` and the client sweep
+— including the phase breakdown — as machine-readable JSON under
+``benchmarks/results/E17_service_throughput.json`` so the perf
+trajectory captures where time goes, not just end-to-end percentiles.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 
-from conftest import BENCH_NODES, BENCH_SCALE, fmt_row, report
+from conftest import BENCH_NODES, BENCH_SCALE, RESULTS_DIR, fmt_row, report
 
 from repro.obs.requests import NULL_REQUESTS
 from repro.service import ExecutionOptions, PdwService, run_traffic
@@ -26,6 +32,7 @@ QUERIES_PER_CLIENT = 8
 SEED = 2012
 
 WIDTHS = [10, 8, 10, 10, 10, 10, 16]
+PHASE_WIDTHS = [10, 14, 14, 14]
 
 
 def _drive(clients: int, *, use_cache: bool = True,
@@ -58,6 +65,32 @@ def _row(label: str, traffic) -> str:
         widths=WIDTHS)
 
 
+def _phase_row(label: str, traffic) -> str:
+    cells = [label]
+    for phase in ("queue", "compile", "execute"):
+        cells.append(
+            f"{traffic.phase_percentile(phase, 0.50) * 1e3:.2f}/"
+            f"{traffic.phase_percentile(phase, 0.95) * 1e3:.2f}")
+    return fmt_row(*cells, widths=PHASE_WIDTHS)
+
+
+def _sweep_record(clients: int, traffic) -> dict:
+    record = {
+        "clients": clients,
+        "completed": traffic.completed,
+        "qps": traffic.queries_per_second,
+        "p50_ms": traffic.p50 * 1e3,
+        "p95_ms": traffic.p95 * 1e3,
+        "p99_ms": traffic.p99 * 1e3,
+    }
+    for phase in ("queue", "compile", "execute"):
+        record[f"{phase}_p50_ms"] = \
+            traffic.phase_percentile(phase, 0.50) * 1e3
+        record[f"{phase}_p95_ms"] = \
+            traffic.phase_percentile(phase, 0.95) * 1e3
+    return record
+
+
 def test_service_throughput():
     lines = [
         "Serving-layer throughput: seeded TPC-H mix, fresh literals "
@@ -70,6 +103,13 @@ def test_service_throughput():
                 "cache hit/miss", widths=WIDTHS),
     ]
     peak = None
+    sweep_records = []
+    phase_lines = [
+        "",
+        "phase breakdown (p50/p95 ms per phase):",
+        fmt_row("clients", "queue", "compile", "execute",
+                widths=PHASE_WIDTHS),
+    ]
     for clients in CLIENT_SWEEP:
         traffic = _drive(clients)
         assert traffic.errors == 0
@@ -77,8 +117,16 @@ def test_service_throughput():
         assert traffic.p99 > 0
         # Distinct shapes in the mix are few; a warm mix must mostly hit.
         assert traffic.cache_stats["hits"] > 0
+        # Every completed query carries an ExecutionTiming, so each
+        # phase series must be exactly as long as the latency series.
+        for phase in ("queue", "compile", "execute"):
+            assert len(traffic.phase_latencies.get(phase, ())) == \
+                traffic.completed
         lines.append(_row(str(clients), traffic))
+        phase_lines.append(_phase_row(str(clients), traffic))
+        sweep_records.append(_sweep_record(clients, traffic))
         peak = traffic
+    lines += phase_lines
     lines += [
         "",
         "plan cache ablation (same load, 4 clients):",
@@ -107,6 +155,17 @@ def test_service_throughput():
     lines.append(_row("off", untracked))
 
     report("E17_service_throughput", lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    artifact = {
+        "benchmark": "E17_service_throughput",
+        "scale": BENCH_SCALE,
+        "nodes": BENCH_NODES,
+        "queries_per_client": QUERIES_PER_CLIENT,
+        "seed": SEED,
+        "sweep": sweep_records,
+    }
+    out = RESULTS_DIR / "E17_service_throughput.json"
+    out.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
     assert peak is not None and peak.completed > 0
     assert cached.cache_stats["hits"] > 0
     assert uncached.cache_stats["hits"] == 0, \

@@ -14,6 +14,8 @@ WHERE l_orderkey = o_orderkey"
     python -m repro serve --clients 4 --queries 8
     python -m repro bench --clients 8 --queries 12
     python -m repro requests --clients 4 --queries 8
+    python -m repro querystore --clients 4 --queries 8 \
+--hint customer=shuffle --regressions
 
 ``serve`` runs the multi-user serving layer (:mod:`repro.service`) under
 a parameterized TPC-H traffic mix — concurrent clients, parameterized
@@ -33,6 +35,16 @@ slow-query threshold; ``--json`` prints the flight-recorder events as a
 JSON array; ``--jsonl PATH`` writes the schema-validated event log;
 ``--prometheus PATH`` writes the ``pdw_request_*`` series alongside the
 service metrics.
+
+``querystore`` drives the same mix and then reads the Query Store — the
+persistent per-shape plan + runtime-stats history — back through the
+``sys.query_store_*`` views over normal SQL, prints the plan-history
+tables and the plan-regression verdicts, and exports the store as
+schema-validated ``query_store_flush`` JSONL events, Prometheus
+``pdw_query_store_*`` series, or a reloadable ``--save`` file.
+``--hint TABLE=STRATEGY`` re-runs the mix templates touching that table
+with a §3.1 hint after the plain pass, forcing an alternate plan under
+the same shape so ``--regressions`` has something to flag.
 
 ``profile`` executes the query with per-node / per-operator profiling on
 and renders skew + Q-error tables; ``--json`` prints the structured
@@ -186,6 +198,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission: wait-queue bound (default 32)")
     serve.add_argument("--cache-size", type=int, default=64,
                        help="plan cache capacity (default 64)")
+    serve.add_argument("--slow-seconds", type=float, default=None,
+                       help="flight-recorder slow-query threshold in "
+                            "seconds (default 1.0)")
     serve.add_argument("--smoke", action="store_true",
                        help="CI smoke mode: require plan-cache hits and "
                             "a reported p99, fail on any internal "
@@ -246,7 +261,70 @@ def build_parser() -> argparse.ArgumentParser:
                                "service metrics) in Prometheus text "
                                "format")
 
+    querystore = sub.add_parser(
+        "querystore",
+        help="drive the service, then dogfood the sys.query_store_* "
+             "views and print plan history + regression verdicts")
+    querystore.add_argument("--clients", type=int, default=4,
+                            help="concurrent client threads (default 4)")
+    querystore.add_argument("--queries", type=int, default=8,
+                            help="queries per client (default 8)")
+    querystore.add_argument("--seed", type=int, default=2012,
+                            help="traffic RNG seed (default 2012)")
+    querystore.add_argument("--max-in-flight", type=int, default=4,
+                            help="admission: concurrent executions "
+                                 "(default 4)")
+    querystore.add_argument("--max-queue", type=int, default=32,
+                            help="admission: wait-queue bound "
+                                 "(default 32)")
+    querystore.add_argument("--cache-size", type=int, default=64,
+                            help="plan cache capacity (default 64)")
+    querystore.add_argument("--hint", action="append", default=[],
+                            metavar="TABLE=STRATEGY",
+                            help="after the plain traffic, re-run every "
+                                 "mix template touching TABLE with this "
+                                 "§3.1 hint — forces an alternate plan "
+                                 "under the same shape (repeatable)")
+    querystore.add_argument("--hinted-repeats", type=int, default=2,
+                            help="executions per hinted template "
+                                 "(default 2)")
+    querystore.add_argument("--top", type=int, default=10,
+                            help="hottest shapes to show (default 10)")
+    querystore.add_argument("--factor", type=float, default=1.5,
+                            help="regression factor: flag when the "
+                                 "current plan's mean latency exceeds a "
+                                 "prior plan's by this (default 1.5)")
+    querystore.add_argument("--regressions", action="store_true",
+                            help="print only the regression verdicts")
+    querystore.add_argument("--save", metavar="PATH",
+                            help="persist the store as JSONL "
+                                 "query_store_flush events")
+    querystore.add_argument("--load", metavar="PATH",
+                            help="load a previously saved store before "
+                                 "the traffic runs (baselines re-keyed "
+                                 "to the current schema_version)")
+    querystore.add_argument("--jsonl", metavar="PATH",
+                            help="write the schema-validated "
+                                 "query_store_flush event log")
+    querystore.add_argument("--prometheus", metavar="PATH",
+                            help="write pdw_query_store_* series (plus "
+                                 "the service metrics) in Prometheus "
+                                 "text format")
+
     return parser
+
+
+def _parse_hints(pairs: List[str]) -> Optional[dict]:
+    """``TABLE=STRATEGY`` pairs from repeated ``--hint`` flags; raises
+    SystemExit-friendly ValueError on a malformed pair."""
+    hints = {}
+    for pair in pairs:
+        table, _sep, strategy = pair.partition("=")
+        if not table or not strategy:
+            raise ValueError(
+                f"bad --hint {pair!r}: expected TABLE=STRATEGY")
+        hints[table] = strategy
+    return hints or None
 
 
 def _cli_options(args) -> ExecutionOptions:
@@ -274,7 +352,8 @@ def _run_service_traffic(args):
         options=_cli_options(args),
         max_in_flight=args.max_in_flight,
         max_queue=args.max_queue,
-        plan_cache_size=args.cache_size)
+        plan_cache_size=args.cache_size,
+        slow_seconds=getattr(args, "slow_seconds", None))
     try:
         report = run_traffic(service, clients=args.clients,
                              queries_per_client=args.queries,
@@ -285,6 +364,7 @@ def _run_service_traffic(args):
 
 
 def _cmd_serve(args) -> int:
+    from repro.obs.export import requests_to_metrics
     from repro.service import render_report
 
     with warnings.catch_warnings(record=True) as caught:
@@ -293,6 +373,12 @@ def _cmd_serve(args) -> int:
     print(render_report(report))
     hits = service.plan_cache.stats()["hits"]
     print(f"pdw_service_plan_cache_hits {hits}")
+    # Fold the flight recorder into the service registry so the serve
+    # output and --prometheus carry the pdw_request_* series (including
+    # pdw_request_slow_total against the configured --slow-seconds).
+    requests_to_metrics(service.requests, service.metrics)
+    slow = service.requests.stats()["slow"]
+    print(f"pdw_request_slow_total {slow}")
     if args.prometheus:
         with open(args.prometheus, "w", encoding="utf-8") as handle:
             handle.write(service.metrics_text())
@@ -402,6 +488,100 @@ def _cmd_requests(args) -> int:
     return 0
 
 
+def _cmd_querystore(args) -> int:
+    import random
+
+    from repro.obs.export import (
+        events_to_jsonl,
+        query_store_to_metrics,
+        validate_events,
+    )
+    from repro.obs.query_store import QueryStore
+    from repro.obs.report import (
+        render_query_store_regressions,
+        render_query_store_report,
+    )
+    from repro.service import DEFAULT_MIX, PdwService, run_traffic
+
+    try:
+        hints = _parse_hints(args.hint)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    store = QueryStore(regression_factor=args.factor)
+    service = PdwService(
+        scale=args.scale, node_count=args.nodes,
+        options=_cli_options(args),
+        max_in_flight=args.max_in_flight,
+        max_queue=args.max_queue,
+        plan_cache_size=args.cache_size,
+        query_store=store)
+    try:
+        if args.load:
+            loaded = store.load(
+                args.load,
+                schema_version=service.appliance.schema_version)
+            print(f"-- loaded {loaded} shapes from {args.load}",
+                  file=sys.stderr)
+        run_traffic(service, clients=args.clients,
+                    queries_per_client=args.queries, seed=args.seed)
+        if hints:
+            # The hinted pass: force an alternate plan for every mix
+            # template that touches a hinted table.  Each repeat runs
+            # the template plain and then hinted — the store keys
+            # shapes without hints, so both plans land under one shape
+            # with the hinted (current) plan last, exactly what the
+            # regression detector compares.
+            rng = random.Random(args.seed + 1000)
+            opts = service.options.override(hints=hints)
+            for _ in range(max(1, args.hinted_repeats)):
+                for template in DEFAULT_MIX:
+                    sql = template.make_sql(rng)
+                    lowered = sql.lower()
+                    if any(table.lower() in lowered for table in hints):
+                        service.execute(sql)
+                        service.execute(sql, options=opts)
+        # Dogfood: the query-store views answered through normal SQL.
+        runtime = service.execute(
+            "SELECT query_id, plan_hash, execution_count, mean_ms "
+            "FROM sys.query_store_runtime_stats "
+            "ORDER BY execution_count DESC, query_id, plan_hash "
+            "LIMIT 10")
+    finally:
+        service.close()
+    regressions = store.regressions()
+    if args.regressions:
+        print(render_query_store_regressions(regressions))
+    else:
+        print("SELECT query_id, plan_hash, execution_count, mean_ms "
+              "FROM sys.query_store_runtime_stats (top 10):")
+        for query_id, plan_hash, execs, mean_ms in runtime.rows:
+            print(f"  Q{query_id:<4} {plan_hash}  execs={execs:<4} "
+                  f"mean={mean_ms:.3f} ms")
+        print()
+        print(render_query_store_report(store, top=args.top))
+    if args.save:
+        count = store.save(args.save)
+        print(f"-- saved {count} shapes to {args.save}", file=sys.stderr)
+    if args.jsonl:
+        events = store.to_events()
+        errors = validate_events(events)
+        if errors:
+            for error in errors:
+                print(f"schema error: {error}", file=sys.stderr)
+            return 1
+        with open(args.jsonl, "w", encoding="utf-8") as handle:
+            handle.write(events_to_jsonl(events))
+        print(f"-- wrote {len(events)} events to {args.jsonl}",
+              file=sys.stderr)
+    if args.prometheus:
+        query_store_to_metrics(store, service.metrics)
+        with open(args.prometheus, "w", encoding="utf-8") as handle:
+            handle.write(service.metrics_text())
+        print(f"-- wrote metrics to {args.prometheus}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -428,6 +608,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "requests":
         return _cmd_requests(args)
+    if args.command == "querystore":
+        return _cmd_querystore(args)
 
     session = PdwSession(
         args.sql, scale=args.scale, node_count=args.nodes,
@@ -448,16 +630,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             validate_events,
         )
 
-        hints = {}
-        for pair in args.hint:
-            table, _sep, strategy = pair.partition("=")
-            if not table or not strategy:
-                print(f"bad --hint {pair!r}: expected TABLE=STRATEGY",
-                      file=sys.stderr)
-                return 1
-            hints[table] = strategy
+        try:
+            hints = _parse_hints(args.hint)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
         _compiled, trace, choice = session.plan_choice(
-            options=session.options.with_hints(hints or None))
+            options=session.options.with_hints(hints))
         from repro.obs.report import render_optimizer_trace_report
         from repro.pdw.why import render_plan_choice
 

@@ -18,9 +18,15 @@ needs to be *checked* rather than assumed:
   ``request_id`` tracked queued → compiling → running → complete, with
   per-step and per-node progress updated in-flight, plus the bounded
   flight recorder of completed requests;
-* :mod:`repro.obs.system_views` — the five ``sys.dm_pdw_*`` virtual
-  system views, snapshot-materialized as replicated pseudo-tables so
-  they are queryable through the normal parse → optimize → execute path;
+* :mod:`repro.obs.query_store` — the persistent plan + runtime-stats
+  history (:class:`QueryStore` / :data:`NULL_QUERY_STORE`): every
+  completed execution aggregated per normalized shape × plan hash, with
+  JSONL persistence and plan-regression detection — the fifth lens, and
+  ROADMAP item 3's correction-cache substrate;
+* :mod:`repro.obs.system_views` — the eight virtual system views
+  (``sys.dm_pdw_*`` plus ``sys.query_store_*``), snapshot-materialized
+  as replicated pseudo-tables so they are queryable through the normal
+  parse → optimize → execute path;
 * :mod:`repro.obs.export` — structured sinks: JSONL event log with
   schema validation, JSON profile documents, Prometheus text;
 * :mod:`repro.obs.report` — the rendered ``repro profile``,
@@ -36,6 +42,8 @@ from repro.obs.export import (
     optimizer_trace_to_metrics,
     profile_to_events,
     profile_to_metrics,
+    query_store_to_events,
+    query_store_to_metrics,
     request_to_event,
     requests_to_events,
     requests_to_metrics,
@@ -78,12 +86,27 @@ from repro.obs.profiler import (
     skew_stats,
     summarize_q_errors,
 )
+from repro.obs.query_store import (
+    NULL_QUERY_STORE,
+    NullQueryStore,
+    PlanRegression,
+    PlanStats,
+    QueryStore,
+    ShapeStats,
+    StepCardinality,
+    normalized_shape_key,
+    plan_shape_digest,
+)
 from repro.obs.report import (
     render_group_table,
     render_operator_table,
     render_optimizer_trace_report,
     render_profile_report,
     render_prune_effectiveness_table,
+    render_query_store_plans_table,
+    render_query_store_regressions,
+    render_query_store_report,
+    render_query_store_table,
     render_rejected_movements_table,
     render_request_steps_table,
     render_requests_report,
@@ -160,9 +183,24 @@ __all__ = [
     "render_requests_report",
     "render_requests_table",
     "render_step_table",
+    "render_query_store_table",
+    "render_query_store_plans_table",
+    "render_query_store_regressions",
+    "render_query_store_report",
     "request_to_event",
     "requests_to_events",
     "requests_to_metrics",
+    "query_store_to_events",
+    "query_store_to_metrics",
+    "NULL_QUERY_STORE",
+    "NullQueryStore",
+    "PlanRegression",
+    "PlanStats",
+    "QueryStore",
+    "ShapeStats",
+    "StepCardinality",
+    "normalized_shape_key",
+    "plan_shape_digest",
     "NULL_REQUEST",
     "NULL_REQUESTS",
     "NullRequestHandle",

@@ -34,6 +34,7 @@ __all__ = [
     "optimizer_trace_to_events",
     "request_to_event",
     "requests_to_events",
+    "query_store_to_events",
     "events_to_jsonl",
     "write_jsonl",
     "EVENT_SCHEMAS",
@@ -43,6 +44,7 @@ __all__ = [
     "profile_to_metrics",
     "optimizer_trace_to_metrics",
     "requests_to_metrics",
+    "query_store_to_metrics",
 ]
 
 
@@ -199,6 +201,14 @@ def requests_to_events(registry: RequestRegistry) -> List[dict]:
             for record in registry.completed()]
 
 
+def query_store_to_events(store) -> List[dict]:
+    """Flatten a :class:`repro.obs.query_store.QueryStore` into
+    schema-checked ``query_store_flush`` events (one per retained
+    shape).  The same format :meth:`QueryStore.save` persists — a saved
+    store is directly ``schema_check``-able."""
+    return store.to_events()
+
+
 def events_to_jsonl(events: Iterable[dict]) -> str:
     return "".join(json.dumps(event, sort_keys=True) + "\n"
                    for event in events)
@@ -327,6 +337,16 @@ EVENT_SCHEMAS: Dict[str, Dict[str, Tuple[object, bool]]] = {
         "movements_baseline": (int, True),
         "movements_shared": (int, True),
     },
+    # -- query-store flush / persistence events --------------------------------
+    "query_store_flush": {
+        "query_id": (int, True),
+        "shape_key": (str, True),
+        "example_sql": (str, True),
+        "first_seen": (_NUM, True),
+        "last_seen": (_NUM, True),
+        "execution_count": (int, True),
+        "plans": ("plan_stats_list", True),
+    },
     # -- request flight-recorder events ----------------------------------------
     "request_complete": {
         "request_id": (str, True),
@@ -411,6 +431,35 @@ def _check_field(name: str, value: object, spec: object) -> Optional[str]:
             if not _is_number(entry.get("seconds")):
                 return (f"field {name!r} entry missing number "
                         f"'seconds': {entry!r}")
+        return None
+    if spec == "plan_stats_list":
+        if not isinstance(value, list):
+            return f"field {name!r} must be a list, got {value!r}"
+        for entry in value:
+            if not isinstance(entry, dict):
+                return f"field {name!r} entries must be objects"
+            if not isinstance(entry.get("plan_hash"), str):
+                return (f"field {name!r} entry missing str "
+                        f"'plan_hash': {entry!r}")
+            for part in ("schema_version", "execution_count",
+                         "cache_hits", "last_seen_seq"):
+                if not isinstance(entry.get(part), int) or isinstance(
+                        entry.get(part), bool):
+                    return (f"field {name!r} entry missing int "
+                            f"{part!r}: {entry!r}")
+            if not isinstance(entry.get("baseline_eligible"), bool):
+                return (f"field {name!r} entry missing bool "
+                        f"'baseline_eligible': {entry!r}")
+            for part in ("elapsed_seconds_total", "wall_seconds_total",
+                         "queue_seconds_total", "compile_seconds_total",
+                         "execute_seconds_total", "max_q_error",
+                         "first_seen", "last_seen"):
+                if not _is_number(entry.get(part)):
+                    return (f"field {name!r} entry missing number "
+                            f"{part!r}: {entry!r}")
+            if not isinstance(entry.get("steps"), list):
+                return (f"field {name!r} entry missing list "
+                        f"'steps': {entry!r}")
         return None
     if spec == "transfer_list":
         if not isinstance(value, list):
@@ -673,3 +722,76 @@ def requests_to_metrics(requests: RequestRegistry,
         if record.is_slow(threshold):
             slow_total.inc()
     in_flight.set(len(requests.active()))
+
+
+def query_store_to_metrics(store, registry: MetricsRegistry) -> None:
+    """Record a :class:`repro.obs.query_store.QueryStore` into a
+    registry as ``pdw_query_store_*`` series.
+
+    Families: gauges ``pdw_query_store_shapes``,
+    ``pdw_query_store_plans``, ``pdw_query_store_regressions`` and
+    ``pdw_query_store_max_q_error``; counters
+    ``pdw_query_store_executions_total``,
+    ``pdw_query_store_rows_total``,
+    ``pdw_query_store_bytes_moved_total`` and
+    ``pdw_query_store_seconds_total{phase}`` (queue / compile /
+    execute / total simulated).
+    """
+    if not registry.enabled or not store.enabled:
+        return
+    shapes = store.shapes()
+    plan_count = 0
+    executions = 0
+    rows = 0
+    bytes_moved = 0
+    max_q = 1.0
+    queue = compile_s = execute = elapsed = 0.0
+    with store._lock:
+        for shape in shapes:
+            for plan in shape.plans.values():
+                plan_count += 1
+                executions += plan.execution_count
+                rows += plan.rows_returned_total
+                bytes_moved += plan.bytes_moved_total
+                max_q = max(max_q, plan.max_q_error)
+                queue += plan.queue_seconds_total
+                compile_s += plan.compile_seconds_total
+                execute += plan.execute_seconds_total
+                elapsed += plan.elapsed_seconds_total
+    registry.gauge(
+        "pdw_query_store_shapes",
+        "Distinct normalized query shapes retained by the query store",
+    ).set(len(shapes))
+    registry.gauge(
+        "pdw_query_store_plans",
+        "Distinct (shape, plan hash) pairs retained by the query store",
+    ).set(plan_count)
+    registry.gauge(
+        "pdw_query_store_regressions",
+        "Shapes whose current plan regresses past a prior plan",
+    ).set(len(store.regressions()))
+    registry.gauge(
+        "pdw_query_store_max_q_error",
+        "Worst per-step cardinality Q-error observed across all plans",
+    ).set(max_q)
+    registry.counter(
+        "pdw_query_store_executions_total",
+        "Executions aggregated into the query store",
+    ).inc(executions)
+    registry.counter(
+        "pdw_query_store_rows_total",
+        "Rows returned across all store-recorded executions",
+    ).inc(rows)
+    registry.counter(
+        "pdw_query_store_bytes_moved_total",
+        "DMS bytes moved across all store-recorded executions",
+    ).inc(bytes_moved)
+    seconds_total = registry.counter(
+        "pdw_query_store_seconds_total",
+        "Store-recorded seconds per lifecycle phase "
+        "(elapsed is simulated)",
+        labelnames=("phase",))
+    seconds_total.labels(phase="queue").inc(queue)
+    seconds_total.labels(phase="compile").inc(compile_s)
+    seconds_total.labels(phase="execute").inc(execute)
+    seconds_total.labels(phase="elapsed").inc(elapsed)

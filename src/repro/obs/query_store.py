@@ -1,0 +1,756 @@
+"""The Query Store: persistent plan + runtime-stats history per shape.
+
+SQL Server's Query Store is the canonical form of history-driven
+optimization infrastructure: every completed execution is aggregated
+per **normalized query shape** (the plan cache's :func:`parameterize`
+key, computed *without* hints so a hint-forced plan lands under the same
+shape) × **plan hash** (a literal-insensitive digest of the template
+DSQL plan's steps).  Each (shape, plan) bucket accumulates
+
+* execution count and cache-hit count;
+* total/min/max/last **wall** seconds (measured) and the same
+  aggregates over **simulated elapsed** seconds (the quantity the DMS
+  cost model predicts — deterministic, unaffected by queue waits);
+* per-phase timing totals (queue / compile / execute);
+* rows returned and bytes moved;
+* per-step actual cardinalities joined against the optimizer's
+  estimates, with the max Q-error observed
+  (:func:`repro.obs.profiler.q_error`);
+* first/last-seen timestamps and the schema_version in effect.
+
+This is ROADMAP item 3's correction-cache substrate: observed
+cardinalities keyed by (shape, step), durable across restarts via JSONL
+:meth:`QueryStore.save` / :meth:`QueryStore.load` (the persisted lines
+*are* schema-valid ``query_store_flush`` events).
+
+**Regression detection** (:meth:`QueryStore.regressions`): a shape whose
+*current* plan (the one seen most recently) has a mean simulated latency
+exceeding a prior plan's by a configurable factor is flagged.  Baselines
+must share the current plan's ``schema_version`` and be
+``baseline_eligible`` — loading history recorded under a different
+schema version keeps the counts but disqualifies those plans as
+baselines, so stale pre-DDL timings never indict a post-DDL plan.
+
+Zero-overhead default: :data:`NULL_QUERY_STORE` follows the
+``NULL_REQUESTS`` contract — a shared no-op singleton with
+``enabled = False`` and no per-call allocation (the booby-trap test
+monkeypatches every record constructor to prove it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.profiler import q_error
+
+__all__ = [
+    "StepCardinality",
+    "PlanStats",
+    "ShapeStats",
+    "PlanRegression",
+    "QueryStore",
+    "NullQueryStore",
+    "NULL_QUERY_STORE",
+    "normalized_shape_key",
+    "plan_shape_digest",
+    "DEFAULT_MAX_SHAPES",
+    "DEFAULT_REGRESSION_FACTOR",
+    "DEFAULT_MIN_EXECUTIONS",
+]
+
+#: LRU bound on distinct shapes retained (the store is a bounded cache,
+#: like the flight recorder; evictions are counted in ``stats()``).
+DEFAULT_MAX_SHAPES = 256
+
+#: A current plan regresses when its mean simulated latency exceeds the
+#: best eligible baseline plan's by this factor.
+DEFAULT_REGRESSION_FACTOR = 1.5
+
+#: Both the current plan and a baseline need this many executions before
+#: the detector trusts their means.
+DEFAULT_MIN_EXECUTIONS = 2
+
+# Normalizing SQL (literal lifting) costs a parse; both query text and
+# template step SQL repeat heavily across executions, so memoize by the
+# raw string.  Bounded: cleared wholesale past the limit (simpler than
+# LRU and the limit is far above any real working set).
+_MEMO_LIMIT = 4096
+_memo_lock = threading.Lock()
+_shape_key_memo: Dict[str, str] = {}
+_step_key_memo: Dict[str, str] = {}
+
+
+def _parameterized_key(sql: str) -> str:
+    """``parameterize(sql).key`` with a whitespace-flattening fallback
+    for text the parameterizer cannot handle.  Imported lazily —
+    ``repro.service`` imports ``repro.obs``, not the other way round."""
+    try:
+        from repro.service.plan_cache import parameterize
+        return parameterize(sql).key
+    except Exception:
+        return " ".join(sql.split())
+
+
+def normalized_shape_key(sql: str) -> str:
+    """The store's shape key: the plan cache's parameterized key,
+    computed **without hints** so hinted and unhinted executions of the
+    same text share one shape (that is what makes a hint-forced plan
+    change visible as two plans of one shape)."""
+    with _memo_lock:
+        key = _shape_key_memo.get(sql)
+    if key is not None:
+        return key
+    key = _parameterized_key(sql)
+    with _memo_lock:
+        if len(_shape_key_memo) >= _MEMO_LIMIT:
+            _shape_key_memo.clear()
+        _shape_key_memo[sql] = key
+    return key
+
+
+def _normalized_step_key(step_sql: str) -> str:
+    with _memo_lock:
+        key = _step_key_memo.get(step_sql)
+    if key is not None:
+        return key
+    key = _parameterized_key(step_sql)
+    with _memo_lock:
+        if len(_step_key_memo) >= _MEMO_LIMIT:
+            _step_key_memo.clear()
+        _step_key_memo[step_sql] = key
+    return key
+
+
+def plan_shape_digest(plan) -> str:
+    """A literal-insensitive fingerprint of a **template** DSQL plan.
+
+    Unlike :func:`repro.obs.requests.plan_digest` (raw step SQL), each
+    step's SQL is parameterized first, so two compilations of the same
+    shape with different literals — a cache miss after an eviction, an
+    uncached private recompile — share a hash, while a genuinely
+    different plan (movement strategy, step structure) does not.  Hash
+    the template (``compiled.dsql_plan``), never an instantiated plan:
+    instantiation renames temp tables per execution.
+    """
+    digest = hashlib.sha1()
+    for step in plan.steps:
+        movement = getattr(step, "movement", None)
+        operation = movement.describe() if movement is not None else "Return"
+        digest.update(operation.encode("utf-8", "replace"))
+        digest.update(b"\x00")
+        digest.update(
+            _normalized_step_key(step.sql).encode("utf-8", "replace"))
+        digest.update(b"\x00")
+    return digest.hexdigest()[:12]
+
+
+def _step_operation(step) -> str:
+    movement = getattr(step, "movement", None)
+    return movement.describe() if movement is not None else "Return"
+
+
+@dataclass
+class StepCardinality:
+    """Observed vs. estimated cardinality for one DSQL step of one plan.
+
+    The feedback loop's raw material: ``estimated_rows`` is the
+    optimizer's shell-db guess baked into the template, the actuals
+    accumulate across executions, ``max_q_error`` is the worst
+    estimate/actual divergence seen.
+    """
+
+    index: int
+    kind: str = ""
+    operation: str = ""
+    estimated_rows: float = 0.0
+    executions: int = 0
+    actual_rows_total: int = 0
+    actual_rows_last: int = 0
+    max_q_error: float = 1.0
+
+    @property
+    def mean_actual_rows(self) -> float:
+        if self.executions <= 0:
+            return 0.0
+        return self.actual_rows_total / self.executions
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "operation": self.operation,
+            "estimated_rows": self.estimated_rows,
+            "executions": self.executions,
+            "actual_rows_total": self.actual_rows_total,
+            "actual_rows_last": self.actual_rows_last,
+            "max_q_error": self.max_q_error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StepCardinality":
+        return cls(
+            index=int(data["index"]),
+            kind=str(data["kind"]),
+            operation=str(data["operation"]),
+            estimated_rows=float(data["estimated_rows"]),
+            executions=int(data["executions"]),
+            actual_rows_total=int(data["actual_rows_total"]),
+            actual_rows_last=int(data["actual_rows_last"]),
+            max_q_error=float(data["max_q_error"]),
+        )
+
+
+@dataclass
+class PlanStats:
+    """Runtime-stat aggregates for one plan of one shape."""
+
+    plan_hash: str
+    schema_version: int = 0
+    #: Cleared when the plan's history was recorded under a different
+    #: schema version than the store's current one (see ``load``) — an
+    #: ineligible plan still shows its counts but never serves as a
+    #: regression baseline nor gets indicted as a regression.
+    baseline_eligible: bool = True
+    execution_count: int = 0
+    cache_hits: int = 0
+    rows_returned_total: int = 0
+    bytes_moved_total: int = 0
+    wall_seconds_total: float = 0.0
+    wall_seconds_min: float = 0.0
+    wall_seconds_max: float = 0.0
+    wall_seconds_last: float = 0.0
+    elapsed_seconds_total: float = 0.0
+    elapsed_seconds_min: float = 0.0
+    elapsed_seconds_max: float = 0.0
+    elapsed_seconds_last: float = 0.0
+    queue_seconds_total: float = 0.0
+    compile_seconds_total: float = 0.0
+    execute_seconds_total: float = 0.0
+    first_seen: float = 0.0
+    last_seen: float = 0.0
+    #: Monotonic recency tie-break (wall clocks can collide).
+    last_seen_seq: int = 0
+    max_q_error: float = 1.0
+    steps: List[StepCardinality] = field(default_factory=list)
+
+    @property
+    def mean_wall_seconds(self) -> float:
+        if self.execution_count <= 0:
+            return 0.0
+        return self.wall_seconds_total / self.execution_count
+
+    @property
+    def mean_elapsed_seconds(self) -> float:
+        """Mean *simulated* latency — the regression detector's metric
+        (deterministic; queue waits under concurrency never inflate
+        it)."""
+        if self.execution_count <= 0:
+            return 0.0
+        return self.elapsed_seconds_total / self.execution_count
+
+    def to_dict(self) -> dict:
+        return {
+            "plan_hash": self.plan_hash,
+            "schema_version": self.schema_version,
+            "baseline_eligible": self.baseline_eligible,
+            "execution_count": self.execution_count,
+            "cache_hits": self.cache_hits,
+            "rows_returned_total": self.rows_returned_total,
+            "bytes_moved_total": self.bytes_moved_total,
+            "wall_seconds_total": self.wall_seconds_total,
+            "wall_seconds_min": self.wall_seconds_min,
+            "wall_seconds_max": self.wall_seconds_max,
+            "wall_seconds_last": self.wall_seconds_last,
+            "elapsed_seconds_total": self.elapsed_seconds_total,
+            "elapsed_seconds_min": self.elapsed_seconds_min,
+            "elapsed_seconds_max": self.elapsed_seconds_max,
+            "elapsed_seconds_last": self.elapsed_seconds_last,
+            "queue_seconds_total": self.queue_seconds_total,
+            "compile_seconds_total": self.compile_seconds_total,
+            "execute_seconds_total": self.execute_seconds_total,
+            "first_seen": self.first_seen,
+            "last_seen": self.last_seen,
+            "last_seen_seq": self.last_seen_seq,
+            "max_q_error": self.max_q_error,
+            "steps": [step.to_dict() for step in self.steps],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlanStats":
+        return cls(
+            plan_hash=str(data["plan_hash"]),
+            schema_version=int(data["schema_version"]),
+            baseline_eligible=bool(data["baseline_eligible"]),
+            execution_count=int(data["execution_count"]),
+            cache_hits=int(data["cache_hits"]),
+            rows_returned_total=int(data["rows_returned_total"]),
+            bytes_moved_total=int(data["bytes_moved_total"]),
+            wall_seconds_total=float(data["wall_seconds_total"]),
+            wall_seconds_min=float(data["wall_seconds_min"]),
+            wall_seconds_max=float(data["wall_seconds_max"]),
+            wall_seconds_last=float(data["wall_seconds_last"]),
+            elapsed_seconds_total=float(data["elapsed_seconds_total"]),
+            elapsed_seconds_min=float(data["elapsed_seconds_min"]),
+            elapsed_seconds_max=float(data["elapsed_seconds_max"]),
+            elapsed_seconds_last=float(data["elapsed_seconds_last"]),
+            queue_seconds_total=float(data["queue_seconds_total"]),
+            compile_seconds_total=float(data["compile_seconds_total"]),
+            execute_seconds_total=float(data["execute_seconds_total"]),
+            first_seen=float(data["first_seen"]),
+            last_seen=float(data["last_seen"]),
+            last_seen_seq=int(data["last_seen_seq"]),
+            max_q_error=float(data["max_q_error"]),
+            steps=[StepCardinality.from_dict(step)
+                   for step in data.get("steps", [])],
+        )
+
+
+@dataclass
+class ShapeStats:
+    """One normalized query shape and every plan observed for it."""
+
+    query_id: int
+    shape_key: str
+    example_sql: str = ""
+    first_seen: float = 0.0
+    last_seen: float = 0.0
+    plans: "OrderedDict[str, PlanStats]" = field(
+        default_factory=OrderedDict)
+
+    @property
+    def execution_count(self) -> int:
+        return sum(plan.execution_count for plan in self.plans.values())
+
+    def current_plan(self) -> Optional[PlanStats]:
+        """The most recently executed plan (the one the shape would run
+        next — what the regression detector judges)."""
+        if not self.plans:
+            return None
+        return max(self.plans.values(),
+                   key=lambda plan: plan.last_seen_seq)
+
+    def to_dict(self) -> dict:
+        return {
+            "query_id": self.query_id,
+            "shape_key": self.shape_key,
+            "example_sql": self.example_sql,
+            "first_seen": self.first_seen,
+            "last_seen": self.last_seen,
+            "execution_count": self.execution_count,
+            "plans": [plan.to_dict() for plan in self.plans.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShapeStats":
+        shape = cls(
+            query_id=int(data["query_id"]),
+            shape_key=str(data["shape_key"]),
+            example_sql=str(data["example_sql"]),
+            first_seen=float(data["first_seen"]),
+            last_seen=float(data["last_seen"]),
+        )
+        for plan_data in data.get("plans", []):
+            plan = PlanStats.from_dict(plan_data)
+            shape.plans[plan.plan_hash] = plan
+        return shape
+
+
+@dataclass(frozen=True)
+class PlanRegression:
+    """One flagged shape: its current plan runs slower than a prior one."""
+
+    query_id: int
+    shape_key: str
+    example_sql: str
+    plan_hash: str            # the regressed (current) plan
+    baseline_hash: str        # the faster prior plan
+    current_mean_seconds: float
+    baseline_mean_seconds: float
+    slowdown: float           # current / baseline mean ratio
+    executions: int           # current plan's execution count
+    schema_version: int
+
+
+class QueryStore:
+    """Aggregates every completed execution per shape × plan.
+
+    Thread-safe: the service's client threads stamp through one lock,
+    and snapshot readers (system-view materialization, exports, the
+    regression detector) take the same lock, so no reader sees a
+    half-applied update.
+    """
+
+    enabled = True
+
+    def __init__(self, max_shapes: int = DEFAULT_MAX_SHAPES,
+                 regression_factor: float = DEFAULT_REGRESSION_FACTOR,
+                 min_executions: int = DEFAULT_MIN_EXECUTIONS):
+        self.max_shapes = max(1, int(max_shapes))
+        self.regression_factor = float(regression_factor)
+        self.min_executions = max(1, int(min_executions))
+        self._lock = threading.RLock()
+        self._shapes: "OrderedDict[str, ShapeStats]" = OrderedDict()
+        self._next_id = 1
+        self._seq = 0
+        self._recorded = 0
+        self._evicted = 0
+
+    # -- intake ----------------------------------------------------------------
+
+    def stamp(self, sql: str, plan, result, *,
+              schema_version: int = 0,
+              cache_hit: bool = False,
+              timing=None) -> None:
+        """Record one completed execution.
+
+        ``plan`` must be the **template** DSQL plan
+        (``compiled.dsql_plan``) — instantiated plans carry
+        per-execution temp names.  ``result`` is the
+        :class:`~repro.appliance.runner.QueryResult`; ``timing`` the
+        wall-clock :class:`~repro.appliance.runner.ExecutionTiming`
+        breakdown when the caller has one (defaults to
+        ``result.timing``).
+        """
+        if timing is None:
+            timing = getattr(result, "timing", None)
+        step_stats = getattr(result, "step_stats", ())
+        steps: List[Tuple[int, str, str, float, int]] = []
+        bytes_moved = 0
+        for step, stats in zip(plan.steps, step_stats):
+            if stats.operation is not None:
+                step_bytes = stats.total_bytes()
+            else:
+                step_bytes = sum(stats.network_bytes.values())
+            bytes_moved += step_bytes
+            steps.append((step.index,
+                          "DMS" if getattr(step, "movement", None)
+                          is not None else "Return",
+                          _step_operation(step),
+                          float(step.estimated_rows),
+                          int(stats.rows_moved)))
+        if timing is not None:
+            wall = timing.total_seconds
+            queue = timing.queue_seconds
+            compile_s = timing.compile_seconds
+            execute = timing.execute_seconds
+        else:
+            wall = sum(stats.wall_seconds for stats in step_stats)
+            queue = compile_s = 0.0
+            execute = wall
+        self.record_execution(
+            normalized_shape_key(sql), plan_shape_digest(plan),
+            example_sql=sql,
+            schema_version=schema_version,
+            cache_hit=cache_hit,
+            rows=len(result.rows),
+            bytes_moved=bytes_moved,
+            elapsed_seconds=result.elapsed_seconds,
+            wall_seconds=wall,
+            queue_seconds=queue,
+            compile_seconds=compile_s,
+            execute_seconds=execute,
+            steps=steps,
+        )
+
+    def record_execution(self, shape_key: str, plan_hash: str, *,
+                         example_sql: str = "",
+                         schema_version: int = 0,
+                         cache_hit: bool = False,
+                         rows: int = 0,
+                         bytes_moved: int = 0,
+                         elapsed_seconds: float = 0.0,
+                         wall_seconds: float = 0.0,
+                         queue_seconds: float = 0.0,
+                         compile_seconds: float = 0.0,
+                         execute_seconds: float = 0.0,
+                         steps: Sequence[Tuple[int, str, str, float, int]]
+                         = (),
+                         now: Optional[float] = None) -> None:
+        """The aggregation core: fold one execution's scalars into the
+        (shape, plan) bucket.  ``steps`` carries
+        ``(index, kind, operation, estimated_rows, actual_rows)``
+        tuples."""
+        if now is None:
+            now = time.time()
+        with self._lock:
+            self._seq += 1
+            self._recorded += 1
+            shape = self._shapes.get(shape_key)
+            if shape is None:
+                shape = ShapeStats(query_id=self._next_id,
+                                   shape_key=shape_key,
+                                   example_sql=example_sql,
+                                   first_seen=now, last_seen=now)
+                self._next_id += 1
+                self._shapes[shape_key] = shape
+            else:
+                self._shapes.move_to_end(shape_key)
+            shape.last_seen = now
+            plan = shape.plans.get(plan_hash)
+            if plan is None:
+                plan = PlanStats(plan_hash=plan_hash,
+                                 schema_version=schema_version,
+                                 first_seen=now)
+                shape.plans[plan_hash] = plan
+            first = plan.execution_count == 0
+            plan.execution_count += 1
+            if cache_hit:
+                plan.cache_hits += 1
+            # A plan re-observed after DDL is a live plan again: carry
+            # its stats forward under the new version and restore its
+            # baseline eligibility.
+            plan.schema_version = schema_version
+            plan.baseline_eligible = True
+            plan.rows_returned_total += int(rows)
+            plan.bytes_moved_total += int(bytes_moved)
+            plan.wall_seconds_total += wall_seconds
+            plan.wall_seconds_last = wall_seconds
+            plan.elapsed_seconds_total += elapsed_seconds
+            plan.elapsed_seconds_last = elapsed_seconds
+            if first:
+                plan.wall_seconds_min = wall_seconds
+                plan.wall_seconds_max = wall_seconds
+                plan.elapsed_seconds_min = elapsed_seconds
+                plan.elapsed_seconds_max = elapsed_seconds
+            else:
+                plan.wall_seconds_min = min(plan.wall_seconds_min,
+                                            wall_seconds)
+                plan.wall_seconds_max = max(plan.wall_seconds_max,
+                                            wall_seconds)
+                plan.elapsed_seconds_min = min(plan.elapsed_seconds_min,
+                                               elapsed_seconds)
+                plan.elapsed_seconds_max = max(plan.elapsed_seconds_max,
+                                               elapsed_seconds)
+            plan.queue_seconds_total += queue_seconds
+            plan.compile_seconds_total += compile_seconds
+            plan.execute_seconds_total += execute_seconds
+            plan.last_seen = now
+            plan.last_seen_seq = self._seq
+            for index, kind, operation, estimated, actual in steps:
+                while len(plan.steps) <= index:
+                    plan.steps.append(StepCardinality(
+                        index=len(plan.steps)))
+                card = plan.steps[index]
+                card.kind = kind
+                card.operation = operation
+                card.estimated_rows = estimated
+                card.executions += 1
+                card.actual_rows_total += actual
+                card.actual_rows_last = actual
+                card.max_q_error = max(card.max_q_error,
+                                       q_error(estimated, actual))
+                plan.max_q_error = max(plan.max_q_error,
+                                       card.max_q_error)
+            while len(self._shapes) > self.max_shapes:
+                self._shapes.popitem(last=False)
+                self._evicted += 1
+
+    # -- snapshots -------------------------------------------------------------
+
+    def shapes(self) -> List[ShapeStats]:
+        """Retained shapes ordered by query_id.  The objects are live —
+        flatten them while holding ``_lock`` (the system-view
+        materializer and the exporters do)."""
+        with self._lock:
+            return sorted(self._shapes.values(),
+                          key=lambda shape: shape.query_id)
+
+    def find(self, shape_key: str) -> Optional[ShapeStats]:
+        with self._lock:
+            return self._shapes.get(shape_key)
+
+    def regressions(self, factor: Optional[float] = None,
+                    min_executions: Optional[int] = None
+                    ) -> List[PlanRegression]:
+        """Shapes whose current plan's mean simulated latency exceeds
+        the best eligible prior plan's by ``factor``.  Baselines must
+        share the current plan's schema_version, be baseline-eligible
+        and have ``min_executions`` runs (as must the current plan)."""
+        if factor is None:
+            factor = self.regression_factor
+        if min_executions is None:
+            min_executions = self.min_executions
+        flagged: List[PlanRegression] = []
+        with self._lock:
+            for shape in self._shapes.values():
+                current = shape.current_plan()
+                if current is None or not current.baseline_eligible \
+                        or current.execution_count < min_executions:
+                    continue
+                baselines = [
+                    plan for plan in shape.plans.values()
+                    if plan is not current
+                    and plan.baseline_eligible
+                    and plan.schema_version == current.schema_version
+                    and plan.execution_count >= min_executions
+                    and plan.mean_elapsed_seconds > 0.0
+                ]
+                if not baselines:
+                    continue
+                best = min(baselines,
+                           key=lambda plan: plan.mean_elapsed_seconds)
+                if current.mean_elapsed_seconds \
+                        > factor * best.mean_elapsed_seconds:
+                    flagged.append(PlanRegression(
+                        query_id=shape.query_id,
+                        shape_key=shape.shape_key,
+                        example_sql=shape.example_sql,
+                        plan_hash=current.plan_hash,
+                        baseline_hash=best.plan_hash,
+                        current_mean_seconds=current.mean_elapsed_seconds,
+                        baseline_mean_seconds=best.mean_elapsed_seconds,
+                        slowdown=(current.mean_elapsed_seconds
+                                  / best.mean_elapsed_seconds),
+                        executions=current.execution_count,
+                        schema_version=current.schema_version,
+                    ))
+        flagged.sort(key=lambda r: r.slowdown, reverse=True)
+        return flagged
+
+    def observed_cardinalities(self, shape_key: str
+                               ) -> Dict[int, float]:
+        """ROADMAP item 3's hook: mean observed rows per step index of
+        the shape's current plan (empty when unknown)."""
+        with self._lock:
+            shape = self._shapes.get(shape_key)
+            if shape is None:
+                return {}
+            current = shape.current_plan()
+            if current is None:
+                return {}
+            return {card.index: card.mean_actual_rows
+                    for card in current.steps if card.executions}
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "shapes": len(self._shapes),
+                "plans": sum(len(shape.plans)
+                             for shape in self._shapes.values()),
+                "executions": sum(shape.execution_count
+                                  for shape in self._shapes.values()),
+                "recorded": self._recorded,
+                "evicted_shapes": self._evicted,
+                "max_shapes": self.max_shapes,
+                "regression_factor": self.regression_factor,
+                "min_executions": self.min_executions,
+            }
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_events(self) -> List[dict]:
+        """One schema-valid ``query_store_flush`` event per shape — the
+        export format *and* the persistence format, so a saved store is
+        directly ``schema_check``-able."""
+        with self._lock:
+            return [{"event": "query_store_flush", **shape.to_dict()}
+                    for shape in sorted(self._shapes.values(),
+                                        key=lambda s: s.query_id)]
+
+    def save(self, path: str) -> int:
+        """Write the store as JSONL ``query_store_flush`` events;
+        returns the event count.  Round-trips bit-identically through
+        :meth:`load` (floats survive via ``repr`` exactness)."""
+        events = self.to_events()
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps(event, sort_keys=True) + "\n")
+        return len(events)
+
+    def load(self, path: str,
+             schema_version: Optional[int] = None) -> int:
+        """Merge a saved store back in; returns shapes loaded.
+
+        With ``schema_version`` given (the appliance's current
+        version), plans recorded under any *other* version keep their
+        history but lose baseline eligibility — a restarted service
+        whose data changed never compares new plans against stale
+        timings.  Pass ``None`` to restore verbatim.
+        """
+        loaded = 0
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        with self._lock:
+            for line in lines:
+                event = json.loads(line)
+                if event.get("event") != "query_store_flush":
+                    continue
+                shape = ShapeStats.from_dict(event)
+                if schema_version is not None:
+                    for plan in shape.plans.values():
+                        if plan.schema_version != schema_version:
+                            plan.baseline_eligible = False
+                self._shapes[shape.shape_key] = shape
+                self._shapes.move_to_end(shape.shape_key)
+                self._next_id = max(self._next_id, shape.query_id + 1)
+                self._seq = max(
+                    self._seq,
+                    max((plan.last_seen_seq
+                         for plan in shape.plans.values()), default=0))
+                loaded += 1
+            while len(self._shapes) > self.max_shapes:
+                self._shapes.popitem(last=False)
+                self._evicted += 1
+        return loaded
+
+
+class NullQueryStore(QueryStore):
+    """The disabled store: records nothing, allocates nothing."""
+
+    enabled = False
+    __slots__ = ()
+    max_shapes = 0
+    regression_factor = DEFAULT_REGRESSION_FACTOR
+    min_executions = DEFAULT_MIN_EXECUTIONS
+    _lock = threading.RLock()
+
+    def __init__(self):  # no per-instance state at all
+        pass
+
+    def stamp(self, sql, plan, result, *, schema_version=0,
+              cache_hit=False, timing=None):
+        del sql, plan, result, schema_version, cache_hit, timing
+
+    def record_execution(self, shape_key, plan_hash, **kwargs):
+        del shape_key, plan_hash, kwargs
+
+    def shapes(self):
+        return []
+
+    def find(self, shape_key):
+        del shape_key
+        return None
+
+    def regressions(self, factor=None, min_executions=None):
+        del factor, min_executions
+        return []
+
+    def observed_cardinalities(self, shape_key):
+        del shape_key
+        return {}
+
+    def stats(self):
+        return {"shapes": 0, "plans": 0, "executions": 0,
+                "recorded": 0, "evicted_shapes": 0, "max_shapes": 0,
+                "regression_factor": self.regression_factor,
+                "min_executions": self.min_executions}
+
+    def to_events(self):
+        return []
+
+    def save(self, path):
+        del path
+        return 0
+
+    def load(self, path, schema_version=None):
+        del path, schema_version
+        return 0
+
+
+NULL_QUERY_STORE = NullQueryStore()

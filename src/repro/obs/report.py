@@ -13,6 +13,10 @@ interesting-property key.
 ``render_requests_report`` produces the ``repro requests`` output: the
 flight recorder's per-request summary table (status, cache verdict,
 phase timings) plus a per-step actuals table for slow requests.
+
+``render_query_store_report`` produces the ``repro querystore`` output:
+the per-shape history table, the per-plan runtime-stats table, and the
+plan-regression verdicts.
 """
 
 from __future__ import annotations
@@ -35,6 +39,10 @@ __all__ = [
     "render_requests_table",
     "render_request_steps_table",
     "render_requests_report",
+    "render_query_store_table",
+    "render_query_store_plans_table",
+    "render_query_store_regressions",
+    "render_query_store_report",
 ]
 
 # Per-node row vectors are shown verbatim up to this many participants;
@@ -323,4 +331,105 @@ def render_requests_report(registry: RequestRegistry,
                 f"({record.total_seconds * 1e3:.2f} ms):",
                 render_request_steps_table(record),
             ]
+    return "\n".join(lines)
+
+
+# -- query-store tables --------------------------------------------------------
+
+
+def render_query_store_table(shapes, top: int = 10) -> str:
+    """One row per retained shape (hottest first): the
+    ``sys.query_store_query_texts`` view in terminal form."""
+    ranked = sorted(shapes, key=lambda s: s.execution_count,
+                    reverse=True)[:top]
+    headers = ["query", "execs", "plans", "current", "mean ms",
+               "max q-err", "query text"]
+    rows = []
+    for shape in ranked:
+        current = shape.current_plan()
+        rows.append([
+            f"Q{shape.query_id}",
+            str(shape.execution_count),
+            str(len(shape.plans)),
+            current.plan_hash if current else "-",
+            f"{current.mean_elapsed_seconds * 1e3:.3f}"
+            if current else "-",
+            _fmt_q(max((p.max_q_error for p in shape.plans.values()),
+                       default=1.0)),
+            _clip_sql(shape.example_sql or shape.shape_key),
+        ])
+    return render_table(headers, rows, left_columns=frozenset({0, 3, 6}))
+
+
+def render_query_store_plans_table(shape) -> str:
+    """One row per plan of one shape: the ``sys.query_store_plans`` +
+    ``sys.query_store_runtime_stats`` join in terminal form."""
+    current = shape.current_plan()
+    headers = ["plan", "cur", "base", "sv", "execs", "hits",
+               "mean ms", "min ms", "max ms", "bytes moved", "q-err"]
+    rows = [[
+        plan.plan_hash,
+        "*" if plan is current else "",
+        "y" if plan.baseline_eligible else "n",
+        str(plan.schema_version),
+        str(plan.execution_count),
+        str(plan.cache_hits),
+        f"{plan.mean_elapsed_seconds * 1e3:.3f}",
+        f"{plan.elapsed_seconds_min * 1e3:.3f}",
+        f"{plan.elapsed_seconds_max * 1e3:.3f}",
+        str(plan.bytes_moved_total),
+        _fmt_q(plan.max_q_error),
+    ] for plan in shape.plans.values()]
+    return render_table(headers, rows, left_columns=frozenset({0, 1, 2}))
+
+
+def render_query_store_regressions(regressions) -> str:
+    """The regression verdicts: one paragraph per flagged shape, or an
+    all-clear line."""
+    if not regressions:
+        return "No plan regressions detected."
+    lines = [f"{len(regressions)} plan regression(s) detected:"]
+    for reg in regressions:
+        lines += [
+            "",
+            f"Q{reg.query_id}: plan {reg.plan_hash} runs "
+            f"{reg.slowdown:.2f}x slower than prior plan "
+            f"{reg.baseline_hash} "
+            f"({reg.current_mean_seconds * 1e3:.3f} ms vs "
+            f"{reg.baseline_mean_seconds * 1e3:.3f} ms mean, "
+            f"{reg.executions} execs, schema v{reg.schema_version})",
+            f"  {_clip_sql(reg.example_sql or reg.shape_key, 72)}",
+        ]
+    return "\n".join(lines)
+
+
+def render_query_store_report(store, top: int = 10) -> str:
+    """The ``repro querystore`` output: store stats, the hottest-shapes
+    table, per-plan detail for every multi-plan shape, and the
+    regression verdicts."""
+    stats = store.stats()
+    lines = [
+        f"Query store: {stats['shapes']} shapes, {stats['plans']} plans, "
+        f"{stats['executions']} executions recorded "
+        f"({stats['evicted_shapes']} shapes evicted, "
+        f"capacity {stats['max_shapes']})",
+    ]
+    shapes = store.shapes()
+    if not shapes:
+        lines += ["", "No executions recorded."]
+        return "\n".join(lines)
+    lines += [
+        "",
+        f"Hottest shapes (top {top}):",
+        render_query_store_table(shapes, top),
+    ]
+    for shape in shapes:
+        if len(shape.plans) > 1:
+            lines += [
+                "",
+                f"Plans for Q{shape.query_id} "
+                f"({_clip_sql(shape.example_sql or shape.shape_key)}):",
+                render_query_store_plans_table(shape),
+            ]
+    lines += ["", render_query_store_regressions(store.regressions())]
     return "\n".join(lines)

@@ -1,7 +1,7 @@
 """The appliance's queryable system views (``sys.dm_pdw_*`` DMVs).
 
 The product ships its runtime state as Dynamic Management Views on the
-control node; this module reproduces that surface.  Five replicated
+control node; this module reproduces that surface.  Eight replicated
 pseudo-tables are registered in the catalog/shell database (the parser
 already folds ``sys.dm_pdw_exec_requests`` down to its last component,
 so the ``sys.`` spelling works through the ordinary parse -> optimize ->
@@ -17,7 +17,13 @@ their rows on demand from the live sources of truth:
 * ``sys.dm_pdw_plan_cache`` — one row per parameterized plan-cache
   entry (:class:`repro.service.PlanCache`);
 * ``sys.dm_pdw_admission`` — one row of admission-controller state
-  (:class:`repro.service.AdmissionController`).
+  (:class:`repro.service.AdmissionController`);
+* ``sys.query_store_query_texts`` — one row per normalized query shape
+  retained by the :class:`repro.obs.query_store.QueryStore`;
+* ``sys.query_store_plans`` — one row per (shape, plan hash) with
+  execution counts, bytes moved and max Q-error;
+* ``sys.query_store_runtime_stats`` — per-plan latency aggregates
+  (mean/min/max/last, phase totals).
 
 A refresh replaces rows through
 :meth:`repro.appliance.storage.Appliance.replace_system_rows`, which is
@@ -40,6 +46,9 @@ __all__ = [
     "DMS_WORKERS",
     "PLAN_CACHE",
     "ADMISSION",
+    "QS_QUERY_TEXTS",
+    "QS_PLANS",
+    "QS_RUNTIME_STATS",
     "SYSTEM_VIEW_NAMES",
     "system_view_defs",
     "register_system_views",
@@ -52,13 +61,17 @@ REQUEST_STEPS = "dm_pdw_request_steps"
 DMS_WORKERS = "dm_pdw_dms_workers"
 PLAN_CACHE = "dm_pdw_plan_cache"
 ADMISSION = "dm_pdw_admission"
+QS_QUERY_TEXTS = "query_store_query_texts"
+QS_PLANS = "query_store_plans"
+QS_RUNTIME_STATS = "query_store_runtime_stats"
 
 SYSTEM_VIEW_NAMES = (EXEC_REQUESTS, REQUEST_STEPS, DMS_WORKERS,
-                     PLAN_CACHE, ADMISSION)
+                     PLAN_CACHE, ADMISSION,
+                     QS_QUERY_TEXTS, QS_PLANS, QS_RUNTIME_STATS)
 
-#: Cheap pre-parse trigger: a query can only read a DMV if its text
-#: mentions the shared name prefix.
-_VIEW_MARKER = "dm_pdw_"
+#: Cheap pre-parse triggers: a query can only read a system view if its
+#: text mentions one of the shared name prefixes.
+_VIEW_MARKERS = ("dm_pdw_", "query_store_")
 
 #: SQL text in ``dm_pdw_exec_requests.command`` is truncated to this.
 _COMMAND_WIDTH = 200
@@ -66,11 +79,12 @@ _COMMAND_WIDTH = 200
 
 def mentions_system_views(sql: str) -> bool:
     """Whether ``sql`` might read a system view (refresh trigger)."""
-    return _VIEW_MARKER in sql.lower()
+    lowered = sql.lower()
+    return any(marker in lowered for marker in _VIEW_MARKERS)
 
 
 def system_view_defs() -> List[TableDef]:
-    """Fresh definitions of all five views (``row_count`` is mutable
+    """Fresh definitions of all eight views (``row_count`` is mutable
     per-appliance state, so every appliance gets its own copies)."""
     return [
         TableDef(EXEC_REQUESTS, [
@@ -126,11 +140,51 @@ def system_view_defs() -> List[TableDef]:
             Column("admitted_total", INTEGER),
             Column("rejected_total", INTEGER),
         ], REPLICATED, is_system=True),
+        TableDef(QS_QUERY_TEXTS, [
+            Column("query_id", INTEGER, nullable=False),
+            Column("query_text", varchar(_COMMAND_WIDTH), nullable=False),
+            Column("example_sql", varchar(_COMMAND_WIDTH)),
+            Column("plan_count", INTEGER),
+            Column("execution_count", INTEGER),
+            Column("first_seen", DOUBLE),
+            Column("last_seen", DOUBLE),
+        ], REPLICATED, is_system=True),
+        TableDef(QS_PLANS, [
+            Column("query_id", INTEGER, nullable=False),
+            Column("plan_hash", varchar(16), nullable=False),
+            Column("schema_version", INTEGER),
+            Column("is_current", BOOLEAN),
+            Column("baseline_eligible", BOOLEAN),
+            Column("execution_count", INTEGER),
+            Column("cache_hits", INTEGER),
+            Column("step_count", INTEGER),
+            Column("rows_returned", BIGINT),
+            Column("bytes_moved", BIGINT),
+            Column("max_q_error", DOUBLE),
+            Column("first_seen", DOUBLE),
+            Column("last_seen", DOUBLE),
+        ], REPLICATED, is_system=True),
+        TableDef(QS_RUNTIME_STATS, [
+            Column("query_id", INTEGER, nullable=False),
+            Column("plan_hash", varchar(16), nullable=False),
+            Column("execution_count", INTEGER),
+            Column("mean_ms", DOUBLE),
+            Column("min_ms", DOUBLE),
+            Column("max_ms", DOUBLE),
+            Column("last_ms", DOUBLE),
+            Column("wall_mean_ms", DOUBLE),
+            Column("queue_ms_total", DOUBLE),
+            Column("compile_ms_total", DOUBLE),
+            Column("execute_ms_total", DOUBLE),
+            Column("rows_returned", BIGINT),
+            Column("bytes_moved", BIGINT),
+            Column("max_q_error", DOUBLE),
+        ], REPLICATED, is_system=True),
     ]
 
 
 def register_system_views(appliance: Appliance) -> None:
-    """Idempotently create all five views on ``appliance`` (empty).
+    """Idempotently create all eight views on ``appliance`` (empty).
 
     Registration is schema-version neutral (system tables never count
     as DDL), so a service can register them lazily without flushing its
@@ -175,8 +229,9 @@ def _request_id_key(record: RequestRecord) -> int:
 def refresh_system_views(appliance: Appliance,
                          requests: RequestRegistry,
                          plan_cache=None,
-                         admission=None) -> None:
-    """Materialize a consistent snapshot of all five views.
+                         admission=None,
+                         query_store=None) -> None:
+    """Materialize a consistent snapshot of all eight views.
 
     Sources are snapshotted first (each under its own lock), then each
     view's rows are swapped in atomically — a concurrent scan sees
@@ -238,8 +293,62 @@ def refresh_system_views(appliance: Appliance,
             stats["admitted_total"], rejected,
         ))
 
+    text_rows: List[Tuple] = []
+    plan_rows: List[Tuple] = []
+    runtime_rows: List[Tuple] = []
+    if query_store is not None and query_store.enabled:
+        # One snapshot under the store's lock so SQL joins across the
+        # three query_store_* views are mutually consistent.
+        with query_store._lock:
+            for shape in query_store.shapes():
+                current = shape.current_plan()
+                text_rows.append((
+                    shape.query_id,
+                    _one_line(shape.shape_key),
+                    _one_line(shape.example_sql),
+                    len(shape.plans),
+                    shape.execution_count,
+                    shape.first_seen,
+                    shape.last_seen,
+                ))
+                for plan in shape.plans.values():
+                    plan_rows.append((
+                        shape.query_id,
+                        plan.plan_hash,
+                        plan.schema_version,
+                        plan is current,
+                        plan.baseline_eligible,
+                        plan.execution_count,
+                        plan.cache_hits,
+                        len(plan.steps),
+                        plan.rows_returned_total,
+                        plan.bytes_moved_total,
+                        plan.max_q_error,
+                        plan.first_seen,
+                        plan.last_seen,
+                    ))
+                    runtime_rows.append((
+                        shape.query_id,
+                        plan.plan_hash,
+                        plan.execution_count,
+                        plan.mean_elapsed_seconds * 1e3,
+                        plan.elapsed_seconds_min * 1e3,
+                        plan.elapsed_seconds_max * 1e3,
+                        plan.elapsed_seconds_last * 1e3,
+                        plan.mean_wall_seconds * 1e3,
+                        plan.queue_seconds_total * 1e3,
+                        plan.compile_seconds_total * 1e3,
+                        plan.execute_seconds_total * 1e3,
+                        plan.rows_returned_total,
+                        plan.bytes_moved_total,
+                        plan.max_q_error,
+                    ))
+
     appliance.replace_system_rows(EXEC_REQUESTS, exec_rows)
     appliance.replace_system_rows(REQUEST_STEPS, step_rows)
     appliance.replace_system_rows(DMS_WORKERS, worker_rows)
     appliance.replace_system_rows(PLAN_CACHE, cache_rows)
     appliance.replace_system_rows(ADMISSION, admission_rows)
+    appliance.replace_system_rows(QS_QUERY_TEXTS, text_rows)
+    appliance.replace_system_rows(QS_PLANS, plan_rows)
+    appliance.replace_system_rows(QS_RUNTIME_STATS, runtime_rows)

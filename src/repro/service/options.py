@@ -89,7 +89,11 @@ class ExecutionOptions:
     * ``use_plan_cache`` — let :class:`repro.service.PdwService` serve
       this query from the parameterized plan cache;
     * ``priority`` / ``tenant`` / ``timeout_seconds`` — admission
-      class, accounting identity and queue-wait bound for service calls.
+      class, accounting identity and queue-wait bound for service calls;
+    * ``slow_seconds`` — the flight recorder's slow-query threshold
+      (``None`` keeps :data:`repro.obs.requests.DEFAULT_SLOW_SECONDS`);
+      consumed when the session/service builds its default
+      :class:`~repro.obs.requests.RequestRegistry`.
     """
 
     compiled: bool = True
@@ -102,6 +106,7 @@ class ExecutionOptions:
     priority: str = "normal"
     tenant: str = "default"
     timeout_seconds: Optional[float] = None
+    slow_seconds: Optional[float] = None
     #: Set by :meth:`resolved`; a resolved object never re-reads the
     #: environment (``parallel`` is a concrete bool).
     env_resolved: bool = field(default=False, compare=False)
@@ -121,6 +126,8 @@ class ExecutionOptions:
                 f"(use one of {tuple(PRIORITY_CLASSES)})")
         if self.timeout_seconds is not None and self.timeout_seconds < 0:
             raise ReproError("timeout_seconds must be non-negative")
+        if self.slow_seconds is not None and self.slow_seconds < 0:
+            raise ReproError("slow_seconds must be non-negative")
 
     # -- derived views ---------------------------------------------------------
 

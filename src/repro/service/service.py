@@ -43,7 +43,8 @@ from repro.appliance.storage import Appliance
 from repro.catalog.shell_db import ShellDatabase
 from repro.common.errors import ReproError, ServiceClosedError
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.requests import RequestRegistry
+from repro.obs.query_store import QueryStore
+from repro.obs.requests import DEFAULT_SLOW_SECONDS, RequestRegistry
 from repro.obs.system_views import (
     mentions_system_views,
     refresh_system_views,
@@ -89,7 +90,9 @@ class PdwService:
                  max_queue: int = 32,
                  default_timeout_seconds: Optional[float] = None,
                  admission: Optional[AdmissionController] = None,
-                 requests: Optional[RequestRegistry] = None):
+                 requests: Optional[RequestRegistry] = None,
+                 query_store: Optional[QueryStore] = None,
+                 slow_seconds: Optional[float] = None):
         if (appliance is None) != (shell is None):
             raise ReproError(
                 "pass both appliance and shell, or neither "
@@ -116,10 +119,24 @@ class PdwService:
             metrics=self.metrics)
         # Request lifecycle: live by default (the service is the busy
         # appliance's control node); pass a shared registry to correlate
-        # with sessions, or NULL_REQUESTS to opt out entirely.
-        self.requests = (requests if requests is not None
-                         else RequestRegistry())
-        if self.requests.enabled:
+        # with sessions, or NULL_REQUESTS to opt out entirely.  The
+        # slow-query threshold resolves ctor arg > options field >
+        # module default; an explicitly passed registry keeps its own.
+        if requests is not None:
+            self.requests = requests
+        else:
+            threshold = slow_seconds
+            if threshold is None:
+                threshold = self.options.slow_seconds
+            if threshold is None:
+                threshold = DEFAULT_SLOW_SECONDS
+            self.requests = RequestRegistry(
+                slow_threshold_seconds=threshold)
+        # Query store: the persistent plan/runtime-stats history, live
+        # by default; pass NULL_QUERY_STORE to opt out at zero cost.
+        self.query_store = (query_store if query_store is not None
+                            else QueryStore())
+        if self.requests.enabled or self.query_store.enabled:
             register_system_views(appliance)
         self._compile_lock = threading.Lock()
         self._key_locks: Dict[str, threading.Lock] = {}
@@ -162,7 +179,8 @@ class PdwService:
         request = self.requests.begin(sql, tenant=opts.tenant,
                                       priority=opts.priority)
         # Refresh after begin so a DMV query observes itself (queued).
-        if self.requests.enabled and mentions_system_views(sql):
+        if (self.requests.enabled or self.query_store.enabled) \
+                and mentions_system_views(sql):
             self.refresh_system_views()
         try:
             ticket = self.admission.admit(
@@ -208,6 +226,13 @@ class PdwService:
                          compile_seconds=compile_seconds,
                          execute_seconds=execute_seconds,
                          total_seconds=total)
+        if self.query_store.enabled:
+            # Stamp the *template* plan — instantiated plans carry
+            # per-execution temp names that would split the hash.
+            self.query_store.stamp(
+                sql, compiled.dsql_plan, result,
+                schema_version=self.appliance.schema_version,
+                cache_hit=cache_hit, timing=result.timing)
         self._account(opts, outcome="ok", seconds=total,
                       timing=result.timing, cache_hit=cache_hit)
         return result
@@ -353,7 +378,8 @@ class PdwService:
         view; callable directly to pre-warm them."""
         refresh_system_views(self.appliance, self.requests,
                              plan_cache=self.plan_cache,
-                             admission=self.admission)
+                             admission=self.admission,
+                             query_store=self.query_store)
 
     def metrics_text(self) -> str:
         """The service registry in Prometheus text exposition format."""
@@ -364,5 +390,6 @@ class PdwService:
             "plan_cache": self.plan_cache.stats(),
             "admission": self.admission.stats(),
             "requests": self.requests.stats(),
+            "query_store": self.query_store.stats(),
             "schema_version": self.appliance.schema_version,
         }

@@ -151,6 +151,9 @@ class TrafficReport:
     errors: int
     wall_seconds: float
     latencies: List[float] = field(default_factory=list)
+    #: Per-phase wall seconds of every completed query, keyed
+    #: "queue" / "compile" / "execute" (from ``QueryResult.timing``).
+    phase_latencies: Dict[str, List[float]] = field(default_factory=dict)
     per_template: Dict[str, int] = field(default_factory=dict)
     cache_stats: Dict[str, int] = field(default_factory=dict)
     admission_stats: Dict[str, object] = field(default_factory=dict)
@@ -180,6 +183,15 @@ class TrafficReport:
     @property
     def p99(self) -> float:
         return self.percentile(0.99)
+
+    def phase_percentile(self, phase: str, q: float) -> float:
+        """Nearest-rank percentile of one phase's latency, seconds."""
+        values = self.phase_latencies.get(phase)
+        if not values:
+            return 0.0
+        ordered = sorted(values)
+        rank = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+        return ordered[rank]
 
 
 def run_traffic(service, *,
@@ -219,7 +231,7 @@ def run_traffic(service, *,
                 timeout_seconds=timeout_seconds)
             arrival = time.perf_counter()
             try:
-                service.execute(sql, options=options)
+                result = service.execute(sql, options=options)
             except AdmissionError:
                 with lock:
                     report.rejected += 1
@@ -231,9 +243,18 @@ def run_traffic(service, *,
                         first_error.append(error)
                 continue
             latency = time.perf_counter() - arrival
+            timing = result.timing
             with lock:
                 report.completed += 1
                 report.latencies.append(latency)
+                if timing is not None:
+                    phases = report.phase_latencies
+                    phases.setdefault("queue", []).append(
+                        timing.queue_seconds)
+                    phases.setdefault("compile", []).append(
+                        timing.compile_seconds)
+                    phases.setdefault("execute", []).append(
+                        timing.execute_seconds)
                 report.per_template[template.name] = \
                     report.per_template.get(template.name, 0) + 1
 
@@ -267,6 +288,14 @@ def render_report(report: TrafficReport) -> str:
         f"latency p50        {report.p50 * 1e3:.2f} ms",
         f"latency p95        {report.p95 * 1e3:.2f} ms",
         f"latency p99        {report.p99 * 1e3:.2f} ms",
+    ]
+    for phase in ("queue", "compile", "execute"):
+        if report.phase_latencies.get(phase):
+            lines.append(
+                f"{phase + ' p50/p95':<18} "
+                f"{report.phase_percentile(phase, 0.50) * 1e3:.2f} / "
+                f"{report.phase_percentile(phase, 0.95) * 1e3:.2f} ms")
+    lines += [
         f"plan cache         {cache.get('hits', 0)} hits / "
         f"{cache.get('misses', 0)} misses / "
         f"{cache.get('evictions', 0)} evictions "

@@ -86,7 +86,12 @@ from repro.obs.report import (
     render_profile_report,
     render_requests_report,
 )
-from repro.obs.requests import NULL_REQUESTS, RequestRegistry
+from repro.obs.query_store import NULL_QUERY_STORE, QueryStore
+from repro.obs.requests import (
+    DEFAULT_SLOW_SECONDS,
+    NULL_REQUESTS,
+    RequestRegistry,
+)
 from repro.obs.system_views import (
     mentions_system_views,
     refresh_system_views,
@@ -135,6 +140,7 @@ class PdwSession:
                  tracer: Optional[Tracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  requests: Optional[RequestRegistry] = None,
+                 query_store: Optional[QueryStore] = None,
                  trace=_UNSET,
                  compiled=_UNSET,
                  parallel=_UNSET):
@@ -181,9 +187,17 @@ class PdwSession:
         # observability surface), shareable across sessions/services by
         # passing the same registry object in.
         if requests is None:
-            requests = RequestRegistry() if opts.trace else NULL_REQUESTS
+            threshold = (opts.slow_seconds if opts.slow_seconds
+                         is not None else DEFAULT_SLOW_SECONDS)
+            requests = (RequestRegistry(slow_threshold_seconds=threshold)
+                        if opts.trace else NULL_REQUESTS)
         self.requests = requests
-        if requests.enabled:
+        # Query store: live whenever tracing is (same rule as the
+        # flight recorder); pass NULL_QUERY_STORE to opt out.
+        if query_store is None:
+            query_store = QueryStore() if opts.trace else NULL_QUERY_STORE
+        self.query_store = query_store
+        if requests.enabled or query_store.enabled:
             register_system_views(appliance)
         self.engine = PdwEngine(shell, serial_config, pdw_config,
                                 tracer=tracer)
@@ -233,7 +247,8 @@ class PdwSession:
         resolved = self._resolve(sql)
         # EXPLAIN over sys.dm_pdw_* must see the views registered and
         # populated before binding.
-        if self.requests.enabled and mentions_system_views(resolved):
+        if (self.requests.enabled or self.query_store.enabled) \
+                and mentions_system_views(resolved):
             self.refresh_system_views()
         return self.engine.compile(resolved, hints=opts.hints_dict)
 
@@ -260,7 +275,8 @@ class PdwSession:
         request = self.requests.begin(resolved, tenant=opts.tenant,
                                       priority=opts.priority)
         # Refresh after begin so a DMV query observes itself (queued).
-        if self.requests.enabled and mentions_system_views(resolved):
+        if (self.requests.enabled or self.query_store.enabled) \
+                and mentions_system_views(resolved):
             self.refresh_system_views()
         started = time.perf_counter()
         try:
@@ -290,6 +306,11 @@ class PdwSession:
                          compile_seconds=compile_seconds,
                          execute_seconds=execute_seconds,
                          total_seconds=total_seconds)
+        if self.query_store.enabled:
+            self.query_store.stamp(
+                resolved, compiled.dsql_plan, result,
+                schema_version=self.appliance.schema_version,
+                cache_hit=False, timing=result.timing)
         return result
 
     def explain(self, sql: Optional[str] = None,
@@ -451,10 +472,12 @@ class PdwSession:
     # -- request lifecycle / system views --------------------------------------
 
     def refresh_system_views(self) -> None:
-        """Materialize the ``sys.dm_pdw_*`` snapshot tables from the
-        live request registry.  Called automatically whenever a query
-        mentions a system view; callable directly to pre-warm them."""
-        refresh_system_views(self.appliance, self.requests)
+        """Materialize the ``sys.dm_pdw_*`` and ``sys.query_store_*``
+        snapshot tables from the live request registry and query store.
+        Called automatically whenever a query mentions a system view;
+        callable directly to pre-warm them."""
+        refresh_system_views(self.appliance, self.requests,
+                             query_store=self.query_store)
 
     def requests_report(self, slow_only: bool = False) -> str:
         """The flight recorder rendered as terminal tables (the

@@ -190,3 +190,50 @@ class TestWhyCli:
         assert "DSQL plan" in out
         assert "Why this plan?" in out
         assert "Search space:" in out
+
+
+class TestQuerystoreCli:
+    ARGS = ("--scale", "0.001", "--nodes", "2", "querystore",
+            "--clients", "1", "--queries", "2",
+            "--hint", "customer=shuffle", "--factor", "1.2")
+
+    def test_report_and_dogfood_rows(self, capsys):
+        code, out = run_cli(capsys, *self.ARGS)
+        assert code == 0
+        assert "Query store:" in out
+        assert "sys.query_store_runtime_stats (top 10):" in out
+        assert "plan regression(s) detected" in out
+
+    def test_regressions_only(self, capsys):
+        code, out = run_cli(capsys, *self.ARGS, "--regressions")
+        assert code == 0
+        assert "plan regression(s) detected" in out
+        assert "slower than prior plan" in out
+
+    def test_jsonl_schema_checks_and_save_round_trip(self, capsys,
+                                                     tmp_path):
+        from repro.obs.query_store import QueryStore
+        from repro.obs.schema_check import main as check_main
+
+        jsonl = tmp_path / "store.jsonl"
+        saved = tmp_path / "saved.jsonl"
+        prom = tmp_path / "store.prom"
+        code, _out = run_cli(capsys, *self.ARGS,
+                             "--jsonl", str(jsonl),
+                             "--prometheus", str(prom),
+                             "--save", str(saved))
+        assert code == 0
+        assert check_main([str(jsonl),
+                           "--require", "query_store_flush"]) == 0
+        capsys.readouterr()
+        shapes = [line for line in prom.read_text().splitlines()
+                  if line.startswith("pdw_query_store_shapes ")]
+        assert shapes and float(shapes[0].split()[1]) > 0
+        reloaded = QueryStore()
+        assert reloaded.load(str(saved)) > 0
+        assert len(reloaded.regressions(factor=1.2)) >= 1
+
+    def test_bad_hint_errors(self):
+        code = main(["--scale", "0.001", "--nodes", "2", "querystore",
+                     "--hint", "customer"])
+        assert code == 1

@@ -37,7 +37,7 @@ def session(obs_env):
 
 
 class TestRegistration:
-    def test_defs_cover_all_five_views(self):
+    def test_defs_cover_all_views(self):
         defs = system_view_defs()
         assert tuple(t.name for t in defs) == SYSTEM_VIEW_NAMES
         for table in defs:

@@ -45,6 +45,16 @@ class TestDefaults:
         with pytest.raises(ReproError, match="timeout"):
             ExecutionOptions(timeout_seconds=-1.0)
 
+    def test_negative_slow_seconds_rejected(self):
+        with pytest.raises(ReproError, match="slow_seconds"):
+            ExecutionOptions(slow_seconds=-0.5)
+
+    def test_slow_seconds_default_and_override(self):
+        assert ExecutionOptions().slow_seconds is None
+        assert ExecutionOptions(slow_seconds=0.0).slow_seconds == 0.0
+        opts = ExecutionOptions().override(slow_seconds=2.5)
+        assert opts.slow_seconds == 2.5
+
     def test_priority_rank_order(self):
         ranks = [ExecutionOptions(priority=p).priority_rank
                  for p in ("interactive", "normal", "batch")]

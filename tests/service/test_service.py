@@ -230,3 +230,44 @@ class TestTpchSuiteEquivalence:
         stats = service.plan_cache.stats()
         assert stats["misses"] == len(TPCH_QUERIES)
         assert stats["hits"] == len(TPCH_QUERIES)
+
+
+class TestSlowThreshold:
+    """The slow-query threshold resolves ctor arg > options field >
+    module default; an explicitly passed registry keeps its own."""
+
+    def test_resolution_order(self, tpch):
+        from repro.obs.requests import (DEFAULT_SLOW_SECONDS,
+                                        RequestRegistry)
+        appliance, shell = tpch
+        default = PdwService(appliance=appliance, shell=shell)
+        via_options = PdwService(
+            appliance=appliance, shell=shell,
+            options=ExecutionOptions(slow_seconds=5.0))
+        via_ctor = PdwService(
+            appliance=appliance, shell=shell,
+            options=ExecutionOptions(slow_seconds=5.0),
+            slow_seconds=0.25)
+        shared = RequestRegistry(slow_threshold_seconds=9.0)
+        via_registry = PdwService(appliance=appliance, shell=shell,
+                                  slow_seconds=0.25, requests=shared)
+        try:
+            assert default.requests.slow_threshold_seconds \
+                == DEFAULT_SLOW_SECONDS
+            assert via_options.requests.slow_threshold_seconds == 5.0
+            assert via_ctor.requests.slow_threshold_seconds == 0.25
+            assert via_registry.requests.slow_threshold_seconds == 9.0
+        finally:
+            for svc in (default, via_options, via_ctor, via_registry):
+                svc.close()
+
+    def test_slow_request_counted(self, tpch):
+        appliance, shell = tpch
+        service = PdwService(appliance=appliance, shell=shell,
+                             slow_seconds=0.0)
+        try:
+            service.execute("SELECT COUNT(*) AS n FROM nation")
+            # Threshold zero: every completed request is slow.
+            assert service.requests.stats()["slow"] >= 1
+        finally:
+            service.close()
